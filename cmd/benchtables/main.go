@@ -1,0 +1,74 @@
+// Command benchtables regenerates the tables and figures of the QuickNN
+// paper's evaluation (§6–§7) from this repository's models.
+//
+// Usage:
+//
+//	benchtables -exp all            # every experiment, paper order
+//	benchtables -exp table5         # one experiment
+//	benchtables -list               # list experiment ids
+//	benchtables -exp fig15 -quick   # reduced workload sizes
+//
+// See DESIGN.md §3 for the experiment ↔ paper-artifact mapping and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/quicknn/quicknn/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		points  = flag.Int("points", 0, "frame size override (default 30000)")
+		queries = flag.Int("queries", 0, "accuracy query count override (default 1000)")
+		frames  = flag.Int("frames", 0, "sequence length override (default 12)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		quick   = flag.Bool("quick", false, "reduced workload sizes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		Points:  *points,
+		Queries: *queries,
+		Frames:  *frames,
+		Seed:    *seed,
+		Quick:   *quick,
+	}
+
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

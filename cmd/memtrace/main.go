@@ -1,0 +1,115 @@
+// Command memtrace captures and replays external-memory access traces.
+//
+// Capture runs one simulated QuickNN round and records every DRAM access:
+//
+//	memtrace -capture trace.csv -points 30000 -fus 64
+//
+// Replay runs a captured trace through a memory configuration and prints
+// the traffic/latency statistics, so different memory systems can be
+// compared on identical workloads (the §7.2 DDR4-vs-HBM question):
+//
+//	memtrace -replay trace.csv
+//	memtrace -replay trace.csv -hbm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/quicknn/quicknn/internal/arch"
+	qsim "github.com/quicknn/quicknn/internal/arch/quicknn"
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/kdtree"
+	"github.com/quicknn/quicknn/internal/lidar"
+)
+
+func main() {
+	var (
+		capture = flag.String("capture", "", "capture a QuickNN round's trace to this file")
+		replay  = flag.String("replay", "", "replay a trace file through a memory model")
+		points  = flag.Int("points", 30000, "frame size for -capture")
+		fus     = flag.Int("fus", 64, "functional units for -capture")
+		seed    = flag.Int64("seed", 1, "workload seed for -capture")
+		hbm     = flag.Bool("hbm", false, "replay against the HBM profile instead of DDR4")
+	)
+	flag.Parse()
+
+	switch {
+	case *capture != "":
+		if err := doCapture(*capture, *points, *fus, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "memtrace: %v\n", err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *hbm); err != nil {
+			fmt.Fprintf(os.Stderr, "memtrace: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doCapture(path string, points, fus int, seed int64) error {
+	prev, cur := lidar.FramePair(points, seed)
+	tree := kdtree.Build(prev, kdtree.Config{BucketSize: 256}, rand.New(rand.NewSource(seed)))
+	mem := dram.New(arch.PrototypeMemConfig())
+	var records []dram.TraceRecord
+	mem.SetTracer(func(r dram.TraceRecord) { records = append(records, r) })
+	rep := qsim.SimulateFrame(tree, cur, qsim.Config{FUs: fus, K: 8}, mem, seed)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dram.WriteTrace(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("captured %d accesses over %d cycles (%.1f FPS) to %s\n",
+		len(records), rep.Cycles, rep.FPS, path)
+	return nil
+}
+
+func doReplay(path string, hbm bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	records, err := dram.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cfg := arch.PrototypeMemConfig()
+	name := "DDR4 prototype profile"
+	if hbm {
+		cfg = arch.HBMMemConfig()
+		name = "HBM profile"
+	}
+	stats := dram.Replay(records, cfg)
+	fmt.Printf("replayed %d accesses against %s\n", len(records), name)
+	fmt.Printf("elapsed          : %d cycles\n", stats.Elapsed)
+	fmt.Printf("bus utilization  : %.1f%%\n", 100*stats.Utilization())
+	fmt.Printf("useful bytes     : %d\n", stats.TotalUsefulBytes())
+	fmt.Printf("transferred bytes: %d (%.0f%% burst efficiency)\n",
+		stats.TotalBurstBytes(),
+		100*float64(stats.TotalUsefulBytes())/float64(stats.TotalBurstBytes()))
+	fmt.Printf("refresh stalls   : %d\n", stats.Refreshes)
+	fmt.Println("per stream:")
+	for s := dram.StreamOther; s <= dram.StreamWr2; s++ {
+		st := stats.Streams[s]
+		if st.Accesses == 0 {
+			continue
+		}
+		fmt.Printf("  %-6v accesses=%-8d useful=%-10d hits=%-7d misses=%d\n",
+			s, st.Accesses, st.UsefulBytes, st.RowHits, st.RowMisses)
+	}
+	return nil
+}

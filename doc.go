@@ -1,0 +1,23 @@
+// Package quicknn is a pure-Go reproduction of "QuickNN: Memory and
+// Performance Optimization of k-d Tree Based Nearest Neighbor Search for
+// 3D Point Clouds" (Pinkham, Zeng, Zhang — HPCA 2020).
+//
+// The package exposes three layers:
+//
+//   - A software kNN library for 3D point clouds: the paper's bucketed
+//     k-d tree with two-phase construction, approximate and exact search,
+//     static reuse, and incremental tree update (Index), plus brute-force
+//     search (BruteForce) and ICP-style motion estimation (EstimateMotion).
+//
+//   - A synthetic LiDAR workload generator (SyntheticFrames,
+//     SuccessiveFrames) standing in for the KITTI / Ford Campus datasets
+//     the paper evaluates on.
+//
+//   - A transaction-level simulator of the QuickNN accelerator and its
+//     baselines (SimulateAccelerator, SimulateLinear) with a cycle-level
+//     DDR4 model, reproducing the paper's performance and memory-traffic
+//     results.
+//
+// The benchmark harness behind every table and figure of the paper lives
+// in cmd/benchtables; see DESIGN.md and EXPERIMENTS.md.
+package quicknn

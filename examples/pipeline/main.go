@@ -1,0 +1,64 @@
+// Pipeline: the productized successive-frame loop. A Pipeline consumes
+// LiDAR frames in scan order; for each frame it estimates ego-motion,
+// searches every point against the previous frame, and advances its index
+// with the paper's incremental tree update — the full perception inner
+// loop in a few lines of application code.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/quicknn/quicknn"
+)
+
+func main() {
+	const (
+		points = 15000
+		frames = 6
+	)
+	drive := quicknn.SyntheticFrames(points, frames, 99)
+
+	pipe := quicknn.NewPipeline(quicknn.PipelineConfig{
+		K:              4,
+		Mode:           quicknn.ModeIncremental,
+		EstimateMotion: true,
+		ICP:            quicknn.ICPConfig{Iterations: 15, Subsample: 3},
+	})
+
+	fmt.Printf("frame  step(m)  medianNN(m)  p95NN(m)  buckets[min..max]  time\n")
+	for _, frame := range drive {
+		start := time.Now()
+		res := pipe.Process(frame)
+		elapsed := time.Since(start)
+		if res.FrameIndex == 0 {
+			fmt.Printf("%4d   (index built: %d points, %v)\n",
+				res.FrameIndex, pipe.Index().Len(), elapsed.Round(time.Millisecond))
+			continue
+		}
+		med, p95 := residuals(res.Neighbors)
+		step := res.Motion.Motion.Inverse().Translation.Norm()
+		fmt.Printf("%4d   %6.2f   %10.3f   %7.3f   [%d..%d]            %v\n",
+			res.FrameIndex, step, med, p95,
+			res.IndexStats.Min, res.IndexStats.Max, elapsed.Round(time.Millisecond))
+	}
+	fmt.Println("\n(median NN residual ≈ sensor noise → static world tracked;")
+	fmt.Println(" p95 picks up the moving vehicles; buckets stay balanced under incremental update)")
+}
+
+// residuals summarizes nearest-neighbor distances.
+func residuals(neighbors [][]quicknn.Neighbor) (median, p95 float64) {
+	var ds []float64
+	for _, r := range neighbors {
+		if len(r) > 0 {
+			ds = append(ds, math.Sqrt(r[0].DistSq))
+		}
+	}
+	sort.Float64s(ds)
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	return ds[len(ds)/2], ds[len(ds)*95/100]
+}

@@ -1,0 +1,3 @@
+module github.com/quicknn/quicknn
+
+go 1.22

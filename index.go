@@ -1,0 +1,214 @@
+package quicknn
+
+import (
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/kdtree"
+	"github.com/quicknn/quicknn/internal/linear"
+	"github.com/quicknn/quicknn/internal/nn"
+)
+
+// Point is a 3D point (x, y, z).
+type Point = geom.Point
+
+// Transform is a rigid yaw+translation transform.
+type Transform = geom.Transform
+
+// Neighbor is one search result: reference index, point, and squared
+// distance to the query.
+type Neighbor = nn.Neighbor
+
+// Option customizes Index construction.
+type Option func(*indexOptions)
+
+type indexOptions struct {
+	bucketSize int
+	sampleSize int
+	seed       int64
+}
+
+// WithBucketSize sets the k-d tree bucket target B_N (default 256, the
+// paper's minimum size for ≥75% top-10 accuracy). Larger buckets trade
+// speed for accuracy.
+func WithBucketSize(n int) Option { return func(o *indexOptions) { o.bucketSize = n } }
+
+// WithSampleSize sets how many points are sampled to build the tree
+// structure (default: automatic).
+func WithSampleSize(n int) Option { return func(o *indexOptions) { o.sampleSize = n } }
+
+// WithSeed seeds construction sampling for reproducible trees (default 1).
+func WithSeed(seed int64) Option { return func(o *indexOptions) { o.seed = seed } }
+
+// Index is a bucketed k-d tree over a reference point cloud, the data
+// structure at the heart of QuickNN. It is not safe for concurrent
+// mutation; concurrent Search calls are safe once built.
+type Index struct {
+	tree *kdtree.Tree
+	ref  []Point
+}
+
+// NewIndex builds an index over the reference points using the paper's
+// two-phase construction. It panics if points is empty.
+func NewIndex(points []Point, opts ...Option) *Index {
+	o := indexOptions{seed: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	cfg := kdtree.Config{BucketSize: o.bucketSize, SampleSize: o.sampleSize}
+	ref := append([]Point(nil), points...)
+	tree := kdtree.Build(ref, cfg, rand.New(rand.NewSource(o.seed)))
+	return &Index{tree: tree, ref: ref}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.tree.NumPoints() }
+
+// Points returns the indexed reference points (do not mutate).
+func (ix *Index) Points() []Point { return ix.ref }
+
+// Search returns up to k approximate nearest neighbors of q, nearest
+// first — the paper's single-bucket approximate search.
+func (ix *Index) Search(q Point, k int) []Neighbor {
+	res, _ := ix.tree.SearchApprox(q, k)
+	return res
+}
+
+// SearchExact returns the k exact nearest neighbors using backtracking.
+func (ix *Index) SearchExact(q Point, k int) []Neighbor {
+	res, _ := ix.tree.SearchExact(q, k)
+	return res
+}
+
+// SearchChecks is the FLANN-style budgeted approximate search: after the
+// primary bucket, the nearest unexplored branches are visited until at
+// least `checks` reference points have been examined. checks=0 equals
+// Search; checks ≥ Len() approaches SearchExact. It exposes the
+// accuracy/latency trade-off the paper's CPU baseline tunes.
+func (ix *Index) SearchChecks(q Point, k, checks int) []Neighbor {
+	res, _ := ix.tree.SearchChecks(q, k, checks)
+	return res
+}
+
+// SearchRadius returns every indexed point within radius meters of q
+// (exact, via backtracking), nearest first.
+func (ix *Index) SearchRadius(q Point, radius float64) []Neighbor {
+	res, _ := ix.tree.SearchRadius(q, radius)
+	return res
+}
+
+// SearchAll runs the approximate search for every query point (the
+// successive-frame workload).
+func (ix *Index) SearchAll(queries []Point, k int) [][]Neighbor {
+	res, _ := ix.tree.SearchAllApprox(queries, k)
+	return res
+}
+
+// SearchAllParallel is SearchAll fanned out across workers goroutines
+// (GOMAXPROCS when workers <= 0). Searches do not mutate the index, so
+// this is safe whenever no Update runs concurrently.
+func (ix *Index) SearchAllParallel(queries []Point, k, workers int) [][]Neighbor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		return ix.SearchAll(queries, k)
+	}
+	out := make([][]Neighbor, len(queries))
+	var wg sync.WaitGroup
+	chunk := (len(queries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for qi := lo; qi < hi; qi++ {
+				res, _ := ix.tree.SearchApprox(queries[qi], k)
+				out[qi] = res
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Update re-populates the index with a new frame using the paper's
+// incremental tree update (§4.4): the split structure is reused and
+// rebalanced locally instead of rebuilt, keeping every bucket within
+// [mean/2, 2·mean]. The indexed reference set becomes points.
+func (ix *Index) Update(points []Point) {
+	ix.ref = append(ix.ref[:0], points...)
+	ix.tree.UpdateFrame(ix.ref, 0, 0)
+}
+
+// UpdateStatic re-populates the index keeping the splits frozen (the
+// paper's static-tree mode — fast, but balance degrades over frames).
+func (ix *Index) UpdateStatic(points []Point) {
+	ix.ref = append(ix.ref[:0], points...)
+	ix.tree.ResetBuckets()
+	ix.tree.Place(ix.ref)
+}
+
+// Stats describes the index's bucket occupancy.
+type Stats = kdtree.BucketStats
+
+// Stats returns the current bucket-size distribution.
+func (ix *Index) Stats() Stats { return ix.tree.Stats() }
+
+// AccuracyReport quantifies approximate-search quality (Fig. 3).
+type AccuracyReport = kdtree.AccuracyReport
+
+// Accuracy measures, over the given queries, how often the k exact
+// nearest neighbors all appear in the approximate top k+x.
+func (ix *Index) Accuracy(queries []Point, k, x int) AccuracyReport {
+	return ix.tree.MeasureAccuracy(ix.ref, queries, k, x)
+}
+
+// WriteTo serializes the index (tree structure and all indexed points) in
+// a versioned binary format; LoadIndex restores it bit-identically.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.tree.WriteTo(w) }
+
+// LoadIndex restores an index saved with WriteTo. The loaded index
+// answers every search identically to the saved one and remains fully
+// updatable.
+func LoadIndex(r io.Reader) (*Index, error) {
+	tree, err := kdtree.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct the reference slice from the buckets' back-indices.
+	ref := make([]Point, tree.NumPoints())
+	tree.Buckets(func(_ int32, b *kdtree.Bucket) {
+		for i, idx := range b.Indices {
+			if idx >= 0 && idx < len(ref) {
+				ref[idx] = b.Points[i]
+			}
+		}
+	})
+	return &Index{tree: tree, ref: ref}, nil
+}
+
+// BruteForce returns the k exact nearest neighbors of q in reference by
+// exhaustive scan — the paper's linear method.
+func BruteForce(reference []Point, q Point, k int) []Neighbor {
+	return linear.Search(reference, q, k)
+}
+
+// BruteForceAll runs BruteForce for every query in parallel across CPU
+// cores.
+func BruteForceAll(reference, queries []Point, k int) [][]Neighbor {
+	return linear.SearchAllParallel(reference, queries, k, 0)
+}

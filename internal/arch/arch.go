@@ -1,0 +1,185 @@
+// Package arch provides the shared scaffolding for the transaction-level
+// architecture models: the core-clock/memory-clock bridge, the co-simulation
+// driver that interleaves engines over a shared DRAM, and the external
+// address map.
+//
+// Modelling level (see DESIGN.md §4): functional models produce exact
+// memory access sequences; the dram package times them; engines account
+// compute at the paper's stated rates (100 MHz core, FUs pipelined at one
+// point per cycle, tree traversal one level per worker per cycle).
+package arch
+
+import "github.com/quicknn/quicknn/internal/dram"
+
+// CoreClockHz is the accelerator core clock of the FPGA prototype (§6.1).
+const CoreClockHz = 100e6
+
+// CyclesToSeconds converts core cycles to wall time at the prototype clock.
+func CyclesToSeconds(cycles int64) float64 { return float64(cycles) / CoreClockHz }
+
+// FPS converts per-frame core cycles to frames per second.
+func FPS(cyclesPerFrame int64) float64 {
+	if cyclesPerFrame <= 0 {
+		return 0
+	}
+	return CoreClockHz / float64(cyclesPerFrame)
+}
+
+// PrototypeMemConfig returns the DRAM profile of the FPGA prototype as
+// seen from the 100 MHz core: a 64-bit interface delivering one 8-byte
+// word per core cycle at peak (the paper's linear architecture saturates
+// this at 98.7% utilization), with DDR4 row-activation penalties expressed
+// in core cycles (tRCD/tRP/tCAS ≈ 14 ns ≈ 2 cycles, tRAS ≈ 32 ns ≈ 4).
+func PrototypeMemConfig() dram.Config {
+	return dram.Config{
+		BusBytes:    8,
+		BurstLength: 8,
+		BurstCycles: 8, // 8 B/core-cycle effective interface rate
+		RowBytes:    8192,
+		Banks:       16,
+		TRCD:        2,
+		TRP:         2,
+		TCL:         2,
+		TRAS:        4,
+		TurnAround:  2,
+		CoreRatio:   1,
+		// 7.8 µs tREFI / 260 ns tRFC in 10 ns core cycles.
+		TREFI: 780,
+		TRFC:  26,
+	}
+}
+
+// HBMMemConfig models the near-chip high-bandwidth memory option the paper
+// proposes for future workloads (§7.2): roughly 4× the core-side interface
+// rate of the DDR4 prototype with more banks, at similar latencies. Used
+// by the scaling experiment to show the bandwidth bottleneck lifting.
+func HBMMemConfig() dram.Config {
+	cfg := PrototypeMemConfig()
+	cfg.BurstCycles = 2 // 32 B/core-cycle effective rate
+	cfg.Banks = 32
+	return cfg
+}
+
+// MemPort adapts the tCK-domain dram.Memory to engines working in core
+// cycles. All engines of one simulation share a single port (one memory
+// controller).
+type MemPort struct {
+	Mem   *dram.Memory
+	ratio int64
+}
+
+// NewMemPort wraps mem.
+func NewMemPort(mem *dram.Memory) *MemPort {
+	return &MemPort{Mem: mem, ratio: int64(mem.Config().CoreRatio)}
+}
+
+// Access submits an access that cannot start before core-cycle `at` and
+// returns its completion time in core cycles.
+func (p *MemPort) Access(at int64, addr uint64, n int, write bool, s dram.StreamID) int64 {
+	p.Mem.AdvanceTo(at * p.ratio)
+	done := p.Mem.Access(addr, n, write, s)
+	return (done + p.ratio - 1) / p.ratio
+}
+
+// Now returns the memory's current time in core cycles.
+func (p *MemPort) Now() int64 { return (p.Mem.Now() + p.ratio - 1) / p.ratio }
+
+// Engine is one concurrently-running architecture component (TBuild,
+// TSearch, the linear search pipeline, …). Engines advance in chunks;
+// the driver always steps the engine with the smallest local clock so the
+// shared memory sees accesses in (approximately) global time order.
+type Engine interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Time is the engine's local clock in core cycles.
+	Time() int64
+	// Done reports whether the engine has finished its frame.
+	Done() bool
+	// Step advances the engine by one chunk of work.
+	Step()
+}
+
+// Run co-simulates the engines to completion and returns the cycle at
+// which the last one finished.
+func Run(engines ...Engine) int64 {
+	for {
+		var next Engine
+		for _, e := range engines {
+			if e.Done() {
+				continue
+			}
+			if next == nil || e.Time() < next.Time() {
+				next = e
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.Step()
+	}
+	var end int64
+	for _, e := range engines {
+		if t := e.Time(); t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// AddressMap lays out the external DRAM regions the accelerator uses.
+// Frames and result buffers are contiguous; bucket blocks are allocated
+// from a dedicated region in fixed-size chunks (§4.1).
+type AddressMap struct {
+	// FrameBase[i] is the base address of frame slot i (double-buffered:
+	// reference and query frames alternate between two slots).
+	FrameBase [2]uint64
+	// BucketBase is the base of the bucket-block region.
+	BucketBase uint64
+	// ResultBase is the base of the kNN result write-back region.
+	ResultBase uint64
+	// NodeBase is the base of the tree-node table used only by the
+	// tree-in-DRAM ablation (QuickNN proper keeps nodes on chip).
+	NodeBase uint64
+	// BlockBytes is the size of one bucket block.
+	BlockBytes uint64
+}
+
+// DefaultAddressMap sizes regions for frames up to maxPoints with the
+// given bucket-block payload (in points).
+func DefaultAddressMap(maxPoints, blockPoints int) AddressMap {
+	const pointBytes = 12
+	frameBytes := roundUp(uint64(maxPoints)*pointBytes, 4096)
+	// Block: payload + 8-byte next-pointer/end-token, rounded to bursts.
+	blockBytes := roundUp(uint64(blockPoints)*pointBytes+8, 64)
+	// Bucket region sized for 4× the frame (linked blocks leave slack).
+	bucketBytes := 4 * frameBytes
+	m := AddressMap{BlockBytes: blockBytes}
+	m.FrameBase[0] = 0
+	m.FrameBase[1] = frameBytes
+	m.BucketBase = 2 * frameBytes
+	m.ResultBase = m.BucketBase + bucketBytes
+	m.NodeBase = m.ResultBase + roundUp(uint64(maxPoints)*256, 4096)
+	return m
+}
+
+// NodeAddr returns the DRAM address of tree node id for the tree-in-DRAM
+// ablation (16 bytes per node).
+func (m AddressMap) NodeAddr(id uint64) uint64 { return m.NodeBase + id*16 }
+
+// PointAddr returns the address of point i in frame slot f.
+func (m AddressMap) PointAddr(f, i int) uint64 {
+	return m.FrameBase[f] + uint64(i)*12
+}
+
+// BlockAddr returns the address of bucket block b.
+func (m AddressMap) BlockAddr(b int) uint64 {
+	return m.BucketBase + uint64(b)*m.BlockBytes
+}
+
+// ResultAddr returns the address of the result record for query i, with
+// recordBytes bytes per query.
+func (m AddressMap) ResultAddr(i, recordBytes int) uint64 {
+	return m.ResultBase + uint64(i)*uint64(recordBytes)
+}
+
+func roundUp(v, to uint64) uint64 { return (v + to - 1) / to * to }

@@ -1,0 +1,117 @@
+package arch
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/dram"
+)
+
+func TestFPSAndSeconds(t *testing.T) {
+	if got := FPS(1_000_000); got != 100 {
+		t.Errorf("FPS(1M cycles) = %v, want 100", got)
+	}
+	if got := FPS(0); got != 0 {
+		t.Errorf("FPS(0) = %v", got)
+	}
+	if got := CyclesToSeconds(100_000_000); got != 1 {
+		t.Errorf("CyclesToSeconds = %v", got)
+	}
+}
+
+func TestMemPortConvertsDomains(t *testing.T) {
+	mem := dram.New(dram.DefaultConfig())
+	p := NewMemPort(mem)
+	done := p.Access(100, 0, 64, false, dram.StreamRd1)
+	if done < 100 {
+		t.Errorf("completion %d before request time 100", done)
+	}
+	// A second access at an earlier core time must not travel back.
+	done2 := p.Access(0, 64, 64, false, dram.StreamRd1)
+	if done2 < done {
+		t.Errorf("memory time went backwards: %d < %d", done2, done)
+	}
+	if p.Now() < done2 {
+		t.Errorf("Now() = %d < completion %d", p.Now(), done2)
+	}
+}
+
+type fakeEngine struct {
+	name  string
+	t     int64
+	steps int
+	limit int
+	inc   int64
+	order *[]string
+}
+
+func (f *fakeEngine) Name() string { return f.name }
+func (f *fakeEngine) Time() int64  { return f.t }
+func (f *fakeEngine) Done() bool   { return f.steps >= f.limit }
+func (f *fakeEngine) Step() {
+	f.steps++
+	f.t += f.inc
+	*f.order = append(*f.order, f.name)
+}
+
+func TestRunInterleavesByTime(t *testing.T) {
+	var order []string
+	fast := &fakeEngine{name: "fast", limit: 4, inc: 1, order: &order}
+	slow := &fakeEngine{name: "slow", limit: 2, inc: 10, order: &order}
+	end := Run(fast, slow)
+	if end != 20 {
+		t.Errorf("end = %d, want 20", end)
+	}
+	// The fast engine (smaller clock) must be favoured: its 4 steps all
+	// complete before the slow engine's second step.
+	wantPrefix := []string{"fast", "slow", "fast", "fast", "fast", "slow"}
+	for i, w := range wantPrefix {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("order = %v, want prefix %v", order, wantPrefix)
+		}
+	}
+}
+
+func TestRunNoEngines(t *testing.T) {
+	if end := Run(); end != 0 {
+		t.Errorf("Run() = %d", end)
+	}
+}
+
+func TestAddressMapLayout(t *testing.T) {
+	m := DefaultAddressMap(30000, 256)
+	if m.FrameBase[0] != 0 {
+		t.Error("frame 0 should start at 0")
+	}
+	frameBytes := m.FrameBase[1]
+	if frameBytes < 30000*12 {
+		t.Errorf("frame region too small: %d", frameBytes)
+	}
+	if m.BucketBase != 2*frameBytes {
+		t.Errorf("BucketBase = %d", m.BucketBase)
+	}
+	if m.ResultBase <= m.BucketBase {
+		t.Error("regions overlap")
+	}
+	if m.BlockBytes < 256*12+8 {
+		t.Errorf("BlockBytes = %d too small", m.BlockBytes)
+	}
+	if m.BlockBytes%64 != 0 {
+		t.Errorf("BlockBytes = %d not burst aligned", m.BlockBytes)
+	}
+}
+
+func TestAddressMapAddressing(t *testing.T) {
+	m := DefaultAddressMap(1000, 64)
+	if a0, a1 := m.PointAddr(0, 0), m.PointAddr(0, 1); a1-a0 != 12 {
+		t.Errorf("point stride = %d", a1-a0)
+	}
+	if b0, b1 := m.BlockAddr(0), m.BlockAddr(1); b1-b0 != m.BlockBytes {
+		t.Errorf("block stride = %d", b1-b0)
+	}
+	if r0, r1 := m.ResultAddr(0, 32), m.ResultAddr(1, 32); r1-r0 != 32 {
+		t.Errorf("result stride = %d", r1-r0)
+	}
+	if m.PointAddr(1, 0) != m.FrameBase[1] {
+		t.Error("PointAddr frame slot 1 wrong")
+	}
+}

@@ -1,0 +1,78 @@
+// Package cachemodel provides the on-chip SRAM accounting used across the
+// architecture models: every cache in QuickNN (tree cache, bucket-map
+// cache, scratchpad, gather caches) is "a standard word-addressable
+// format" (§5), so one small model covers them all — capacity, banking,
+// and access counting for the resource/power model.
+package cachemodel
+
+import "fmt"
+
+// SRAM is one on-chip word-addressable memory.
+type SRAM struct {
+	// Name identifies the cache in reports ("tree cache", …).
+	Name string
+	// WordBytes is the word width.
+	WordBytes int
+	// Words is the capacity in words.
+	Words int
+	// Banks is the number of independently-ported banks (1 = single
+	// ported).
+	Banks int
+
+	accesses int64
+}
+
+// New returns an SRAM; it panics on non-positive geometry.
+func New(name string, wordBytes, words, banks int) *SRAM {
+	if wordBytes <= 0 || words <= 0 || banks <= 0 {
+		panic(fmt.Sprintf("cachemodel: invalid geometry for %q", name))
+	}
+	return &SRAM{Name: name, WordBytes: wordBytes, Words: words, Banks: banks}
+}
+
+// Bytes returns the capacity in bytes.
+func (s *SRAM) Bytes() int { return s.WordBytes * s.Words }
+
+// KiB returns the capacity in binary kilobytes.
+func (s *SRAM) KiB() float64 { return float64(s.Bytes()) / 1024 }
+
+// Record counts n accesses (for activity-based power estimates).
+func (s *SRAM) Record(n int64) { s.accesses += n }
+
+// Accesses returns the recorded access count.
+func (s *SRAM) Accesses() int64 { return s.accesses }
+
+// Group is a named collection of SRAMs (e.g. all of TBuild's caches);
+// Tables 2/3 report the per-half totals.
+type Group struct {
+	Name  string
+	srams []*SRAM
+}
+
+// NewGroup returns an empty group.
+func NewGroup(name string) *Group { return &Group{Name: name} }
+
+// Add registers an SRAM and returns it for convenience.
+func (g *Group) Add(s *SRAM) *SRAM {
+	g.srams = append(g.srams, s)
+	return s
+}
+
+// TotalBytes sums the group's capacity.
+func (g *Group) TotalBytes() int {
+	n := 0
+	for _, s := range g.srams {
+		n += s.Bytes()
+	}
+	return n
+}
+
+// TotalKiB returns the capacity in binary kilobytes.
+func (g *Group) TotalKiB() float64 { return float64(g.TotalBytes()) / 1024 }
+
+// Each visits the group's SRAMs in registration order.
+func (g *Group) Each(fn func(*SRAM)) {
+	for _, s := range g.srams {
+		fn(s)
+	}
+}

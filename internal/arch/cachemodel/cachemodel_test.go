@@ -1,0 +1,52 @@
+package cachemodel
+
+import "testing"
+
+func TestNewValidates(t *testing.T) {
+	for _, bad := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) should panic", bad)
+				}
+			}()
+			New("x", bad[0], bad[1], bad[2])
+		}()
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s := New("tree cache", 16, 256, 4)
+	if s.Bytes() != 4096 {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+	if s.KiB() != 4 {
+		t.Errorf("KiB = %v", s.KiB())
+	}
+}
+
+func TestAccessRecording(t *testing.T) {
+	s := New("scratchpad", 4, 100, 1)
+	s.Record(10)
+	s.Record(5)
+	if s.Accesses() != 15 {
+		t.Errorf("Accesses = %d", s.Accesses())
+	}
+}
+
+func TestGroupTotals(t *testing.T) {
+	g := NewGroup("TBuild")
+	a := g.Add(New("a", 4, 1024, 1)) // 4 KiB
+	g.Add(New("b", 16, 256, 2))      // 4 KiB
+	if a.Name != "a" {
+		t.Error("Add should return the SRAM")
+	}
+	if g.TotalBytes() != 8192 || g.TotalKiB() != 8 {
+		t.Errorf("totals: %d bytes", g.TotalBytes())
+	}
+	var names []string
+	g.Each(func(s *SRAM) { names = append(names, s.Name) })
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Each order = %v", names)
+	}
+}

@@ -1,0 +1,107 @@
+// Package fu models the Functional Unit of Fig. 4: a pipelined datapath
+// that holds one query point and a running list of the k nearest
+// candidates, consuming one broadcast reference point per cycle.
+//
+// A Bank is the paper's array of FUs: queries are loaded one per unit,
+// reference points are streamed and broadcast to every unit, and results
+// are flushed to memory when the stream ends. The same Bank is used by the
+// linear architecture (stream = whole reference frame) and by TSearch
+// (stream = one bucket).
+package fu
+
+import (
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/nn"
+)
+
+// NeighborRecordBytes is the external size of one result neighbor:
+// reference index (4 B) + squared distance (4 B).
+const NeighborRecordBytes = 8
+
+// ResultBytes returns the Wr2 record size for one query with k neighbors.
+func ResultBytes(k int) int { return k * NeighborRecordBytes }
+
+// Result is the flushed output of one FU: the query's id and its nearest
+// neighbors found in the streamed points.
+type Result struct {
+	QueryID   int
+	Neighbors []nn.Neighbor
+}
+
+// Bank is an array of FUs sharing a broadcast reference-point bus.
+type Bank struct {
+	n, k    int
+	queries []geom.Point
+	ids     []int
+	lists   []*nn.TopK
+	loaded  int
+}
+
+// NewBank returns a bank of n FUs each keeping k candidates. It panics
+// unless n ≥ 1 and k ≥ 1.
+func NewBank(n, k int) *Bank {
+	b := &Bank{n: n, k: k}
+	if n < 1 || k < 1 {
+		panic("fu: NewBank requires n ≥ 1 and k ≥ 1")
+	}
+	b.queries = make([]geom.Point, n)
+	b.ids = make([]int, n)
+	b.lists = make([]*nn.TopK, n)
+	for i := range b.lists {
+		b.lists[i] = nn.NewTopK(k)
+	}
+	return b
+}
+
+// Size returns the number of FUs.
+func (b *Bank) Size() int { return b.n }
+
+// K returns the per-FU candidate list length.
+func (b *Bank) K() int { return b.k }
+
+// Loaded returns the number of occupied FUs.
+func (b *Bank) Loaded() int { return b.loaded }
+
+// Load assigns query points to FUs, one each, replacing any previous
+// batch. ids are the queries' positions in the query frame. It panics if
+// more queries than FUs are supplied (the control logic never does this).
+func (b *Bank) Load(queries []geom.Point, ids []int) {
+	if len(queries) > b.n {
+		panic("fu: Load exceeds bank size")
+	}
+	if len(queries) != len(ids) {
+		panic("fu: queries and ids length mismatch")
+	}
+	b.loaded = len(queries)
+	copy(b.queries, queries)
+	copy(b.ids, ids)
+	for i := 0; i < b.loaded; i++ {
+		b.lists[i].Reset()
+	}
+}
+
+// Stream broadcasts reference points to all loaded FUs and returns the
+// pipeline cycles consumed: one point per cycle, matching the hardware's
+// fully-pipelined distance + insert datapath.
+func (b *Bank) Stream(points []geom.Point, indices []int) int64 {
+	for pi, p := range points {
+		idx := pi
+		if indices != nil {
+			idx = indices[pi]
+		}
+		for u := 0; u < b.loaded; u++ {
+			b.lists[u].Push(nn.Neighbor{Index: idx, Point: p, DistSq: b.queries[u].DistSq(p)})
+		}
+	}
+	return int64(len(points))
+}
+
+// Flush returns each loaded FU's result and clears the bank.
+func (b *Bank) Flush() []Result {
+	out := make([]Result, b.loaded)
+	for u := 0; u < b.loaded; u++ {
+		out[u] = Result{QueryID: b.ids[u], Neighbors: b.lists[u].Results()}
+	}
+	b.loaded = 0
+	return out
+}

@@ -1,0 +1,115 @@
+package fu
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/linear"
+)
+
+func TestNewBankValidates(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBank(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			NewBank(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	b := NewBank(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("overloading the bank should panic")
+		}
+	}()
+	b.Load(make([]geom.Point, 3), []int{0, 1, 2})
+}
+
+func TestLoadLengthMismatchPanics(t *testing.T) {
+	b := NewBank(4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	b.Load(make([]geom.Point, 2), []int{0})
+}
+
+func TestBankMatchesLinearSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]geom.Point, 500)
+	for i := range ref {
+		ref[i] = geom.Point{X: rng.Float32() * 10, Y: rng.Float32() * 10, Z: rng.Float32()}
+	}
+	queries := make([]geom.Point, 7)
+	ids := make([]int, 7)
+	for i := range queries {
+		queries[i] = geom.Point{X: rng.Float32() * 10, Y: rng.Float32() * 10}
+		ids[i] = 100 + i
+	}
+	b := NewBank(8, 4)
+	b.Load(queries, ids)
+	cycles := b.Stream(ref, nil)
+	if cycles != int64(len(ref)) {
+		t.Errorf("Stream cycles = %d, want %d", cycles, len(ref))
+	}
+	results := b.Flush()
+	if len(results) != 7 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.QueryID != 100+i {
+			t.Errorf("result %d id = %d", i, r.QueryID)
+		}
+		want := linear.Search(ref, queries[i], 4)
+		if len(r.Neighbors) != len(want) {
+			t.Fatalf("result %d: %d neighbors, want %d", i, len(r.Neighbors), len(want))
+		}
+		for j := range want {
+			if r.Neighbors[j] != want[j] {
+				t.Errorf("result %d neighbor %d: %+v vs %+v", i, j, r.Neighbors[j], want[j])
+			}
+		}
+	}
+	if b.Loaded() != 0 {
+		t.Error("Flush should clear the bank")
+	}
+}
+
+func TestStreamWithExplicitIndices(t *testing.T) {
+	b := NewBank(1, 2)
+	b.Load([]geom.Point{{}}, []int{0})
+	pts := []geom.Point{{X: 3}, {X: 1}}
+	b.Stream(pts, []int{30, 10})
+	res := b.Flush()
+	if res[0].Neighbors[0].Index != 10 || res[0].Neighbors[1].Index != 30 {
+		t.Errorf("indices not honored: %+v", res[0].Neighbors)
+	}
+}
+
+func TestReloadResetsLists(t *testing.T) {
+	b := NewBank(1, 1)
+	b.Load([]geom.Point{{}}, []int{0})
+	b.Stream([]geom.Point{{X: 1}}, nil)
+	b.Load([]geom.Point{{}}, []int{1}) // reload without flush
+	b.Stream([]geom.Point{{X: 5}}, []int{9})
+	res := b.Flush()
+	if len(res) != 1 || res[0].Neighbors[0].Index != 9 {
+		t.Errorf("stale candidates survived reload: %+v", res)
+	}
+}
+
+func TestResultBytes(t *testing.T) {
+	if ResultBytes(8) != 64 {
+		t.Errorf("ResultBytes(8) = %d", ResultBytes(8))
+	}
+	if NewBank(4, 8).Size() != 4 || NewBank(4, 8).K() != 8 {
+		t.Error("accessors wrong")
+	}
+}

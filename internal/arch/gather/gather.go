@@ -1,0 +1,158 @@
+// Package gather models the write-gather and read-gather caches of §4.2:
+// small on-chip buffers that group items destined for (or waiting on) the
+// same bucket, so that scattered single-point DRAM accesses become
+// contiguous burst accesses.
+//
+// One Cache holds up to Slots buckets of up to Depth items each (the
+// paper's w_b/w_n for the write-gather cache and r_b/r_n for the
+// read-gather cache). An insert that fills a bucket flushes it; an insert
+// that needs a new bucket while all slots are allocated evicts the fullest
+// bucket ("when the cache is full ... the fullest one is flushed to memory
+// to make room").
+package gather
+
+import "fmt"
+
+// FlushReason says why a bucket left the cache.
+type FlushReason int
+
+// Flush reasons.
+const (
+	// FlushFull: the bucket reached Depth items.
+	FlushFull FlushReason = iota
+	// FlushEvict: the cache needed a slot for a new bucket.
+	FlushEvict
+	// FlushDrain: the caller drained the cache at end of frame.
+	FlushDrain
+)
+
+// String names the reason.
+func (r FlushReason) String() string {
+	switch r {
+	case FlushFull:
+		return "full"
+	case FlushEvict:
+		return "evict"
+	case FlushDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Flush is one group of items leaving the cache together. For the
+// write-gather cache the items are point indices written contiguously to
+// the bucket's block; for the read-gather cache they are query indices
+// dispatched to the FUs alongside one read of the bucket.
+type Flush struct {
+	Bucket int32
+	Items  []int32
+	Reason FlushReason
+}
+
+// Stats counts cache activity across a frame.
+type Stats struct {
+	Inserts    int
+	Flushes    int
+	FullFlush  int
+	EvictFlush int
+	DrainFlush int
+	// ItemsFlushed lets callers compute the mean gather size, the figure
+	// of merit behind Fig. 8 (larger groups → fewer, more efficient DRAM
+	// accesses).
+	ItemsFlushed int
+}
+
+// MeanGather returns the average items per flush (0 when no flushes).
+func (s Stats) MeanGather() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.ItemsFlushed) / float64(s.Flushes)
+}
+
+// Cache is a gather cache. Not safe for concurrent use.
+type Cache struct {
+	slots, depth int
+	entries      map[int32][]int32
+	stats        Stats
+}
+
+// New returns a cache with the given geometry. It panics unless
+// slots ≥ 1 and depth ≥ 1.
+func New(slots, depth int) *Cache {
+	if slots < 1 || depth < 1 {
+		panic("gather: New requires slots ≥ 1 and depth ≥ 1")
+	}
+	return &Cache{slots: slots, depth: depth, entries: make(map[int32][]int32, slots)}
+}
+
+// Slots returns w_b, the number of bucket slots.
+func (c *Cache) Slots() int { return c.slots }
+
+// Depth returns w_n, the per-bucket item capacity.
+func (c *Cache) Depth() int { return c.depth }
+
+// SizeBytes returns the on-chip storage footprint given the per-item
+// payload size (12 B for gathered points, 12 B for query points).
+func (c *Cache) SizeBytes(itemBytes int) int { return c.slots * c.depth * itemBytes }
+
+// Insert offers one item for the given bucket and returns any flushes it
+// triggered, oldest first. At most two flushes can result: an eviction to
+// make room, then the filled bucket itself.
+func (c *Cache) Insert(bucket, item int32) []Flush {
+	c.stats.Inserts++
+	var flushes []Flush
+	if _, ok := c.entries[bucket]; !ok && len(c.entries) == c.slots {
+		flushes = append(flushes, c.flush(c.fullest(), FlushEvict))
+	}
+	c.entries[bucket] = append(c.entries[bucket], item)
+	if len(c.entries[bucket]) >= c.depth {
+		flushes = append(flushes, c.flush(bucket, FlushFull))
+	}
+	return flushes
+}
+
+// fullest returns the bucket with the most gathered items, breaking ties
+// by the lowest bucket id for determinism.
+func (c *Cache) fullest() int32 {
+	best := int32(-1)
+	bestLen := -1
+	for b, items := range c.entries {
+		if len(items) > bestLen || (len(items) == bestLen && b < best) {
+			best, bestLen = b, len(items)
+		}
+	}
+	return best
+}
+
+func (c *Cache) flush(bucket int32, reason FlushReason) Flush {
+	items := c.entries[bucket]
+	delete(c.entries, bucket)
+	c.stats.Flushes++
+	c.stats.ItemsFlushed += len(items)
+	switch reason {
+	case FlushFull:
+		c.stats.FullFlush++
+	case FlushEvict:
+		c.stats.EvictFlush++
+	case FlushDrain:
+		c.stats.DrainFlush++
+	}
+	return Flush{Bucket: bucket, Items: items, Reason: reason}
+}
+
+// Drain flushes every remaining bucket (end of frame), fullest first.
+func (c *Cache) Drain() []Flush {
+	var flushes []Flush
+	for len(c.entries) > 0 {
+		flushes = append(flushes, c.flush(c.fullest(), FlushDrain))
+	}
+	return flushes
+}
+
+// Occupied returns the number of allocated bucket slots.
+func (c *Cache) Occupied() int { return len(c.entries) }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }

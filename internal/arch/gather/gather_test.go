@@ -1,0 +1,195 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidates(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {4, 0}, {-1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestFullFlushAtDepth(t *testing.T) {
+	c := New(4, 3)
+	var flushes []Flush
+	for i := int32(0); i < 3; i++ {
+		flushes = append(flushes, c.Insert(7, i)...)
+	}
+	if len(flushes) != 1 {
+		t.Fatalf("flushes = %d, want 1", len(flushes))
+	}
+	f := flushes[0]
+	if f.Bucket != 7 || f.Reason != FlushFull || len(f.Items) != 3 {
+		t.Errorf("flush = %+v", f)
+	}
+	if c.Occupied() != 0 {
+		t.Errorf("Occupied = %d after full flush", c.Occupied())
+	}
+}
+
+func TestEvictFullestWhenOutOfSlots(t *testing.T) {
+	c := New(2, 10)
+	c.Insert(1, 0)
+	c.Insert(1, 1) // bucket 1 has 2 items
+	c.Insert(2, 2) // bucket 2 has 1 item
+	flushes := c.Insert(3, 3)
+	if len(flushes) != 1 {
+		t.Fatalf("flushes = %d, want 1 eviction", len(flushes))
+	}
+	if flushes[0].Bucket != 1 || flushes[0].Reason != FlushEvict || len(flushes[0].Items) != 2 {
+		t.Errorf("evicted %+v, want fullest bucket 1", flushes[0])
+	}
+	if c.Occupied() != 2 {
+		t.Errorf("Occupied = %d", c.Occupied())
+	}
+}
+
+func TestEvictTieBreaksByLowestBucket(t *testing.T) {
+	c := New(2, 10)
+	c.Insert(5, 0)
+	c.Insert(2, 1)
+	flushes := c.Insert(9, 2)
+	if flushes[0].Bucket != 2 {
+		t.Errorf("evicted bucket %d, want 2 (lowest id among ties)", flushes[0].Bucket)
+	}
+}
+
+func TestEvictThenFullOnSameInsert(t *testing.T) {
+	c := New(1, 1)
+	c.Insert(1, 0) // fills and flushes immediately (depth 1)
+	flushes := c.Insert(2, 1)
+	if len(flushes) != 1 || flushes[0].Reason != FlushFull {
+		t.Fatalf("depth-1 insert should full-flush: %+v", flushes)
+	}
+	// Now depth 2: first insert occupies the only slot; the second insert
+	// to a different bucket evicts, then fills.
+	c2 := New(1, 2)
+	c2.Insert(1, 0)
+	fl := c2.Insert(2, 1)
+	if len(fl) != 1 || fl[0].Reason != FlushEvict || fl[0].Bucket != 1 {
+		t.Fatalf("want eviction of bucket 1: %+v", fl)
+	}
+	fl = c2.Insert(2, 2)
+	if len(fl) != 1 || fl[0].Reason != FlushFull || fl[0].Bucket != 2 {
+		t.Fatalf("want full flush of bucket 2: %+v", fl)
+	}
+}
+
+func TestDrainFlushesEverythingFullestFirst(t *testing.T) {
+	c := New(4, 10)
+	c.Insert(1, 0)
+	c.Insert(2, 1)
+	c.Insert(2, 2)
+	c.Insert(3, 3)
+	c.Insert(3, 4)
+	c.Insert(3, 5)
+	flushes := c.Drain()
+	if len(flushes) != 3 {
+		t.Fatalf("drained %d buckets, want 3", len(flushes))
+	}
+	wantOrder := []int32{3, 2, 1}
+	for i, f := range flushes {
+		if f.Bucket != wantOrder[i] || f.Reason != FlushDrain {
+			t.Errorf("drain[%d] = %+v, want bucket %d", i, f, wantOrder[i])
+		}
+	}
+	if c.Occupied() != 0 {
+		t.Error("cache not empty after drain")
+	}
+}
+
+func TestNoItemLostProperty(t *testing.T) {
+	// Every inserted item must appear in exactly one flush.
+	rng := rand.New(rand.NewSource(1))
+	c := New(8, 4)
+	seen := map[int32]int{}
+	collect := func(fs []Flush) {
+		for _, f := range fs {
+			for _, it := range f.Items {
+				seen[it]++
+			}
+		}
+	}
+	const n = 10000
+	for i := int32(0); i < n; i++ {
+		collect(c.Insert(int32(rng.Intn(64)), i))
+	}
+	collect(c.Drain())
+	if len(seen) != n {
+		t.Fatalf("saw %d unique items, want %d", len(seen), n)
+	}
+	for it, count := range seen {
+		if count != 1 {
+			t.Fatalf("item %d flushed %d times", it, count)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := New(1, 2)
+	c.Insert(1, 0)
+	c.Insert(1, 1) // full flush
+	c.Insert(2, 2)
+	c.Insert(3, 3) // evict bucket 2
+	c.Drain()      // drain bucket 3
+	s := c.Stats()
+	if s.Inserts != 4 {
+		t.Errorf("Inserts = %d", s.Inserts)
+	}
+	if s.Flushes != 3 || s.FullFlush != 1 || s.EvictFlush != 1 || s.DrainFlush != 1 {
+		t.Errorf("flush stats = %+v", s)
+	}
+	if s.ItemsFlushed != 4 {
+		t.Errorf("ItemsFlushed = %d", s.ItemsFlushed)
+	}
+	if got := s.MeanGather(); got < 1.3 || got > 1.4 {
+		t.Errorf("MeanGather = %v, want 4/3", got)
+	}
+	if (Stats{}).MeanGather() != 0 {
+		t.Error("MeanGather on empty stats should be 0")
+	}
+}
+
+func TestBiggerCacheGathersMore(t *testing.T) {
+	// The Fig. 8 premise: more slots → larger mean gathers under random
+	// bucket traffic.
+	run := func(slots int) float64 {
+		rng := rand.New(rand.NewSource(2))
+		c := New(slots, 8)
+		for i := int32(0); i < 20000; i++ {
+			c.Insert(int32(rng.Intn(128)), i)
+		}
+		c.Drain()
+		return c.Stats().MeanGather()
+	}
+	small, large := run(4), run(128)
+	if large <= small {
+		t.Errorf("mean gather did not grow with slots: %v vs %v", small, large)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	c := New(128, 4)
+	if got := c.SizeBytes(12); got != 128*4*12 {
+		t.Errorf("SizeBytes = %d", got)
+	}
+	if c.Slots() != 128 || c.Depth() != 4 {
+		t.Error("geometry accessors wrong")
+	}
+}
+
+func TestFlushReasonString(t *testing.T) {
+	if FlushFull.String() != "full" || FlushEvict.String() != "evict" ||
+		FlushDrain.String() != "drain" || FlushReason(9).String() != "reason(9)" {
+		t.Error("FlushReason strings wrong")
+	}
+}

@@ -1,0 +1,77 @@
+package gather
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Conservation: every inserted item leaves the cache exactly once, no
+// flush exceeds the configured depth, and occupancy never exceeds the
+// slot count — for any geometry and any bucket stream.
+func TestPropertyConservationAndBounds(t *testing.T) {
+	f := func(slotsRaw, depthRaw uint8, stream []uint8) bool {
+		slots := int(slotsRaw)%16 + 1
+		depth := int(depthRaw)%16 + 1
+		c := New(slots, depth)
+		seen := make(map[int32]bool)
+		check := func(fs []Flush) bool {
+			for _, fl := range fs {
+				if len(fl.Items) == 0 || len(fl.Items) > depth {
+					return false
+				}
+				for _, it := range fl.Items {
+					if seen[it] {
+						return false
+					}
+					seen[it] = true
+				}
+			}
+			return true
+		}
+		for i, b := range stream {
+			if !check(c.Insert(int32(b)%32, int32(i))) {
+				return false
+			}
+			if c.Occupied() > slots {
+				return false
+			}
+		}
+		if !check(c.Drain()) {
+			return false
+		}
+		return len(seen) == len(stream) && c.Occupied() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Flush grouping: all items of one flush carry the same bucket they were
+// inserted under.
+func TestPropertyFlushGroupsByBucket(t *testing.T) {
+	f := func(stream []uint8) bool {
+		c := New(4, 4)
+		owner := make(map[int32]int32)
+		verify := func(fs []Flush) bool {
+			for _, fl := range fs {
+				for _, it := range fl.Items {
+					if owner[it] != fl.Bucket {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for i, b := range stream {
+			bucket := int32(b) % 16
+			owner[int32(i)] = bucket
+			if !verify(c.Insert(bucket, int32(i))) {
+				return false
+			}
+		}
+		return verify(c.Drain())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package lineararch simulates the baseline linear-search architecture of
+// §3: an array of Functional Units, control, and a DRAM access controller.
+// Query points are loaded one per FU; the whole reference frame is
+// streamed from external memory and broadcast to the FUs; results are
+// flushed back. All external access is sequential, so the architecture
+// runs at near-perfect memory bandwidth utilization — and still loses,
+// because it moves O(N²) bytes.
+package lineararch
+
+import (
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/arch/fu"
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/nn"
+)
+
+// Config parameterizes the simulation.
+type Config struct {
+	// FUs is the number of functional units.
+	FUs int
+	// K is the number of nearest neighbors per query.
+	K int
+	// ChunkPoints is the memory/compute interleave granularity; zero
+	// selects 64 points.
+	ChunkPoints int
+	// ComputeResults additionally runs the functional datapath so the
+	// report carries real neighbor lists (slower; timing is unaffected).
+	ComputeResults bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.FUs <= 0 {
+		c.FUs = 64
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.ChunkPoints <= 0 {
+		c.ChunkPoints = 64
+	}
+	return c
+}
+
+// Report is the outcome of simulating one frame.
+type Report struct {
+	// Cycles is the total core cycles for the frame.
+	Cycles int64
+	// FPS is the corresponding frame rate at the prototype clock.
+	FPS float64
+	// ComputeCycles counts FU pipeline occupancy (the rest is memory).
+	ComputeCycles int64
+	// Mem is the DRAM counter snapshot.
+	Mem dram.Stats
+	// Results holds per-query neighbors when Config.ComputeResults is set.
+	Results [][]nn.Neighbor
+}
+
+// Simulate runs one frame of the successive-frame workload: every query
+// point searched against the full reference frame. mem supplies the
+// external-memory timing; pass a fresh dram.New(arch.PrototypeMemConfig())
+// for standalone runs.
+func Simulate(reference, queries []geom.Point, cfg Config, mem *dram.Memory) Report {
+	cfg = cfg.withDefaults()
+	port := arch.NewMemPort(mem)
+	amap := arch.DefaultAddressMap(maxInt(len(reference), len(queries)), 256)
+	var bank *fu.Bank
+	var report Report
+	if cfg.ComputeResults {
+		bank = fu.NewBank(cfg.FUs, cfg.K)
+		report.Results = make([][]nn.Neighbor, len(queries))
+	}
+	resultBytes := fu.ResultBytes(cfg.K)
+
+	var t int64
+	for qbase := 0; qbase < len(queries); qbase += cfg.FUs {
+		qend := qbase + cfg.FUs
+		if qend > len(queries) {
+			qend = len(queries)
+		}
+		// Load the batch of query points (sequential read, Rd2).
+		t = port.Access(t, amap.PointAddr(1, qbase), (qend-qbase)*geom.PointBytes, false, dram.StreamRd2)
+		if bank != nil {
+			ids := make([]int, qend-qbase)
+			for i := range ids {
+				ids[i] = qbase + i
+			}
+			bank.Load(queries[qbase:qend], ids)
+		}
+		// Stream the reference frame in chunks, overlapping the FU
+		// pipeline (1 point/cycle) with the next chunk's fetch.
+		for rbase := 0; rbase < len(reference); rbase += cfg.ChunkPoints {
+			rend := rbase + cfg.ChunkPoints
+			if rend > len(reference) {
+				rend = len(reference)
+			}
+			memDone := port.Access(t, amap.PointAddr(0, rbase), (rend-rbase)*geom.PointBytes, false, dram.StreamRd1)
+			compute := int64(rend - rbase)
+			report.ComputeCycles += compute
+			if bank != nil {
+				bank.Stream(reference[rbase:rend], indicesFrom(rbase, rend))
+			}
+			tNext := t + compute
+			if memDone > tNext {
+				tNext = memDone
+			}
+			t = tNext
+		}
+		// Flush the batch's results (sequential write, Wr2).
+		t = port.Access(t, amap.ResultAddr(qbase, resultBytes), (qend-qbase)*resultBytes, true, dram.StreamWr2)
+		if bank != nil {
+			for _, r := range bank.Flush() {
+				report.Results[r.QueryID] = r.Neighbors
+			}
+		}
+	}
+	report.Cycles = t
+	report.FPS = arch.FPS(t)
+	report.Mem = mem.Stats()
+	return report
+}
+
+func indicesFrom(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

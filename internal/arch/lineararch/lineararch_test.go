@@ -1,0 +1,155 @@
+package lineararch
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/linear"
+)
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float32() * 50, Y: rng.Float32() * 50, Z: rng.Float32() * 4}
+	}
+	return pts
+}
+
+func sim(n, fus int, compute bool) Report {
+	ref := randPoints(n, 1)
+	q := randPoints(n, 2)
+	return Simulate(ref, q, Config{FUs: fus, K: 8, ComputeResults: compute},
+		dram.New(arch.PrototypeMemConfig()))
+}
+
+func TestResultsMatchSoftwareLinear(t *testing.T) {
+	ref := randPoints(300, 3)
+	q := randPoints(100, 4)
+	rep := Simulate(ref, q, Config{FUs: 16, K: 4, ComputeResults: true},
+		dram.New(arch.PrototypeMemConfig()))
+	want := linear.SearchAll(ref, q, 4)
+	for qi := range q {
+		if len(rep.Results[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(rep.Results[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			if rep.Results[qi][i] != want[qi][i] {
+				t.Fatalf("query %d result %d mismatch", qi, i)
+			}
+		}
+	}
+}
+
+func TestQuadraticScaling(t *testing.T) {
+	small := sim(1000, 64, false)
+	big := sim(2000, 64, false)
+	ratio := float64(big.Cycles) / float64(small.Cycles)
+	if ratio < 3.3 || ratio > 4.8 {
+		t.Errorf("doubling N scaled cycles by %.2f, want ~4 (O(N²))", ratio)
+	}
+}
+
+func TestFUScalingNearLinear(t *testing.T) {
+	// Doubling FUs from 32 to 64 should give ~1.99× (paper §6.2).
+	r32 := sim(3000, 32, false)
+	r64 := sim(3000, 64, false)
+	speedup := float64(r32.Cycles) / float64(r64.Cycles)
+	if speedup < 1.85 || speedup > 2.05 {
+		t.Errorf("32→64 FU speedup = %.2f, want ≈ 2", speedup)
+	}
+}
+
+func TestHighBandwidthUtilization(t *testing.T) {
+	// §3/§6.2: all-sequential access → ~97-99% utilization.
+	rep := sim(3000, 64, false)
+	if u := rep.Mem.Utilization(); u < 0.90 {
+		t.Errorf("utilization = %.3f, want ≥ 0.90", u)
+	}
+}
+
+func TestPaperOperatingPoint(t *testing.T) {
+	// 64 FUs, 30k points: the paper measures ~4.6 FPS (21.9M cycles,
+	// 24.1× slower than QuickNN's 908k). The model should land within a
+	// factor ~1.5 of that.
+	if testing.Short() {
+		t.Skip("30k-point frame in -short mode")
+	}
+	rep := sim(30000, 64, false)
+	if rep.FPS < 3 || rep.FPS > 8 {
+		t.Errorf("FPS = %.2f, want ≈ 4.6 (paper)", rep.FPS)
+	}
+}
+
+func TestMemoryTrafficAccounting(t *testing.T) {
+	n := 1024
+	fus := 64
+	rep := sim(n, fus, false)
+	passes := (n + fus - 1) / fus
+	wantRefBytes := int64(passes) * int64(n) * geom.PointBytes
+	if got := rep.Mem.Streams[dram.StreamRd1].UsefulBytes; got != wantRefBytes {
+		t.Errorf("Rd1 useful bytes = %d, want %d", got, wantRefBytes)
+	}
+	if got := rep.Mem.Streams[dram.StreamRd2].UsefulBytes; got != int64(n)*geom.PointBytes {
+		t.Errorf("Rd2 useful bytes = %d, want one query frame", got)
+	}
+	if got := rep.Mem.Streams[dram.StreamWr2].UsefulBytes; got != int64(n)*64 {
+		t.Errorf("Wr2 useful bytes = %d, want %d", got, n*64)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	rep := Simulate(randPoints(100, 5), randPoints(100, 6), Config{},
+		dram.New(arch.PrototypeMemConfig()))
+	if rep.Cycles <= 0 || rep.FPS <= 0 {
+		t.Errorf("empty config did not default sanely: %+v", rep)
+	}
+	if rep.Results != nil {
+		t.Error("results computed without ComputeResults")
+	}
+}
+
+func TestChunkSizeDoesNotChangeTraffic(t *testing.T) {
+	ref := randPoints(1000, 7)
+	q := randPoints(1000, 8)
+	a := Simulate(ref, q, Config{FUs: 32, K: 8, ChunkPoints: 16}, dram.New(arch.PrototypeMemConfig()))
+	b := Simulate(ref, q, Config{FUs: 32, K: 8, ChunkPoints: 256}, dram.New(arch.PrototypeMemConfig()))
+	if a.Mem.TotalUsefulBytes() != b.Mem.TotalUsefulBytes() {
+		t.Errorf("chunking changed traffic: %d vs %d", a.Mem.TotalUsefulBytes(), b.Mem.TotalUsefulBytes())
+	}
+	// Timing may differ slightly with interleave granularity, not wildly.
+	ratio := float64(a.Cycles) / float64(b.Cycles)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("chunking changed cycles by %.2fx", ratio)
+	}
+}
+
+func TestLargerKCostsMoreWriteback(t *testing.T) {
+	ref := randPoints(2000, 9)
+	q := randPoints(2000, 10)
+	k1 := Simulate(ref, q, Config{FUs: 64, K: 1}, dram.New(arch.PrototypeMemConfig()))
+	k32 := Simulate(ref, q, Config{FUs: 64, K: 32}, dram.New(arch.PrototypeMemConfig()))
+	if k32.Mem.Streams[dram.StreamWr2].UsefulBytes <= k1.Mem.Streams[dram.StreamWr2].UsefulBytes {
+		t.Error("larger k should write more results")
+	}
+	if k32.Cycles < k1.Cycles {
+		t.Error("larger k should not be faster")
+	}
+}
+
+func TestQueriesSmallerThanReference(t *testing.T) {
+	ref := randPoints(2000, 11)
+	q := randPoints(100, 12)
+	rep := Simulate(ref, q, Config{FUs: 64, K: 4, ComputeResults: true}, dram.New(arch.PrototypeMemConfig()))
+	if len(rep.Results) != 100 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	// 100 queries on 64 FUs = 2 passes over the reference.
+	want := int64(2 * 2000 * 12)
+	if got := rep.Mem.Streams[dram.StreamRd1].UsefulBytes; got != want {
+		t.Errorf("Rd1 = %d, want %d", got, want)
+	}
+}

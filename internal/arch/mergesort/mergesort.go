@@ -1,0 +1,136 @@
+// Package mergesort implements the n-way merge sort used by TBuild's
+// dedicated sorting accelerator (§5, after Pugsley et al.): the sort runs
+// in rounds, each round merging up to n sorted runs into one, giving a
+// complexity of N·⌈log_n N⌉ element steps for N elements.
+//
+// The package provides both a functional n-way merge sort (used to sort
+// sample points during modelled tree construction — results are identical
+// to the software reference) and the cycle model of the accelerator.
+package mergesort
+
+import "container/heap"
+
+// Less compares two elements by index.
+type Less func(i, j int) bool
+
+// runHead is the head of one run during an n-way merge.
+type runHead struct {
+	pos int // index into the source slice
+	end int
+}
+
+type mergeHeap struct {
+	heads []runHead
+	data  []int // element order being merged (indices into user data)
+	less  Less
+}
+
+func (h mergeHeap) Len() int { return len(h.heads) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h.data[h.heads[i].pos], h.data[h.heads[j].pos]
+	if h.less(a, b) {
+		return true
+	}
+	if h.less(b, a) {
+		return false
+	}
+	// Tie: the run holding earlier source positions wins, which makes the
+	// sort stable (runs within a round hold ascending original positions).
+	return h.heads[i].pos < h.heads[j].pos
+}
+func (h mergeHeap) Swap(i, j int)       { h.heads[i], h.heads[j] = h.heads[j], h.heads[i] }
+func (h *mergeHeap) Push(x interface{}) { h.heads = append(h.heads, x.(runHead)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.heads
+	it := old[len(old)-1]
+	h.heads = old[:len(old)-1]
+	return it
+}
+
+// Sort performs an n-way merge sort over the permutation [0, count) using
+// the comparison function, returning the sorted order as indices and the
+// number of accelerator element-steps consumed (one element output per
+// step, per the hardware's streaming rate).
+//
+// ways must be ≥ 2. Sort is stable.
+func Sort(count, ways int, less Less) (order []int, steps int64) {
+	if ways < 2 {
+		panic("mergesort: ways must be ≥ 2")
+	}
+	order = make([]int, count)
+	for i := range order {
+		order[i] = i
+	}
+	if count < 2 {
+		return order, 0
+	}
+	buf := make([]int, count)
+	runLen := 1
+	src, dst := order, buf
+	for runLen < count {
+		// One round: merge groups of `ways` runs of length runLen.
+		for base := 0; base < count; base += ways * runLen {
+			h := &mergeHeap{data: src, less: less}
+			for r := 0; r < ways; r++ {
+				lo := base + r*runLen
+				if lo >= count {
+					break
+				}
+				hi := lo + runLen
+				if hi > count {
+					hi = count
+				}
+				h.heads = append(h.heads, runHead{pos: lo, end: hi})
+			}
+			heap.Init(h)
+			out := base
+			for h.Len() > 0 {
+				top := h.heads[0]
+				dst[out] = src[top.pos]
+				out++
+				steps++
+				top.pos++
+				if top.pos < top.end {
+					h.heads[0] = top
+					heap.Fix(h, 0)
+				} else {
+					heap.Pop(h)
+				}
+			}
+		}
+		src, dst = dst, src
+		runLen *= ways
+	}
+	if &src[0] != &order[0] {
+		copy(order, src)
+	}
+	return order, steps
+}
+
+// Ints sorts a copy of vs ascending, returning the sorted values and the
+// accelerator steps. Convenience for tests and examples.
+func Ints(vs []int, ways int) ([]int, int64) {
+	order, steps := Sort(len(vs), ways, func(i, j int) bool { return vs[i] < vs[j] })
+	out := make([]int, len(vs))
+	for i, idx := range order {
+		out[i] = vs[idx]
+	}
+	return out, steps
+}
+
+// Cycles returns the accelerator cycle count for sorting n elements with
+// an m-way merger that outputs one element per cycle: n·⌈log_m n⌉.
+// This is the TBuild sorting-time model.
+func Cycles(n, ways int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	if ways < 2 {
+		panic("mergesort: ways must be ≥ 2")
+	}
+	rounds := 0
+	for span := 1; span < n; span *= ways {
+		rounds++
+	}
+	return int64(n) * int64(rounds)
+}

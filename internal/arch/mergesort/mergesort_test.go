@@ -1,0 +1,115 @@
+package mergesort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntsSortsCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ways := range []int{2, 3, 4, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			vs := make([]int, n)
+			for i := range vs {
+				vs[i] = rng.Intn(50)
+			}
+			got, _ := Ints(vs, ways)
+			want := append([]int(nil), vs...)
+			sort.Ints(want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ways=%d n=%d: got[%d]=%d want %d", ways, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortIsStable(t *testing.T) {
+	// Sort by key only; equal keys must keep original order.
+	type kv struct{ key, id int }
+	rng := rand.New(rand.NewSource(2))
+	items := make([]kv, 500)
+	for i := range items {
+		items[i] = kv{key: rng.Intn(10), id: i}
+	}
+	order, _ := Sort(len(items), 4, func(i, j int) bool { return items[i].key < items[j].key })
+	for i := 1; i < len(order); i++ {
+		a, b := items[order[i-1]], items[order[i]]
+		if a.key > b.key || (a.key == b.key && a.id > b.id) {
+			t.Fatalf("instability at %d: %+v before %+v", i, a, b)
+		}
+	}
+}
+
+func TestSortPropertyPermutation(t *testing.T) {
+	f := func(vs []int16, waysRaw uint8) bool {
+		ways := int(waysRaw)%7 + 2
+		order, _ := Sort(len(vs), ways, func(i, j int) bool { return vs[i] < vs[j] })
+		if len(order) != len(vs) {
+			return false
+		}
+		seen := make([]bool, len(vs))
+		for _, idx := range order {
+			if idx < 0 || idx >= len(vs) || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		for i := 1; i < len(order); i++ {
+			if vs[order[i]] < vs[order[i-1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortPanicsOnBadWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ways=1 should panic")
+		}
+	}()
+	Sort(10, 1, func(i, j int) bool { return i < j })
+}
+
+func TestStepsMatchModel(t *testing.T) {
+	// Functional steps equal the cycle model: N elements per round,
+	// ⌈log_ways N⌉ rounds (when N is a power of ways the counts are exact).
+	for _, tc := range []struct{ n, ways int }{{16, 2}, {64, 4}, {81, 3}} {
+		vs := make([]int, tc.n)
+		for i := range vs {
+			vs[i] = tc.n - i
+		}
+		_, steps := Ints(vs, tc.ways)
+		if model := Cycles(tc.n, tc.ways); steps != model {
+			t.Errorf("n=%d ways=%d: steps=%d, model=%d", tc.n, tc.ways, steps, model)
+		}
+	}
+}
+
+func TestCycles(t *testing.T) {
+	if Cycles(0, 4) != 0 || Cycles(1, 4) != 0 {
+		t.Error("trivial inputs should cost 0")
+	}
+	// 1000 elements, 4-way: ⌈log4 1000⌉ = 5 rounds.
+	if got := Cycles(1000, 4); got != 5000 {
+		t.Errorf("Cycles(1000,4) = %d, want 5000", got)
+	}
+	// More ways → fewer rounds.
+	if Cycles(1<<12, 8) >= Cycles(1<<12, 2) {
+		t.Error("8-way should beat 2-way")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycles(ways=1) should panic")
+		}
+	}()
+	Cycles(10, 1)
+}

@@ -1,0 +1,91 @@
+package quicknn
+
+import (
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+// blockAlloc manages the bucket-block region of external memory (§4.1):
+// each bucket owns a chain of fixed-size blocks; a block holds up to
+// BlockPoints points plus a link to the next block (or an end token).
+type blockAlloc struct {
+	amap        arch.AddressMap
+	blockPoints int
+	next        int             // next free block id
+	chains      map[int32][]int // bucket → block ids, in order
+	fill        map[int32]int   // bucket → points stored so far
+}
+
+func newBlockAlloc(amap arch.AddressMap, blockPoints int) *blockAlloc {
+	return &blockAlloc{
+		amap:        amap,
+		blockPoints: blockPoints,
+		chains:      make(map[int32][]int),
+		fill:        make(map[int32]int),
+	}
+}
+
+// write appends n points to the bucket's chain and returns the DRAM
+// writes required: (addr, bytes) pairs, one per block touched, plus an
+// 8-byte link update whenever a new block is chained.
+type memWrite struct {
+	addr  uint64
+	bytes int
+}
+
+func (a *blockAlloc) write(bucket int32, n int) []memWrite {
+	var writes []memWrite
+	for n > 0 {
+		used := a.fill[bucket] % a.blockPoints
+		if used == 0 {
+			// First block, or the previous block is exactly full: chain
+			// a fresh one, updating the old block's link word.
+			id := a.next
+			a.next++
+			if prev := a.chains[bucket]; len(prev) > 0 {
+				last := prev[len(prev)-1]
+				linkAddr := a.amap.BlockAddr(last) + uint64(a.blockPoints)*geom.PointBytes
+				writes = append(writes, memWrite{addr: linkAddr, bytes: 8})
+			}
+			a.chains[bucket] = append(a.chains[bucket], id)
+		}
+		block := a.chains[bucket][len(a.chains[bucket])-1]
+		space := a.blockPoints - used
+		take := n
+		if take > space {
+			take = space
+		}
+		addr := a.amap.BlockAddr(block) + uint64(used)*geom.PointBytes
+		writes = append(writes, memWrite{addr: addr, bytes: take * geom.PointBytes})
+		a.fill[bucket] += take
+		n -= take
+	}
+	return writes
+}
+
+// reads returns the DRAM reads needed to fetch the bucket's full chain:
+// one contiguous read per block (§4.1: "a bucket can be organized in a
+// contiguous chunk to support an efficient burst access").
+func (a *blockAlloc) reads(bucket int32) []memWrite {
+	var out []memWrite
+	remaining := a.fill[bucket]
+	for _, id := range a.chains[bucket] {
+		take := remaining
+		if take > a.blockPoints {
+			take = a.blockPoints
+		}
+		if take <= 0 {
+			break
+		}
+		// Read the points plus the link word.
+		out = append(out, memWrite{addr: a.amap.BlockAddr(id), bytes: take*geom.PointBytes + 8})
+		remaining -= take
+	}
+	return out
+}
+
+// points returns the number of points stored for the bucket.
+func (a *blockAlloc) points(bucket int32) int { return a.fill[bucket] }
+
+// blocksUsed returns the total number of blocks allocated.
+func (a *blockAlloc) blocksUsed() int { return a.next }

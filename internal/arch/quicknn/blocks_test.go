@@ -1,0 +1,99 @@
+package quicknn
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+func newTestAlloc(blockPoints int) *blockAlloc {
+	return newBlockAlloc(arch.DefaultAddressMap(10000, blockPoints), blockPoints)
+}
+
+func TestBlockAllocSingleBlockWrites(t *testing.T) {
+	a := newTestAlloc(256)
+	w1 := a.write(5, 10)
+	if len(w1) != 1 {
+		t.Fatalf("writes = %d, want 1", len(w1))
+	}
+	base := a.amap.BlockAddr(0)
+	if w1[0].addr != base || w1[0].bytes != 10*geom.PointBytes {
+		t.Errorf("first write = %+v", w1[0])
+	}
+	// The next group continues at the fill offset within the same block.
+	w2 := a.write(5, 4)
+	if len(w2) != 1 || w2[0].addr != base+10*geom.PointBytes || w2[0].bytes != 4*geom.PointBytes {
+		t.Errorf("second write = %+v", w2)
+	}
+	if a.points(5) != 14 || a.blocksUsed() != 1 {
+		t.Errorf("fill = %d, blocks = %d", a.points(5), a.blocksUsed())
+	}
+}
+
+func TestBlockAllocChainsOnOverflow(t *testing.T) {
+	a := newTestAlloc(16)
+	writes := a.write(1, 40) // needs 3 blocks: 16 + 16 + 8
+	if a.blocksUsed() != 3 {
+		t.Fatalf("blocks = %d, want 3", a.blocksUsed())
+	}
+	// Expect: data write, link write, data write, link write, data write.
+	var dataBytes, linkWrites int
+	for _, w := range writes {
+		if w.bytes == 8 {
+			linkWrites++
+		} else {
+			dataBytes += w.bytes
+		}
+	}
+	if dataBytes != 40*geom.PointBytes {
+		t.Errorf("data bytes = %d, want %d", dataBytes, 40*geom.PointBytes)
+	}
+	if linkWrites != 2 {
+		t.Errorf("link writes = %d, want 2", linkWrites)
+	}
+	// Link words live at the end of each full block's payload.
+	wantLink := a.amap.BlockAddr(0) + 16*geom.PointBytes
+	found := false
+	for _, w := range writes {
+		if w.bytes == 8 && w.addr == wantLink {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no link write at %d: %+v", wantLink, writes)
+	}
+}
+
+func TestBlockAllocDistinctBucketsDistinctBlocks(t *testing.T) {
+	a := newTestAlloc(64)
+	a.write(1, 5)
+	a.write(2, 5)
+	r1 := a.reads(1)
+	r2 := a.reads(2)
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("reads = %d, %d", len(r1), len(r2))
+	}
+	if r1[0].addr == r2[0].addr {
+		t.Error("buckets share a block")
+	}
+}
+
+func TestBlockAllocReadsCoverChain(t *testing.T) {
+	a := newTestAlloc(16)
+	a.write(7, 35) // 16 + 16 + 3
+	reads := a.reads(7)
+	if len(reads) != 3 {
+		t.Fatalf("reads = %d, want 3", len(reads))
+	}
+	// Full blocks read payload + link word; the tail reads its 3 points.
+	if reads[0].bytes != 16*geom.PointBytes+8 {
+		t.Errorf("full-block read = %d bytes", reads[0].bytes)
+	}
+	if reads[2].bytes != 3*geom.PointBytes+8 {
+		t.Errorf("tail read = %d bytes", reads[2].bytes)
+	}
+	if a.reads(99) != nil {
+		t.Error("unknown bucket should read nothing")
+	}
+}

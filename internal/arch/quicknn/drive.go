@@ -1,0 +1,76 @@
+package quicknn
+
+import (
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+// DriveReport aggregates a multi-round simulation over a frame sequence
+// (Fig. 7: round 1 builds the first tree; every later round searches
+// frame i against tree i-1 while building tree i).
+type DriveReport struct {
+	// Warmup is the round-1 report (TBuild only, no searches).
+	Warmup Report
+	// Rounds holds one report per steady-state round (frames 2..n).
+	Rounds []Report
+	// TotalCycles sums all rounds including warmup.
+	TotalCycles int64
+	// MeanFPS is the average steady-state frame rate.
+	MeanFPS float64
+}
+
+// SimulateDrive runs a whole drive through the accelerator. memCfg is the
+// external-memory profile (arch.PrototypeMemConfig or arch.HBMMemConfig);
+// each round gets a fresh memory so per-round statistics are independent.
+// The tree produced by each round's TBuild feeds the next round, so
+// static/incremental modes accumulate their effects across the drive
+// exactly as in Fig. 10.
+//
+// SimulateDrive panics if fewer than two frames are supplied.
+func SimulateDrive(frames [][]geom.Point, cfg Config, memCfg dram.Config, seed int64) DriveReport {
+	if len(frames) < 2 {
+		panic("quicknn: SimulateDrive requires at least two frames")
+	}
+	var out DriveReport
+	out.Warmup = simulateBuildOnly(frames[0], cfg, dram.New(memCfg), seed)
+	out.TotalCycles = out.Warmup.Cycles
+	tree := out.Warmup.Tree
+	var fpsSum float64
+	for i := 1; i < len(frames); i++ {
+		rep := SimulateFrame(tree, frames[i], cfg, dram.New(memCfg), seed+int64(i))
+		out.Rounds = append(out.Rounds, rep)
+		out.TotalCycles += rep.Cycles
+		fpsSum += rep.FPS
+		tree = rep.Tree
+	}
+	out.MeanFPS = fpsSum / float64(len(out.Rounds))
+	return out
+}
+
+// simulateBuildOnly runs round 1 of Fig. 7: TBuild constructs the first
+// frame's tree with no concurrent search.
+func simulateBuildOnly(points []geom.Point, cfg Config, mem *dram.Memory, seed int64) Report {
+	cfg = cfg.withDefaults()
+	rep := &Report{}
+	amap := arch.DefaultAddressMap(len(points), cfg.BlockPoints)
+	port := arch.NewMemPort(mem)
+	// Round 1 always builds from scratch — there is no previous tree to
+	// reuse, whatever the configured mode.
+	buildCfg := cfg
+	buildCfg.Mode = ModeRebuild
+	tb := newTBuild(buildCfg, port, amap, nil, points, rep, seed)
+	rep.Cycles = arch.Run(tb)
+	rep.FPS = arch.FPS(rep.Cycles)
+	rep.TBuildCycles = tb.t
+	rep.Mem = mem.Stats()
+	if tb.wg != nil {
+		rep.WriteGather = tb.wg.Stats()
+	}
+	rep.Tree = tb.tree
+	rep.TreeNodes = tb.tree.NumNodes()
+	rep.TreeDepth = tb.tree.Depth()
+	rep.BlocksUsed = tb.alloc.blocksUsed()
+	rep.BucketStats = tb.tree.Stats()
+	return *rep
+}

@@ -1,0 +1,44 @@
+// Package simplekd is the "Simple k-d" baseline of Fig. 12: a k-d tree
+// search accelerator with only a plain cache and none of QuickNN's memory
+// optimizations — the tree nodes live in external DRAM (every traversal
+// step is a random read), placed points are written back one at a time,
+// each query re-reads its whole target bucket, and the query stream is
+// read separately rather than snooped.
+//
+// It performs exactly the same computation as QuickNN, so the difference
+// in external memory traffic (and hence time and energy) isolates the
+// value of the memory optimizations.
+package simplekd
+
+import (
+	"github.com/quicknn/quicknn/internal/arch/quicknn"
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/kdtree"
+)
+
+// Config carries the subset of parameters the baseline shares with
+// QuickNN.
+type Config struct {
+	// FUs is the number of functional units.
+	FUs int
+	// K is the number of nearest neighbors per query.
+	K int
+	// BucketSize is the k-d tree bucket target.
+	BucketSize int
+}
+
+// Simulate runs one steady-state round of the baseline. Arguments follow
+// quicknn.SimulateFrame.
+func Simulate(prevTree *kdtree.Tree, current []geom.Point, cfg Config, mem *dram.Memory, seed int64) quicknn.Report {
+	full := quicknn.Config{
+		FUs:                cfg.FUs,
+		K:                  cfg.K,
+		BucketSize:         cfg.BucketSize,
+		DisableStreamMerge: true,
+		DisableWriteGather: true,
+		DisableReadGather:  true,
+		TreeInDRAM:         true,
+	}
+	return quicknn.SimulateFrame(prevTree, current, full, mem, seed)
+}

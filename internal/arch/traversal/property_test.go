@@ -1,0 +1,83 @@
+package traversal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Work conservation: grants (requests minus stalls) plus private-level
+// advances must equal the total descent work, and the cycle count must
+// respect both the bank-bandwidth and critical-path lower bounds.
+func TestPropertyWorkConservationAndBounds(t *testing.T) {
+	f := func(pathBits []uint16, workersRaw, banksRaw, dupRaw uint8) bool {
+		if len(pathBits) == 0 {
+			return true
+		}
+		const depth = 10
+		paths := make([]Path, len(pathBits))
+		var totalWork int64
+		for i, b := range pathBits {
+			paths[i] = Path{Bits: uint64(b), Depth: depth}
+			totalWork += depth
+		}
+		cfg := Config{
+			Workers:   int(workersRaw)%8 + 1,
+			Banks:     int(banksRaw)%4 + 1,
+			DupLevels: int(dupRaw) % (depth + 1),
+			Scheme:    Scheme(int(banksRaw) % 3),
+		}
+		r := Simulate(paths, cfg)
+		if r.Paths != len(paths) {
+			return false
+		}
+		// Grants = banked-level advances.
+		grants := r.Requests - r.Stalls
+		bankedPerPath := int64(depth - cfg.DupLevels)
+		if bankedPerPath < 0 {
+			bankedPerPath = 0
+		}
+		if grants != bankedPerPath*int64(len(paths)) {
+			return false
+		}
+		// Lower bounds: banks serve ≤ Banks grants/cycle; a single worker
+		// advances ≤ 1 level/cycle.
+		if grants > 0 && r.Cycles < grants/int64(cfg.Banks) {
+			return false
+		}
+		minByWorkers := totalWork / int64(cfg.Workers)
+		return r.Cycles >= minByWorkers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Adding workers never makes the simulation meaningfully slower: rotating
+// arbitration can reorder grants and cost a few tail cycles on tiny
+// inputs, but never more than one descent's worth.
+func TestPropertyMoreWorkersNeverSlower(t *testing.T) {
+	f := func(pathBits []uint16, banksRaw uint8) bool {
+		if len(pathBits) < 2 {
+			return true
+		}
+		paths := make([]Path, len(pathBits))
+		for i, b := range pathBits {
+			paths[i] = Path{Bits: uint64(b), Depth: 8}
+		}
+		banks := int(banksRaw)%4 + 1
+		prev := int64(1 << 62)
+		for _, workers := range []int{1, 2, 4, 8} {
+			r := Simulate(paths, Config{Workers: workers, Banks: banks, DupLevels: -1})
+			if r.Cycles > prev+8 {
+				return false
+			}
+			if r.Cycles < prev {
+				prev = r.Cycles
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package traversal models QuickNN's parallel tree traversal (§4.3):
+// multiple workers descend the k-d tree concurrently, each holding a
+// private copy of the upper tree levels, while the lower levels live in a
+// banked on-chip cache that serves one node request per bank per cycle.
+//
+// The model reproduces Fig. 9: how traversal throughput scales with the
+// number of workers for the three cache-partition schemes (random, group,
+// left/right), given a stream of real traversal paths.
+package traversal
+
+import "fmt"
+
+// Scheme selects how lower-tree nodes are assigned to cache banks (Fig. 9a).
+type Scheme int
+
+// The three partition schemes the paper simulates.
+const (
+	// SchemeRandom hashes each node to a bank.
+	SchemeRandom Scheme = iota
+	// SchemeGroup stores each level-⌈log2 banks⌉ subtree in one bank.
+	SchemeGroup
+	// SchemeLeftRight splits each half-tree's nodes into left-children
+	// and right-children banks.
+	SchemeLeftRight
+)
+
+// String names the scheme as in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRandom:
+		return "random"
+	case SchemeGroup:
+		return "group"
+	case SchemeLeftRight:
+		return "left/right"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Path is one root-to-leaf descent: Depth direction bits, where bit i
+// (counting from the most recent descent, see Dir) records the choice at
+// level i. Nodes along a path are identified positionally: the node at
+// level l is the l-bit prefix of the path.
+type Path struct {
+	// Bits holds the direction taken at each level: bit (Depth-1-l) is 1
+	// if the descent went right at level l.
+	Bits uint64
+	// Depth is the number of internal levels traversed.
+	Depth int
+}
+
+// Dir returns 1 if the path went right at level l, else 0.
+func (p Path) Dir(l int) uint64 { return (p.Bits >> uint(p.Depth-1-l)) & 1 }
+
+// prefix returns the first l direction bits as an integer (the identity of
+// the node entered after l descents; heap-style numbering).
+func (p Path) prefix(l int) uint64 {
+	if l <= 0 {
+		return 0
+	}
+	return p.Bits >> uint(p.Depth-l)
+}
+
+// Config sets the hardware parameters under study.
+type Config struct {
+	// Workers is the number of parallel traversal workers.
+	Workers int
+	// Banks is the number of lower-tree cache banks.
+	Banks int
+	// DupLevels is the number of upper levels replicated privately per
+	// worker. Negative selects the default: two thirds of the deepest
+	// path (at least ⌈log2 Banks⌉). Duplicating the upper portion is
+	// cheap — the upper third of a depth-8 tree is 63 nodes ≈ 1 KiB per
+	// worker — and it keeps per-worker bank demand below one request per
+	// cycle so that n banks can feed ~2n workers (§4.3).
+	DupLevels int
+	// Scheme is the bank-partition scheme.
+	Scheme Scheme
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Cycles is the total simulated core cycles to traverse all paths.
+	Cycles int64
+	// Requests is the number of banked-cache node requests issued.
+	Requests int64
+	// Stalls is the number of cycles workers spent losing arbitration.
+	Stalls int64
+	// Paths is the number of descents completed.
+	Paths int
+}
+
+// Throughput returns completed paths per cycle.
+func (r Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Paths) / float64(r.Cycles)
+}
+
+func ceilLog2(v int) int {
+	d := 0
+	for (1 << uint(d)) < v {
+		d++
+	}
+	return d
+}
+
+// bankOf maps the node at (level, prefix) to a cache bank.
+func bankOf(scheme Scheme, banks int, level int, prefix uint64) int {
+	switch scheme {
+	case SchemeGroup:
+		g := ceilLog2(banks)
+		if level > g {
+			prefix >>= uint(level - g)
+		}
+		return int(prefix % uint64(banks))
+	case SchemeLeftRight:
+		g := ceilLog2(banks) - 1
+		if g < 0 {
+			g = 0
+		}
+		if level <= g {
+			return int(prefix % uint64(banks))
+		}
+		half := prefix >> uint(level-g)
+		last := prefix & 1
+		return int((half<<1 | last) % uint64(banks))
+	default: // SchemeRandom
+		// splitmix-style hash of the heap index for a uniform spread.
+		x := prefix + (uint64(1) << uint(level))
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return int(x % uint64(banks))
+	}
+}
+
+// Simulate runs the cycle-level traversal model over the given descent
+// paths and returns the aggregate result. Workers fetch one node per
+// cycle; levels below DupLevels come from the private copies without
+// contention, deeper levels contend for their node's cache bank, one
+// grant per bank per cycle with rotating round-robin arbitration.
+func Simulate(paths []Path, cfg Config) Result {
+	if cfg.Workers < 1 || cfg.Banks < 1 {
+		panic("traversal: Config requires Workers ≥ 1 and Banks ≥ 1")
+	}
+	dup := cfg.DupLevels
+	if dup < 0 {
+		maxDepth := 0
+		for _, p := range paths {
+			if p.Depth > maxDepth {
+				maxDepth = p.Depth
+			}
+		}
+		dup = (2*maxDepth + 2) / 3
+		if lg := ceilLog2(cfg.Banks); dup < lg {
+			dup = lg
+		}
+	}
+	type wstate struct {
+		path   Path
+		level  int
+		active bool
+	}
+	workers := make([]wstate, cfg.Workers)
+	next := 0
+	var res Result
+	bankBusy := make([]bool, cfg.Banks)
+	for {
+		idle := true
+		for i := range bankBusy {
+			bankBusy[i] = false
+		}
+		start := int(res.Cycles % int64(cfg.Workers)) // rotate arbitration priority
+		for wi := 0; wi < cfg.Workers; wi++ {
+			w := &workers[(start+wi)%cfg.Workers]
+			if !w.active {
+				if next >= len(paths) {
+					continue
+				}
+				w.path = paths[next]
+				next++
+				w.level = 0
+				w.active = true
+				res.Paths++
+				if w.path.Depth == 0 {
+					w.active = false
+					continue
+				}
+			}
+			idle = false
+			if w.level < dup {
+				w.level++ // private copy: no contention
+			} else {
+				// The node entered at this step is the (level+1)-bit
+				// prefix; request it from its bank.
+				lvl := w.level + 1
+				b := bankOf(cfg.Scheme, cfg.Banks, lvl, w.path.prefix(lvl))
+				res.Requests++
+				if bankBusy[b] {
+					res.Stalls++
+				} else {
+					bankBusy[b] = true
+					w.level++
+				}
+			}
+			if w.level >= w.path.Depth {
+				w.active = false
+			}
+		}
+		if idle && next >= len(paths) {
+			break
+		}
+		res.Cycles++
+	}
+	return res
+}
+
+// Speedup runs the simulation for each worker count and returns the
+// throughput relative to a single worker — the quantity Fig. 9b plots.
+func Speedup(paths []Path, banks, dupLevels int, scheme Scheme, workerCounts []int) []float64 {
+	base := Simulate(paths, Config{Workers: 1, Banks: banks, DupLevels: dupLevels, Scheme: scheme})
+	out := make([]float64, len(workerCounts))
+	for i, w := range workerCounts {
+		r := Simulate(paths, Config{Workers: w, Banks: banks, DupLevels: dupLevels, Scheme: scheme})
+		if base.Cycles > 0 && r.Cycles > 0 {
+			out[i] = float64(base.Cycles) / float64(r.Cycles)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pathsWithBias generates descents through a tree of the given depth with
+// a per-level right-descent probability. Median-split k-d trees are
+// balanced near the root (bias 0.5) regardless of the data; skew appears
+// at deeper levels once the placed frame diverges from the build sample.
+func pathsWithBias(n, depth int, bias func(level int) float64, seed int64) []Path {
+	rng := rand.New(rand.NewSource(seed))
+	paths := make([]Path, n)
+	for i := range paths {
+		var bits uint64
+		for l := 0; l < depth; l++ {
+			bits <<= 1
+			if rng.Float64() < bias(l) {
+				bits |= 1
+			}
+		}
+		paths[i] = Path{Bits: bits, Depth: depth}
+	}
+	return paths
+}
+
+// randomPaths generates uniform descents (balanced tree, even traffic).
+func randomPaths(n, depth int, bias float64, seed int64) []Path {
+	return pathsWithBias(n, depth, func(int) float64 { return bias }, seed)
+}
+
+func TestPathBitAccessors(t *testing.T) {
+	// Path 1011 (depth 4): dirs right,left,right,right.
+	p := Path{Bits: 0b1011, Depth: 4}
+	want := []uint64{1, 0, 1, 1}
+	for l, w := range want {
+		if got := p.Dir(l); got != w {
+			t.Errorf("Dir(%d) = %d, want %d", l, got, w)
+		}
+	}
+	if p.prefix(0) != 0 || p.prefix(1) != 0b1 || p.prefix(2) != 0b10 || p.prefix(4) != 0b1011 {
+		t.Error("prefix extraction wrong")
+	}
+}
+
+func TestSimulateValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Workers=0 should panic")
+		}
+	}()
+	Simulate(nil, Config{Workers: 0, Banks: 4})
+}
+
+func TestSingleWorkerCycleCount(t *testing.T) {
+	// One worker, no contention: depth cycles per path.
+	paths := randomPaths(100, 7, 0.5, 1)
+	r := Simulate(paths, Config{Workers: 1, Banks: 4, DupLevels: -1})
+	if r.Paths != 100 {
+		t.Fatalf("Paths = %d", r.Paths)
+	}
+	if r.Cycles != 700 {
+		t.Errorf("Cycles = %d, want 700 (no contention with 1 worker)", r.Cycles)
+	}
+	if r.Stalls != 0 {
+		t.Errorf("Stalls = %d with a single worker", r.Stalls)
+	}
+}
+
+func TestAllDuplicatedIsPerfectlyParallel(t *testing.T) {
+	// DupLevels ≥ depth: every worker runs from its private copy.
+	paths := randomPaths(128, 6, 0.5, 2)
+	r1 := Simulate(paths, Config{Workers: 1, Banks: 1, DupLevels: 6})
+	r8 := Simulate(paths, Config{Workers: 8, Banks: 1, DupLevels: 6})
+	if r8.Requests != 0 {
+		t.Errorf("fully duplicated tree should issue no bank requests, got %d", r8.Requests)
+	}
+	speedup := float64(r1.Cycles) / float64(r8.Cycles)
+	if speedup < 7.9 {
+		t.Errorf("speedup = %.2f, want ~8", speedup)
+	}
+}
+
+func TestSpeedupNearLinearUpTo2xBanks(t *testing.T) {
+	// The paper's headline: n banks support up to 2n workers with
+	// near-linear speedup for the random and group schemes.
+	paths := randomPaths(4000, 8, 0.5, 3)
+	for _, scheme := range []Scheme{SchemeRandom, SchemeGroup} {
+		sp := Speedup(paths, 4, -1, scheme, []int{2, 4, 8, 16})
+		if sp[0] < 1.7 {
+			t.Errorf("%v: speedup@2 = %.2f, want ≥ 1.7", scheme, sp[0])
+		}
+		if sp[1] < 3.2 {
+			t.Errorf("%v: speedup@4 = %.2f, want ≥ 3.2", scheme, sp[1])
+		}
+		if sp[2] < 5.5 {
+			t.Errorf("%v: speedup@8 = %.2f, want ≥ 5.5", scheme, sp[2])
+		}
+		// Diminishing returns past 2n workers: 16 workers on 4 banks
+		// cannot exceed the bank-limited bound much beyond 8-worker perf.
+		if sp[3] > sp[2]*1.8 {
+			t.Errorf("%v: speedup@16 = %.2f vs @8 = %.2f — banks should saturate",
+				scheme, sp[3], sp[2])
+		}
+	}
+}
+
+func TestGroupBeatsLeftRightOnSkewedPaths(t *testing.T) {
+	// Real point clouds skew descents at depth ("larger buckets tend to
+	// be either a left or right child"): the parity-partitioned banks of
+	// the left/right scheme overload, while group — keyed on the
+	// median-balanced top levels — stays even.
+	paths := pathsWithBias(4000, 8, func(l int) float64 {
+		if l < 3 {
+			return 0.5
+		}
+		return 0.75
+	}, 4)
+	group := Simulate(paths, Config{Workers: 8, Banks: 4, DupLevels: -1, Scheme: SchemeGroup})
+	lr := Simulate(paths, Config{Workers: 8, Banks: 4, DupLevels: -1, Scheme: SchemeLeftRight})
+	if group.Cycles >= lr.Cycles {
+		t.Errorf("group (%d cycles) should beat left/right (%d cycles) on skewed paths",
+			group.Cycles, lr.Cycles)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	// Many workers on one bank must stall.
+	paths := randomPaths(1000, 6, 0.5, 5)
+	r := Simulate(paths, Config{Workers: 8, Banks: 1, DupLevels: 0, Scheme: SchemeRandom})
+	if r.Stalls == 0 {
+		t.Error("8 workers on 1 bank should stall")
+	}
+	if r.Requests != int64(1000*6)+r.Stalls {
+		t.Errorf("requests (%d) should equal grants (6000) + stalls (%d)", r.Requests, r.Stalls)
+	}
+}
+
+func TestZeroDepthPathsTerminate(t *testing.T) {
+	paths := []Path{{Depth: 0}, {Depth: 0}}
+	r := Simulate(paths, Config{Workers: 2, Banks: 2})
+	if r.Paths != 2 {
+		t.Errorf("Paths = %d", r.Paths)
+	}
+}
+
+func TestBankOfInRange(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeRandom, SchemeGroup, SchemeLeftRight} {
+		for _, banks := range []int{1, 2, 4, 8} {
+			for level := 0; level < 10; level++ {
+				for prefix := uint64(0); prefix < 1<<uint(level) && prefix < 64; prefix++ {
+					b := bankOf(scheme, banks, level, prefix)
+					if b < 0 || b >= banks {
+						t.Fatalf("bankOf(%v,%d,%d,%d) = %d out of range",
+							scheme, banks, level, prefix, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeRandom.String() != "random" || SchemeGroup.String() != "group" ||
+		SchemeLeftRight.String() != "left/right" || Scheme(9).String() != "scheme(9)" {
+		t.Error("Scheme strings wrong")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if (Result{}).Throughput() != 0 {
+		t.Error("empty result throughput should be 0")
+	}
+	r := Result{Cycles: 100, Paths: 50}
+	if r.Throughput() != 0.5 {
+		t.Errorf("Throughput = %v", r.Throughput())
+	}
+}

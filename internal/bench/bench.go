@@ -1,0 +1,165 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6–§7). Each experiment is a named, self-contained run that
+// prints a paper-style table; cmd/benchtables exposes them on the command
+// line and bench_test.go wraps them as Go benchmarks.
+//
+// DESIGN.md §3 maps experiment ids to paper artifacts. Absolute numbers
+// come from this repository's simulators (not the authors' testbed); the
+// shapes — who wins, by what factor, where scaling bends — are the
+// reproduction targets (DESIGN.md §5).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/kdtree"
+	"github.com/quicknn/quicknn/internal/lidar"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Points is the frame size for single-size experiments; zero = 30000
+	// (the paper's main operating point).
+	Points int
+	// Queries bounds the number of accuracy-evaluation queries; zero =
+	// 1000.
+	Queries int
+	// Frames is the sequence length for multi-frame experiments; zero =
+	// 12.
+	Frames int
+	// Seed drives all workload generation.
+	Seed int64
+	// Quick shrinks workloads (~4×) for fast runs.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Points <= 0 {
+		o.Points = 30000
+	}
+	if o.Queries <= 0 {
+		o.Queries = 1000
+	}
+	if o.Frames <= 0 {
+		o.Frames = 12
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Quick {
+		o.Points /= 4
+		o.Queries /= 2
+		o.Frames /= 2
+		if o.Frames < 4 {
+			o.Frames = 4
+		}
+	}
+	return o
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the CLI name (e.g. "table5", "fig12").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment, writing a formatted table to w.
+	Run func(w io.Writer, opts Options) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment by its CLI name.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the registered ids, sorted.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ---------------------------------------------------------------- workloads
+
+type frameKey struct {
+	n    int
+	seed int64
+}
+
+var (
+	frameMu    sync.Mutex
+	frameCache = map[frameKey][2][]geom.Point{}
+)
+
+// framePair returns two successive synthetic LiDAR frames (ground removed,
+// downsampled to exactly n points). Pairs are cached per (n, seed): frame
+// synthesis raycasts the full scene and is the costly part.
+func framePair(n int, seed int64) (reference, query []geom.Point) {
+	frameMu.Lock()
+	defer frameMu.Unlock()
+	key := frameKey{n, seed}
+	if got, ok := frameCache[key]; ok {
+		return got[0], got[1]
+	}
+	ref, qry := lidar.FramePair(n, seed)
+	frameCache[key] = [2][]geom.Point{ref, qry}
+	return ref, qry
+}
+
+// frameSequence returns a ground-removed drive of `frames` frames, each
+// downsampled to n points.
+func frameSequence(n, frames int, seed int64) [][]geom.Point {
+	cfg := lidar.DefaultSequenceConfig()
+	cfg.Frames = frames
+	cfg.Seed = seed
+	seq := lidar.Sequence(cfg)
+	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	out := make([][]geom.Point, len(seq))
+	for i, f := range seq {
+		out[i] = lidar.Downsample(f.Points, n, rng)
+	}
+	return out
+}
+
+// buildTree builds the reference k-d tree for a frame.
+func buildTree(pts []geom.Point, bucket int, seed int64) *kdtree.Tree {
+	return kdtree.Build(pts, kdtree.Config{BucketSize: bucket}, rand.New(rand.NewSource(seed)))
+}
+
+// ---------------------------------------------------------------- helpers
+
+func fprintf(w io.Writer, format string, args ...interface{}) error {
+	_, err := fmt.Fprintf(w, format, args...)
+	return err
+}
+
+func header(w io.Writer, title string) error {
+	if err := fprintf(w, "\n== %s ==\n", title); err != nil {
+		return err
+	}
+	return nil
+}

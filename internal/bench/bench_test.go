@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig3", "fig8", "fig9", "fig10",
+		"table2", "table3", "table4", "table5",
+		"fig12", "fig13", "fig14", "fig15", "fig16",
+		"table6", "fig17", "headline", "prior", "ablations",
+		"exactcmp", "scaling", "fig7", "crosscheck", "checks", "annbench",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID should miss unknown ids")
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("IDs() returned %d entries", len(IDs()))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Points != 30000 || o.Queries != 1000 || o.Frames != 12 || o.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Points >= o.Points || q.Frames < 4 {
+		t.Errorf("quick mode wrong: %+v", q)
+	}
+}
+
+// quickOpts keeps experiment smoke tests fast (Quick also selects the
+// reduced sweep lists inside size-sweeping experiments).
+func quickOpts() Options {
+	return Options{Points: 16000, Queries: 200, Frames: 8, Seed: 3, Quick: true}
+}
+
+// TestEveryExperimentRuns smoke-tests each experiment at reduced scale and
+// sanity-checks that it produced a non-trivial table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, quickOpts()); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 80 {
+				t.Fatalf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s missing header:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFramePairCached(t *testing.T) {
+	a1, b1 := framePair(500, 11)
+	a2, b2 := framePair(500, 11)
+	if &a1[0] != &a2[0] || &b1[0] != &b2[0] {
+		t.Error("framePair should return the cached slices")
+	}
+	if len(a1) != 500 || len(b1) != 500 {
+		t.Errorf("sizes: %d, %d", len(a1), len(b1))
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtPts(10000) != "10k Pts" {
+		t.Errorf("fmtPts = %q", fmtPts(10000))
+	}
+	if fmtPts(1234) != "1234 Pts" {
+		t.Errorf("fmtPts = %q", fmtPts(1234))
+	}
+	if fmtInt(0) != "0" || fmtInt(907) != "907" {
+		t.Error("fmtInt wrong")
+	}
+}

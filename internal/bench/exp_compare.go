@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/arch/lineararch"
+	"github.com/quicknn/quicknn/internal/arch/quicknn"
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/hostperf"
+	"github.com/quicknn/quicknn/internal/resource"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: FPGA resource utilization, linear architecture (64 FUs)",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: FPGA resource utilization, QuickNN (64 FUs)",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Fig. 16: performance per area and per watt vs FUs",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID:    "table6",
+		Title: "Table 6: speedup and perf/W vs CPU and GPU",
+		Run:   runTable6,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Fig. 17: latency comparison across platforms and frame sizes",
+		Run:   runFig17,
+	})
+}
+
+func printResources(w io.Writer, name string, r resource.Resources) error {
+	return fprintf(w, "%-12s LUTs=%-8d Regs=%-8d BRAM=%-4d DSPs=%d\n",
+		name, r.LUTs, r.Registers, r.BRAM, r.DSPs)
+}
+
+func runTable2(w io.Writer, opts Options) error {
+	e := resource.Linear(64, 8)
+	if err := header(w, "Table 2: linear architecture resources (64 FUs, model)"); err != nil {
+		return err
+	}
+	if err := printResources(w, "PostSynth", e.PostSynth); err != nil {
+		return err
+	}
+	if err := printResources(w, "PostP&R", e.PostPNR); err != nil {
+		return err
+	}
+	if err := fprintf(w, "P&R utilization: LUT %.2f%%  Reg %.2f%%  DSP %.2f%%\n",
+		100*e.PostPNR.UtilLUTs(), 100*e.PostPNR.UtilRegisters(), 100*e.PostPNR.UtilDSPs()); err != nil {
+		return err
+	}
+	return fprintf(w, "Power: %.2f W (paper: 4.44 W)\n", e.PowerWatts)
+}
+
+func runTable3(w io.Writer, opts Options) error {
+	tb, ts, total := resource.QuickNN(30000, 256, 64, 8)
+	caches := resource.Caches(30000, 256, 64, 128, 4, 128)
+	if err := header(w, "Table 3: QuickNN resources (64 FUs, model)"); err != nil {
+		return err
+	}
+	if err := printResources(w, "TBuild", tb); err != nil {
+		return err
+	}
+	if err := printResources(w, "TSearch", ts); err != nil {
+		return err
+	}
+	if err := printResources(w, "PostSynth", total.PostSynth); err != nil {
+		return err
+	}
+	if err := printResources(w, "PostP&R", total.PostPNR); err != nil {
+		return err
+	}
+	if err := fprintf(w, "Caches: TBuild %.1f KiB (paper 38.6), TSearch %.1f KiB (paper 33–243 over 16–128 FUs)\n",
+		caches.TBuild.TotalKiB(), caches.TSearch.TotalKiB()); err != nil {
+		return err
+	}
+	return fprintf(w, "Power: %.2f W (paper: 4.73 W)\n", total.PowerWatts)
+}
+
+func runFig16(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fus := []int{16, 32, 48, 64, 96, 128}
+	if err := header(w, "Fig. 16: perf per area and per watt vs FUs (30k points)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-6s %-9s %-12s %-16s %-12s\n",
+		"FUs", "FPS", "Area(L+F)", "FPS/MArea", "FPS/W"); err != nil {
+		return err
+	}
+	for _, f := range fus {
+		rep := quickRep(opts, opts.Points, quicknn.Config{FUs: f, K: 8})
+		_, _, est := resource.QuickNN(opts.Points, 256, f, 8)
+		perfArea := rep.FPS / (float64(est.Area()) / 1e6)
+		perfWatt := rep.FPS / est.PowerWatts
+		if err := fprintf(w, "%-6d %-9.1f %-12d %-16.1f %-12.1f\n",
+			f, rep.FPS, est.Area(), perfArea, perfWatt); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: perf/W rises monotonically; perf/area peaks near 32 FUs)\n")
+}
+
+func runTable6(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	n := opts.Points
+	cpu := hostperf.CPUKdTree()
+	gpu := hostperf.GPUKdTree()
+	cpuFPS := cpu.FPS(n, 256)
+	gpuFPS := gpu.FPS(n, 256)
+	rep16 := quickRep(opts, n, quicknn.Config{FUs: 16, K: 8})
+	rep128 := quickRep(opts, n, quicknn.Config{FUs: 128, K: 8})
+	_, _, est16 := resource.QuickNN(n, 256, 16, 8)
+	_, _, est128 := resource.QuickNN(n, 256, 128, 8)
+
+	cpuPW := cpuFPS / hostperf.CPUPowerWatts
+	rows := []struct {
+		name  string
+		fps   float64
+		watts float64
+	}{
+		{"CPU k-d tree", cpuFPS, hostperf.CPUPowerWatts},
+		{"GPU k-d tree", gpuFPS, hostperf.GPUPowerWatts},
+		{"QuickNN 16 FUs", rep16.FPS, est16.PowerWatts},
+		{"QuickNN 128 FUs", rep128.FPS, est128.PowerWatts},
+	}
+	if err := header(w, "Table 6: speedup and perf/W normalized to CPU k-d tree"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%d points, 8 nearest neighbors\n", n); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-18s %-9s %-9s %-10s %-10s\n",
+		"Design", "FPS", "Watts", "Speedup", "Perf/W"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := fprintf(w, "%-18s %-9.1f %-9.2f %-10.2f %-10.1f\n",
+			r.name, r.fps, r.watts, r.fps/cpuFPS, (r.fps/r.watts)/cpuPW); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: 1 / 2.62 / 6.82 / 19.0 speedup; 1 / 3.55 / 152 / 334 perf/W)\n")
+}
+
+func runFig17(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	sizes := []int{5000, 10000, 15000, 20000, 25000, 30000, 35000}
+	if opts.Quick {
+		sizes = []int{5000, 10000, 15000}
+	}
+	cpu := hostperf.CPUKdTree()
+	gpu := hostperf.GPUKdTree()
+	if err := header(w, "Fig. 17: latency per frame across platforms (ms, 8 NN)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-9s %-10s %-10s %-12s %-12s %-12s\n",
+		"Points", "CPU kd", "GPU kd", "FPGA linear", "QuickNN 16", "QuickNN 128"); err != nil {
+		return err
+	}
+	for _, n := range sizes {
+		ref, qry := framePair(n, opts.Seed)
+		lin := lineararch.Simulate(ref, qry, lineararch.Config{FUs: 64, K: 8},
+			dram.New(arch.PrototypeMemConfig()))
+		q16 := quickRep(opts, n, quicknn.Config{FUs: 16, K: 8})
+		q128 := quickRep(opts, n, quicknn.Config{FUs: 128, K: 8})
+		if err := fprintf(w, "%-9d %-10.1f %-10.1f %-12.1f %-12.2f %-12.2f\n",
+			n,
+			1000*cpu.FrameSeconds(n, 256),
+			1000*gpu.FrameSeconds(n, 256),
+			1000*arch.CyclesToSeconds(lin.Cycles),
+			1000*arch.CyclesToSeconds(q16.Cycles),
+			1000*arch.CyclesToSeconds(q128.Cycles)); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: FPGA QuickNN an order of magnitude below CPU/GPU; linear grows quadratically)\n")
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/arch/gather"
+	"github.com/quicknn/quicknn/internal/arch/lineararch"
+	"github.com/quicknn/quicknn/internal/arch/quicknn"
+	"github.com/quicknn/quicknn/internal/arch/simplekd"
+	"github.com/quicknn/quicknn/internal/arch/traversal"
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Fig. 8: write-gather cache speedup of external memory access",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Fig. 9: parallel traversal speedup per cache-partition scheme",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Fig. 12: external memory accesses per frame (Linear / Simple k-d / QuickNN)",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: QuickNN memory bandwidth utilization",
+		Run:   runFig13,
+	})
+}
+
+// bucketAssignments places a frame into a 256-point-bucket tree and
+// returns the per-point bucket id sequence — the Wr1 traffic pattern.
+func bucketAssignments(opts Options) ([]int32, int) {
+	ref, _ := framePair(opts.Points, opts.Seed)
+	tree := buildTree(ref, 256, opts.Seed)
+	// The tree is already populated; re-derive the placement order.
+	out := make([]int32, len(ref))
+	for i, p := range ref {
+		_, b, _ := tree.FindLeaf(p)
+		out[i] = b
+	}
+	return out, tree.NumBuckets()
+}
+
+// writeTime replays the bucket-write stream through a write-gather cache
+// of the given geometry (slots=0 disables gathering) and returns the
+// elapsed memory time in core cycles.
+func writeTime(assign []int32, slots, depth int) int64 {
+	mem := dram.New(arch.PrototypeMemConfig())
+	amap := arch.DefaultAddressMap(len(assign), 256)
+	port := arch.NewMemPort(mem)
+	fill := map[int32]int{}
+	var t int64
+	writeGroup := func(bucket int32, n int) {
+		addr := amap.BlockAddr(int(bucket)) + uint64(fill[bucket])*geom.PointBytes
+		t = port.Access(t, addr, n*geom.PointBytes, true, dram.StreamWr1)
+		fill[bucket] += n
+	}
+	if slots <= 0 {
+		for _, b := range assign {
+			writeGroup(b, 1)
+		}
+		return t
+	}
+	c := gather.New(slots, depth)
+	for i, b := range assign {
+		for _, f := range c.Insert(b, int32(i)) {
+			writeGroup(f.Bucket, len(f.Items))
+		}
+	}
+	for _, f := range c.Drain() {
+		writeGroup(f.Bucket, len(f.Items))
+	}
+	return t
+}
+
+func runFig8(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	assign, buckets := bucketAssignments(opts)
+	base := writeTime(assign, 0, 0)
+	slotSweep := []int{4, 16, 64, 128, 256}
+	depthSweep := []int{2, 4, 8, 16}
+	if err := header(w, "Fig. 8: write-gather speedup of external memory access"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%d points into %d buckets; baseline (no gather) = %d cycles\n",
+		len(assign), buckets, base); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-10s", "w_b \\ w_n"); err != nil {
+		return err
+	}
+	for _, d := range depthSweep {
+		if err := fprintf(w, " %-7d", d); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "\n"); err != nil {
+		return err
+	}
+	for _, s := range slotSweep {
+		if err := fprintf(w, "%-10d", s); err != nil {
+			return err
+		}
+		for _, d := range depthSweep {
+			speedup := float64(base) / float64(writeTime(assign, s, d))
+			if err := fprintf(w, " %-7.2f", speedup); err != nil {
+				return err
+			}
+		}
+		if err := fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: w_b dominates w_n; 128 buckets × 4 points ≈ 3×)\n")
+}
+
+func runFig9(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	ref, qry := framePair(opts.Points, opts.Seed)
+	tree := buildTree(ref, 256, opts.Seed)
+	paths := make([]traversal.Path, len(qry))
+	for i, q := range qry {
+		_, bits, depth := tree.FindLeafBits(q)
+		paths[i] = traversal.Path{Bits: bits, Depth: depth}
+	}
+	workers := []int{1, 2, 4, 8, 12, 16}
+	const banks = 4
+	if err := header(w, "Fig. 9: traversal speedup vs workers (4 cache banks)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-12s", "Workers"); err != nil {
+		return err
+	}
+	for _, wk := range workers {
+		if err := fprintf(w, " %-7d", wk); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "\n"); err != nil {
+		return err
+	}
+	for _, scheme := range []traversal.Scheme{traversal.SchemeRandom, traversal.SchemeGroup, traversal.SchemeLeftRight} {
+		sp := traversal.Speedup(paths, banks, -1, scheme, workers)
+		if err := fprintf(w, "%-12s", scheme); err != nil {
+			return err
+		}
+		for _, s := range sp {
+			if err := fprintf(w, " %-7.2f", s); err != nil {
+				return err
+			}
+		}
+		if err := fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: near-linear to 8 workers on 4 banks; group best, left/right worst)\n")
+}
+
+func runFig12(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	ref, qry := framePair(opts.Points, opts.Seed)
+	tree := buildTree(ref, 256, opts.Seed)
+	const fus, k = 64, 8
+
+	lin := lineararch.Simulate(ref, qry, lineararch.Config{FUs: fus, K: k},
+		dram.New(arch.PrototypeMemConfig()))
+	simple := simplekd.Simulate(tree, qry, simplekd.Config{FUs: fus, K: k},
+		dram.New(arch.PrototypeMemConfig()), opts.Seed)
+	quick := quicknn.SimulateFrame(tree, qry, quicknn.Config{FUs: fus, K: k},
+		dram.New(arch.PrototypeMemConfig()), opts.Seed)
+
+	if err := header(w, "Fig. 12: external memory accesses per frame (64 FUs, 8 NN)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-12s %-14s %-14s %-14s %s\n",
+		"Design", "Bursts", "BurstBytes", "UsefulBytes", "vs QuickNN"); err != nil {
+		return err
+	}
+	type entry struct {
+		name string
+		mem  dram.Stats
+	}
+	qBytes := quick.Mem.TotalBurstBytes()
+	for _, e := range []entry{
+		{"Linear", lin.Mem}, {"Simple k-d", simple.Mem}, {"QuickNN", quick.Mem},
+	} {
+		bursts := e.mem.TotalBurstBytes() / 64
+		if err := fprintf(w, "%-12s %-14d %-14d %-14d %.1fx\n",
+			e.name, bursts, e.mem.TotalBurstBytes(), e.mem.TotalUsefulBytes(),
+			float64(e.mem.TotalBurstBytes())/float64(qBytes)); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: QuickNN cuts accesses 36x vs Linear, 13x vs Simple k-d)\n")
+}
+
+func runFig13(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	sizes := []int{10000, 20000, 30000}
+	fus := []int{16, 32, 64, 128}
+	if opts.Quick {
+		sizes = []int{5000, 10000}
+	}
+	if err := header(w, "Fig. 13: QuickNN memory bandwidth utilization"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-8s", "FUs"); err != nil {
+		return err
+	}
+	for _, n := range sizes {
+		if err := fprintf(w, " %-9s", fmtPts(n)); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "\n"); err != nil {
+		return err
+	}
+	for _, f := range fus {
+		if err := fprintf(w, "%-8d", f); err != nil {
+			return err
+		}
+		for _, n := range sizes {
+			ref, qry := framePair(n, opts.Seed)
+			tree := buildTree(ref, 256, opts.Seed)
+			rep := quicknn.SimulateFrame(tree, qry, quicknn.Config{FUs: f, K: 8},
+				dram.New(arch.PrototypeMemConfig()), opts.Seed)
+			if err := fprintf(w, " %-9.2f", rep.Mem.Utilization()); err != nil {
+				return err
+			}
+		}
+		if err := fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: ≥76%% for ≥32 FUs at 30k points)\n")
+}
+
+func fmtPts(n int) string {
+	if n%1000 == 0 {
+		return fmtInt(n/1000) + "k Pts"
+	}
+	return fmtInt(n) + " Pts"
+}
+
+func fmtInt(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/arch/lineararch"
+	"github.com/quicknn/quicknn/internal/arch/quicknn"
+	"github.com/quicknn/quicknn/internal/arch/traversal"
+	"github.com/quicknn/quicknn/internal/dram"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table 4: measured FPS, linear architecture",
+		Run:   runTable4,
+	})
+	register(Experiment{
+		ID:    "table5",
+		Title: "Table 5: measured FPS, QuickNN architecture",
+		Run:   runTable5,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14: latency increase with the number of nearest neighbors",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Fig. 15: total latency per frame vs frame size",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "headline",
+		Title: "§6.3 headline: QuickNN vs linear at 64 FUs, 30k points",
+		Run:   runHeadline,
+	})
+	register(Experiment{
+		ID:    "prior",
+		Title: "§7.1: small-frame operating point for prior-accelerator comparison",
+		Run:   runPrior,
+	})
+	register(Experiment{
+		ID:    "ablations",
+		Title: "Design-choice ablations (stream merge, gather caches, tree cache, modes)",
+		Run:   runAblations,
+	})
+}
+
+var (
+	sweepFUs   = []int{16, 32, 64, 128}
+	sweepSizes = []int{10000, 20000, 30000}
+)
+
+func sweepSizesFor(opts Options) []int {
+	if opts.Quick {
+		return []int{5000, 10000}
+	}
+	return sweepSizes
+}
+
+// quickRep runs one QuickNN round for a frame size.
+func quickRep(opts Options, n int, cfg quicknn.Config) quicknn.Report {
+	ref, qry := framePair(n, opts.Seed)
+	bucket := cfg.BucketSize
+	if bucket == 0 {
+		bucket = 256
+	}
+	tree := buildTree(ref, bucket, opts.Seed)
+	return quicknn.SimulateFrame(tree, qry, cfg, dram.New(arch.PrototypeMemConfig()), opts.Seed)
+}
+
+func runTable4(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	sizes := sweepSizesFor(opts)
+	if err := header(w, "Table 4: measured FPS (linear architecture)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-6s", "FUs"); err != nil {
+		return err
+	}
+	for _, n := range sizes {
+		if err := fprintf(w, " %-9s", fmtPts(n)); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "\n"); err != nil {
+		return err
+	}
+	for _, f := range sweepFUs {
+		if err := fprintf(w, "%-6d", f); err != nil {
+			return err
+		}
+		for _, n := range sizes {
+			ref, qry := framePair(n, opts.Seed)
+			rep := lineararch.Simulate(ref, qry, lineararch.Config{FUs: f, K: 8},
+				dram.New(arch.PrototypeMemConfig()))
+			if err := fprintf(w, " %-9.2f", rep.FPS); err != nil {
+				return err
+			}
+		}
+		if err := fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(configurations ≥10 FPS keep up with the LiDAR frame rate)\n")
+}
+
+func runTable5(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	sizes := sweepSizesFor(opts)
+	if err := header(w, "Table 5: measured FPS (QuickNN)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-6s", "FUs"); err != nil {
+		return err
+	}
+	for _, n := range sizes {
+		if err := fprintf(w, " %-9s", fmtPts(n)); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "\n"); err != nil {
+		return err
+	}
+	for _, f := range sweepFUs {
+		if err := fprintf(w, "%-6d", f); err != nil {
+			return err
+		}
+		for _, n := range sizes {
+			rep := quickRep(opts, n, quicknn.Config{FUs: f, K: 8})
+			if err := fprintf(w, " %-9.1f", rep.FPS); err != nil {
+				return err
+			}
+		}
+		if err := fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper at 30k pts: 44.2 / 73.1 / 110.1 / 145.6 FPS for 16–128 FUs)\n")
+}
+
+func runFig14(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	ks := []int{1, 2, 4, 8, 16, 32}
+	fus := []int{16, 64, 128}
+	n := opts.Points
+	if err := header(w, "Fig. 14: latency vs number of nearest neighbors"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-6s", "k"); err != nil {
+		return err
+	}
+	for _, f := range fus {
+		if err := fprintf(w, " %-12s", fmtInt(f)+" FUs"); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "   (cycles/frame; %% vs k=1)\n"); err != nil {
+		return err
+	}
+	base := map[int]int64{}
+	for _, k := range ks {
+		if err := fprintf(w, "%-6d", k); err != nil {
+			return err
+		}
+		for _, f := range fus {
+			rep := quickRep(opts, n, quicknn.Config{FUs: f, K: k})
+			if k == 1 {
+				base[f] = rep.Cycles
+			}
+			pct := 100 * float64(rep.Cycles-base[f]) / float64(base[f])
+			if err := fprintf(w, " %-8d +%-3.0f%%", rep.Cycles, pct); err != nil {
+				return err
+			}
+		}
+		if err := fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: overhead minor for small k, noticeable only at many FUs)\n")
+}
+
+func runFig15(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	sizes := []int{5000, 10000, 15000, 20000, 25000, 30000}
+	if opts.Quick {
+		sizes = []int{5000, 10000, 15000}
+	}
+	if err := header(w, "Fig. 15: latency per frame (k=8)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-9s", "Points"); err != nil {
+		return err
+	}
+	for _, f := range sweepFUs {
+		if err := fprintf(w, " %-11s", fmtInt(f)+" FUs"); err != nil {
+			return err
+		}
+	}
+	if err := fprintf(w, "\n"); err != nil {
+		return err
+	}
+	for _, n := range sizes {
+		if err := fprintf(w, "%-9d", n); err != nil {
+			return err
+		}
+		for _, f := range sweepFUs {
+			rep := quickRep(opts, n, quicknn.Config{FUs: f, K: 8})
+			if err := fprintf(w, " %-11d", rep.Cycles); err != nil {
+				return err
+			}
+		}
+		if err := fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(paper: near-linear in frame size — memory streams dominate, not O(N log N) compute)\n")
+}
+
+func runHeadline(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	n := opts.Points
+	rep := quickRep(opts, n, quicknn.Config{FUs: 64, K: 8})
+	ref, qry := framePair(n, opts.Seed)
+	lin := lineararch.Simulate(ref, qry, lineararch.Config{FUs: 64, K: 8},
+		dram.New(arch.PrototypeMemConfig()))
+	if err := header(w, "§6.3 headline (64 FUs, 8 NN)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "QuickNN cycles/frame : %d (paper: 908k)\n", rep.Cycles); err != nil {
+		return err
+	}
+	if err := fprintf(w, "QuickNN FPS          : %.1f (paper: 110.1)\n", rep.FPS); err != nil {
+		return err
+	}
+	if err := fprintf(w, "Linear cycles/frame  : %d\n", lin.Cycles); err != nil {
+		return err
+	}
+	if err := fprintf(w, "Speedup vs linear    : %.1fx (paper: 24.1x)\n",
+		float64(lin.Cycles)/float64(rep.Cycles)); err != nil {
+		return err
+	}
+	if err := fprintf(w, "Mem utilization      : %.2f (paper: 0.76)\n", rep.Mem.Utilization()); err != nil {
+		return err
+	}
+	if err := fprintf(w, "TBuild / TSearch     : %d / %d cycles\n", rep.TBuildCycles, rep.TSearchCycles); err != nil {
+		return err
+	}
+	return fprintf(w, "Sorter / FU occupancy: %d / %d cycles (tree construction <25%% of TBuild)\n",
+		rep.SortCycles, rep.FUCycles)
+}
+
+func runPrior(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	rep5k := quickRep(opts, 5000, quicknn.Config{FUs: 128, K: 8})
+	rep65k := quickRep(opts, opts.Points, quicknn.Config{FUs: 128, K: 8})
+	if err := header(w, "§7.1: operating points used against prior accelerators"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "128-FU QuickNN @ 5k-point frames : %d cycles/frame, %.0f FPS\n",
+		rep5k.Cycles, rep5k.FPS); err != nil {
+		return err
+	}
+	if err := fprintf(w, "  (paper: 75x faster than the HPU [19], which reaches ~5k points in software-built trees)\n"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "128-FU QuickNN @ %d-point frames: %d cycles/frame, %.0f FPS\n",
+		opts.Points, rep65k.Cycles, rep65k.FPS); err != nil {
+		return err
+	}
+	return fprintf(w, "  (paper: construction+search 13%% faster than FastTree's construction alone at 65k)\n")
+}
+
+func runAblations(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	n := opts.Points
+	base := quickRep(opts, n, quicknn.Config{FUs: 64, K: 8})
+	type abl struct {
+		name string
+		cfg  quicknn.Config
+	}
+	cases := []abl{
+		{"full QuickNN", quicknn.Config{FUs: 64, K: 8}},
+		{"no stream merge (Rd2 on)", quicknn.Config{FUs: 64, K: 8, DisableStreamMerge: true}},
+		{"no write-gather", quicknn.Config{FUs: 64, K: 8, DisableWriteGather: true}},
+		{"no read-gather", quicknn.Config{FUs: 64, K: 8, DisableReadGather: true}},
+		{"tree in DRAM", quicknn.Config{FUs: 64, K: 8, TreeInDRAM: true}},
+		{"all off (Simple k-d)", quicknn.Config{FUs: 64, K: 8,
+			DisableStreamMerge: true, DisableWriteGather: true,
+			DisableReadGather: true, TreeInDRAM: true}},
+		{"static tree", quicknn.Config{FUs: 64, K: 8, Mode: quicknn.ModeStatic}},
+		{"incremental update", quicknn.Config{FUs: 64, K: 8, Mode: quicknn.ModeIncremental}},
+		{"random banking", quicknn.Config{FUs: 64, K: 8, Scheme: traversal.SchemeRandom}},
+		{"left/right banking", quicknn.Config{FUs: 64, K: 8, Scheme: traversal.SchemeLeftRight}},
+	}
+	if err := header(w, "Design-choice ablations (64 FUs, 8 NN)"); err != nil {
+		return err
+	}
+	if err := fprintf(w, "%-26s %-12s %-9s %-12s %s\n",
+		"Variant", "Cycles", "FPS", "BurstBytes", "vs full"); err != nil {
+		return err
+	}
+	for _, c := range cases {
+		rep := quickRep(opts, n, c.cfg)
+		if err := fprintf(w, "%-26s %-12d %-9.1f %-12d %.2fx\n",
+			c.name, rep.Cycles, rep.FPS, rep.Mem.TotalBurstBytes(),
+			float64(rep.Cycles)/float64(base.Cycles)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

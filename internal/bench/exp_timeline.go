@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"io"
+	"strings"
+
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/arch/quicknn"
+	"github.com/quicknn/quicknn/internal/dram"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: TBuild/TSearch round pipeline timeline",
+		Run:   runTimeline,
+	})
+}
+
+// runTimeline renders one steady-state round as an ASCII Gantt chart:
+// the concrete realization of Fig. 7's "rounds of computation and sharing
+// of data frame between TBuild and TSearch".
+func runTimeline(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	ref, qry := framePair(opts.Points, opts.Seed)
+	tree := buildTree(ref, 256, opts.Seed)
+	rep := quicknn.SimulateFrame(tree, qry, quicknn.Config{FUs: 64, K: 8},
+		dram.New(arch.PrototypeMemConfig()), opts.Seed)
+
+	if err := header(w, "Fig. 7: one steady-state round (64 FUs)"); err != nil {
+		return err
+	}
+	const width = 64
+	scale := float64(width) / float64(rep.Cycles)
+	if err := fprintf(w, "%d cycles total; each column ≈ %d cycles\n",
+		rep.Cycles, rep.Cycles/int64(width)); err != nil {
+		return err
+	}
+	for _, span := range rep.Timeline {
+		lo := int(float64(span.Start) * scale)
+		hi := int(float64(span.End) * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", width-hi)
+		if err := fprintf(w, "%-8s %-10s |%s| %d..%d\n",
+			span.Engine, span.Phase, bar, span.Start, span.End); err != nil {
+			return err
+		}
+	}
+	return fprintf(w, "(TSearch snoops Rd1, so its search phase rides on TBuild's placement;\n the next frame's TBuild would start as soon as this round's ends)\n")
+}

@@ -1,0 +1,381 @@
+// Package dram models a DDR4 external memory at the level of detail the
+// paper's custom SystemVerilog model captures (§6.1): per-bank open rows,
+// activation/precharge penalties for row misses, burst transfers on a
+// shared data bus, and read/write turnaround — "the various latency
+// penalties based on the order of access".
+//
+// The model is what makes sequential access cheap and random access
+// expensive: a sequential stream stays in open rows and saturates the data
+// bus, while scattered 12-byte point reads pay a precharge+activate per
+// access and waste most of each 64-byte burst.
+//
+// Time is measured in DRAM command-clock cycles (tCK); Config.CoreRatio
+// converts to accelerator core cycles (100 MHz core vs 1200 MHz DDR4-2400
+// command clock → ratio 12).
+package dram
+
+import "fmt"
+
+// Config holds the memory geometry and timing parameters. Defaults follow
+// a representative DDR4-2400 x64 DIMM (cf. the Micron 4Gb DDR4 datasheet
+// the paper references).
+type Config struct {
+	// BusBytes is the data bus width in bytes (64-bit interface = 8).
+	BusBytes int
+	// BurstLength is the number of bus transfers per burst (BL8).
+	BurstLength int
+	// RowBytes is the size of one DRAM row (page) per rank.
+	RowBytes int
+	// Banks is the number of banks (bank-group detail is folded in).
+	Banks int
+	// TRCD, TRP, TCL, TRAS, TurnAround are timing parameters in tCK.
+	TRCD, TRP, TCL, TRAS int
+	// TurnAround is the bus penalty when switching read↔write.
+	TurnAround int
+	// CoreRatio is DRAM command-clock cycles per accelerator core cycle.
+	CoreRatio int
+	// BurstCycles overrides the data-bus occupancy of one burst in tCK.
+	// Zero selects the DDR default of BurstLength/2. Architecture models
+	// use it to express the effective core-side interface rate (e.g. a
+	// 64-bit user interface delivering 8 B/cycle → BurstCycles =
+	// BurstLength).
+	BurstCycles int
+	// TREFI is the refresh interval and TRFC the refresh cycle time, in
+	// tCK: every TREFI the device is unavailable for TRFC and all rows
+	// close. Zero TREFI disables refresh modelling.
+	TREFI, TRFC int
+}
+
+// DefaultConfig returns the DDR4-2400 operating point used throughout the
+// benchmarks: 64-bit bus, BL8 (64 B bursts), 8 KiB rows, 16 banks,
+// 17-17-17-39 timing, 12 DRAM cycles per 100 MHz core cycle.
+func DefaultConfig() Config {
+	return Config{
+		BusBytes:    8,
+		BurstLength: 8,
+		RowBytes:    8192,
+		Banks:       16,
+		TRCD:        17,
+		TRP:         17,
+		TCL:         17,
+		TRAS:        39,
+		TurnAround:  8,
+		CoreRatio:   12,
+		// 7.8 µs tREFI / 260 ns tRFC at 1200 MHz.
+		TREFI: 9360,
+		TRFC:  312,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.BusBytes <= 0:
+		return fmt.Errorf("dram: BusBytes must be positive")
+	case c.BurstLength <= 0:
+		return fmt.Errorf("dram: BurstLength must be positive")
+	case c.RowBytes <= 0:
+		return fmt.Errorf("dram: RowBytes must be positive")
+	case c.Banks <= 0:
+		return fmt.Errorf("dram: Banks must be positive")
+	case c.CoreRatio <= 0:
+		return fmt.Errorf("dram: CoreRatio must be positive")
+	}
+	return nil
+}
+
+// BurstBytes returns the bytes transferred by one burst.
+func (c Config) BurstBytes() int { return c.BusBytes * c.BurstLength }
+
+// burstCycles is the data-bus occupancy of one burst in tCK (DDR default:
+// two transfers per clock; overridable via Config.BurstCycles).
+func (c Config) burstCycles() int64 {
+	if c.BurstCycles > 0 {
+		return int64(c.BurstCycles)
+	}
+	cyc := int64(c.BurstLength / 2)
+	if cyc == 0 {
+		cyc = 1
+	}
+	return cyc
+}
+
+// StreamID identifies one of the access streams of Fig. 6 for accounting.
+type StreamID int
+
+// The five streams of Fig. 6 plus a catch-all.
+const (
+	StreamOther StreamID = iota
+	StreamRd1            // TBuild reads reference frame (sequential)
+	StreamWr1            // TBuild writes points to buckets (random → gathered)
+	StreamRd2            // TSearch reads query frame (eliminated by snooping)
+	StreamRd3            // TSearch reads buckets (sequential bursts)
+	StreamWr2            // TSearch writes results (sequential)
+	numStreams
+)
+
+// String names the stream as in Fig. 6.
+func (s StreamID) String() string {
+	switch s {
+	case StreamRd1:
+		return "Rd1"
+	case StreamWr1:
+		return "Wr1"
+	case StreamRd2:
+		return "Rd2"
+	case StreamRd3:
+		return "Rd3"
+	case StreamWr2:
+		return "Wr2"
+	default:
+		return "other"
+	}
+}
+
+// StreamStats accounts one stream's traffic.
+type StreamStats struct {
+	Accesses    int
+	UsefulBytes int64 // bytes the requester asked for
+	BurstBytes  int64 // bytes actually moved on the bus
+	RowHits     int
+	RowMisses   int
+}
+
+// Stats is a snapshot of the memory's counters.
+type Stats struct {
+	Streams [numStreams]StreamStats
+	// DataBusBusy is the total tCK the data bus spent transferring.
+	DataBusBusy int64
+	// Elapsed is the tCK span from the first to the last access.
+	Elapsed int64
+	// Refreshes counts refresh stalls taken.
+	Refreshes int
+}
+
+// TotalAccesses sums accesses over all streams.
+func (s Stats) TotalAccesses() int {
+	n := 0
+	for _, st := range s.Streams {
+		n += st.Accesses
+	}
+	return n
+}
+
+// TotalUsefulBytes sums requested bytes over all streams.
+func (s Stats) TotalUsefulBytes() int64 {
+	var n int64
+	for _, st := range s.Streams {
+		n += st.UsefulBytes
+	}
+	return n
+}
+
+// TotalBurstBytes sums transferred bytes over all streams.
+func (s Stats) TotalBurstBytes() int64 {
+	var n int64
+	for _, st := range s.Streams {
+		n += st.BurstBytes
+	}
+	return n
+}
+
+// Utilization is the fraction of elapsed time the data bus was busy —
+// the metric Fig. 13 plots.
+func (s Stats) Utilization() float64 {
+	if s.Elapsed == 0 {
+		return 0
+	}
+	u := float64(s.DataBusBusy) / float64(s.Elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Memory is a stateful DDR4 timing model. It is not safe for concurrent
+// use; architecture models own one each and submit accesses in program
+// order.
+type Memory struct {
+	cfg         Config
+	openRow     []int64 // per bank; -1 = closed
+	bankReady   []int64 // per bank: earliest next activate
+	busFree     int64   // earliest next data transfer
+	lastWrite   bool
+	now         int64 // completion time of the most recent access
+	started     bool
+	startTime   int64
+	nextRefresh int64
+	stats       Stats
+	tracer      func(TraceRecord)
+}
+
+// New returns a Memory with the given configuration. It panics on an
+// invalid configuration (programmer error).
+func New(cfg Config) *Memory {
+	if err := cfg.validate(); err != nil {
+		panic(err.Error())
+	}
+	m := &Memory{
+		cfg:         cfg,
+		openRow:     make([]int64, cfg.Banks),
+		bankReady:   make([]int64, cfg.Banks),
+		nextRefresh: int64(cfg.TREFI),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = -1
+	}
+	return m
+}
+
+// Config returns the memory's configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Now returns the completion time of the most recent access, in tCK.
+func (m *Memory) Now() int64 { return m.now }
+
+// NowCore returns Now in accelerator core cycles (rounded up).
+func (m *Memory) NowCore() int64 {
+	return (m.now + int64(m.cfg.CoreRatio) - 1) / int64(m.cfg.CoreRatio)
+}
+
+// AdvanceTo moves the memory's idle time forward to t tCK (no-op if t is
+// in the past). Architecture models use it when compute, not memory, is
+// the bottleneck.
+func (m *Memory) AdvanceTo(t int64) {
+	if t > m.now {
+		m.now = t
+	}
+}
+
+// AdvanceToCore is AdvanceTo in core cycles.
+func (m *Memory) AdvanceToCore(t int64) { m.AdvanceTo(t * int64(m.cfg.CoreRatio)) }
+
+// Access performs a read or write of n bytes at addr on behalf of stream,
+// returning the completion time in tCK. The access is decomposed into
+// aligned bursts; each burst pays row-activation cost on a row miss and
+// occupies the shared data bus.
+func (m *Memory) Access(addr uint64, n int, write bool, stream StreamID) int64 {
+	if n <= 0 {
+		return m.now
+	}
+	if !m.started {
+		m.started = true
+		m.startTime = m.now
+	}
+	if m.tracer != nil {
+		m.tracer(TraceRecord{At: m.now, Addr: addr, Bytes: n, Write: write, Stream: stream})
+	}
+	m.refresh()
+	st := &m.stats.Streams[stream]
+	st.Accesses++
+	st.UsefulBytes += int64(n)
+
+	burstBytes := uint64(m.cfg.BurstBytes())
+	first := addr / burstBytes
+	last := (addr + uint64(n) - 1) / burstBytes
+	for b := first; b <= last; b++ {
+		m.burst(b*burstBytes, write, st)
+	}
+	if m.now < m.busFree {
+		m.now = m.busFree
+	}
+	return m.now
+}
+
+// burst times a single aligned burst.
+//
+// Row hits pipeline: their column commands stream back-to-back, so a
+// sequential stream is limited only by data-bus occupancy (CAS latency is
+// paid once, not per burst). Row misses serialize through precharge +
+// activate + CAS before their data slot, which is what makes scattered
+// accesses expensive. Bank-level overlap of activations is deliberately
+// not modelled (in-order single-stream controller, like the simple MIG
+// configuration the prototype uses); this is pessimistic for random
+// traffic and neutral for sequential traffic.
+func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
+	cfg := m.cfg
+	row := int64(addr / uint64(cfg.RowBytes))
+	bank := int(row % int64(cfg.Banks))
+	dur := cfg.burstCycles()
+	var dataStart int64
+	if m.openRow[bank] != row {
+		// Row miss: precharge (if a row is open) + activate + CAS, all
+		// serialized before this burst's data slot. The activate cannot
+		// start before the bank honours tRAS from its previous activate.
+		start := m.now
+		if r := m.bankReady[bank]; r > start {
+			start = r
+		}
+		if m.openRow[bank] != -1 {
+			start += int64(cfg.TRP)
+		}
+		rowOpen := start + int64(cfg.TRCD)
+		m.openRow[bank] = row
+		m.bankReady[bank] = rowOpen + int64(cfg.TRAS)
+		dataStart = rowOpen + int64(cfg.TCL)
+		if dataStart < m.busFree {
+			dataStart = m.busFree
+		}
+		st.RowMisses++
+	} else {
+		// Row hit: pipelined CAS; limited by the data bus.
+		dataStart = m.busFree
+		if dataStart < m.now {
+			dataStart = m.now
+		}
+		st.RowHits++
+	}
+	if write != m.lastWrite {
+		dataStart += int64(cfg.TurnAround)
+		m.lastWrite = write
+	}
+	m.busFree = dataStart + dur
+	m.stats.DataBusBusy += dur
+	st.BurstBytes += int64(cfg.BurstBytes())
+	m.now = m.busFree
+}
+
+// refresh stalls the device for tRFC and closes every row whenever the
+// current time has passed a refresh deadline.
+func (m *Memory) refresh() {
+	if m.cfg.TREFI <= 0 {
+		return
+	}
+	for m.now >= m.nextRefresh {
+		stallEnd := m.nextRefresh + int64(m.cfg.TRFC)
+		if m.now < stallEnd {
+			m.now = stallEnd
+		}
+		if m.busFree < stallEnd {
+			m.busFree = stallEnd
+		}
+		for b := range m.openRow {
+			m.openRow[b] = -1
+			if m.bankReady[b] < stallEnd {
+				m.bankReady[b] = stallEnd
+			}
+		}
+		m.stats.Refreshes++
+		m.nextRefresh += int64(m.cfg.TREFI)
+	}
+}
+
+// Stats returns a snapshot of the counters with Elapsed filled in.
+func (m *Memory) Stats() Stats {
+	s := m.stats
+	if m.started {
+		s.Elapsed = m.now - m.startTime
+		if m.busFree-m.startTime > s.Elapsed {
+			s.Elapsed = m.busFree - m.startTime
+		}
+	}
+	return s
+}
+
+// Reset clears counters and bank state but keeps the configuration and
+// any installed tracer.
+func (m *Memory) Reset() {
+	tracer := m.tracer
+	nm := New(m.cfg)
+	*m = *nm
+	m.tracer = tracer
+}

@@ -1,0 +1,246 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{BusBytes: 8},
+		{BusBytes: 8, BurstLength: 8},
+		{BusBytes: 8, BurstLength: 8, RowBytes: 8192},
+		{BusBytes: 8, BurstLength: 8, RowBytes: 8192, Banks: 16},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d should panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	New(DefaultConfig()) // must not panic
+}
+
+func TestSequentialBeatsRandom(t *testing.T) {
+	seq := New(DefaultConfig())
+	const total = 1 << 20 // 1 MiB
+	for addr := uint64(0); addr < total; addr += 64 {
+		seq.Access(addr, 64, false, StreamRd1)
+	}
+	seqTime := seq.Now()
+
+	rnd := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < total/64; i++ {
+		addr := uint64(rng.Intn(1<<28)) &^ 63
+		rnd.Access(addr, 64, false, StreamRd1)
+	}
+	rndTime := rnd.Now()
+
+	if rndTime < seqTime*3 {
+		t.Errorf("random (%d) should be ≥3× slower than sequential (%d)", rndTime, seqTime)
+	}
+	sU := seq.Stats().Utilization()
+	rU := rnd.Stats().Utilization()
+	if sU < 0.90 {
+		t.Errorf("sequential utilization = %.2f, want ≥ 0.90", sU)
+	}
+	if rU > 0.5 {
+		t.Errorf("random utilization = %.2f, want < 0.5", rU)
+	}
+}
+
+func TestRowHitMissAccounting(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 64, false, StreamRd1)     // opens row 0: miss
+	m.Access(64, 64, false, StreamRd1)    // same row: hit
+	m.Access(128, 64, false, StreamRd1)   // same row: hit
+	m.Access(1<<20, 64, false, StreamRd1) // different row: miss
+	st := m.Stats().Streams[StreamRd1]
+	if st.RowMisses != 2 || st.RowHits != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", st.RowHits, st.RowMisses)
+	}
+	if st.Accesses != 4 {
+		t.Errorf("Accesses = %d", st.Accesses)
+	}
+}
+
+func TestSmallAccessWastesBurst(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 12, false, StreamRd3) // one 12-byte point
+	st := m.Stats().Streams[StreamRd3]
+	if st.UsefulBytes != 12 {
+		t.Errorf("UsefulBytes = %d", st.UsefulBytes)
+	}
+	if st.BurstBytes != 64 {
+		t.Errorf("BurstBytes = %d, want 64 (full burst)", st.BurstBytes)
+	}
+}
+
+func TestUnalignedAccessSpansBursts(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(60, 12, false, StreamRd3) // crosses the 64-byte boundary
+	st := m.Stats().Streams[StreamRd3]
+	if st.BurstBytes != 128 {
+		t.Errorf("BurstBytes = %d, want 128 (two bursts)", st.BurstBytes)
+	}
+}
+
+func TestZeroLengthAccessIsNoOp(t *testing.T) {
+	m := New(DefaultConfig())
+	before := m.Now()
+	if got := m.Access(0, 0, false, StreamRd1); got != before {
+		t.Errorf("zero-length access advanced time to %d", got)
+	}
+	if m.Stats().TotalAccesses() != 0 {
+		t.Error("zero-length access counted")
+	}
+}
+
+func TestTurnaroundPenalty(t *testing.T) {
+	// Alternating read/write to the same row costs more than all-reads.
+	alt := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		alt.Access(uint64(i*64), 64, i%2 == 0, StreamWr1)
+	}
+	same := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		same.Access(uint64(i*64), 64, false, StreamWr1)
+	}
+	if alt.Now() <= same.Now() {
+		t.Errorf("alternating (%d) should exceed same-direction (%d)", alt.Now(), same.Now())
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AdvanceTo(1000)
+	if m.Now() != 1000 {
+		t.Errorf("Now = %d", m.Now())
+	}
+	m.AdvanceTo(500) // backwards is a no-op
+	if m.Now() != 1000 {
+		t.Errorf("Now after backwards advance = %d", m.Now())
+	}
+	m.AdvanceToCore(100) // 100 core cycles = 1200 tCK
+	if m.Now() != 1200 {
+		t.Errorf("Now after AdvanceToCore = %d", m.Now())
+	}
+}
+
+func TestNowCoreRoundsUp(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AdvanceTo(13)
+	if got := m.NowCore(); got != 2 { // ceil(13/12)
+		t.Errorf("NowCore = %d, want 2", got)
+	}
+}
+
+func TestStreamSeparation(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 64, false, StreamRd1)
+	m.Access(64, 64, true, StreamWr2)
+	s := m.Stats()
+	if s.Streams[StreamRd1].Accesses != 1 || s.Streams[StreamWr2].Accesses != 1 {
+		t.Error("per-stream accounting wrong")
+	}
+	if s.TotalAccesses() != 2 || s.TotalUsefulBytes() != 128 || s.TotalBurstBytes() != 128 {
+		t.Errorf("totals wrong: %+v", s)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 4096, false, StreamRd1)
+	m.Reset()
+	if m.Now() != 0 || m.Stats().TotalAccesses() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestStreamNames(t *testing.T) {
+	want := map[StreamID]string{
+		StreamRd1: "Rd1", StreamWr1: "Wr1", StreamRd2: "Rd2",
+		StreamRd3: "Rd3", StreamWr2: "Wr2", StreamOther: "other",
+	}
+	for id, name := range want {
+		if id.String() != name {
+			t.Errorf("%d.String() = %q, want %q", id, id.String(), name)
+		}
+	}
+}
+
+func TestBandwidthCeiling(t *testing.T) {
+	// A fully sequential stream cannot exceed the theoretical peak:
+	// BusBytes per 0.5 tCK (DDR). Check bytes/cycle ≤ 2*BusBytes.
+	m := New(DefaultConfig())
+	for addr := uint64(0); addr < 1<<22; addr += 64 {
+		m.Access(addr, 64, false, StreamRd1)
+	}
+	s := m.Stats()
+	rate := float64(s.TotalBurstBytes()) / float64(s.Elapsed)
+	if peak := float64(2 * m.Config().BusBytes); rate > peak {
+		t.Errorf("rate %.2f B/tCK exceeds peak %.2f", rate, peak)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	m := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		m.Access(uint64(rng.Intn(1<<26)), 12, rng.Intn(2) == 0, StreamOther)
+	}
+	if u := m.Stats().Utilization(); u < 0 || u > 1 {
+		t.Errorf("utilization out of range: %v", u)
+	}
+}
+
+func TestRefreshStallsAndClosesRows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TREFI = 1000
+	cfg.TRFC = 100
+	m := New(cfg)
+	// Drive enough sequential traffic to cross several refresh deadlines.
+	for addr := uint64(0); addr < 1<<18; addr += 64 {
+		m.Access(addr, 64, false, StreamRd1)
+	}
+	s := m.Stats()
+	if s.Refreshes == 0 {
+		t.Fatal("no refreshes taken")
+	}
+	wantAtLeast := int(m.Now()/int64(cfg.TREFI)) - 1
+	if s.Refreshes < wantAtLeast {
+		t.Errorf("Refreshes = %d, want ≥ %d", s.Refreshes, wantAtLeast)
+	}
+	// Refresh costs time: the same traffic without refresh finishes sooner.
+	cfg.TREFI = 0
+	m2 := New(cfg)
+	for addr := uint64(0); addr < 1<<18; addr += 64 {
+		m2.Access(addr, 64, false, StreamRd1)
+	}
+	if m2.Now() >= m.Now() {
+		t.Errorf("refresh-free run (%d) should beat refreshing run (%d)", m2.Now(), m.Now())
+	}
+	if m2.Stats().Refreshes != 0 {
+		t.Error("TREFI=0 must disable refresh")
+	}
+}
+
+func TestRefreshClosesOpenRow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TREFI = 50
+	cfg.TRFC = 10
+	m := New(cfg)
+	m.Access(0, 64, false, StreamRd1) // opens row 0 (miss)
+	m.AdvanceTo(60)                   // past the refresh deadline
+	m.Access(64, 64, false, StreamRd1)
+	st := m.Stats().Streams[StreamRd1]
+	if st.RowMisses != 2 {
+		t.Errorf("row should be closed by refresh: misses = %d, want 2", st.RowMisses)
+	}
+}

@@ -1,0 +1,56 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Time safety: completion times are monotonic, utilization stays within
+// [0,1], and transferred bytes always cover requested bytes — for any
+// access stream.
+func TestPropertyTimeMonotonicAndBytesCovered(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint32
+		Bytes uint8
+		Write bool
+	}) bool {
+		m := New(DefaultConfig())
+		var last int64
+		for _, op := range ops {
+			n := int(op.Bytes) % 100
+			done := m.Access(uint64(op.Addr), n, op.Write, StreamOther)
+			if done < last {
+				return false
+			}
+			last = done
+		}
+		s := m.Stats()
+		if u := s.Utilization(); u < 0 || u > 1 {
+			return false
+		}
+		return s.TotalBurstBytes() >= s.TotalUsefulBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Row-state accounting: hits plus misses equals the number of bursts
+// implied by the transferred bytes.
+func TestPropertyHitsPlusMissesEqualsBursts(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint16
+		Bytes uint8
+	}) bool {
+		m := New(DefaultConfig())
+		for _, op := range ops {
+			m.Access(uint64(op.Addr), int(op.Bytes)%64+1, false, StreamRd1)
+		}
+		st := m.Stats().Streams[StreamRd1]
+		bursts := st.BurstBytes / int64(m.Config().BurstBytes())
+		return int64(st.RowHits+st.RowMisses) == bursts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package dram
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TraceRecord is one external-memory access as issued by an architecture
+// model: the request time (tCK), address, size, direction, and stream.
+type TraceRecord struct {
+	At     int64
+	Addr   uint64
+	Bytes  int
+	Write  bool
+	Stream StreamID
+}
+
+// SetTracer installs a hook called for every Access (nil uninstalls).
+// Architecture models run unchanged; the hook observes the access stream
+// for capture or analysis.
+func (m *Memory) SetTracer(fn func(TraceRecord)) { m.tracer = fn }
+
+// WriteTrace encodes records as one CSV line each:
+// "at,addr,bytes,rw,stream".
+func WriteTrace(w io.Writer, records []TraceRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		rw := "R"
+		if r.Write {
+			rw = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%s,%d\n", r.At, r.Addr, r.Bytes, rw, int(r.Stream)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	var out []TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("dram: trace line %d: want 5 fields, got %d", line, len(fields))
+		}
+		at, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dram: trace line %d: at: %v", line, err)
+		}
+		addr, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dram: trace line %d: addr: %v", line, err)
+		}
+		bytes, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("dram: trace line %d: bytes: %v", line, err)
+		}
+		var write bool
+		switch fields[3] {
+		case "R":
+		case "W":
+			write = true
+		default:
+			return nil, fmt.Errorf("dram: trace line %d: rw %q", line, fields[3])
+		}
+		stream, err := strconv.Atoi(fields[4])
+		if err != nil || stream < 0 || StreamID(stream) >= numStreams {
+			return nil, fmt.Errorf("dram: trace line %d: stream %q", line, fields[4])
+		}
+		out = append(out, TraceRecord{At: at, Addr: addr, Bytes: bytes, Write: write, Stream: StreamID(stream)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replay runs a captured trace through a fresh Memory with the given
+// configuration, honouring each record's issue time as a lower bound, and
+// returns the resulting statistics. Replaying the same trace under
+// different Configs compares memory systems on identical workloads (e.g.
+// the §7.2 DDR4-vs-HBM question).
+func Replay(records []TraceRecord, cfg Config) Stats {
+	m := New(cfg)
+	for _, r := range records {
+		m.AdvanceTo(r.At)
+		m.Access(r.Addr, r.Bytes, r.Write, r.Stream)
+	}
+	return m.Stats()
+}

@@ -1,0 +1,117 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func captureTrace(t *testing.T, n int, seed int64) []TraceRecord {
+	t.Helper()
+	m := New(DefaultConfig())
+	var records []TraceRecord
+	m.SetTracer(func(r TraceRecord) { records = append(records, r) })
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		m.Access(uint64(rng.Intn(1<<24)), 12+rng.Intn(52), rng.Intn(2) == 0, StreamID(rng.Intn(int(numStreams))))
+	}
+	return records
+}
+
+func TestTracerObservesEveryAccess(t *testing.T) {
+	records := captureTrace(t, 500, 1)
+	if len(records) != 500 {
+		t.Fatalf("captured %d records", len(records))
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].At < records[i-1].At {
+			t.Fatal("trace times not monotonic")
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	records := captureTrace(t, 300, 2)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("len = %d, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"1,2,3,R\n",    // too few fields
+		"x,2,3,R,0\n",  // bad at
+		"1,x,3,R,0\n",  // bad addr
+		"1,2,x,R,0\n",  // bad bytes
+		"1,2,3,Z,0\n",  // bad rw
+		"1,2,3,R,99\n", // bad stream
+		"1,2,3,R,-1\n", // negative stream
+	}
+	for _, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("trace %q should fail to parse", strings.TrimSpace(in))
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ReadTrace(strings.NewReader("# comment\n\n5,64,12,W,2\n"))
+	if err != nil || len(got) != 1 || !got[0].Write {
+		t.Errorf("comment handling broken: %v %v", got, err)
+	}
+}
+
+func TestReplayReproducesStats(t *testing.T) {
+	// Capturing a run and replaying it through the same config must give
+	// identical traffic accounting.
+	m := New(DefaultConfig())
+	var records []TraceRecord
+	m.SetTracer(func(r TraceRecord) { records = append(records, r) })
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		m.Access(uint64(rng.Intn(1<<22))&^3, 12, i%4 == 0, StreamWr1)
+	}
+	direct := m.Stats()
+	replayed := Replay(records, DefaultConfig())
+	if replayed.TotalUsefulBytes() != direct.TotalUsefulBytes() ||
+		replayed.TotalBurstBytes() != direct.TotalBurstBytes() ||
+		replayed.TotalAccesses() != direct.TotalAccesses() {
+		t.Errorf("replay traffic differs: %+v vs %+v", replayed, direct)
+	}
+}
+
+func TestReplayFasterMemoryFinishesSooner(t *testing.T) {
+	records := captureTrace(t, 2000, 4)
+	slow := Replay(records, DefaultConfig())
+	fast := DefaultConfig()
+	fast.BurstCycles = 1 // 4× the data rate
+	fastStats := Replay(records, fast)
+	if fastStats.DataBusBusy >= slow.DataBusBusy {
+		t.Errorf("faster memory should occupy the bus less: %d vs %d",
+			fastStats.DataBusBusy, slow.DataBusBusy)
+	}
+}
+
+func TestResetKeepsTracer(t *testing.T) {
+	m := New(DefaultConfig())
+	count := 0
+	m.SetTracer(func(TraceRecord) { count++ })
+	m.Access(0, 64, false, StreamRd1)
+	m.Reset()
+	m.Access(0, 64, false, StreamRd1)
+	if count != 2 {
+		t.Errorf("tracer lost across Reset: count = %d", count)
+	}
+}

@@ -1,0 +1,232 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAxisNextCycles(t *testing.T) {
+	if AxisX.Next() != AxisY || AxisY.Next() != AxisZ || AxisZ.Next() != AxisX {
+		t.Fatalf("axis cycle broken: %v %v %v", AxisX.Next(), AxisY.Next(), AxisZ.Next())
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	cases := map[Axis]string{AxisX: "x", AxisY: "y", AxisZ: "z", Axis(7): "axis(7)"}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Axis(%d).String() = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	p := Point{1, 2, 3}
+	for a := AxisX; a < Dims; a++ {
+		q := p.WithCoord(a, 9)
+		if q.Coord(a) != 9 {
+			t.Errorf("WithCoord(%v) not reflected by Coord", a)
+		}
+		// Other axes untouched.
+		for b := AxisX; b < Dims; b++ {
+			if b != a && q.Coord(b) != p.Coord(b) {
+				t.Errorf("WithCoord(%v) disturbed axis %v", a, b)
+			}
+		}
+	}
+}
+
+func TestDistSqMatchesDist(t *testing.T) {
+	p := Point{0, 3, 0}
+	q := Point{4, 0, 0}
+	if d := p.DistSq(q); d != 25 {
+		t.Fatalf("DistSq = %v, want 25", d)
+	}
+	if d := p.Dist(q); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float32) bool {
+		a := Point{ax, ay, az}
+		b := Point{bx, by, bz}
+		return a.DistSq(b) == b.DistSq(a) && a.DistSq(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := Point{1, 2, 3}
+	b := Point{4, 5, 6}
+	if got := a.Add(b); got != (Point{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Point{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Point{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := (Point{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestAABBExtendContains(t *testing.T) {
+	b := EmptyAABB()
+	if !b.Empty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	b = b.Extend(Point{1, 1, 1})
+	b = b.Extend(Point{-1, 2, 0})
+	if b.Empty() {
+		t.Fatal("box with points reports empty")
+	}
+	for _, p := range []Point{{1, 1, 1}, {-1, 2, 0}, {0, 1.5, 0.5}} {
+		if !b.Contains(p) {
+			t.Errorf("box should contain %v", p)
+		}
+	}
+	if b.Contains(Point{2, 1, 1}) {
+		t.Error("box should not contain (2,1,1)")
+	}
+}
+
+func TestAABBDistSq(t *testing.T) {
+	b := AABB{Min: Point{0, 0, 0}, Max: Point{1, 1, 1}}
+	if d := b.DistSq(Point{0.5, 0.5, 0.5}); d != 0 {
+		t.Errorf("inside point dist = %v, want 0", d)
+	}
+	if d := b.DistSq(Point{2, 0.5, 0.5}); d != 1 {
+		t.Errorf("outside point dist = %v, want 1", d)
+	}
+	if d := b.DistSq(Point{2, 2, 0.5}); d != 2 {
+		t.Errorf("corner dist = %v, want 2", d)
+	}
+}
+
+// AABB.DistSq must lower-bound the distance to any contained point: that is
+// the invariant exact backtracking relies on for pruning.
+func TestAABBDistLowerBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		pts := make([]Point, 10)
+		for i := range pts {
+			pts[i] = Point{rng.Float32() * 10, rng.Float32() * 10, rng.Float32() * 10}
+		}
+		b := Bounds(pts)
+		q := Point{rng.Float32()*30 - 10, rng.Float32()*30 - 10, rng.Float32()*30 - 10}
+		lb := b.DistSq(q)
+		for _, p := range pts {
+			if p.DistSq(q) < lb-1e-9 {
+				t.Fatalf("AABB.DistSq not a lower bound: lb=%v point dist=%v", lb, p.DistSq(q))
+			}
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := AABB{Min: Point{0, 0, 0}, Max: Point{1, 1, 1}}
+	c := AABB{Min: Point{2, -1, 0}, Max: Point{3, 0.5, 2}}
+	u := a.Union(c)
+	want := AABB{Min: Point{0, -1, 0}, Max: Point{3, 1, 2}}
+	if u != want {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	if got := EmptyAABB().Union(a); got != a {
+		t.Errorf("empty ∪ a = %v", got)
+	}
+	if got := a.Union(EmptyAABB()); got != a {
+		t.Errorf("a ∪ empty = %v", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{{0, 0, 0}, {2, 4, 6}}
+	if c := Centroid(pts); c != (Point{1, 2, 3}) {
+		t.Errorf("Centroid = %v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Centroid(empty) should panic")
+		}
+	}()
+	Centroid(nil)
+}
+
+func TestBoundsCenterSize(t *testing.T) {
+	b := Bounds([]Point{{0, 0, 0}, {2, 4, 6}})
+	if c := b.Center(); c != (Point{1, 2, 3}) {
+		t.Errorf("Center = %v", c)
+	}
+	if s := b.Size(); s != (Point{2, 4, 6}) {
+		t.Errorf("Size = %v", s)
+	}
+}
+
+func TestTransformIdentity(t *testing.T) {
+	p := Point{1, 2, 3}
+	if got := Identity().Apply(p); got != p {
+		t.Errorf("identity moved point: %v", got)
+	}
+}
+
+func TestTransformYaw90(t *testing.T) {
+	tr := Transform{Yaw: math.Pi / 2}
+	got := tr.Apply(Point{1, 0, 5})
+	if math.Abs(float64(got.X)) > 1e-6 || math.Abs(float64(got.Y)-1) > 1e-6 || got.Z != 5 {
+		t.Errorf("yaw 90° of (1,0,5) = %v, want (0,1,5)", got)
+	}
+}
+
+func TestTransformComposeMatchesSequentialApply(t *testing.T) {
+	a := Transform{Yaw: 0.3, Translation: Point{1, -2, 0.5}}
+	b := Transform{Yaw: -0.7, Translation: Point{0, 3, -1}}
+	p := Point{2, 5, -3}
+	seq := b.Apply(a.Apply(p))
+	comp := a.Compose(b).Apply(p)
+	if seq.Dist(comp) > 1e-5 {
+		t.Errorf("compose mismatch: seq=%v comp=%v", seq, comp)
+	}
+}
+
+func TestTransformInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		tr := Transform{
+			Yaw:         rng.Float64()*2 - 1,
+			Translation: Point{rng.Float32()*4 - 2, rng.Float32()*4 - 2, rng.Float32()*4 - 2},
+		}
+		p := Point{rng.Float32() * 10, rng.Float32() * 10, rng.Float32() * 10}
+		back := tr.Inverse().Apply(tr.Apply(p))
+		if p.Dist(back) > 1e-4 {
+			t.Fatalf("inverse round-trip moved %v to %v", p, back)
+		}
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	tr := Transform{Translation: Point{1, 0, 0}}
+	in := []Point{{0, 0, 0}, {1, 1, 1}}
+	out := tr.ApplyAll(in)
+	if len(out) != 2 || out[0] != (Point{1, 0, 0}) || out[1] != (Point{2, 1, 1}) {
+		t.Errorf("ApplyAll = %v", out)
+	}
+	if in[0] != (Point{0, 0, 0}) {
+		t.Error("ApplyAll mutated input")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := (Point{1, 2, 3}).String(); s != "(1.000, 2.000, 3.000)" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,135 @@
+// Package hostperf models the CPU and GPU comparison points of §7
+// (Table 6, Fig. 17). The paper benchmarks FLANN's k-d tree on an Intel
+// i7-7700K and an open-source k-d tree on a GTX 1080 Ti; neither platform
+// is available here, so each is replaced by a calibrated execution model
+// (see DESIGN.md §1):
+//
+//   - the CPU model is the standard cost decomposition of a bucketed k-d
+//     tree — per-frame build O(N log N) plus per-query traversal (cache
+//     misses) and bucket scan (SIMD-friendly) — with constants fitted to
+//     the paper's measured operating point (the k-d tree on CPU runs
+//     ~19× slower than the 128-FU QuickNN at 30k points);
+//   - the GPU model divides the CPU search throughput by a parallel-
+//     efficiency factor and adds a fixed per-frame overhead (transfers +
+//     kernel launches), reproducing both the 2.62× advantage over CPU at
+//     30k points and the convergence toward CPU at small frames.
+//
+// Power draws are the platform figures implied by Table 6's perf/W column
+// (CPU ≈ 88 W package power under load; GPU ≈ 65 W for this memory-bound
+// kernel), so the reproduced perf/W ratios match the paper's.
+//
+// The package also offers MeasureHost, which runs the real in-repo k-d
+// tree on the host CPU — a sanity anchor for the model's shape, recorded
+// in EXPERIMENTS.md.
+package hostperf
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/kdtree"
+)
+
+// Platform power draws implied by Table 6 (see package comment).
+const (
+	CPUPowerWatts = 88.0
+	GPUPowerWatts = 65.0
+)
+
+// Model predicts per-frame kNN latency for a software platform.
+type Model struct {
+	// Name labels the platform in reports.
+	Name string
+	// BuildPerPoint is seconds per point per log2(N) of tree build.
+	BuildPerPoint float64
+	// TraversePerLevel is seconds per tree level per query.
+	TraversePerLevel float64
+	// ScanPerPoint is seconds per bucket point per query.
+	ScanPerPoint float64
+	// FrameOverhead is fixed seconds per frame (transfers, launches).
+	FrameOverhead float64
+}
+
+// CPUKdTree returns the FLANN-on-i7-7700K model.
+func CPUKdTree() Model {
+	return Model{
+		Name:             "CPU k-d tree",
+		BuildPerPoint:    58e-9,
+		TraversePerLevel: 55e-9,
+		ScanPerPoint:     12.5e-9,
+		FrameOverhead:    0.4e-3,
+	}
+}
+
+// GPUKdTree returns the kNNcuda-on-GTX-1080-Ti model: ~3× the CPU's
+// search throughput once frames are large enough to fill the device, with
+// a large fixed per-frame cost.
+func GPUKdTree() Model {
+	cpu := CPUKdTree()
+	const (
+		searchGain = 3.4 // massive FU parallelism on bucket scans
+		buildGain  = 2.5 // build parallelizes poorly (irregular)
+	)
+	return Model{
+		Name:             "GPU k-d tree",
+		BuildPerPoint:    cpu.BuildPerPoint / buildGain,
+		TraversePerLevel: cpu.TraversePerLevel / searchGain,
+		ScanPerPoint:     cpu.ScanPerPoint / searchGain,
+		FrameOverhead:    9e-3,
+	}
+}
+
+// FrameSeconds predicts the per-frame latency of the successive-frame
+// workload: build a tree over N points, then search all N queries.
+func (m Model) FrameSeconds(n, bucketSize int) float64 {
+	if n <= 0 {
+		return m.FrameOverhead
+	}
+	logN := math.Log2(float64(n))
+	depth := math.Log2(float64(n)/float64(bucketSize) + 1)
+	if depth < 1 {
+		depth = 1
+	}
+	build := m.BuildPerPoint * float64(n) * logN
+	search := float64(n) * (m.TraversePerLevel*depth + m.ScanPerPoint*float64(bucketSize))
+	return m.FrameOverhead + build + search
+}
+
+// FPS is the corresponding frame rate.
+func (m Model) FPS(n, bucketSize int) float64 { return 1 / m.FrameSeconds(n, bucketSize) }
+
+// HostMeasurement is one real software run on this machine.
+type HostMeasurement struct {
+	Points        int
+	BuildSeconds  float64
+	SearchSeconds float64
+}
+
+// FrameSeconds returns the measured total per-frame time.
+func (h HostMeasurement) FrameSeconds() float64 { return h.BuildSeconds + h.SearchSeconds }
+
+// MeasureHost runs the repository's own k-d tree (build + approximate
+// search of n queries, k=8) on the host CPU and reports wall times. It is
+// a shape anchor for the models, not a substitute for the paper's FLANN
+// benchmark.
+func MeasureHost(n, bucketSize int, seed int64) HostMeasurement {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: rng.Float32()*100 - 50,
+			Y: rng.Float32()*100 - 50,
+			Z: rng.Float32() * 4,
+		}
+	}
+	queries := (geom.Transform{Translation: geom.Point{X: 0.5}}).ApplyAll(pts)
+	start := time.Now()
+	tree := kdtree.Build(pts, kdtree.Config{BucketSize: bucketSize}, rng)
+	build := time.Since(start).Seconds()
+	start = time.Now()
+	_, _ = tree.SearchAllApprox(queries, 8)
+	search := time.Since(start).Seconds()
+	return HostMeasurement{Points: n, BuildSeconds: build, SearchSeconds: search}
+}

@@ -1,0 +1,104 @@
+package hostperf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPUModelOperatingPoint(t *testing.T) {
+	// The calibrated CPU model should land near the paper's implied
+	// ~130 ms per 30k-point frame (19× slower than 128-FU QuickNN).
+	cpu := CPUKdTree()
+	s := cpu.FrameSeconds(30000, 256)
+	if s < 0.09 || s > 0.18 {
+		t.Errorf("CPU frame time = %.3f s, want ≈ 0.133", s)
+	}
+	if fps := cpu.FPS(30000, 256); math.Abs(fps*s-1) > 1e-9 {
+		t.Error("FPS should be the reciprocal of FrameSeconds")
+	}
+}
+
+func TestGPUAdvantageAt30k(t *testing.T) {
+	// Table 6: GPU ≈ 2.62× the CPU at 30k points.
+	cpu := CPUKdTree().FrameSeconds(30000, 256)
+	gpu := GPUKdTree().FrameSeconds(30000, 256)
+	ratio := cpu / gpu
+	if ratio < 2.2 || ratio > 3.1 {
+		t.Errorf("CPU/GPU = %.2f, want ≈ 2.62", ratio)
+	}
+}
+
+func TestGPUConvergesAtSmallFrames(t *testing.T) {
+	// Fixed per-frame overhead erodes the GPU's advantage at small N
+	// (Fig. 17's lines converge on the left).
+	cpu, gpu := CPUKdTree(), GPUKdTree()
+	small := cpu.FrameSeconds(2000, 256) / gpu.FrameSeconds(2000, 256)
+	large := cpu.FrameSeconds(30000, 256) / gpu.FrameSeconds(30000, 256)
+	if small >= large {
+		t.Errorf("GPU advantage should grow with N: %.2f at 2k vs %.2f at 30k", small, large)
+	}
+}
+
+func TestModelMonotonicInN(t *testing.T) {
+	for _, m := range []Model{CPUKdTree(), GPUKdTree()} {
+		prev := 0.0
+		for _, n := range []int{0, 1000, 5000, 10000, 20000, 35000} {
+			s := m.FrameSeconds(n, 256)
+			if s <= prev && n > 0 {
+				t.Errorf("%s: latency not increasing at N=%d", m.Name, n)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestSuperlinearCPUScaling(t *testing.T) {
+	// N log N build + N-proportional search: 3× the points must cost
+	// more than 3× but far less than 9×.
+	cpu := CPUKdTree()
+	r := cpu.FrameSeconds(30000, 256) / cpu.FrameSeconds(10000, 256)
+	if r < 2.8 || r > 4.5 {
+		t.Errorf("30k/10k CPU ratio = %.2f, want ≈ 3·(1+ε)", r)
+	}
+}
+
+func TestPerfPerWattRatiosMatchTable6(t *testing.T) {
+	// GPU perf/W ≈ 3.55× CPU perf/W.
+	cpu := CPUKdTree().FPS(30000, 256) / CPUPowerWatts
+	gpu := GPUKdTree().FPS(30000, 256) / GPUPowerWatts
+	ratio := gpu / cpu
+	if ratio < 3.0 || ratio > 4.2 {
+		t.Errorf("GPU/CPU perf-per-watt = %.2f, want ≈ 3.55", ratio)
+	}
+}
+
+func TestMeasureHostRuns(t *testing.T) {
+	m := MeasureHost(3000, 256, 1)
+	if m.Points != 3000 {
+		t.Errorf("Points = %d", m.Points)
+	}
+	if m.BuildSeconds <= 0 || m.SearchSeconds <= 0 {
+		t.Errorf("non-positive timings: %+v", m)
+	}
+	if m.FrameSeconds() != m.BuildSeconds+m.SearchSeconds {
+		t.Error("FrameSeconds should sum build and search")
+	}
+}
+
+func TestMeasureHostScalesWithN(t *testing.T) {
+	small := MeasureHost(2000, 256, 1)
+	large := MeasureHost(16000, 256, 1)
+	if large.FrameSeconds() <= small.FrameSeconds() {
+		t.Errorf("8× the points should cost more: %.4f vs %.4f",
+			large.FrameSeconds(), small.FrameSeconds())
+	}
+}
+
+func TestModelBucketSizeTradeoff(t *testing.T) {
+	// Larger buckets shift work from traversal to scanning; with the CPU
+	// constants, scan dominates, so bigger buckets cost more per frame.
+	cpu := CPUKdTree()
+	if cpu.FrameSeconds(30000, 1024) <= cpu.FrameSeconds(30000, 128) {
+		t.Error("larger buckets should cost more scan time")
+	}
+}

@@ -1,0 +1,254 @@
+package kdtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/nn"
+)
+
+// SearchStats counts the work one or more searches performed. The
+// architecture models translate these directly into cycles and DRAM
+// traffic.
+type SearchStats struct {
+	// TraversalSteps is the number of internal nodes visited.
+	TraversalSteps int
+	// PointsScanned is the number of reference points distance-tested.
+	PointsScanned int
+	// BucketsVisited is the number of buckets scanned.
+	BucketsVisited int
+}
+
+// Add accumulates o into s.
+func (s *SearchStats) Add(o SearchStats) {
+	s.TraversalSteps += o.TraversalSteps
+	s.PointsScanned += o.PointsScanned
+	s.BucketsVisited += o.BucketsVisited
+}
+
+// SearchApprox performs the paper's approximate search: traverse to the
+// single most likely bucket and scan only it. Results are nearest-first
+// and at most min(k, bucket size) long.
+func (t *Tree) SearchApprox(query geom.Point, k int) ([]nn.Neighbor, SearchStats) {
+	tk := nn.NewTopK(k)
+	stats := t.searchApproxInto(query, tk)
+	return tk.Results(), stats
+}
+
+// searchApproxInto scans the query's bucket into an existing TopK,
+// allowing callers (and the FU models) to reuse the candidate list.
+func (t *Tree) searchApproxInto(query geom.Point, tk *nn.TopK) SearchStats {
+	_, b, depth := t.FindLeaf(query)
+	bk := &t.buckets[b]
+	for i, p := range bk.Points {
+		tk.Push(nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: query.DistSq(p)})
+	}
+	return SearchStats{TraversalSteps: depth, PointsScanned: len(bk.Points), BucketsVisited: 1}
+}
+
+// SearchExact performs the exact k-nearest-neighbor search: approximate
+// descent plus backtracking ("with a so-called backtracking method, the
+// k-d tree method becomes an exact method", §2.2).
+func (t *Tree) SearchExact(query geom.Point, k int) ([]nn.Neighbor, SearchStats) {
+	tk := nn.NewTopK(k)
+	var stats SearchStats
+	t.searchExact(t.root, query, tk, &stats)
+	return tk.Results(), stats
+}
+
+func (t *Tree) searchExact(idx int32, query geom.Point, tk *nn.TopK, stats *SearchStats) {
+	nd := t.nodes[idx]
+	if nd.Leaf() {
+		bk := &t.buckets[nd.Bucket]
+		for i, p := range bk.Points {
+			tk.Push(nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: query.DistSq(p)})
+		}
+		stats.PointsScanned += len(bk.Points)
+		stats.BucketsVisited++
+		return
+	}
+	stats.TraversalSteps++
+	near := nd.side(query)
+	far := nd.Left
+	if near == nd.Left {
+		far = nd.Right
+	}
+	t.searchExact(near, query, tk, stats)
+	// Backtrack into the far child only if the query ball crosses the
+	// splitting plane (or we do not yet hold k candidates).
+	d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
+	if worst, full := tk.Worst(); !full || d*d < worst {
+		t.searchExact(far, query, tk, stats)
+	}
+}
+
+// SearchExactBuckets is SearchExact instrumented with the list of bucket
+// ids the backtracking visited, in visit order. The architecture models
+// use it to drive the exact-search hardware comparison (each visited
+// bucket is one more bucket fetch + FU pass).
+func (t *Tree) SearchExactBuckets(query geom.Point, k int) ([]nn.Neighbor, []int32, SearchStats) {
+	tk := nn.NewTopK(k)
+	var stats SearchStats
+	var visited []int32
+	t.searchExactTrace(t.root, query, tk, &stats, &visited)
+	return tk.Results(), visited, stats
+}
+
+func (t *Tree) searchExactTrace(idx int32, query geom.Point, tk *nn.TopK, stats *SearchStats, visited *[]int32) {
+	nd := t.nodes[idx]
+	if nd.Leaf() {
+		bk := &t.buckets[nd.Bucket]
+		for i, p := range bk.Points {
+			tk.Push(nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: query.DistSq(p)})
+		}
+		stats.PointsScanned += len(bk.Points)
+		stats.BucketsVisited++
+		*visited = append(*visited, nd.Bucket)
+		return
+	}
+	stats.TraversalSteps++
+	near := nd.side(query)
+	far := nd.Left
+	if near == nd.Left {
+		far = nd.Right
+	}
+	t.searchExactTrace(near, query, tk, stats, visited)
+	d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
+	if worst, full := tk.Worst(); !full || d*d < worst {
+		t.searchExactTrace(far, query, tk, stats, visited)
+	}
+}
+
+// SearchRadius returns every indexed point within radius of the query
+// (exact, via backtracking), nearest first.
+func (t *Tree) SearchRadius(query geom.Point, radius float64) ([]nn.Neighbor, SearchStats) {
+	var out []nn.Neighbor
+	var stats SearchStats
+	r2 := radius * radius
+	t.searchRadius(t.root, query, r2, &out, &stats)
+	// Nearest-first; ties broken on index for reproducibility.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistSq != out[j].DistSq {
+			return out[i].DistSq < out[j].DistSq
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, stats
+}
+
+func (t *Tree) searchRadius(idx int32, query geom.Point, r2 float64, out *[]nn.Neighbor, stats *SearchStats) {
+	nd := t.nodes[idx]
+	if nd.Leaf() {
+		bk := &t.buckets[nd.Bucket]
+		for i, p := range bk.Points {
+			if d := query.DistSq(p); d <= r2 {
+				*out = append(*out, nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: d})
+			}
+		}
+		stats.PointsScanned += len(bk.Points)
+		stats.BucketsVisited++
+		return
+	}
+	stats.TraversalSteps++
+	d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
+	if d < 0 || d*d <= r2 {
+		t.searchRadius(nd.Left, query, r2, out, stats)
+	}
+	if d >= 0 || d*d <= r2 {
+		t.searchRadius(nd.Right, query, r2, out, stats)
+	}
+}
+
+// branchEntry is a deferred far-branch in the best-bin-first queue.
+type branchEntry struct {
+	node  int32
+	bound float64 // accumulated squared distance to the branch's region
+}
+
+type branchHeap []branchEntry
+
+func (h branchHeap) Len() int            { return len(h) }
+func (h branchHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h branchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *branchHeap) Push(x interface{}) { *h = append(*h, x.(branchEntry)) }
+func (h *branchHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// SearchChecks is the best-bin-first approximate search of FLANN (the
+// paper's CPU baseline): after the primary descent, the nearest deferred
+// branches are explored until at least `checks` reference points have
+// been examined. checks=0 degenerates to SearchApprox's single bucket;
+// checks ≥ N approaches the exact result. It interpolates the
+// accuracy/latency trade-off between the two hardware search modes.
+func (t *Tree) SearchChecks(query geom.Point, k, checks int) ([]nn.Neighbor, SearchStats) {
+	tk := nn.NewTopK(k)
+	var stats SearchStats
+	queue := &branchHeap{{node: t.root}}
+	first := true
+	for queue.Len() > 0 && (first || stats.PointsScanned < checks) {
+		first = false
+		entry := heap.Pop(queue).(branchEntry)
+		if worst, full := tk.Worst(); full && entry.bound >= worst {
+			continue // the branch region cannot improve the candidate list
+		}
+		t.descendBBF(entry.node, entry.bound, query, tk, queue, &stats)
+	}
+	return tk.Results(), stats
+}
+
+// descendBBF follows the near side from idx to a leaf, deferring each far
+// child with its region's accumulated lower-bound distance.
+func (t *Tree) descendBBF(idx int32, bound float64, query geom.Point, tk *nn.TopK, queue *branchHeap, stats *SearchStats) {
+	for {
+		nd := t.nodes[idx]
+		if nd.Leaf() {
+			bk := &t.buckets[nd.Bucket]
+			for i, p := range bk.Points {
+				tk.Push(nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: query.DistSq(p)})
+			}
+			stats.PointsScanned += len(bk.Points)
+			stats.BucketsVisited++
+			return
+		}
+		stats.TraversalSteps++
+		near := nd.side(query)
+		far := nd.Left
+		if near == nd.Left {
+			far = nd.Right
+		}
+		d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
+		heap.Push(queue, branchEntry{node: far, bound: bound + d*d})
+		idx = near
+	}
+}
+
+// SearchAllApprox runs the approximate search for every query, returning
+// per-query results and the summed stats — the successive-frame workload.
+func (t *Tree) SearchAllApprox(queries []geom.Point, k int) ([][]nn.Neighbor, SearchStats) {
+	out := make([][]nn.Neighbor, len(queries))
+	var stats SearchStats
+	tk := nn.NewTopK(k)
+	for qi, q := range queries {
+		tk.Reset()
+		stats.Add(t.searchApproxInto(q, tk))
+		out[qi] = tk.Results()
+	}
+	return out, stats
+}
+
+// SearchAllExact runs the exact search for every query.
+func (t *Tree) SearchAllExact(queries []geom.Point, k int) ([][]nn.Neighbor, SearchStats) {
+	out := make([][]nn.Neighbor, len(queries))
+	var stats SearchStats
+	for qi, q := range queries {
+		res, s := t.SearchExact(q, k)
+		stats.Add(s)
+		out[qi] = res
+	}
+	return out, stats
+}

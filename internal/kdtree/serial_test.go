@@ -1,0 +1,88 @@
+package kdtree
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSerializeRoundTripExact(t *testing.T) {
+	pts := clusteredPoints(3000, 70)
+	tree := mustBuild(t, pts, Config{BucketSize: 64}, 71)
+	// Mutate first so free lists are non-trivial.
+	tree.Rebalance(16, 128)
+
+	var buf bytes.Buffer
+	n, err := tree.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPoints() != tree.NumPoints() || loaded.NumNodes() != tree.NumNodes() ||
+		loaded.NumBuckets() != tree.NumBuckets() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	if loaded.Config() != tree.Config() {
+		t.Errorf("config mismatch: %+v vs %+v", loaded.Config(), tree.Config())
+	}
+	// Bit-identical search behaviour.
+	queries := clusteredPoints(100, 72)
+	for _, q := range queries {
+		a, _ := tree.SearchApprox(q, 5)
+		b, _ := loaded.SearchApprox(q, 5)
+		if len(a) != len(b) {
+			t.Fatal("result length mismatch")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("approx results differ after round trip")
+			}
+		}
+		ea, _ := tree.SearchExact(q, 5)
+		eb, _ := loaded.SearchExact(q, 5)
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatal("exact results differ after round trip")
+			}
+		}
+	}
+	// The loaded tree remains fully mutable.
+	loaded.UpdateFrame(clusteredPoints(3000, 73), 0, 0)
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xff}, 64),
+	}
+	for i, data := range cases {
+		if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated valid stream.
+	tree := mustBuild(t, clusteredPoints(200, 74), Config{BucketSize: 32}, 75)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupted magic.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[0] ^= 0xff
+	if _, err := ReadFrom(bytes.NewReader(corrupt)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

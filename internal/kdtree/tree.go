@@ -1,0 +1,352 @@
+// Package kdtree implements the bucketed k-d tree at the heart of QuickNN
+// (§2.2, §4 of the paper): a binary tree whose internal nodes hold
+// axis-aligned split thresholds and whose leaves hold "buckets" of points.
+//
+// The package provides the full algorithmic surface the paper relies on:
+//
+//   - two-phase construction — build the splits from a sampled subset, then
+//     place every point into a bucket (Fig. 2);
+//   - approximate search — traverse to the nearest bucket and scan it;
+//   - exact search — approximate search plus backtracking;
+//   - static reuse and incremental update — reuse the splits across frames,
+//     with merge/split rebalancing to keep buckets bounded (§4.4);
+//   - accuracy measurement against exact results (Fig. 3).
+//
+// Nodes are stored in a flat slice with int32 links, matching the pointer
+// structure the hardware keeps in its on-chip tree cache and making node
+// count and byte-size accounting exact for the architecture models.
+package kdtree
+
+import (
+	"fmt"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+// NodeBytes is the external representation size of one tree node used for
+// cache sizing: threshold (4B) + axis/flags (2B) + parent, left, right
+// links (3×2B for trees below 64k nodes, rounded up to 4B words) ≈ 16B.
+const NodeBytes = 16
+
+const nilIdx = int32(-1)
+
+// Node is one tree node. Internal nodes carry a split (Axis, Threshold)
+// and child links; leaf nodes carry a bucket link instead.
+type Node struct {
+	Axis      geom.Axis
+	Threshold float32
+	Parent    int32
+	Left      int32 // nilIdx for leaves
+	Right     int32 // nilIdx for leaves
+	Bucket    int32 // nilIdx for internal nodes
+}
+
+// Leaf reports whether the node is a leaf.
+func (n Node) Leaf() bool { return n.Bucket != nilIdx }
+
+// Bucket holds the points placed under one leaf, along with their indices
+// in the original reference slice.
+type Bucket struct {
+	Points  []geom.Point
+	Indices []int
+	Leaf    int32 // owning leaf node
+	live    bool
+}
+
+// Len returns the number of points in the bucket.
+func (b *Bucket) Len() int { return len(b.Points) }
+
+// Config controls tree construction.
+type Config struct {
+	// BucketSize is the target bucket occupancy B_N. Construction aims
+	// for ~N/BucketSize leaves. The paper's operating points use 256–4096.
+	BucketSize int
+	// SampleSize is the number of points sampled to build the splits
+	// (the paper's n < N). Zero selects max(4·leaves, N/8) automatically.
+	SampleSize int
+	// MaxDepth caps the tree depth; zero derives it from BucketSize.
+	MaxDepth int
+	// MinSamplePoints stops splitting when a sample group gets this
+	// small ("a minimum occupancy of points"). Zero defaults to 4.
+	MinSamplePoints int
+}
+
+// DefaultConfig returns the paper's main operating point: 256-point buckets
+// (the smallest bucket size achieving ≥75% top-10 accuracy).
+func DefaultConfig() Config { return Config{BucketSize: 256} }
+
+func (c Config) withDefaults(n int) Config {
+	if c.BucketSize <= 0 {
+		c.BucketSize = 256
+	}
+	if c.MinSamplePoints <= 0 {
+		c.MinSamplePoints = 4
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = ceilLog2((n + c.BucketSize - 1) / c.BucketSize)
+	}
+	if c.SampleSize <= 0 {
+		leaves := 1 << uint(c.MaxDepth)
+		c.SampleSize = 4 * leaves
+		if alt := n / 8; alt > c.SampleSize {
+			c.SampleSize = alt
+		}
+		if c.SampleSize > n {
+			c.SampleSize = n
+		}
+	}
+	return c
+}
+
+func ceilLog2(v int) int {
+	d := 0
+	for (1 << uint(d)) < v {
+		d++
+	}
+	return d
+}
+
+// Tree is a bucketed k-d tree.
+type Tree struct {
+	cfg         Config
+	nodes       []Node
+	buckets     []Bucket
+	root        int32
+	freeNodes   []int32
+	freeBuckets []int32
+	liveBuckets int
+}
+
+// Config returns the configuration the tree was built with.
+func (t *Tree) Config() Config { return t.cfg }
+
+// NumNodes returns the number of live tree nodes.
+func (t *Tree) NumNodes() int { return len(t.nodes) - len(t.freeNodes) }
+
+// NumBuckets returns the number of live buckets (== leaves).
+func (t *Tree) NumBuckets() int { return t.liveBuckets }
+
+// NodeTableBytes returns the storage footprint of the node table, the
+// quantity the architecture models size the on-chip tree cache by.
+func (t *Tree) NodeTableBytes() int { return t.NumNodes() * NodeBytes }
+
+// NumPoints returns the total number of points currently placed in buckets.
+func (t *Tree) NumPoints() int {
+	n := 0
+	for i := range t.buckets {
+		if t.buckets[i].live {
+			n += len(t.buckets[i].Points)
+		}
+	}
+	return n
+}
+
+// Depth returns the maximum leaf depth (root = depth 0).
+func (t *Tree) Depth() int {
+	maxd := 0
+	t.walkLeaves(func(leaf int32, depth int) {
+		if depth > maxd {
+			maxd = depth
+		}
+	})
+	return maxd
+}
+
+// node allocates a node slot, reusing freed slots.
+func (t *Tree) node() int32 {
+	if n := len(t.freeNodes); n > 0 {
+		idx := t.freeNodes[n-1]
+		t.freeNodes = t.freeNodes[:n-1]
+		t.nodes[idx] = Node{Parent: nilIdx, Left: nilIdx, Right: nilIdx, Bucket: nilIdx}
+		return idx
+	}
+	t.nodes = append(t.nodes, Node{Parent: nilIdx, Left: nilIdx, Right: nilIdx, Bucket: nilIdx})
+	return int32(len(t.nodes) - 1)
+}
+
+// bucket allocates a bucket slot, reusing freed slots.
+func (t *Tree) bucket(leaf int32) int32 {
+	t.liveBuckets++
+	if n := len(t.freeBuckets); n > 0 {
+		idx := t.freeBuckets[n-1]
+		t.freeBuckets = t.freeBuckets[:n-1]
+		t.buckets[idx] = Bucket{Leaf: leaf, live: true}
+		return idx
+	}
+	t.buckets = append(t.buckets, Bucket{Leaf: leaf, live: true})
+	return int32(len(t.buckets) - 1)
+}
+
+func (t *Tree) freeNode(idx int32) { t.freeNodes = append(t.freeNodes, idx) }
+
+func (t *Tree) freeBucket(idx int32) {
+	t.buckets[idx] = Bucket{}
+	t.freeBuckets = append(t.freeBuckets, idx)
+	t.liveBuckets--
+}
+
+// walkLeaves visits every live leaf with its depth.
+func (t *Tree) walkLeaves(fn func(leaf int32, depth int)) {
+	if t.root == nilIdx {
+		return
+	}
+	type item struct {
+		n     int32
+		depth int
+	}
+	stack := []item{{t.root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := t.nodes[it.n]
+		if nd.Leaf() {
+			fn(it.n, it.depth)
+			continue
+		}
+		stack = append(stack, item{nd.Left, it.depth + 1}, item{nd.Right, it.depth + 1})
+	}
+}
+
+// Buckets calls fn for every live bucket.
+func (t *Tree) Buckets(fn func(id int32, b *Bucket)) {
+	for i := range t.buckets {
+		if t.buckets[i].live {
+			fn(int32(i), &t.buckets[i])
+		}
+	}
+}
+
+// BucketByID returns the bucket with the given id, or nil if the id is
+// stale (freed by a rebalance).
+func (t *Tree) BucketByID(id int32) *Bucket {
+	if id < 0 || int(id) >= len(t.buckets) || !t.buckets[id].live {
+		return nil
+	}
+	return &t.buckets[id]
+}
+
+// BucketStats summarizes the bucket-size distribution; Fig. 10 plots the
+// Max and Min over successive frames.
+type BucketStats struct {
+	Min, Max int
+	Mean     float64
+	Count    int
+}
+
+// Stats returns the current bucket-size distribution.
+func (t *Tree) Stats() BucketStats {
+	s := BucketStats{Min: int(^uint(0) >> 1)}
+	total := 0
+	for i := range t.buckets {
+		if !t.buckets[i].live {
+			continue
+		}
+		n := len(t.buckets[i].Points)
+		if n < s.Min {
+			s.Min = n
+		}
+		if n > s.Max {
+			s.Max = n
+		}
+		total += n
+		s.Count++
+	}
+	if s.Count == 0 {
+		s.Min = 0
+		return s
+	}
+	s.Mean = float64(total) / float64(s.Count)
+	return s
+}
+
+// Clone returns a deep copy of the tree: mutations of one (placement,
+// rebalance) never affect the other. Multi-frame simulations clone the
+// previous tree to model static reuse and incremental update.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		cfg:         t.cfg,
+		root:        t.root,
+		liveBuckets: t.liveBuckets,
+		nodes:       append([]Node(nil), t.nodes...),
+		freeNodes:   append([]int32(nil), t.freeNodes...),
+		freeBuckets: append([]int32(nil), t.freeBuckets...),
+		buckets:     make([]Bucket, len(t.buckets)),
+	}
+	for i := range t.buckets {
+		b := t.buckets[i]
+		c.buckets[i] = Bucket{
+			Points:  append([]geom.Point(nil), b.Points...),
+			Indices: append([]int(nil), b.Indices...),
+			Leaf:    b.Leaf,
+			live:    b.live,
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants: link symmetry, every leaf has a
+// live bucket, every internal node has two children, bucket back-links
+// match. It returns an error describing the first violation. Tests and the
+// incremental updater call it after mutations.
+func (t *Tree) Validate() error {
+	if t.root == nilIdx {
+		return fmt.Errorf("kdtree: no root")
+	}
+	free := map[int32]bool{}
+	for _, f := range t.freeNodes {
+		free[f] = true
+	}
+	seenBuckets := map[int32]bool{}
+	var walk func(idx, parent int32) error
+	var visit int
+	walk = func(idx, parent int32) error {
+		if idx < 0 || int(idx) >= len(t.nodes) {
+			return fmt.Errorf("kdtree: node link %d out of range", idx)
+		}
+		if free[idx] {
+			return fmt.Errorf("kdtree: node %d is on the free list but reachable", idx)
+		}
+		visit++
+		if visit > len(t.nodes) {
+			return fmt.Errorf("kdtree: cycle detected")
+		}
+		nd := t.nodes[idx]
+		if nd.Parent != parent {
+			return fmt.Errorf("kdtree: node %d parent link = %d, want %d", idx, nd.Parent, parent)
+		}
+		if nd.Leaf() {
+			if nd.Left != nilIdx || nd.Right != nilIdx {
+				return fmt.Errorf("kdtree: leaf %d has children", idx)
+			}
+			b := t.BucketByID(nd.Bucket)
+			if b == nil {
+				return fmt.Errorf("kdtree: leaf %d bucket %d not live", idx, nd.Bucket)
+			}
+			if b.Leaf != idx {
+				return fmt.Errorf("kdtree: bucket %d back-link = %d, want %d", nd.Bucket, b.Leaf, idx)
+			}
+			if seenBuckets[nd.Bucket] {
+				return fmt.Errorf("kdtree: bucket %d shared by two leaves", nd.Bucket)
+			}
+			seenBuckets[nd.Bucket] = true
+			if len(b.Points) != len(b.Indices) {
+				return fmt.Errorf("kdtree: bucket %d points/indices length mismatch", nd.Bucket)
+			}
+			return nil
+		}
+		if nd.Left == nilIdx || nd.Right == nilIdx {
+			return fmt.Errorf("kdtree: internal node %d missing a child", idx)
+		}
+		if err := walk(nd.Left, idx); err != nil {
+			return err
+		}
+		return walk(nd.Right, idx)
+	}
+	if err := walk(t.root, nilIdx); err != nil {
+		return err
+	}
+	if len(seenBuckets) != t.liveBuckets {
+		return fmt.Errorf("kdtree: reachable buckets %d != live buckets %d", len(seenBuckets), t.liveBuckets)
+	}
+	return nil
+}

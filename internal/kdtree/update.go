@@ -1,0 +1,189 @@
+package kdtree
+
+import "github.com/quicknn/quicknn/internal/geom"
+
+// UpdateResult reports what one Rebalance pass did.
+type UpdateResult struct {
+	// Merged is the number of delinquent (under-occupied) leaves absorbed
+	// into a parent-subtree rebuild.
+	Merged int
+	// Split is the number of oversized leaves replaced by new subtrees.
+	Split int
+	// NodesRebuilt is the number of tree nodes created by the pass.
+	NodesRebuilt int
+	// PointsResorted is the number of points that took part in a local
+	// sort/partition — the quantity that makes incremental update cheap
+	// relative to a from-scratch rebuild (§4.4: "far fewer points than N").
+	PointsResorted int
+}
+
+// UpdateFrame re-populates the tree with a new frame in incremental-update
+// mode (§4.4): buckets are cleared, the new points are placed using the
+// existing splits, and the tree is rebalanced so every bucket stays within
+// [lower, upper]. The returned UpdateResult describes the rebalancing work.
+//
+// Passing lower <= 0 and upper <= 0 derives the paper's bounds of half and
+// twice the configured bucket size B_N. (Anchoring on B_N rather than the
+// current mean keeps the operating point stable: bounds tied to the mean
+// ratchet — every merge raises the mean, which widens the bounds, which
+// triggers more merges on the next frame.)
+func (t *Tree) UpdateFrame(points []geom.Point, lower, upper int) UpdateResult {
+	t.ResetBuckets()
+	t.Place(points)
+	if lower <= 0 {
+		lower = t.cfg.BucketSize / 2
+	}
+	if upper <= 0 {
+		upper = t.cfg.BucketSize * 2
+	}
+	return t.Rebalance(lower, upper)
+}
+
+// Rebalance applies the paper's two incremental-update steps in order:
+// merging (absorb under-occupied leaves into a parent-subtree rebuild,
+// shallowest leaves first) and splitting (rebuild oversized leaves into
+// subtrees). Bounds must satisfy 0 < lower < upper.
+func (t *Tree) Rebalance(lower, upper int) UpdateResult {
+	if lower <= 0 || upper <= lower {
+		panic("kdtree: Rebalance requires 0 < lower < upper")
+	}
+	var res UpdateResult
+	// Merging. Collect delinquent leaves shallowest-first; rebuilding a
+	// parent subtree may consume other delinquent leaves, so each is
+	// re-validated before processing. One pass collapses a delinquent
+	// region by one level, so iterate to a fixpoint: each round a
+	// still-delinquent leaf's merge target is strictly shallower, so the
+	// loop terminates within the tree depth.
+	type leafAt struct {
+		node  int32
+		depth int
+	}
+	freed := make(map[int32]bool)
+	for round := 0; ; round++ {
+		var delinquent []leafAt
+		t.walkLeaves(func(leaf int32, depth int) {
+			if t.buckets[t.nodes[leaf].Bucket].Len() < lower && depth > 0 {
+				delinquent = append(delinquent, leafAt{leaf, depth})
+			}
+		})
+		if len(delinquent) == 0 || round > 64 {
+			break
+		}
+		// Shallowest first, as the paper specifies ("starting with the
+		// leaf nodes of the least depth").
+		for i := 1; i < len(delinquent); i++ {
+			for j := i; j > 0 && delinquent[j].depth < delinquent[j-1].depth; j-- {
+				delinquent[j], delinquent[j-1] = delinquent[j-1], delinquent[j]
+			}
+		}
+		merged := 0
+		for _, d := range delinquent {
+			if freed[d.node] {
+				continue
+			}
+			nd := t.nodes[d.node]
+			if !nd.Leaf() || nd.Parent == nilIdx || t.buckets[nd.Bucket].Len() >= lower {
+				continue // already fixed by an earlier rebuild
+			}
+			merged++
+			t.rebuildAt(nd.Parent, upper, freed, &res)
+		}
+		res.Merged += merged
+		if merged == 0 {
+			break
+		}
+	}
+	// Splitting. Oversized leaves (including any produced by merging that
+	// the rebuild target could not subdivide) are replaced by subtrees.
+	var oversized []int32
+	t.walkLeaves(func(leaf int32, _ int) {
+		if t.buckets[t.nodes[leaf].Bucket].Len() > upper {
+			oversized = append(oversized, leaf)
+		}
+	})
+	for _, leaf := range oversized {
+		res.Split++
+		t.rebuildAt(leaf, upper, freed, &res)
+	}
+	return res
+}
+
+// rebuildAt replaces the subtree rooted at idx (which keeps its node slot
+// and parent link) with a fresh subtree over all points currently stored
+// beneath it, splitting any group larger than target.
+func (t *Tree) rebuildAt(idx int32, target int, freed map[int32]bool, res *UpdateResult) {
+	var pts []geom.Point
+	var idxs []int
+	t.collectSubtree(idx, &pts, &idxs, freed, true)
+	res.PointsResorted += len(pts)
+	axis := t.depthOf(idx) % geom.Dims
+	t.rebuildNode(idx, pointSet{pts: pts, idxs: idxs}, geom.Axis(axis), target, freed, res)
+}
+
+// collectSubtree gathers all points below idx, freeing buckets and child
+// nodes. When keepRoot is true the node at idx itself is retained (links
+// cleared) so it can be rebuilt in place.
+func (t *Tree) collectSubtree(idx int32, pts *[]geom.Point, idxs *[]int, freed map[int32]bool, keepRoot bool) {
+	nd := t.nodes[idx]
+	if nd.Leaf() {
+		b := &t.buckets[nd.Bucket]
+		*pts = append(*pts, b.Points...)
+		*idxs = append(*idxs, b.Indices...)
+		t.freeBucket(nd.Bucket)
+	} else {
+		t.collectSubtree(nd.Left, pts, idxs, freed, false)
+		t.collectSubtree(nd.Right, pts, idxs, freed, false)
+	}
+	if keepRoot {
+		t.nodes[idx].Left = nilIdx
+		t.nodes[idx].Right = nilIdx
+		t.nodes[idx].Bucket = nilIdx
+		return
+	}
+	freed[idx] = true
+	t.freeNode(idx)
+}
+
+// rebuildNode builds a subtree in place at idx over the given points,
+// splitting groups larger than target at the median along cycling axes
+// (the same sorter/partition datapath TBuild already has, per §4.4).
+func (t *Tree) rebuildNode(idx int32, s pointSet, axis geom.Axis, target int, freed map[int32]bool, res *UpdateResult) {
+	makeLeaf := func() {
+		b := t.bucket(idx)
+		t.nodes[idx].Bucket = b
+		t.buckets[b].Points = append([]geom.Point(nil), s.pts...)
+		t.buckets[b].Indices = append([]int(nil), s.idxs...)
+	}
+	if len(s.pts) <= target {
+		makeLeaf()
+		return
+	}
+	splitAxis, threshold, lo, hi, ok := chooseSplit(s, axis)
+	if !ok {
+		makeLeaf() // degenerate: all points identical
+		return
+	}
+	left := t.node()
+	right := t.node()
+	delete(freed, left) // slots may be recycled from this very pass
+	delete(freed, right)
+	res.NodesRebuilt += 2
+	t.nodes[idx].Axis = splitAxis
+	t.nodes[idx].Threshold = threshold
+	t.nodes[idx].Left = left
+	t.nodes[idx].Right = right
+	t.nodes[left].Parent = idx
+	t.nodes[right].Parent = idx
+	t.rebuildNode(left, lo, splitAxis.Next(), target, freed, res)
+	t.rebuildNode(right, hi, splitAxis.Next(), target, freed, res)
+}
+
+// depthOf returns the depth of node idx by following parent links.
+func (t *Tree) depthOf(idx int32) int {
+	d := 0
+	for t.nodes[idx].Parent != nilIdx {
+		idx = t.nodes[idx].Parent
+		d++
+	}
+	return d
+}

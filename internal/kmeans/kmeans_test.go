@@ -1,0 +1,132 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/linear"
+)
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: rng.Float32()*80 - 40,
+			Y: rng.Float32()*80 - 40,
+			Z: rng.Float32() * 4,
+		}
+	}
+	return pts
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build(nil) should panic")
+		}
+	}()
+	Build(nil, DefaultConfig(), rand.New(rand.NewSource(1)))
+}
+
+func TestBuildCoversAllPoints(t *testing.T) {
+	pts := randPoints(3000, 1)
+	tree := Build(pts, Config{Branching: 8, LeafSize: 64}, rand.New(rand.NewSource(2)))
+	seen := make([]bool, len(pts))
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf() {
+			for j, idx := range n.indices {
+				if seen[idx] {
+					t.Fatalf("index %d in two leaves", idx)
+				}
+				seen[idx] = true
+				if n.points[j] != pts[idx] {
+					t.Fatalf("leaf point mismatch at %d", idx)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(tree.root)
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d missing from tree", i)
+		}
+	}
+}
+
+func TestSearchFindsSelf(t *testing.T) {
+	pts := randPoints(2000, 3)
+	tree := Build(pts, DefaultConfig(), rand.New(rand.NewSource(4)))
+	for i := 0; i < 40; i++ {
+		q := pts[i*31]
+		res, _ := tree.Search(q, 1, 0)
+		if len(res) != 1 || res[0].DistSq != 0 {
+			t.Fatalf("self search missed %v: %+v", q, res)
+		}
+	}
+}
+
+func TestSearchAccuracyImprovesWithChecks(t *testing.T) {
+	pts := randPoints(5000, 5)
+	queries := randPoints(200, 6)
+	tree := Build(pts, Config{Branching: 16, LeafSize: 128}, rand.New(rand.NewSource(7)))
+	recall := func(checks int) float64 {
+		hits := 0
+		for _, q := range queries {
+			exact := linear.Search(pts, q, 1)
+			res, _ := tree.Search(q, 1, checks)
+			if len(res) > 0 && res[0].Index == exact[0].Index {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(queries))
+	}
+	r0 := recall(0)
+	r1k := recall(1000)
+	if r1k < r0 {
+		t.Errorf("recall decreased with checks: %v → %v", r0, r1k)
+	}
+	if r1k < 0.85 {
+		t.Errorf("recall@1000 checks = %.2f, want ≥ 0.85", r1k)
+	}
+}
+
+func TestSearchChecksBoundRespected(t *testing.T) {
+	pts := randPoints(5000, 8)
+	tree := Build(pts, Config{Branching: 16, LeafSize: 128}, rand.New(rand.NewSource(9)))
+	_, stats := tree.Search(geom.Point{}, 5, 300)
+	// One descent may overshoot by a leaf, but the budget caps growth.
+	if stats.PointsScanned > 300+256 {
+		t.Errorf("PointsScanned = %d exceeds checks budget", stats.PointsScanned)
+	}
+	_, noBacktrack := tree.Search(geom.Point{}, 5, 0)
+	if noBacktrack.PointsScanned > 256 {
+		t.Errorf("single descent scanned %d points", noBacktrack.PointsScanned)
+	}
+}
+
+func TestDegenerateIdenticalPoints(t *testing.T) {
+	pts := make([]geom.Point, 600)
+	for i := range pts {
+		pts[i] = geom.Point{X: 7}
+	}
+	tree := Build(pts, Config{Branching: 4, LeafSize: 32}, rand.New(rand.NewSource(10)))
+	res, _ := tree.Search(geom.Point{X: 7}, 3, 0)
+	if len(res) != 3 || res[0].DistSq != 0 {
+		t.Fatalf("degenerate search: %+v", res)
+	}
+}
+
+func TestNumNodesPositive(t *testing.T) {
+	pts := randPoints(1000, 11)
+	tree := Build(pts, Config{Branching: 8, LeafSize: 64}, rand.New(rand.NewSource(12)))
+	if tree.NumNodes() < 1000/64 {
+		t.Errorf("NumNodes = %d too small", tree.NumNodes())
+	}
+}

@@ -1,0 +1,192 @@
+package lidar
+
+import (
+	"math"
+	"sort"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+// GroundModel is a fitted ground plane n·p + d = 0 with unit normal n
+// (oriented +Z-up).
+type GroundModel struct {
+	Normal geom.Point
+	D      float64
+}
+
+// Height returns the signed distance of p above the plane.
+func (g GroundModel) Height(p geom.Point) float64 {
+	return g.Normal.Dot(p) + g.D
+}
+
+// GroundConfig tunes EstimateGround. Zero values select the defaults of
+// the fast-segmentation approach the paper cites (Zermas et al.): seed
+// with the lowest 10% of returns, three refinement iterations, 0.25 m
+// inlier distance.
+type GroundConfig struct {
+	SeedFraction float64
+	Iterations   int
+	InlierDist   float64
+}
+
+func (c GroundConfig) withDefaults() GroundConfig {
+	if c.SeedFraction <= 0 || c.SeedFraction > 1 {
+		c.SeedFraction = 0.10
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 3
+	}
+	if c.InlierDist <= 0 {
+		c.InlierDist = 0.25
+	}
+	return c
+}
+
+// EstimateGround fits a ground plane to a raw frame: seed a plane through
+// the lowest returns, then iteratively refit on the inliers. It replaces
+// the fixed z-threshold when the ground is not flat or the sensor not
+// level. EstimateGround panics with fewer than 3 points.
+func EstimateGround(pts []geom.Point, cfg GroundConfig) GroundModel {
+	if len(pts) < 3 {
+		panic("lidar: EstimateGround requires at least 3 points")
+	}
+	cfg = cfg.withDefaults()
+	// Seed: the lowest SeedFraction of points by z.
+	byZ := make([]geom.Point, len(pts))
+	copy(byZ, pts)
+	sort.Slice(byZ, func(i, j int) bool { return byZ[i].Z < byZ[j].Z })
+	nSeed := int(float64(len(byZ)) * cfg.SeedFraction)
+	if nSeed < 3 {
+		nSeed = 3
+	}
+	model := fitPlane(byZ[:nSeed])
+	inliers := make([]geom.Point, 0, nSeed)
+	for it := 0; it < cfg.Iterations; it++ {
+		inliers = inliers[:0]
+		for _, p := range pts {
+			if math.Abs(model.Height(p)) <= cfg.InlierDist {
+				inliers = append(inliers, p)
+			}
+		}
+		if len(inliers) < 3 {
+			break
+		}
+		model = fitPlane(inliers)
+	}
+	return model
+}
+
+// SegmentGround splits a frame into ground and obstacle returns using a
+// fitted plane: points within `clearance` above (or below) the plane are
+// ground.
+func SegmentGround(pts []geom.Point, model GroundModel, clearance float64) (ground, obstacles []geom.Point) {
+	for _, p := range pts {
+		if model.Height(p) <= clearance {
+			ground = append(ground, p)
+		} else {
+			obstacles = append(obstacles, p)
+		}
+	}
+	return ground, obstacles
+}
+
+// RemoveGroundFitted is RemoveGround with a fitted plane instead of a
+// fixed z cut: it estimates the ground from the frame itself and drops
+// returns within `clearance` of it.
+func RemoveGroundFitted(f Frame, clearance float64) Frame {
+	if len(f.Points) < 3 {
+		return f
+	}
+	model := EstimateGround(f.Points, GroundConfig{})
+	_, obstacles := SegmentGround(f.Points, model, clearance)
+	return Frame{Points: obstacles, Pose: f.Pose, Index: f.Index}
+}
+
+// fitPlane least-squares fits a plane through the centroid of pts: the
+// normal is the eigenvector of the covariance matrix with the smallest
+// eigenvalue, found by Jacobi rotations on the symmetric 3×3 matrix.
+func fitPlane(pts []geom.Point) GroundModel {
+	c := geom.Centroid(pts)
+	var cov [3][3]float64
+	for _, p := range pts {
+		d := [3]float64{
+			float64(p.X - c.X),
+			float64(p.Y - c.Y),
+			float64(p.Z - c.Z),
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				cov[i][j] += d[i] * d[j]
+			}
+		}
+	}
+	vals, vecs := jacobiEigen3(cov)
+	// Smallest eigenvalue → plane normal.
+	minIdx := 0
+	for i := 1; i < 3; i++ {
+		if vals[i] < vals[minIdx] {
+			minIdx = i
+		}
+	}
+	n := geom.Point{
+		X: float32(vecs[0][minIdx]),
+		Y: float32(vecs[1][minIdx]),
+		Z: float32(vecs[2][minIdx]),
+	}
+	if n.Z < 0 { // orient up
+		n = n.Scale(-1)
+	}
+	if norm := n.Norm(); norm > 0 {
+		n = n.Scale(float32(1 / norm))
+	} else {
+		n = geom.Point{Z: 1}
+	}
+	return GroundModel{Normal: n, D: -n.Dot(c)}
+}
+
+// jacobiEigen3 diagonalizes a symmetric 3×3 matrix with cyclic Jacobi
+// rotations, returning eigenvalues and the matrix of column eigenvectors.
+func jacobiEigen3(a [3][3]float64) (vals [3]float64, vecs [3][3]float64) {
+	for i := 0; i < 3; i++ {
+		vecs[i][i] = 1
+	}
+	for sweep := 0; sweep < 32; sweep++ {
+		// Largest off-diagonal element.
+		off := math.Abs(a[0][1]) + math.Abs(a[0][2]) + math.Abs(a[1][2])
+		if off < 1e-15 {
+			break
+		}
+		for p := 0; p < 2; p++ {
+			for q := p + 1; q < 3; q++ {
+				if math.Abs(a[p][q]) < 1e-18 {
+					continue
+				}
+				// Compute the rotation that annihilates a[p][q].
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cos := 1 / math.Sqrt(t*t+1)
+				sin := t * cos
+				// Apply the rotation: A ← Jᵀ A J.
+				for k := 0; k < 3; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = cos*akp - sin*akq
+					a[k][q] = sin*akp + cos*akq
+				}
+				for k := 0; k < 3; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = cos*apk - sin*aqk
+					a[q][k] = sin*apk + cos*aqk
+				}
+				for k := 0; k < 3; k++ {
+					vkp, vkq := vecs[k][p], vecs[k][q]
+					vecs[k][p] = cos*vkp - sin*vkq
+					vecs[k][q] = sin*vkp + cos*vkq
+				}
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		vals[i] = a[i][i]
+	}
+	return vals, vecs
+}

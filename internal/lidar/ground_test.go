@@ -1,0 +1,168 @@
+package lidar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	vals, vecs := jacobiEigen3([3][3]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	want := map[float64]bool{1: false, 2: false, 3: false}
+	for _, v := range vals {
+		for w := range want {
+			if math.Abs(v-w) < 1e-12 {
+				want[w] = true
+			}
+		}
+	}
+	for w, seen := range want {
+		if !seen {
+			t.Errorf("eigenvalue %v missing from %v", w, vals)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are the axes.
+	for c := 0; c < 3; c++ {
+		var norm float64
+		for r := 0; r < 3; r++ {
+			norm += vecs[r][c] * vecs[r][c]
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Errorf("eigenvector %d not unit: %v", c, norm)
+		}
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var a [3][3]float64
+		for i := 0; i < 3; i++ {
+			for j := i; j < 3; j++ {
+				v := rng.NormFloat64()
+				a[i][j] = v
+				a[j][i] = v
+			}
+		}
+		vals, vecs := jacobiEigen3(a)
+		// Check A·v = λ·v for each eigenpair.
+		for c := 0; c < 3; c++ {
+			for r := 0; r < 3; r++ {
+				var av float64
+				for k := 0; k < 3; k++ {
+					av += a[r][k] * vecs[k][c]
+				}
+				if math.Abs(av-vals[c]*vecs[r][c]) > 1e-8 {
+					t.Fatalf("trial %d: eigenpair %d violates A·v=λ·v (%v vs %v)",
+						trial, c, av, vals[c]*vecs[r][c])
+				}
+			}
+		}
+	}
+}
+
+func TestFitPlaneRecoversKnownPlane(t *testing.T) {
+	// Points on the plane z = 0.1x - 0.05y + 2 with small noise.
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		x := rng.Float32()*40 - 20
+		y := rng.Float32()*40 - 20
+		z := 0.1*x - 0.05*y + 2 + float32(rng.NormFloat64())*0.01
+		pts[i] = geom.Point{X: x, Y: y, Z: z}
+	}
+	m := fitPlane(pts)
+	// The true unit normal is (-0.1, 0.05, 1)/|..|.
+	wantN := geom.Point{X: -0.1, Y: 0.05, Z: 1}
+	wantN = wantN.Scale(float32(1 / wantN.Norm()))
+	if d := m.Normal.Sub(wantN).Norm(); d > 0.02 {
+		t.Errorf("normal = %v, want %v", m.Normal, wantN)
+	}
+	// Every generated point sits near the plane.
+	for _, p := range pts[:50] {
+		if h := math.Abs(m.Height(p)); h > 0.05 {
+			t.Errorf("point %v at height %v from fitted plane", p, h)
+		}
+	}
+}
+
+func TestEstimateGroundOnScannedFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scene := NewScene(DefaultSceneConfig(), rng)
+	cfg := DefaultSensorConfig()
+	cfg.AzimuthSteps = 720
+	sensor := NewSensor(cfg, rng)
+	f := sensor.Scan(scene, geom.Identity(), 0)
+	model := EstimateGround(f.Points, GroundConfig{})
+	// The scene's ground is z≈0 in the vehicle frame: the fitted plane
+	// must be nearly horizontal and near zero height at the origin.
+	if model.Normal.Z < 0.99 {
+		t.Errorf("ground normal not vertical: %v", model.Normal)
+	}
+	if h := math.Abs(model.Height(geom.Point{})); h > 0.1 {
+		t.Errorf("plane offset at origin = %v m", h)
+	}
+	ground, obstacles := SegmentGround(f.Points, model, 0.3)
+	if len(ground) == 0 || len(obstacles) == 0 {
+		t.Fatalf("segmentation degenerate: %d ground, %d obstacles", len(ground), len(obstacles))
+	}
+	// Fitted segmentation should agree closely with the z-threshold cut
+	// on this level scene.
+	thresholded := RemoveGround(f, 0.3)
+	ratio := float64(len(obstacles)) / float64(len(thresholded.Points))
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("fitted vs threshold obstacle count ratio = %.2f", ratio)
+	}
+}
+
+func TestRemoveGroundFittedTiltedSensor(t *testing.T) {
+	// A tilted ground plane defeats a fixed z-threshold but not the fit:
+	// synthesize ground on a 5° slope plus a cluster of obstacle points.
+	rng := rand.New(rand.NewSource(4))
+	slope := float32(math.Tan(5 * math.Pi / 180))
+	var pts []geom.Point
+	for i := 0; i < 4000; i++ {
+		x := rng.Float32()*80 - 40
+		y := rng.Float32()*80 - 40
+		pts = append(pts, geom.Point{X: x, Y: y, Z: x*slope + float32(rng.NormFloat64())*0.02})
+	}
+	obstacleBase := float32(20 * math.Tan(5*math.Pi/180))
+	for i := 0; i < 400; i++ {
+		pts = append(pts, geom.Point{
+			X: 20 + rng.Float32(),
+			Y: rng.Float32() * 2,
+			Z: obstacleBase + 0.5 + rng.Float32()*1.5,
+		})
+	}
+	f := Frame{Points: pts}
+	fitted := RemoveGroundFitted(f, 0.3)
+	// The fit keeps most of the 400 obstacle points and drops most ground.
+	if len(fitted.Points) < 300 || len(fitted.Points) > 800 {
+		t.Errorf("fitted removal kept %d points, want ≈ 400 obstacles", len(fitted.Points))
+	}
+	// A fixed threshold at 0.3 keeps the whole uphill half of the slope.
+	thresholded := RemoveGround(f, 0.3)
+	if len(thresholded.Points) < 2*len(fitted.Points) {
+		t.Errorf("fixed threshold should fail on slopes: kept %d vs fitted %d",
+			len(thresholded.Points), len(fitted.Points))
+	}
+}
+
+func TestEstimateGroundPanicsOnTinyInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EstimateGround should panic with <3 points")
+		}
+	}()
+	EstimateGround([]geom.Point{{X: 1}}, GroundConfig{})
+}
+
+func TestRemoveGroundFittedTinyFramePassthrough(t *testing.T) {
+	f := Frame{Points: []geom.Point{{X: 1}, {X: 2}}}
+	got := RemoveGroundFitted(f, 0.3)
+	if len(got.Points) != 2 {
+		t.Errorf("tiny frame should pass through, got %d points", len(got.Points))
+	}
+}

@@ -1,0 +1,60 @@
+package lidar
+
+import "github.com/quicknn/quicknn/internal/geom"
+
+// VoxelDownsample reduces a point cloud to one point per occupied voxel
+// (the centroid of the voxel's points) on a cubic grid with the given cell
+// size in meters. It is the standard density-equalizing preprocessing for
+// point-cloud pipelines: unlike random downsampling it removes the
+// scan-line density bias of rotating LiDAR. Order of output points is
+// deterministic (first-visit order).
+func VoxelDownsample(pts []geom.Point, cell float32) []geom.Point {
+	if cell <= 0 {
+		panic("lidar: VoxelDownsample requires a positive cell size")
+	}
+	type acc struct {
+		sum   [3]float64
+		count int
+		order int
+	}
+	type key [3]int32
+	voxels := make(map[key]*acc)
+	var order []key
+	for _, p := range pts {
+		k := key{
+			int32(floorDiv(p.X, cell)),
+			int32(floorDiv(p.Y, cell)),
+			int32(floorDiv(p.Z, cell)),
+		}
+		a := voxels[k]
+		if a == nil {
+			a = &acc{order: len(order)}
+			voxels[k] = a
+			order = append(order, k)
+		}
+		a.sum[0] += float64(p.X)
+		a.sum[1] += float64(p.Y)
+		a.sum[2] += float64(p.Z)
+		a.count++
+	}
+	out := make([]geom.Point, len(order))
+	for _, k := range order {
+		a := voxels[k]
+		out[a.order] = geom.Point{
+			X: float32(a.sum[0] / float64(a.count)),
+			Y: float32(a.sum[1] / float64(a.count)),
+			Z: float32(a.sum[2] / float64(a.count)),
+		}
+	}
+	return out
+}
+
+// floorDiv returns floor(v/cell) as an integer grid index.
+func floorDiv(v, cell float32) int {
+	q := v / cell
+	i := int(q)
+	if q < 0 && float32(i) != q {
+		i--
+	}
+	return i
+}

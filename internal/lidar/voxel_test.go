@@ -1,0 +1,90 @@
+package lidar
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+func TestVoxelDownsamplePanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("cell=0 should panic")
+		}
+	}()
+	VoxelDownsample(nil, 0)
+}
+
+func TestVoxelDownsampleMergesWithinCell(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0.1, Y: 0.1, Z: 0.1},
+		{X: 0.3, Y: 0.3, Z: 0.3}, // same 0.5m voxel as above
+		{X: 0.9, Y: 0.1, Z: 0.1}, // different voxel
+	}
+	out := VoxelDownsample(pts, 0.5)
+	if len(out) != 2 {
+		t.Fatalf("got %d points, want 2", len(out))
+	}
+	// The merged voxel holds the centroid of its two points.
+	if out[0] != (geom.Point{X: 0.2, Y: 0.2, Z: 0.2}) {
+		t.Errorf("centroid = %v", out[0])
+	}
+}
+
+func TestVoxelDownsampleNegativeCoordinates(t *testing.T) {
+	// floor semantics: -0.1 and +0.1 are different cells at cell=1.
+	out := VoxelDownsample([]geom.Point{{X: -0.1}, {X: 0.1}}, 1)
+	if len(out) != 2 {
+		t.Fatalf("negative/positive straddle merged: %v", out)
+	}
+	// But -0.1 and -0.9 share the [-1,0) cell.
+	out = VoxelDownsample([]geom.Point{{X: -0.1}, {X: -0.9}}, 1)
+	if len(out) != 1 {
+		t.Fatalf("same negative cell not merged: %v", out)
+	}
+}
+
+func TestVoxelDownsampleDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 2000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float32() * 20, Y: rng.Float32() * 20, Z: rng.Float32() * 2}
+	}
+	a := VoxelDownsample(pts, 0.5)
+	b := VoxelDownsample(pts, 0.5)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+	if len(a) >= len(pts) {
+		t.Errorf("no reduction: %d → %d", len(pts), len(a))
+	}
+}
+
+func TestVoxelDownsampleEqualizesDensity(t *testing.T) {
+	// A dense cluster plus sparse scatter: after voxelization the cluster
+	// cannot dominate the point count the way it does raw.
+	rng := rand.New(rand.NewSource(6))
+	var pts []geom.Point
+	for i := 0; i < 5000; i++ { // dense 2×2m cluster
+		pts = append(pts, geom.Point{X: rng.Float32() * 2, Y: rng.Float32() * 2})
+	}
+	for i := 0; i < 500; i++ { // sparse 100×100m field
+		pts = append(pts, geom.Point{X: 10 + rng.Float32()*100, Y: rng.Float32() * 100})
+	}
+	out := VoxelDownsample(pts, 1)
+	clustered := 0
+	for _, p := range out {
+		if p.X < 3 {
+			clustered++
+		}
+	}
+	if frac := float64(clustered) / float64(len(out)); frac > 0.2 {
+		t.Errorf("cluster still dominates after voxelization: %.2f", frac)
+	}
+}

@@ -1,0 +1,82 @@
+// Package linear implements the exact brute-force kNN search the paper uses
+// as its baseline (§2.1, §3): every query point is compared against every
+// reference point. It is O(N²) in comparisons and external memory reads but
+// trivially parallel and 100% accurate.
+package linear
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/nn"
+)
+
+// Search returns the k exact nearest neighbors of query within reference,
+// nearest first. If k exceeds len(reference), all reference points are
+// returned.
+func Search(reference []geom.Point, query geom.Point, k int) []nn.Neighbor {
+	tk := nn.NewTopK(k)
+	for i, p := range reference {
+		tk.PushPoint(query, p, i)
+	}
+	return tk.Results()
+}
+
+// SearchAll runs Search for every query point, serially. Results are
+// indexed by query position.
+func SearchAll(reference, queries []geom.Point, k int) [][]nn.Neighbor {
+	out := make([][]nn.Neighbor, len(queries))
+	tk := nn.NewTopK(k)
+	for qi, q := range queries {
+		tk.Reset()
+		for i, p := range reference {
+			tk.PushPoint(q, p, i)
+		}
+		out[qi] = tk.Results()
+	}
+	return out
+}
+
+// SearchAllParallel runs SearchAll across workers goroutines (or GOMAXPROCS
+// when workers <= 0). This mirrors the linear architecture's use of many
+// FUs: queries are partitioned, the reference set is streamed through all
+// of them.
+func SearchAllParallel(reference, queries []geom.Point, k, workers int) [][]nn.Neighbor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([][]nn.Neighbor, len(queries))
+	if workers <= 1 {
+		return SearchAll(reference, queries, k)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(queries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			tk := nn.NewTopK(k)
+			for qi := lo; qi < hi; qi++ {
+				tk.Reset()
+				for i, p := range reference {
+					tk.PushPoint(queries[qi], p, i)
+				}
+				out[qi] = tk.Results()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

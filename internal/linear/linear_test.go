@@ -1,0 +1,82 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float32() * 50, Y: rng.Float32() * 50, Z: rng.Float32() * 5}
+	}
+	return pts
+}
+
+func TestSearchFindsSelf(t *testing.T) {
+	ref := randPoints(100, 1)
+	for i := 0; i < 10; i++ {
+		res := Search(ref, ref[i*7], 1)
+		if len(res) != 1 || res[0].DistSq != 0 || res[0].Index != i*7 {
+			t.Fatalf("self search failed: %+v", res)
+		}
+	}
+}
+
+func TestSearchOrderedAndExact(t *testing.T) {
+	ref := []geom.Point{{X: 10}, {X: 1}, {X: 5}, {X: 2}}
+	res := Search(ref, geom.Point{}, 3)
+	wantIdx := []int{1, 3, 2}
+	for i, n := range res {
+		if n.Index != wantIdx[i] {
+			t.Errorf("res[%d].Index = %d, want %d", i, n.Index, wantIdx[i])
+		}
+	}
+}
+
+func TestSearchKLargerThanReference(t *testing.T) {
+	ref := randPoints(3, 2)
+	res := Search(ref, geom.Point{}, 8)
+	if len(res) != 3 {
+		t.Fatalf("len = %d, want 3", len(res))
+	}
+}
+
+func TestSearchAllMatchesSearch(t *testing.T) {
+	ref := randPoints(200, 3)
+	queries := randPoints(50, 4)
+	all := SearchAll(ref, queries, 4)
+	for qi, q := range queries {
+		single := Search(ref, q, 4)
+		for i := range single {
+			if all[qi][i] != single[i] {
+				t.Fatalf("query %d result %d mismatch", qi, i)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	ref := randPoints(300, 5)
+	queries := randPoints(97, 6)
+	serial := SearchAll(ref, queries, 5)
+	for _, workers := range []int{0, 1, 2, 7, 200} {
+		par := SearchAllParallel(ref, queries, 5, workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: len %d", workers, len(par))
+		}
+		for qi := range serial {
+			if len(par[qi]) != len(serial[qi]) {
+				t.Fatalf("workers=%d query %d: len mismatch", workers, qi)
+			}
+			for i := range serial[qi] {
+				if par[qi][i] != serial[qi][i] {
+					t.Fatalf("workers=%d query %d result %d mismatch", workers, qi, i)
+				}
+			}
+		}
+	}
+}

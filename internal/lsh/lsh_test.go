@@ -1,0 +1,144 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/linear"
+)
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: rng.Float32()*60 - 30,
+			Y: rng.Float32()*60 - 30,
+			Z: rng.Float32() * 4,
+		}
+	}
+	return pts
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build(nil) should panic")
+		}
+	}()
+	Build(nil, DefaultConfig(), rand.New(rand.NewSource(1)))
+}
+
+func TestBuildPanicsOnTooManyHashes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Hashes=9 should panic")
+		}
+	}()
+	Build(randPoints(10, 1), Config{Hashes: 9}, rand.New(rand.NewSource(1)))
+}
+
+func TestHashFuncFloorNegative(t *testing.T) {
+	h := hashFunc{a: geom.Point{X: 1}, b: 0, w: 1}
+	if got := h.eval(geom.Point{X: -0.5}); got != -1 {
+		t.Errorf("eval(-0.5) = %d, want -1 (floor)", got)
+	}
+	if got := h.eval(geom.Point{X: 0.5}); got != 0 {
+		t.Errorf("eval(0.5) = %d, want 0", got)
+	}
+}
+
+func TestSearchFindsSelf(t *testing.T) {
+	pts := randPoints(2000, 2)
+	idx := Build(pts, DefaultConfig(), rand.New(rand.NewSource(3)))
+	hits := 0
+	for i := 0; i < 50; i++ {
+		q := pts[i*37]
+		res, _ := idx.Search(q, 1)
+		if len(res) > 0 && res[0].DistSq == 0 {
+			hits++
+		}
+	}
+	// The query point hashes identically to itself, so it is always in
+	// the probed base bucket of every table.
+	if hits != 50 {
+		t.Errorf("self-hit rate = %d/50", hits)
+	}
+}
+
+func TestSearchRecallBelowKdTreeLevels(t *testing.T) {
+	// The paper's point: in 3D, LSH at a comparable candidate budget has
+	// much lower recall than space-partitioning methods. Check that LSH
+	// finds *some* true neighbors but misses a noticeable fraction.
+	pts := randPoints(5000, 4)
+	queries := randPoints(300, 5)
+	idx := Build(pts, DefaultConfig(), rand.New(rand.NewSource(6)))
+	hits := 0
+	for _, q := range queries {
+		exact := linear.Search(pts, q, 1)
+		res, _ := idx.Search(q, 1)
+		if len(res) > 0 && res[0].Index == exact[0].Index {
+			hits++
+		}
+	}
+	recall := float64(hits) / float64(len(queries))
+	if recall < 0.05 {
+		t.Errorf("recall = %.2f: index appears broken", recall)
+	}
+	if recall > 0.95 {
+		t.Errorf("recall = %.2f: suspiciously high for simple LSH in 3D", recall)
+	}
+}
+
+func TestMultiProbeImprovesRecall(t *testing.T) {
+	pts := randPoints(5000, 7)
+	queries := randPoints(300, 8)
+	recall := func(probes int) float64 {
+		cfg := DefaultConfig()
+		cfg.Probes = probes
+		idx := Build(pts, cfg, rand.New(rand.NewSource(9)))
+		hits := 0
+		for _, q := range queries {
+			exact := linear.Search(pts, q, 1)
+			res, _ := idx.Search(q, 1)
+			if len(res) > 0 && res[0].Index == exact[0].Index {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(queries))
+	}
+	r0, r4 := recall(0), recall(4)
+	if r4 < r0 {
+		t.Errorf("multi-probe reduced recall: %.2f → %.2f", r0, r4)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	pts := randPoints(1000, 10)
+	cfg := Config{Tables: 4, Hashes: 3, Width: 2, Probes: 2}
+	idx := Build(pts, cfg, rand.New(rand.NewSource(11)))
+	_, stats := idx.Search(geom.Point{}, 5)
+	wantProbes := cfg.Tables * (1 + cfg.Probes)
+	if stats.BucketsProbed != wantProbes {
+		t.Errorf("BucketsProbed = %d, want %d", stats.BucketsProbed, wantProbes)
+	}
+	if stats.CandidatesScanned > len(pts) {
+		t.Errorf("scanned %d > N unique candidates", stats.CandidatesScanned)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	pts := randPoints(500, 12)
+	q := geom.Point{X: 1, Y: 2, Z: 1}
+	a, _ := Build(pts, DefaultConfig(), rand.New(rand.NewSource(13))).Search(q, 3)
+	b, _ := Build(pts, DefaultConfig(), rand.New(rand.NewSource(13))).Search(q, 3)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic results")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package nn defines the neighbor-result types shared by every kNN search
+// implementation in this repository, and the bounded running top-k list the
+// hardware Functional Units keep (Fig. 4 of the paper).
+package nn
+
+import "github.com/quicknn/quicknn/internal/geom"
+
+// Neighbor is one search result: a reference point, its index in the
+// reference set, and its squared distance to the query.
+type Neighbor struct {
+	Index  int
+	Point  geom.Point
+	DistSq float64
+}
+
+// TopK is a bounded list of the k nearest candidates seen so far, ordered
+// nearest-first. It mirrors the running list each hardware FU maintains:
+// insertion shifts farther candidates down and drops the (k+1)-th.
+//
+// k is small in this domain (≤ 32), so an insertion-sorted array beats a
+// heap both in software and in the modelled hardware.
+type TopK struct {
+	k     int
+	items []Neighbor
+}
+
+// NewTopK returns a TopK that retains the k nearest candidates.
+// It panics if k <= 0.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("nn: TopK requires k > 0")
+	}
+	return &TopK{k: k, items: make([]Neighbor, 0, k)}
+}
+
+// K returns the capacity of the list.
+func (t *TopK) K() int { return t.k }
+
+// Len returns the number of candidates currently held.
+func (t *TopK) Len() int { return len(t.items) }
+
+// Worst returns the squared distance of the current k-th candidate, or
+// +Inf-like behaviour via ok=false when fewer than k candidates are held.
+// Exact backtracking uses this as the pruning radius.
+func (t *TopK) Worst() (distSq float64, ok bool) {
+	if len(t.items) < t.k {
+		return 0, false
+	}
+	return t.items[len(t.items)-1].DistSq, true
+}
+
+// Push offers a candidate; it is kept only if it is among the k nearest
+// seen so far. Returns true if the candidate was inserted.
+func (t *TopK) Push(n Neighbor) bool {
+	if len(t.items) == t.k && n.DistSq >= t.items[len(t.items)-1].DistSq {
+		return false
+	}
+	// Find insertion position (first item strictly farther).
+	pos := len(t.items)
+	for pos > 0 && t.items[pos-1].DistSq > n.DistSq {
+		pos--
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, Neighbor{})
+	}
+	copy(t.items[pos+1:], t.items[pos:])
+	t.items[pos] = n
+	return true
+}
+
+// PushPoint is a convenience wrapper computing the distance to query.
+func (t *TopK) PushPoint(query geom.Point, p geom.Point, index int) bool {
+	return t.Push(Neighbor{Index: index, Point: p, DistSq: query.DistSq(p)})
+}
+
+// Results returns the retained neighbors ordered nearest-first. The
+// returned slice is a copy and safe to retain.
+func (t *TopK) Results() []Neighbor {
+	out := make([]Neighbor, len(t.items))
+	copy(out, t.items)
+	return out
+}
+
+// Reset empties the list so the TopK can be reused for the next query,
+// as the hardware FU does between query points.
+func (t *TopK) Reset() { t.items = t.items[:0] }
+
+// ContainsIndex reports whether a reference index is among the retained
+// neighbors. Accuracy measurements use it to check exact-in-approximate
+// containment.
+func (t *TopK) ContainsIndex(idx int) bool {
+	for _, it := range t.items {
+		if it.Index == idx {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+func TestNewTopKValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTopK(0) should panic")
+		}
+	}()
+	NewTopK(0)
+}
+
+func TestTopKKeepsNearest(t *testing.T) {
+	tk := NewTopK(3)
+	dists := []float64{5, 1, 9, 3, 7, 2}
+	for i, d := range dists {
+		tk.Push(Neighbor{Index: i, DistSq: d})
+	}
+	got := tk.Results()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	want := []float64{1, 2, 3}
+	for i, n := range got {
+		if n.DistSq != want[i] {
+			t.Errorf("result[%d].DistSq = %v, want %v", i, n.DistSq, want[i])
+		}
+	}
+}
+
+func TestTopKWorst(t *testing.T) {
+	tk := NewTopK(2)
+	if _, ok := tk.Worst(); ok {
+		t.Error("Worst should be not-ok when underfull")
+	}
+	tk.Push(Neighbor{DistSq: 4})
+	if _, ok := tk.Worst(); ok {
+		t.Error("Worst should be not-ok with 1 of 2")
+	}
+	tk.Push(Neighbor{DistSq: 1})
+	if w, ok := tk.Worst(); !ok || w != 4 {
+		t.Errorf("Worst = %v, %v; want 4, true", w, ok)
+	}
+}
+
+func TestTopKPushReturnValue(t *testing.T) {
+	tk := NewTopK(1)
+	if !tk.Push(Neighbor{DistSq: 5}) {
+		t.Error("first push rejected")
+	}
+	if tk.Push(Neighbor{DistSq: 6}) {
+		t.Error("worse candidate accepted")
+	}
+	if tk.Push(Neighbor{DistSq: 5}) {
+		t.Error("equal candidate accepted (should not displace)")
+	}
+	if !tk.Push(Neighbor{DistSq: 4}) {
+		t.Error("better candidate rejected")
+	}
+}
+
+func TestTopKReset(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Push(Neighbor{DistSq: 1})
+	tk.Reset()
+	if tk.Len() != 0 {
+		t.Errorf("Len after reset = %d", tk.Len())
+	}
+	tk.Push(Neighbor{DistSq: 9})
+	if got := tk.Results(); len(got) != 1 || got[0].DistSq != 9 {
+		t.Errorf("reuse after reset failed: %v", got)
+	}
+}
+
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, d := range raw {
+			if d < 0 {
+				raw[i] = -d
+			}
+		}
+		k := int(kRaw)%8 + 1
+		tk := NewTopK(k)
+		for i, d := range raw {
+			tk.Push(Neighbor{Index: i, DistSq: d})
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		want := sorted
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.Results()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].DistSq != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPushPointAndContainsIndex(t *testing.T) {
+	tk := NewTopK(2)
+	q := geom.Point{}
+	tk.PushPoint(q, geom.Point{X: 1}, 10)
+	tk.PushPoint(q, geom.Point{X: 3}, 11)
+	tk.PushPoint(q, geom.Point{X: 2}, 12)
+	if !tk.ContainsIndex(10) || !tk.ContainsIndex(12) {
+		t.Error("nearest indices missing")
+	}
+	if tk.ContainsIndex(11) {
+		t.Error("farthest index retained")
+	}
+}
+
+func TestTopKOrderedAscendingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tk := NewTopK(5)
+	for i := 0; i < 1000; i++ {
+		tk.Push(Neighbor{Index: i, DistSq: rng.Float64()})
+		res := tk.Results()
+		for j := 1; j < len(res); j++ {
+			if res[j-1].DistSq > res[j].DistSq {
+				t.Fatalf("not sorted after push %d: %v", i, res)
+			}
+		}
+	}
+}

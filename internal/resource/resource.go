@@ -1,0 +1,184 @@
+// Package resource is the analytic FPGA resource and power model standing
+// in for the Xilinx synthesis/place-and-route reports of Tables 2–3 and
+// the Xilinx Power Estimator (see DESIGN.md §1). Component costs are
+// parameterized per FU and per byte of on-chip cache and calibrated once
+// against the paper's 64-FU utilization tables; every other configuration
+// (Fig. 16's sweep) follows from the model.
+//
+// Conventions taken from the paper's prototype: each FU costs 8 DSP slices
+// at synthesis but 14 after the relaxed place-and-route; most caches are
+// implemented in register arrays (LUT/FF), not BRAM; the wrapper (DDR4
+// controller + host interface) adds a fixed post-P&R overhead.
+package resource
+
+import "github.com/quicknn/quicknn/internal/arch/cachemodel"
+
+// VCU118 capacity, for utilization percentages (XCVU9P).
+const (
+	DeviceLUTs      = 1_182_240
+	DeviceRegisters = 2_364_480
+	DeviceBRAM      = 2_160
+	DeviceDSPs      = 6_840
+)
+
+// Resources is one utilization row.
+type Resources struct {
+	LUTs, Registers, BRAM, DSPs int
+}
+
+// Add returns the sum of r and o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		LUTs:      r.LUTs + o.LUTs,
+		Registers: r.Registers + o.Registers,
+		BRAM:      r.BRAM + o.BRAM,
+		DSPs:      r.DSPs + o.DSPs,
+	}
+}
+
+// UtilLUTs returns LUT utilization as a fraction of the device.
+func (r Resources) UtilLUTs() float64 { return float64(r.LUTs) / DeviceLUTs }
+
+// UtilRegisters returns register utilization as a fraction of the device.
+func (r Resources) UtilRegisters() float64 { return float64(r.Registers) / DeviceRegisters }
+
+// UtilBRAM returns BRAM utilization as a fraction of the device.
+func (r Resources) UtilBRAM() float64 { return float64(r.BRAM) / DeviceBRAM }
+
+// UtilDSPs returns DSP utilization as a fraction of the device.
+func (r Resources) UtilDSPs() float64 { return float64(r.DSPs) / DeviceDSPs }
+
+// Estimate is a full report for one design: post-synthesis core resources,
+// post-place-and-route totals (including wrapper), and estimated power.
+type Estimate struct {
+	PostSynth  Resources
+	PostPNR    Resources
+	PowerWatts float64
+}
+
+// Model calibration constants (fitted to Tables 2–3 at 64 FUs).
+const (
+	fuLUTs      = 620  // distance datapath + top-k insert network
+	fuRegisters = 560  // pipeline + candidate list (k=8)
+	fuDSPsSynth = 8    // multipliers for the 3D squared distance
+	fuDSPsPNR   = 14   // relaxed duplication after P&R (§6.1)
+	perKLUTs    = 10   // extra LUTs per FU per extra neighbor beyond k=8
+	cacheLUTsPB = 0.25 // LUTs per byte of register-array cache
+	cacheRegsPB = 0.09 // registers per byte of register-array cache
+
+	linearControlLUTs = 5800
+	linearControlRegs = 4200
+	tbuildControlLUTs = 4100
+	tbuildControlRegs = 6000
+	tsearchControlLUT = 5900
+	tsearchControlReg = 9200
+
+	wrapperBRAM = 30 // DDR4 controller + host interface FIFOs
+
+	pnrLUTFactor = 1.40 // routing replication
+	pnrRegFactor = 1.20
+	wrapperLUTs  = 76_000
+	wrapperRegs  = 64_000
+
+	// Power: static + clocking + DDR4 base, plus activity-proportional
+	// dynamic terms (fitted to 4.44 W linear / 4.73 W QuickNN at 64 FUs).
+	basePowerWatts = 3.18
+	wattsPerPNRLUT = 5.0e-6
+	wattsPerPNRDSP = 0.62e-3
+)
+
+// Linear estimates the linear-search architecture of Table 2.
+func Linear(fus, k int) Estimate {
+	core := Resources{
+		LUTs:      fus*(fuLUTs+extraK(k)) + linearControlLUTs,
+		Registers: fus*fuRegisters + linearControlRegs,
+		BRAM:      0,
+		DSPs:      fus * fuDSPsSynth,
+	}
+	// Table 2 reports the synthesis row with the wrapper BRAM included.
+	synth := core
+	synth.BRAM += wrapperBRAM
+	return finish(synth, core, fus)
+}
+
+// QuickNNCaches describes the on-chip storage of one QuickNN instance;
+// build it with Caches().
+type QuickNNCaches struct {
+	TBuild  *cachemodel.Group
+	TSearch *cachemodel.Group
+}
+
+// Caches sizes every on-chip memory of a QuickNN instance (§5: "The total
+// cache size for TBuild is 38.6 kB when sized for frames with 30k points",
+// "33–243 kB for designs with 16–128 FUs").
+func Caches(points, bucketSize, fus int, wgSlots, wgDepth, rgSlots int) QuickNNCaches {
+	leaves := (points + bucketSize - 1) / bucketSize
+	nodes := 2*leaves - 1
+	tb := cachemodel.NewGroup("TBuild")
+	tb.Add(cachemodel.New("scratchpad", 12, maxInt(16*leaves, 1024), 1))
+	tb.Add(cachemodel.New("tree cache", 16, nodes, 4))
+	tb.Add(cachemodel.New("bucket cache", 8, leaves, 1))
+	tb.Add(cachemodel.New("write-gather", 12, wgSlots*wgDepth, 1))
+	ts := cachemodel.NewGroup("TSearch")
+	ts.Add(cachemodel.New("tree cache", 16, nodes, 4))
+	ts.Add(cachemodel.New("bucket cache", 8, leaves, 1))
+	ts.Add(cachemodel.New("read-gather", 12, rgSlots*fus, 1))
+	ts.Add(cachemodel.New("result buffer", 8, fus*8, 1))
+	return QuickNNCaches{TBuild: tb, TSearch: ts}
+}
+
+// QuickNN estimates the QuickNN architecture of Table 3, returning the
+// TBuild core, TSearch core, and the finished totals.
+func QuickNN(points, bucketSize, fus, k int) (tbuild, tsearch Resources, total Estimate) {
+	caches := Caches(points, bucketSize, fus, 128, 4, 128)
+	tbuild = Resources{
+		LUTs:      int(float64(caches.TBuild.TotalBytes())*cacheLUTsPB) + tbuildControlLUTs,
+		Registers: int(float64(caches.TBuild.TotalBytes())*cacheRegsPB) + tbuildControlRegs,
+	}
+	tsearch = Resources{
+		LUTs:      fus*(fuLUTs+extraK(k)) + int(float64(caches.TSearch.TotalBytes())*cacheLUTsPB) + tsearchControlLUT,
+		Registers: fus*fuRegisters + int(float64(caches.TSearch.TotalBytes())*cacheRegsPB) + tsearchControlReg,
+		BRAM:      1, // deep result FIFO
+		DSPs:      fus * fuDSPsSynth,
+	}
+	core := tbuild.Add(tsearch)
+	synth := core
+	synth.BRAM += wrapperBRAM
+	total = finish(synth, core, fus)
+	return tbuild, tsearch, total
+}
+
+// finish derives the post-P&R row and power from a synthesis estimate.
+func finish(synth, core Resources, fus int) Estimate {
+	pnr := Resources{
+		LUTs:      int(float64(core.LUTs)*pnrLUTFactor) + wrapperLUTs,
+		Registers: int(float64(core.Registers)*pnrRegFactor) + wrapperRegs,
+		BRAM:      synth.BRAM - wrapperBRAM + 1, // caches land in LUT-RAM/FF after P&R
+		DSPs:      fus * fuDSPsPNR,
+	}
+	if pnr.BRAM < 0 {
+		pnr.BRAM = 0
+	}
+	power := basePowerWatts +
+		wattsPerPNRLUT*float64(pnr.LUTs) +
+		wattsPerPNRDSP*float64(pnr.DSPs)
+	return Estimate{PostSynth: synth, PostPNR: pnr, PowerWatts: power}
+}
+
+// Area returns the Fig. 16 area metric: post-P&R logic plus memory
+// footprint, in LUT+FF units.
+func (e Estimate) Area() int { return e.PostPNR.LUTs + e.PostPNR.Registers }
+
+func extraK(k int) int {
+	if k <= 8 {
+		return 0
+	}
+	return (k - 8) * perKLUTs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package resource
+
+import "testing"
+
+// The calibration targets are the paper's Tables 2 and 3 (64 FUs, 30k
+// points, k=8). The analytic model should land within ~15% of each row.
+func within(t *testing.T, name string, got, want int, tol float64) {
+	t.Helper()
+	lo := float64(want) * (1 - tol)
+	hi := float64(want) * (1 + tol)
+	if float64(got) < lo || float64(got) > hi {
+		t.Errorf("%s = %d, want %d ± %.0f%%", name, got, want, tol*100)
+	}
+}
+
+func TestLinearMatchesTable2(t *testing.T) {
+	e := Linear(64, 8)
+	within(t, "linear synth LUTs", e.PostSynth.LUTs, 45458, 0.15)
+	within(t, "linear synth regs", e.PostSynth.Registers, 40024, 0.15)
+	if e.PostSynth.BRAM != 30 {
+		t.Errorf("linear synth BRAM = %d, want 30", e.PostSynth.BRAM)
+	}
+	if e.PostSynth.DSPs != 512 {
+		t.Errorf("linear synth DSPs = %d, want 512", e.PostSynth.DSPs)
+	}
+	within(t, "linear PNR LUTs", e.PostPNR.LUTs, 139876, 0.15)
+	within(t, "linear PNR regs", e.PostPNR.Registers, 112371, 0.15)
+	if e.PostPNR.DSPs != 896 {
+		t.Errorf("linear PNR DSPs = %d, want 896", e.PostPNR.DSPs)
+	}
+	if e.PowerWatts < 4.0 || e.PowerWatts > 4.9 {
+		t.Errorf("linear power = %.2f W, want ≈ 4.44", e.PowerWatts)
+	}
+}
+
+func TestQuickNNMatchesTable3(t *testing.T) {
+	tb, ts, total := QuickNN(30000, 256, 64, 8)
+	within(t, "TBuild LUTs", tb.LUTs, 13731, 0.20)
+	within(t, "TBuild regs", tb.Registers, 11535, 0.25)
+	within(t, "TSearch LUTs", ts.LUTs, 74092, 0.15)
+	within(t, "TSearch regs", ts.Registers, 45682, 0.20)
+	if ts.DSPs != 512 {
+		t.Errorf("TSearch DSPs = %d, want 512", ts.DSPs)
+	}
+	within(t, "total PNR LUTs", total.PostPNR.LUTs, 203758, 0.15)
+	within(t, "total PNR regs", total.PostPNR.Registers, 152962, 0.15)
+	if total.PostPNR.DSPs != 896 {
+		t.Errorf("total PNR DSPs = %d, want 896", total.PostPNR.DSPs)
+	}
+	if total.PowerWatts < 4.3 || total.PowerWatts > 5.2 {
+		t.Errorf("power = %.2f W, want ≈ 4.73", total.PowerWatts)
+	}
+}
+
+func TestCacheSizesMatchPaper(t *testing.T) {
+	// §5: TBuild caches total 38.6 kB at 30k points; TSearch spans
+	// 33–243 kB over 16–128 FUs.
+	c := Caches(30000, 256, 64, 128, 4, 128)
+	if kb := c.TBuild.TotalKiB(); kb < 30 || kb > 50 {
+		t.Errorf("TBuild caches = %.1f KiB, want ≈ 38.6", kb)
+	}
+	small := Caches(30000, 256, 16, 128, 4, 128)
+	large := Caches(30000, 256, 128, 128, 4, 128)
+	if kb := small.TSearch.TotalKiB(); kb < 25 || kb > 45 {
+		t.Errorf("16-FU TSearch caches = %.1f KiB, want ≈ 33", kb)
+	}
+	if kb := large.TSearch.TotalKiB(); kb < 190 || kb > 280 {
+		t.Errorf("128-FU TSearch caches = %.1f KiB, want ≈ 243", kb)
+	}
+}
+
+func TestScalingTrends(t *testing.T) {
+	// More FUs → more area and power, monotonically.
+	var prevArea int
+	var prevPower float64
+	for _, fus := range []int{16, 32, 64, 128} {
+		_, _, e := QuickNN(30000, 256, fus, 8)
+		if e.Area() <= prevArea {
+			t.Errorf("area not increasing at %d FUs", fus)
+		}
+		if e.PowerWatts <= prevPower {
+			t.Errorf("power not increasing at %d FUs", fus)
+		}
+		prevArea, prevPower = e.Area(), e.PowerWatts
+	}
+}
+
+func TestKGrowsFUCost(t *testing.T) {
+	e8 := Linear(64, 8)
+	e32 := Linear(64, 32)
+	if e32.PostSynth.LUTs <= e8.PostSynth.LUTs {
+		t.Error("larger k should grow FU buffering cost")
+	}
+	if e8.PostSynth.LUTs != Linear(64, 4).PostSynth.LUTs {
+		t.Error("k ≤ 8 fits the base FU buffer")
+	}
+}
+
+func TestUtilizationFractions(t *testing.T) {
+	e := Linear(64, 8)
+	if u := e.PostPNR.UtilLUTs(); u < 0.10 || u > 0.14 {
+		t.Errorf("LUT utilization = %.3f, want ≈ 0.118 (Table 2)", u)
+	}
+	if u := e.PostPNR.UtilDSPs(); u < 0.12 || u > 0.14 {
+		t.Errorf("DSP utilization = %.3f, want ≈ 0.131", u)
+	}
+	r := Resources{LUTs: DeviceLUTs, Registers: DeviceRegisters, BRAM: DeviceBRAM, DSPs: DeviceDSPs}
+	if r.UtilLUTs() != 1 || r.UtilRegisters() != 1 || r.UtilBRAM() != 1 || r.UtilDSPs() != 1 {
+		t.Error("full-device utilization should be 1")
+	}
+}
+
+func TestTSearchDominatesTBuild(t *testing.T) {
+	// §5: TSearch (FUs + read-gather) is by far the bigger half.
+	tb, ts, _ := QuickNN(30000, 256, 64, 8)
+	if ts.LUTs <= 2*tb.LUTs {
+		t.Errorf("TSearch (%d LUTs) should dwarf TBuild (%d)", ts.LUTs, tb.LUTs)
+	}
+}
+
+func TestReadGatherScalesWithFUs(t *testing.T) {
+	small := Caches(30000, 256, 16, 128, 4, 128)
+	large := Caches(30000, 256, 128, 128, 4, 128)
+	if large.TSearch.TotalBytes() <= small.TSearch.TotalBytes() {
+		t.Error("TSearch caches should grow with FUs (r_n = N_FU)")
+	}
+	if large.TBuild.TotalBytes() != small.TBuild.TotalBytes() {
+		t.Error("TBuild caches are FU-independent")
+	}
+}
+
+func TestBucketSizeAffectsTreeCaches(t *testing.T) {
+	// Smaller buckets → more leaves → bigger tree/bucket caches.
+	fine := Caches(30000, 64, 64, 128, 4, 128)
+	coarse := Caches(30000, 1024, 64, 128, 4, 128)
+	if fine.TBuild.TotalBytes() <= coarse.TBuild.TotalBytes() {
+		t.Error("finer buckets should cost more TBuild cache")
+	}
+}

@@ -1,0 +1,109 @@
+package quicknn
+
+import (
+	qsim "github.com/quicknn/quicknn/internal/arch/quicknn"
+)
+
+// PipelineConfig configures the streaming perception loop.
+type PipelineConfig struct {
+	// K is the number of neighbors returned per point.
+	K int
+	// BucketSize is the index's bucket target B_N.
+	BucketSize int
+	// Mode selects how the index advances between frames: ModeRebuild
+	// (from scratch, the prototype's choice), ModeStatic (frozen splits)
+	// or ModeIncremental (merge/split rebalancing, §4.4).
+	Mode qsim.TreeMode
+	// EstimateMotion additionally aligns each frame to the previous one
+	// with ICP before searching, so neighbor distances measure scene
+	// change rather than ego motion.
+	EstimateMotion bool
+	// ICP tunes the motion estimator when EstimateMotion is set.
+	ICP ICPConfig
+	// Workers parallelizes the per-frame search (≤0 = GOMAXPROCS).
+	Workers int
+	// Seed drives index construction sampling.
+	Seed int64
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.BucketSize <= 0 {
+		c.BucketSize = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// FrameResult is the pipeline's output for one frame.
+type FrameResult struct {
+	// FrameIndex counts processed frames from zero.
+	FrameIndex int
+	// Neighbors holds, per point of this frame, its k nearest neighbors
+	// in the previous frame (nil for the first frame).
+	Neighbors [][]Neighbor
+	// Motion is the estimated frame-to-previous-frame alignment when
+	// PipelineConfig.EstimateMotion is set.
+	Motion ICPResult
+	// IndexStats describes the index's bucket balance after advancing.
+	IndexStats Stats
+}
+
+// Pipeline drives the paper's successive-frame use case as a stream: feed
+// frames in scan order; each Process call searches the new frame against
+// the previous frame's index (optionally motion-compensated) and then
+// advances the index under the configured maintenance mode. Not safe for
+// concurrent use.
+type Pipeline struct {
+	cfg   PipelineConfig
+	index *Index
+	count int
+}
+
+// NewPipeline returns an empty pipeline; the first processed frame only
+// builds the index.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	return &Pipeline{cfg: cfg.withDefaults()}
+}
+
+// Index exposes the pipeline's current reference index (nil before the
+// first frame).
+func (p *Pipeline) Index() *Index { return p.index }
+
+// Process ingests the next frame and returns its result.
+func (p *Pipeline) Process(frame []Point) FrameResult {
+	res := FrameResult{FrameIndex: p.count}
+	p.count++
+	if p.index == nil {
+		p.index = NewIndex(frame,
+			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed))
+		res.IndexStats = p.index.Stats()
+		return res
+	}
+	queries := frame
+	if p.cfg.EstimateMotion {
+		res.Motion = EstimateMotion(p.index, frame, p.cfg.ICP)
+		queries = res.Motion.Motion.ApplyAll(frame)
+	}
+	res.Neighbors = p.index.SearchAllParallel(queries, p.cfg.K, p.cfg.Workers)
+	p.advance(frame)
+	res.IndexStats = p.index.Stats()
+	return res
+}
+
+// advance moves the index to the new frame per the maintenance mode.
+func (p *Pipeline) advance(frame []Point) {
+	switch p.cfg.Mode {
+	case qsim.ModeStatic:
+		p.index.UpdateStatic(frame)
+	case qsim.ModeIncremental:
+		p.index.Update(frame)
+	default:
+		p.index = NewIndex(frame,
+			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed))
+	}
+}

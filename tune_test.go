@@ -1,0 +1,68 @@
+package quicknn
+
+import "testing"
+
+func TestTuneBucketSizePicksSmallestMeetingTarget(t *testing.T) {
+	ref, qry := SuccessiveFrames(6000, 20)
+	selected, sweep := TuneBucketSize(ref, qry[:150], 5, 5, 0.60)
+	if len(sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if selected.Report.TopKRecall >= 0.60 {
+		// Every earlier size in the sweep must have missed the target.
+		for _, r := range sweep {
+			if r.BucketSize >= selected.BucketSize {
+				break
+			}
+			if r.Report.TopKRecall >= 0.60 {
+				t.Errorf("bucket %d already met the target but %d was selected",
+					r.BucketSize, selected.BucketSize)
+			}
+		}
+	}
+	// Recall grows (weakly) with bucket size across the sweep ends.
+	if len(sweep) >= 2 {
+		first, last := sweep[0], sweep[len(sweep)-1]
+		if last.BucketSize > first.BucketSize && last.Report.TopKRecall < first.Report.TopKRecall-0.05 {
+			t.Errorf("recall degraded with bucket size: %.2f@%d → %.2f@%d",
+				first.Report.TopKRecall, first.BucketSize,
+				last.Report.TopKRecall, last.BucketSize)
+		}
+		if last.MeanScan <= first.MeanScan {
+			t.Error("larger buckets must scan more points per query")
+		}
+	}
+}
+
+func TestTuneBucketSizeUnreachableTargetReturnsBest(t *testing.T) {
+	ref, qry := SuccessiveFrames(3000, 21)
+	selected, sweep := TuneBucketSize(ref, qry[:80], 5, 0, 1.01) // impossible
+	if selected.BucketSize != sweep[len(sweep)-1].BucketSize {
+		t.Errorf("unreachable target should select the final sweep entry, got %d", selected.BucketSize)
+	}
+	if len(sweep) != 7 {
+		t.Errorf("sweep should cover all sizes, got %d", len(sweep))
+	}
+}
+
+func TestVoxelAndGroundFacade(t *testing.T) {
+	ref, _ := SuccessiveFrames(5000, 22)
+	voxeled := VoxelDownsample(ref, 0.5)
+	if len(voxeled) == 0 || len(voxeled) > len(ref) {
+		t.Errorf("voxel downsample: %d → %d", len(ref), len(voxeled))
+	}
+	// The frames are already ground-removed; fit on a synthetic raw mix.
+	raw := append(append([]Point(nil), ref...), make([]Point, 2000)...)
+	rng := newTestRand(23)
+	for i := len(ref); i < len(raw); i++ {
+		raw[i] = Point{X: rng.Float32()*80 - 40, Y: rng.Float32()*80 - 40, Z: float32(rng.NormFloat64()) * 0.02}
+	}
+	model := EstimateGroundPlane(raw)
+	if model.Normal.Z < 0.9 {
+		t.Errorf("ground normal = %v", model.Normal)
+	}
+	obstacles := RemoveGroundPlane(raw, model, 0.3)
+	if len(obstacles) == 0 || len(obstacles) >= len(raw) {
+		t.Errorf("ground removal kept %d of %d", len(obstacles), len(raw))
+	}
+}
