@@ -1,0 +1,46 @@
+# Development targets for the QuickNN reproduction. CI (.github/workflows/
+# ci.yml) runs the same commands, so a green `make ci` locally predicts a
+# green pipeline.
+
+GO        ?= go
+FUZZTIME  ?= 10s
+# Every fuzz target; each gets its own smoke run because `go test -fuzz`
+# accepts only one matching target at a time.
+FUZZ_TARGETS := FuzzReadFrameCSV FuzzReadFrameBinary FuzzLoadIndex
+
+.PHONY: all build vet lint test race fuzz ci clean
+
+all: build
+
+## build: compile every package and command.
+build:
+	$(GO) build ./...
+
+## vet: run the standard go vet checks.
+vet:
+	$(GO) vet ./...
+
+## lint: run the quicknnlint analyzer suite (see docs/invariants.md).
+lint:
+	$(GO) run ./cmd/quicknnlint ./...
+
+## test: run the full test suite (includes the lint self-test).
+test:
+	$(GO) test ./...
+
+## race: run the suite under the race detector (parallel search paths).
+race:
+	$(GO) test -race ./...
+
+## fuzz: short fuzzing smoke over every fuzz target.
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) . || exit 1; \
+	done
+
+## ci: everything the pipeline runs, in order.
+ci: build vet lint test race fuzz
+
+clean:
+	$(GO) clean ./...

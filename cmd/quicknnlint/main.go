@@ -1,0 +1,80 @@
+// Command quicknnlint is the repository's multichecker: it applies the
+// custom analyzer suite (internal/lint/rules) that enforces the
+// simulation invariants documented in docs/invariants.md —
+//
+//	cycleint:  cycle/tCK arithmetic in timing-model packages stays integer
+//	nakedrand: no global math/rand state outside tests
+//	panicmsg:  library panics carry a "pkg: " prefix
+//	walltime:  no wall-clock calls in simulation packages
+//
+// Usage:
+//
+//	go run ./cmd/quicknnlint ./...
+//
+// Package patterns are accepted for familiarity with go vet, but the
+// checker always analyzes the whole module containing the working
+// directory; it prints diagnostics to stderr and exits non-zero if there
+// are any. Suppress an individual finding with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above (the reason is mandatory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/quicknn/quicknn/internal/lint"
+	"github.com/quicknn/quicknn/internal/lint/rules"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: quicknnlint [-list] [packages]\n\nAnalyzes the enclosing module regardless of the package pattern.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range rules.All {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quicknnlint:", err)
+		os.Exit(2)
+	}
+}
+
+// run loads the module, applies the suite and prints diagnostics; a
+// non-empty report exits with status 1 like go vet.
+func run() error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		return err
+	}
+	pkgs, fset, module, err := lint.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(fset, pkgs, module, rules.All)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "quicknnlint: %d issue(s) in %s (see docs/invariants.md)\n", n, module)
+		os.Exit(1)
+	}
+	return nil
+}

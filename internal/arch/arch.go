@@ -9,15 +9,25 @@
 // point per cycle, tree traversal one level per worker per cycle).
 package arch
 
-import "github.com/quicknn/quicknn/internal/dram"
+import (
+	"fmt"
+
+	"github.com/quicknn/quicknn/internal/dram"
+)
 
 // CoreClockHz is the accelerator core clock of the FPGA prototype (§6.1).
+//
+//quicknnlint:reporting clock constant used only to convert cycles for reports
 const CoreClockHz = 100e6
 
 // CyclesToSeconds converts core cycles to wall time at the prototype clock.
+//
+//quicknnlint:reporting wall-time conversion for reports, not cycle state
 func CyclesToSeconds(cycles int64) float64 { return float64(cycles) / CoreClockHz }
 
 // FPS converts per-frame core cycles to frames per second.
+//
+//quicknnlint:reporting frame-rate conversion for reports, not cycle state
 func FPS(cyclesPerFrame int64) float64 {
 	if cyclesPerFrame <= 0 {
 		return 0
@@ -74,11 +84,18 @@ func NewMemPort(mem *dram.Memory) *MemPort {
 }
 
 // Access submits an access that cannot start before core-cycle `at` and
-// returns its completion time in core cycles.
+// returns its completion time in core cycles. Completion can never precede
+// submission: a memory model returning an earlier time would let an engine
+// clock run backward, so that is asserted here (cycle-monotonicity
+// sanitizer, see docs/invariants.md).
 func (p *MemPort) Access(at int64, addr uint64, n int, write bool, s dram.StreamID) int64 {
 	p.Mem.AdvanceTo(at * p.ratio)
 	done := p.Mem.Access(addr, n, write, s)
-	return (done + p.ratio - 1) / p.ratio
+	core := (done + p.ratio - 1) / p.ratio
+	if core < at {
+		panic(fmt.Sprintf("arch: memory completion %d precedes submission %d (core cycles)", core, at))
+	}
+	return core
 }
 
 // Now returns the memory's current time in core cycles.
@@ -101,6 +118,13 @@ type Engine interface {
 
 // Run co-simulates the engines to completion and returns the cycle at
 // which the last one finished.
+//
+// Run enforces the cycle-monotonicity invariant the whole timing model
+// depends on: an engine's local clock must never move backward across a
+// Step, and must never be negative. The check is a single comparison per
+// step, so it is always on (not gated like dram.Config.Check); a violation
+// is a modelling bug and panics immediately rather than silently
+// corrupting the co-simulation order.
 func Run(engines ...Engine) int64 {
 	for {
 		var next Engine
@@ -115,7 +139,12 @@ func Run(engines ...Engine) int64 {
 		if next == nil {
 			break
 		}
+		before := next.Time()
 		next.Step()
+		if after := next.Time(); after < before || after < 0 {
+			panic(fmt.Sprintf("arch: engine %q clock moved backward across Step: %d -> %d",
+				next.Name(), before, after))
+		}
 	}
 	var end int64
 	for _, e := range engines {

@@ -19,7 +19,9 @@ func TestFPSAndSeconds(t *testing.T) {
 }
 
 func TestMemPortConvertsDomains(t *testing.T) {
-	mem := dram.New(dram.DefaultConfig())
+	cfg := dram.DefaultConfig()
+	cfg.Check = true
+	mem := dram.New(cfg)
 	p := NewMemPort(mem)
 	done := p.Access(100, 0, 64, false, dram.StreamRd1)
 	if done < 100 {

@@ -34,6 +34,8 @@ func New(name string, wordBytes, words, banks int) *SRAM {
 func (s *SRAM) Bytes() int { return s.WordBytes * s.Words }
 
 // KiB returns the capacity in binary kilobytes.
+//
+//quicknnlint:reporting capacity figure for reports, not cycle state
 func (s *SRAM) KiB() float64 { return float64(s.Bytes()) / 1024 }
 
 // Record counts n accesses (for activity-based power estimates).
@@ -68,6 +70,7 @@ func (g *Group) TotalBytes() int {
 }
 
 // TotalKiB returns the capacity in binary kilobytes.
+//quicknnlint:reporting capacity figure for reports, not cycle state
 func (g *Group) TotalKiB() float64 { return float64(g.TotalBytes()) / 1024 }
 
 // Each visits the group's SRAMs in registration order.

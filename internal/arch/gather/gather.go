@@ -64,8 +64,10 @@ type Stats struct {
 }
 
 // MeanGather returns the average items per flush (0 when no flushes).
+//
+//quicknnlint:reporting mean gather size is report output, not cycle state
 func (s Stats) MeanGather() float64 {
-	if s.Flushes == 0 {
+	if s.Flushes <= 0 {
 		return 0
 	}
 	return float64(s.ItemsFlushed) / float64(s.Flushes)

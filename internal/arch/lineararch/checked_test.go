@@ -1,0 +1,20 @@
+package lineararch
+
+import (
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/dram"
+)
+
+// checkedProtoCfg returns the FPGA-prototype DRAM profile with the DDR4
+// protocol checker enabled, so every simulation in this test suite
+// doubles as a protocol-legality check (docs/invariants.md).
+func checkedProtoCfg() dram.Config {
+	cfg := arch.PrototypeMemConfig()
+	cfg.Check = true
+	return cfg
+}
+
+// checkedProto builds a fresh memory with the checker armed.
+func checkedProto() *dram.Memory {
+	return dram.New(checkedProtoCfg())
+}

@@ -47,6 +47,8 @@ type Report struct {
 	// Cycles is the total core cycles for the frame.
 	Cycles int64
 	// FPS is the corresponding frame rate at the prototype clock.
+	//
+	//quicknnlint:reporting frame rate is report output, not cycle state
 	FPS float64
 	// ComputeCycles counts FU pipeline occupancy (the rest is memory).
 	ComputeCycles int64

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"github.com/quicknn/quicknn/internal/arch"
 	"github.com/quicknn/quicknn/internal/dram"
 	"github.com/quicknn/quicknn/internal/geom"
 	"github.com/quicknn/quicknn/internal/linear"
@@ -23,14 +22,14 @@ func sim(n, fus int, compute bool) Report {
 	ref := randPoints(n, 1)
 	q := randPoints(n, 2)
 	return Simulate(ref, q, Config{FUs: fus, K: 8, ComputeResults: compute},
-		dram.New(arch.PrototypeMemConfig()))
+		checkedProto())
 }
 
 func TestResultsMatchSoftwareLinear(t *testing.T) {
 	ref := randPoints(300, 3)
 	q := randPoints(100, 4)
 	rep := Simulate(ref, q, Config{FUs: 16, K: 4, ComputeResults: true},
-		dram.New(arch.PrototypeMemConfig()))
+		checkedProto())
 	want := linear.SearchAll(ref, q, 4)
 	for qi := range q {
 		if len(rep.Results[qi]) != len(want[qi]) {
@@ -103,7 +102,7 @@ func TestMemoryTrafficAccounting(t *testing.T) {
 
 func TestDefaultsApplied(t *testing.T) {
 	rep := Simulate(randPoints(100, 5), randPoints(100, 6), Config{},
-		dram.New(arch.PrototypeMemConfig()))
+		checkedProto())
 	if rep.Cycles <= 0 || rep.FPS <= 0 {
 		t.Errorf("empty config did not default sanely: %+v", rep)
 	}
@@ -115,8 +114,8 @@ func TestDefaultsApplied(t *testing.T) {
 func TestChunkSizeDoesNotChangeTraffic(t *testing.T) {
 	ref := randPoints(1000, 7)
 	q := randPoints(1000, 8)
-	a := Simulate(ref, q, Config{FUs: 32, K: 8, ChunkPoints: 16}, dram.New(arch.PrototypeMemConfig()))
-	b := Simulate(ref, q, Config{FUs: 32, K: 8, ChunkPoints: 256}, dram.New(arch.PrototypeMemConfig()))
+	a := Simulate(ref, q, Config{FUs: 32, K: 8, ChunkPoints: 16}, checkedProto())
+	b := Simulate(ref, q, Config{FUs: 32, K: 8, ChunkPoints: 256}, checkedProto())
 	if a.Mem.TotalUsefulBytes() != b.Mem.TotalUsefulBytes() {
 		t.Errorf("chunking changed traffic: %d vs %d", a.Mem.TotalUsefulBytes(), b.Mem.TotalUsefulBytes())
 	}
@@ -130,8 +129,8 @@ func TestChunkSizeDoesNotChangeTraffic(t *testing.T) {
 func TestLargerKCostsMoreWriteback(t *testing.T) {
 	ref := randPoints(2000, 9)
 	q := randPoints(2000, 10)
-	k1 := Simulate(ref, q, Config{FUs: 64, K: 1}, dram.New(arch.PrototypeMemConfig()))
-	k32 := Simulate(ref, q, Config{FUs: 64, K: 32}, dram.New(arch.PrototypeMemConfig()))
+	k1 := Simulate(ref, q, Config{FUs: 64, K: 1}, checkedProto())
+	k32 := Simulate(ref, q, Config{FUs: 64, K: 32}, checkedProto())
 	if k32.Mem.Streams[dram.StreamWr2].UsefulBytes <= k1.Mem.Streams[dram.StreamWr2].UsefulBytes {
 		t.Error("larger k should write more results")
 	}
@@ -143,7 +142,7 @@ func TestLargerKCostsMoreWriteback(t *testing.T) {
 func TestQueriesSmallerThanReference(t *testing.T) {
 	ref := randPoints(2000, 11)
 	q := randPoints(100, 12)
-	rep := Simulate(ref, q, Config{FUs: 64, K: 4, ComputeResults: true}, dram.New(arch.PrototypeMemConfig()))
+	rep := Simulate(ref, q, Config{FUs: 64, K: 4, ComputeResults: true}, checkedProto())
 	if len(rep.Results) != 100 {
 		t.Fatalf("results = %d", len(rep.Results))
 	}

@@ -132,5 +132,11 @@ func Cycles(n, ways int) int64 {
 	for span := 1; span < n; span *= ways {
 		rounds++
 	}
-	return int64(n) * int64(rounds)
+	cycles := int64(n) * int64(rounds)
+	// Cycle-monotonicity sanitizer: a negative count would run a
+	// dependent engine clock backward.
+	if cycles < 0 {
+		panic("mergesort: cycle count overflowed int64")
+	}
+	return cycles
 }

@@ -17,7 +17,23 @@ type DriveReport struct {
 	// TotalCycles sums all rounds including warmup.
 	TotalCycles int64
 	// MeanFPS is the average steady-state frame rate.
+	//
+	//quicknnlint:reporting frame rate is report output, not cycle state
 	MeanFPS float64
+}
+
+// meanFPS averages the steady-state frame rates of rounds (0 when empty).
+//
+//quicknnlint:reporting averages report figures, not cycle state
+func meanFPS(rounds []Report) float64 {
+	if len(rounds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rounds {
+		sum += r.FPS
+	}
+	return sum / float64(len(rounds))
 }
 
 // SimulateDrive runs a whole drive through the accelerator. memCfg is the
@@ -36,15 +52,13 @@ func SimulateDrive(frames [][]geom.Point, cfg Config, memCfg dram.Config, seed i
 	out.Warmup = simulateBuildOnly(frames[0], cfg, dram.New(memCfg), seed)
 	out.TotalCycles = out.Warmup.Cycles
 	tree := out.Warmup.Tree
-	var fpsSum float64
 	for i := 1; i < len(frames); i++ {
 		rep := SimulateFrame(tree, frames[i], cfg, dram.New(memCfg), seed+int64(i))
 		out.Rounds = append(out.Rounds, rep)
 		out.TotalCycles += rep.Cycles
-		fpsSum += rep.FPS
 		tree = rep.Tree
 	}
-	out.MeanFPS = fpsSum / float64(len(out.Rounds))
+	out.MeanFPS = meanFPS(out.Rounds)
 	return out
 }
 

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"github.com/quicknn/quicknn/internal/arch"
 	"github.com/quicknn/quicknn/internal/arch/lineararch"
 	"github.com/quicknn/quicknn/internal/dram"
 	"github.com/quicknn/quicknn/internal/geom"
@@ -47,14 +46,14 @@ func run(t testing.TB, n int, cfg Config) Report {
 		bucket = 256
 	}
 	tree := prevTreeFor(t, prev, bucket)
-	return SimulateFrame(tree, cur, cfg, dram.New(arch.PrototypeMemConfig()), 5)
+	return SimulateFrame(tree, cur, cfg, checkedProto(), 5)
 }
 
 func TestResultsMatchSoftwareApproxSearch(t *testing.T) {
 	prev, cur := framePair(3000, 1)
 	tree := prevTreeFor(t, prev, 128)
 	cfg := Config{FUs: 16, K: 4, BucketSize: 128, ComputeResults: true}
-	rep := SimulateFrame(tree, cur, cfg, dram.New(arch.PrototypeMemConfig()), 2)
+	rep := SimulateFrame(tree, cur, cfg, checkedProto(), 2)
 	if len(rep.Results) != len(cur) {
 		t.Fatalf("results = %d", len(rep.Results))
 	}
@@ -110,9 +109,9 @@ func TestSpeedupOverLinearArchitecture(t *testing.T) {
 	}
 	prev, cur := framePair(30000, 3)
 	tree := prevTreeFor(t, prev, 256)
-	q := SimulateFrame(tree, cur, Config{FUs: 64, K: 8}, dram.New(arch.PrototypeMemConfig()), 4)
+	q := SimulateFrame(tree, cur, Config{FUs: 64, K: 8}, checkedProto(), 4)
 	l := lineararch.Simulate(prev, cur, lineararch.Config{FUs: 64, K: 8},
-		dram.New(arch.PrototypeMemConfig()))
+		checkedProto())
 	speedup := float64(l.Cycles) / float64(q.Cycles)
 	// Paper: 24.1×. Accept the right regime.
 	if speedup < 10 || speedup > 60 {
@@ -227,7 +226,7 @@ func TestTreeModes(t *testing.T) {
 	tree := prevTreeFor(t, prev, 256)
 	mk := func(mode TreeMode) Report {
 		return SimulateFrame(tree, cur, Config{FUs: 64, Mode: mode},
-			dram.New(arch.PrototypeMemConfig()), 5)
+			checkedProto(), 5)
 	}
 	rebuild := mk(ModeRebuild)
 	static := mk(ModeStatic)
@@ -274,9 +273,9 @@ func TestExactBacktrackMode(t *testing.T) {
 	prev, cur := framePair(6000, 12)
 	tree := prevTreeFor(t, prev, 256)
 	approx := SimulateFrame(tree, cur, Config{FUs: 64, K: 8},
-		dram.New(arch.PrototypeMemConfig()), 5)
+		checkedProto(), 5)
 	exact := SimulateFrame(tree, cur, Config{FUs: 64, K: 8, ExactBacktrack: true},
-		dram.New(arch.PrototypeMemConfig()), 5)
+		checkedProto(), 5)
 	if float64(exact.Cycles) < float64(approx.Cycles)*1.2 {
 		t.Errorf("exact search should cost more than approximate: %d vs %d",
 			exact.Cycles, approx.Cycles)
@@ -285,14 +284,14 @@ func TestExactBacktrackMode(t *testing.T) {
 	// engine pays the full backtracking traffic (the regime of the
 	// abstract's 14.5× claim).
 	plain := SimulateFrame(tree, cur, Config{FUs: 64, K: 8, ExactBacktrack: true, DisableReadGather: true},
-		dram.New(arch.PrototypeMemConfig()), 5)
+		checkedProto(), 5)
 	if float64(plain.Cycles) < float64(approx.Cycles)*8 {
 		t.Errorf("plain exact engine should cost ≫ approximate: %d vs %d",
 			plain.Cycles, approx.Cycles)
 	}
 	// Results in exact mode must match the software exact search.
 	rep := SimulateFrame(tree, cur, Config{FUs: 16, K: 4, ExactBacktrack: true, ComputeResults: true},
-		dram.New(arch.PrototypeMemConfig()), 5)
+		checkedProto(), 5)
 	for qi := 0; qi < len(cur); qi += 97 {
 		want, _ := tree.SearchExact(cur[qi], 4)
 		got := rep.Results[qi]
@@ -311,7 +310,7 @@ func TestSimulateDrive(t *testing.T) {
 	prev, cur := framePair(4000, 14)
 	next := (geom.Transform{Translation: geom.Point{X: 0.8}}).ApplyAll(cur)
 	frames := [][]geom.Point{prev, cur, next}
-	rep := SimulateDrive(frames, Config{FUs: 32, K: 8}, arch.PrototypeMemConfig(), 1)
+	rep := SimulateDrive(frames, Config{FUs: 32, K: 8}, checkedProtoCfg(), 1)
 	if len(rep.Rounds) != 2 {
 		t.Fatalf("rounds = %d", len(rep.Rounds))
 	}
@@ -344,7 +343,7 @@ func TestSimulateDrive(t *testing.T) {
 func TestSimulateDriveChainsTreesInStaticMode(t *testing.T) {
 	prev, cur := framePair(4000, 15)
 	frames := [][]geom.Point{prev, cur, prev, cur}
-	rep := SimulateDrive(frames, Config{FUs: 32, Mode: ModeStatic}, arch.PrototypeMemConfig(), 1)
+	rep := SimulateDrive(frames, Config{FUs: 32, Mode: ModeStatic}, checkedProtoCfg(), 1)
 	// Static mode keeps the warmup tree's split structure forever.
 	warmNodes := rep.Warmup.Tree.NumNodes()
 	for i, r := range rep.Rounds {
@@ -364,7 +363,7 @@ func TestSimulateDrivePanicsOnShortInput(t *testing.T) {
 		}
 	}()
 	prev, _ := framePair(100, 16)
-	SimulateDrive([][]geom.Point{prev}, Config{}, arch.PrototypeMemConfig(), 1)
+	SimulateDrive([][]geom.Point{prev}, Config{}, checkedProtoCfg(), 1)
 }
 
 func TestTimelineSpans(t *testing.T) {

@@ -21,6 +21,8 @@ type Report struct {
 	// Cycles is the round's total core cycles (the per-frame latency).
 	Cycles int64
 	// FPS is the frame rate at the prototype clock.
+	//
+	//quicknnlint:reporting frame rate is report output, not cycle state
 	FPS float64
 	// TBuildCycles / TSearchCycles are the halves' individual finish times.
 	TBuildCycles, TSearchCycles int64

@@ -4,10 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"github.com/quicknn/quicknn/internal/arch"
 	"github.com/quicknn/quicknn/internal/arch/lineararch"
 	"github.com/quicknn/quicknn/internal/arch/quicknn"
-	"github.com/quicknn/quicknn/internal/dram"
 	"github.com/quicknn/quicknn/internal/geom"
 	"github.com/quicknn/quicknn/internal/kdtree"
 )
@@ -29,11 +27,11 @@ func TestFig12Ordering(t *testing.T) {
 	prev, cur := frames(20000, 1)
 	tree := kdtree.Build(prev, kdtree.Config{BucketSize: 256}, rand.New(rand.NewSource(2)))
 
-	simple := Simulate(tree, cur, Config{FUs: 64, K: 8}, dram.New(arch.PrototypeMemConfig()), 3)
+	simple := Simulate(tree, cur, Config{FUs: 64, K: 8}, checkedProto(), 3)
 	quick := quicknn.SimulateFrame(tree, cur, quicknn.Config{FUs: 64, K: 8},
-		dram.New(arch.PrototypeMemConfig()), 3)
+		checkedProto(), 3)
 	lin := lineararch.Simulate(prev, cur, lineararch.Config{FUs: 64, K: 8},
-		dram.New(arch.PrototypeMemConfig()))
+		checkedProto())
 
 	lb, sb, qb := lin.Mem.TotalBurstBytes(), simple.Mem.TotalBurstBytes(), quick.Mem.TotalBurstBytes()
 	if !(lb > sb && sb > qb) {
@@ -58,7 +56,7 @@ func TestSameComputationAsQuickNN(t *testing.T) {
 		DisableStreamMerge: true, DisableWriteGather: true,
 		DisableReadGather: true, TreeInDRAM: true, ComputeResults: true,
 	}
-	rep := quicknn.SimulateFrame(tree, cur, full, dram.New(arch.PrototypeMemConfig()), 6)
+	rep := quicknn.SimulateFrame(tree, cur, full, checkedProto(), 6)
 	_ = cfg
 	for qi, q := range cur {
 		want, _ := tree.SearchApprox(q, 4)

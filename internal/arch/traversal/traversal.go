@@ -92,8 +92,10 @@ type Result struct {
 }
 
 // Throughput returns completed paths per cycle.
+//
+//quicknnlint:reporting throughput is a ratio for reports, not cycle state
 func (r Result) Throughput() float64 {
-	if r.Cycles == 0 {
+	if r.Cycles <= 0 {
 		return 0
 	}
 	return float64(r.Paths) / float64(r.Cycles)
@@ -216,12 +218,20 @@ func Simulate(paths []Path, cfg Config) Result {
 			break
 		}
 		res.Cycles++
+		// Cycle-monotonicity sanitizer: the counter must stay a valid,
+		// non-negative int64 (an overflow here would wrap every dependent
+		// figure silently).
+		if res.Cycles < 0 {
+			panic("traversal: cycle counter overflowed int64")
+		}
 	}
 	return res
 }
 
 // Speedup runs the simulation for each worker count and returns the
 // throughput relative to a single worker — the quantity Fig. 9b plots.
+//
+//quicknnlint:reporting speedup ratios are report output, not cycle state
 func Speedup(paths []Path, banks, dupLevels int, scheme Scheme, workerCounts []int) []float64 {
 	base := Simulate(paths, Config{Workers: 1, Banks: banks, DupLevels: dupLevels, Scheme: scheme})
 	out := make([]float64, len(workerCounts))

@@ -1,0 +1,278 @@
+// Protocol checker ("simulator sanitizer") for the DDR4 timing model.
+//
+// The checker is an independent re-statement of the DDR4 legality rules
+// the model in dram.go is supposed to honour. When Config.Check is set,
+// every abstract command the model schedules (PRE, ACT, data burst, REF)
+// is replayed against these rules, and any illegal ordering panics with a
+// ProtocolError naming the violated parameter and carrying the recent
+// command history. The paper's numbers (Figs. 11-13, Tables III-V) are
+// only meaningful if this protocol is honoured, so the checker is wired
+// into every dram and arch test suite; see docs/invariants.md.
+//
+// The checker deliberately re-derives each bound from Config rather than
+// trusting the model's internal bookkeeping (bankReady, busFree): a bug
+// that corrupts those fields is exactly what it exists to catch.
+package dram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CmdKind is the abstract DDR command class the checker observes.
+type CmdKind int
+
+// The command classes of the model's schedule.
+const (
+	CmdPrecharge CmdKind = iota
+	CmdActivate
+	CmdRead
+	CmdWrite
+	CmdRefresh
+)
+
+// String names the command like a datasheet would.
+func (k CmdKind) String() string {
+	switch k {
+	case CmdPrecharge:
+		return "PRE"
+	case CmdActivate:
+		return "ACT"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdRefresh:
+		return "REF"
+	default:
+		return fmt.Sprintf("cmd(%d)", int(k))
+	}
+}
+
+// Command is one observed command, in tCK.
+type Command struct {
+	Kind CmdKind
+	Bank int   // -1 for REF (all banks)
+	Row  int64 // -1 when not applicable
+	At   int64 // command issue time
+	End  int64 // data/stall end time (data bursts and REF only)
+}
+
+// String renders the command for violation reports.
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdRead, CmdWrite:
+		return fmt.Sprintf("%-3s bank=%d row=%d data=[%d,%d)", c.Kind, c.Bank, c.Row, c.At, c.End)
+	case CmdRefresh:
+		return fmt.Sprintf("%-3s all-banks stall=[%d,%d)", c.Kind, c.At, c.End)
+	default:
+		return fmt.Sprintf("%-3s bank=%d row=%d at=%d", c.Kind, c.Bank, c.Row, c.At)
+	}
+}
+
+// ProtocolError reports one DDR4 protocol violation. Param names the
+// violated timing parameter or invariant ("tRCD", "tRP", "tRAS", "tRFC",
+// "turnaround", "data-bus", "monotonicity", "row-state"); History holds
+// the most recent commands, newest last, with the offending command at
+// the end.
+type ProtocolError struct {
+	Param   string
+	Detail  string
+	History []Command
+}
+
+// Error renders the violation with its command history.
+func (e *ProtocolError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dram: protocol violation (%s): %s", e.Param, e.Detail)
+	if len(e.History) > 0 {
+		b.WriteString("\nrecent commands (newest last):")
+		for _, c := range e.History {
+			b.WriteString("\n  ")
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}
+
+// historyDepth is how many commands a checker retains for reports.
+const historyDepth = 16
+
+// bankState is the checker's independent view of one bank.
+type bankState struct {
+	openRow int64 // -1 = precharged
+	actAt   int64 // time of the most recent ACT (-1 = never)
+	preAt   int64 // time of the most recent PRE (-1 = never)
+	lastAt  int64 // time of the most recent command on this bank
+}
+
+// checker validates the command stream emitted by Memory. It keeps no
+// pointers into the Memory; all state is derived from observed commands.
+type checker struct {
+	cfg   Config
+	banks []bankState
+
+	// Shared data-bus state.
+	haveData  bool
+	dataEnd   int64
+	lastWrite bool
+
+	// Most recent refresh stall window.
+	refStart, refEnd int64
+	haveRef          bool
+
+	lastEventAt int64
+	history     []Command
+}
+
+// newChecker builds a checker that validates against cfg's timing.
+func newChecker(cfg Config) *checker {
+	c := &checker{cfg: cfg, banks: make([]bankState, cfg.Banks)}
+	for i := range c.banks {
+		c.banks[i] = bankState{openRow: -1, actAt: -1, preAt: -1, lastAt: -1}
+	}
+	return c
+}
+
+// record appends cmd to the bounded history.
+func (c *checker) record(cmd Command) {
+	if len(c.history) == historyDepth {
+		copy(c.history, c.history[1:])
+		c.history = c.history[:historyDepth-1]
+	}
+	c.history = append(c.history, cmd)
+}
+
+// fail panics with a ProtocolError for the offending command.
+func (c *checker) fail(cmd Command, param, format string, args ...interface{}) {
+	c.record(cmd)
+	hist := make([]Command, len(c.history))
+	copy(hist, c.history)
+	// The panic value is a typed *ProtocolError whose Error() is
+	// "dram: "-prefixed and carries the command history; a bare string
+	// literal could not.
+	//lint:ignore panicmsg typed error with dram:-prefixed Error and command history
+	panic(&ProtocolError{Param: param, Detail: fmt.Sprintf(format, args...), History: hist})
+}
+
+// global enforces that the in-order controller never schedules a command
+// earlier than one it already issued.
+func (c *checker) global(cmd Command) {
+	if cmd.At < c.lastEventAt {
+		c.fail(cmd, "monotonicity", "command at %d issued after command at %d (time moved backward)", cmd.At, c.lastEventAt)
+	}
+	c.lastEventAt = cmd.At
+}
+
+// onPrecharge validates a PRE on bank b at time at.
+func (c *checker) onPrecharge(bank int, at int64) {
+	cmd := Command{Kind: CmdPrecharge, Bank: bank, Row: c.banks[bank].openRow, At: at, End: at}
+	c.global(cmd)
+	b := &c.banks[bank]
+	if b.openRow == -1 {
+		c.fail(cmd, "row-state", "PRE on bank %d with no open row", bank)
+	}
+	if b.actAt >= 0 && at < b.actAt+int64(c.cfg.TRAS) {
+		c.fail(cmd, "tRAS", "PRE bank %d at %d before ACT@%d + tRAS(%d) = %d",
+			bank, at, b.actAt, c.cfg.TRAS, b.actAt+int64(c.cfg.TRAS))
+	}
+	if c.haveRef && at < c.refEnd {
+		c.fail(cmd, "tRFC", "PRE bank %d at %d inside refresh stall [%d,%d)", bank, at, c.refStart, c.refEnd)
+	}
+	b.openRow = -1
+	b.preAt = at
+	b.lastAt = at
+	c.record(cmd)
+}
+
+// onActivate validates an ACT opening row on bank b at time at.
+func (c *checker) onActivate(bank int, row, at int64) {
+	cmd := Command{Kind: CmdActivate, Bank: bank, Row: row, At: at, End: at}
+	c.global(cmd)
+	b := &c.banks[bank]
+	if b.openRow != -1 {
+		c.fail(cmd, "row-state", "ACT bank %d row %d while row %d is open (missing PRE)", bank, row, b.openRow)
+	}
+	if b.preAt >= 0 && at < b.preAt+int64(c.cfg.TRP) {
+		c.fail(cmd, "tRP", "ACT bank %d at %d before PRE@%d + tRP(%d) = %d",
+			bank, at, b.preAt, c.cfg.TRP, b.preAt+int64(c.cfg.TRP))
+	}
+	if b.actAt >= 0 && at < b.actAt+int64(c.cfg.TRAS) {
+		c.fail(cmd, "tRAS", "ACT bank %d at %d before previous ACT@%d + tRAS(%d) = %d",
+			bank, at, b.actAt, c.cfg.TRAS, b.actAt+int64(c.cfg.TRAS))
+	}
+	if c.haveRef && at < c.refEnd {
+		c.fail(cmd, "tRFC", "ACT bank %d at %d inside refresh stall [%d,%d)", bank, at, c.refStart, c.refEnd)
+	}
+	if at < b.lastAt {
+		c.fail(cmd, "monotonicity", "ACT bank %d at %d after bank command at %d", bank, at, b.lastAt)
+	}
+	b.openRow = row
+	b.actAt = at
+	b.lastAt = at
+	c.record(cmd)
+}
+
+// onData validates one data burst on bank b covering [start, end) tCK.
+func (c *checker) onData(bank int, row int64, write bool, start, end int64) {
+	kind := CmdRead
+	if write {
+		kind = CmdWrite
+	}
+	cmd := Command{Kind: kind, Bank: bank, Row: row, At: start, End: end}
+	c.global(cmd)
+	b := &c.banks[bank]
+	if end <= start {
+		c.fail(cmd, "monotonicity", "data burst [%d,%d) has non-positive duration", start, end)
+	}
+	if b.openRow != row {
+		c.fail(cmd, "row-state", "%s bank %d row %d but open row is %d", kind, bank, row, b.openRow)
+	}
+	if minStart := b.actAt + int64(c.cfg.TRCD) + int64(c.cfg.TCL); start < minStart {
+		c.fail(cmd, "tRCD", "%s bank %d data at %d before ACT@%d + tRCD(%d) + tCL(%d) = %d",
+			kind, bank, start, b.actAt, c.cfg.TRCD, c.cfg.TCL, minStart)
+	}
+	if c.haveData {
+		if start < c.dataEnd {
+			c.fail(cmd, "data-bus", "data burst [%d,%d) overlaps previous burst ending at %d", start, end, c.dataEnd)
+		}
+		if write != c.lastWrite && start < c.dataEnd+int64(c.cfg.TurnAround) {
+			c.fail(cmd, "turnaround", "%s at %d switches bus direction before %d + turnaround(%d) = %d",
+				kind, start, c.dataEnd, c.cfg.TurnAround, c.dataEnd+int64(c.cfg.TurnAround))
+		}
+	}
+	if c.haveRef && start < c.refEnd && end > c.refStart {
+		c.fail(cmd, "tRFC", "data burst [%d,%d) overlaps refresh stall [%d,%d)", start, end, c.refStart, c.refEnd)
+	}
+	b.lastAt = start
+	c.haveData = true
+	c.dataEnd = end
+	c.lastWrite = write
+	c.record(cmd)
+}
+
+// onRefresh validates a refresh stall window [start, end).
+func (c *checker) onRefresh(start, end int64) {
+	cmd := Command{Kind: CmdRefresh, Bank: -1, Row: -1, At: start, End: end}
+	c.global(cmd)
+	if end-start != int64(c.cfg.TRFC) {
+		c.fail(cmd, "tRFC", "refresh stall [%d,%d) is %d tCK, want tRFC = %d", start, end, end-start, c.cfg.TRFC)
+	}
+	if c.haveData && start < c.dataEnd {
+		c.fail(cmd, "tRFC", "refresh at %d issued while data burst in flight until %d", start, c.dataEnd)
+	}
+	if c.haveRef && start < c.refEnd {
+		c.fail(cmd, "tRFC", "refresh stall [%d,%d) overlaps previous refresh [%d,%d)", start, end, c.refStart, c.refEnd)
+	}
+	// REF closes every row; subsequent ACTs are checked against refEnd.
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		if c.banks[i].lastAt < end {
+			c.banks[i].lastAt = end
+		}
+	}
+	c.haveRef = true
+	c.refStart = start
+	c.refEnd = end
+	c.record(cmd)
+}

@@ -1,0 +1,200 @@
+package dram
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// checkedConfig returns the default operating point with the protocol
+// checker armed.
+func checkedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Check = true
+	return cfg
+}
+
+// TestCheckedModelSelfConsistent drives heavy mixed traffic through a
+// checked memory: the model must never schedule a command sequence its own
+// protocol checker rejects.
+func TestCheckedModelSelfConsistent(t *testing.T) {
+	m := New(checkedConfig())
+	// Sequential stream (row hits, refresh crossings).
+	for addr := uint64(0); addr < 1<<19; addr += 64 {
+		m.Access(addr, 64, false, StreamRd1)
+	}
+	// Scattered reads/writes (precharge/activate churn, turnaround).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1 << 26))
+		m.Access(addr, 1+rng.Intn(96), rng.Intn(3) == 0, StreamWr1)
+	}
+	// Idle gaps past refresh deadlines.
+	m.AdvanceTo(m.Now() + 3*int64(m.Config().TREFI))
+	for i := 0; i < 100; i++ {
+		m.Access(uint64(i)*12, 12, i%2 == 0, StreamRd3)
+	}
+	if err := m.Stats().Validate(); err != nil {
+		t.Fatalf("stats invalid after checked run: %v", err)
+	}
+}
+
+// TestCheckerNamesViolatedParameter replays the schedule of a deliberately
+// broken timing configuration against a checker holding the reference
+// timing: each loosened parameter must be caught with a diagnostic naming
+// it.
+func TestCheckerNamesViolatedParameter(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		param  string
+	}{
+		{"tRCD", func(c *Config) { c.TRCD = 1 }, "tRCD"},
+		{"tRP", func(c *Config) { c.TRP = 0 }, "tRP"},
+		{"tRAS", func(c *Config) { c.TRAS = 0 }, "tRAS"},
+		{"turnaround", func(c *Config) { c.TurnAround = 0 }, "turnaround"},
+		{"tRFC", func(c *Config) { c.TRFC = 1 }, "tRFC"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			broken := DefaultConfig()
+			tc.mutate(&broken)
+			m := New(broken)
+			// Validate the broken model's schedule against the reference
+			// timing: the checker must reject it.
+			m.check = newChecker(DefaultConfig())
+			var perr *ProtocolError
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						var ok bool
+						if perr, ok = r.(*ProtocolError); !ok {
+							t.Fatalf("panic value %T, want *ProtocolError", r)
+						}
+					}
+				}()
+				// Sequential alternating read/write: row hits with bus
+				// direction switches (turnaround), row misses (tRCD),
+				// refresh crossings (tRFC).
+				for addr := uint64(0); addr < 1<<18; addr += 64 {
+					m.Access(addr, 64, addr%128 == 0, StreamOther)
+				}
+				// Scattered traffic: same-bank reuse under tRAS/tRP.
+				rng := rand.New(rand.NewSource(11))
+				for i := 0; i < 20000; i++ {
+					m.Access(uint64(rng.Intn(1<<26)), 1+rng.Intn(64), i%2 == 0, StreamOther)
+				}
+			}()
+			if perr == nil {
+				t.Fatalf("broken %s config not caught by protocol checker", tc.name)
+			}
+			if perr.Param != tc.param {
+				t.Errorf("violation names %q, want %q (detail: %s)", perr.Param, tc.param, perr.Detail)
+			}
+			if len(perr.History) == 0 {
+				t.Error("violation carries no command history")
+			}
+			msg := perr.Error()
+			if !strings.Contains(msg, tc.param) || !strings.Contains(msg, "recent commands") {
+				t.Errorf("violation report missing parameter or history:\n%s", msg)
+			}
+		})
+	}
+}
+
+// TestCheckerCatchesBackwardTime feeds the checker a hand-built command
+// sequence whose clock runs backward.
+func TestCheckerCatchesBackwardTime(t *testing.T) {
+	c := newChecker(DefaultConfig())
+	c.onActivate(0, 0, 100)
+	c.onData(0, 0, false, 100+int64(c.cfg.TRCD+c.cfg.TCL), 100+int64(c.cfg.TRCD+c.cfg.TCL)+4)
+	defer func() {
+		perr, ok := recover().(*ProtocolError)
+		if !ok {
+			t.Fatal("backward command time not caught")
+		}
+		if perr.Param != "monotonicity" {
+			t.Errorf("param = %q, want monotonicity", perr.Param)
+		}
+	}()
+	c.onActivate(1, 5, 50) // earlier than the last issued command
+}
+
+// TestPropertyRefreshNeverOverlapsBurst is the refresh-modelling property
+// test: with TREFI > 0, no data burst may overlap a refresh stall window.
+// The protocol checker is the oracle — it panics on overlap, failing the
+// property.
+func TestPropertyRefreshNeverOverlapsBurst(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint32
+		Bytes uint16
+		Write bool
+		Gap   uint16
+	}) (ok bool) {
+		cfg := checkedConfig()
+		cfg.TREFI = 400 // aggressive refresh cadence to force crossings
+		cfg.TRFC = 60
+		m := New(cfg)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("protocol checker rejected schedule: %v", r)
+				ok = false
+			}
+		}()
+		for _, op := range ops {
+			// Large accesses span many bursts and therefore straddle
+			// refresh deadlines mid-access.
+			m.Access(uint64(op.Addr), int(op.Bytes)%4096+1, op.Write, StreamOther)
+			m.AdvanceTo(m.Now() + int64(op.Gap%512))
+		}
+		return m.Stats().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsValidateRejectsCorruptCounters exercises Stats.Validate's
+// error paths so a future accounting bug cannot slip through silently.
+func TestStatsValidateRejectsCorruptCounters(t *testing.T) {
+	m := New(checkedConfig())
+	m.Access(0, 64, false, StreamRd1)
+	good := m.Stats()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid stats rejected: %v", err)
+	}
+	corrupt := []func(*Stats){
+		func(s *Stats) { s.Elapsed = -1 },
+		func(s *Stats) { s.DataBusBusy = s.Elapsed + 1 },
+		func(s *Stats) { s.Streams[StreamRd1].BurstBytes = 1 },
+		func(s *Stats) { s.Streams[StreamRd1].RowHits = -1 },
+		func(s *Stats) { s.Streams[StreamRd1].Accesses = 0 },
+		func(s *Stats) { s.Refreshes = -1 },
+	}
+	for i, mutate := range corrupt {
+		s := good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("corruption %d not detected by Validate", i)
+		}
+	}
+}
+
+// TestRatioHelpersZeroDenominators pins the guarded behaviour of every
+// ratio helper on an empty snapshot.
+func TestRatioHelpersZeroDenominators(t *testing.T) {
+	var s Stats
+	if got := s.Utilization(); got != 0 {
+		t.Errorf("Utilization() on empty stats = %v, want 0", got)
+	}
+	if got := s.RowHitRate(); got != 0 {
+		t.Errorf("RowHitRate() on empty stats = %v, want 0", got)
+	}
+	if got := s.BusEfficiency(); got != 0 {
+		t.Errorf("BusEfficiency() on empty stats = %v, want 0", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("empty stats must validate: %v", err)
+	}
+}

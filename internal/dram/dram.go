@@ -44,6 +44,12 @@ type Config struct {
 	// tCK: every TREFI the device is unavailable for TRFC and all rows
 	// close. Zero TREFI disables refresh modelling.
 	TREFI, TRFC int
+	// Check enables the DDR4 protocol checker ("simulator sanitizer"):
+	// every scheduled command is validated against the protocol rules in
+	// check.go and any violation panics with a *ProtocolError naming the
+	// violated parameter and the recent command sequence. Meant for tests
+	// and debugging; see docs/invariants.md.
+	Check bool
 }
 
 // DefaultConfig returns the DDR4-2400 operating point used throughout the
@@ -70,15 +76,19 @@ func DefaultConfig() Config {
 func (c Config) validate() error {
 	switch {
 	case c.BusBytes <= 0:
-		return fmt.Errorf("dram: BusBytes must be positive")
+		return fmt.Errorf("BusBytes must be positive")
 	case c.BurstLength <= 0:
-		return fmt.Errorf("dram: BurstLength must be positive")
+		return fmt.Errorf("BurstLength must be positive")
 	case c.RowBytes <= 0:
-		return fmt.Errorf("dram: RowBytes must be positive")
+		return fmt.Errorf("RowBytes must be positive")
 	case c.Banks <= 0:
-		return fmt.Errorf("dram: Banks must be positive")
+		return fmt.Errorf("Banks must be positive")
 	case c.CoreRatio <= 0:
-		return fmt.Errorf("dram: CoreRatio must be positive")
+		return fmt.Errorf("CoreRatio must be positive")
+	case c.TRCD < 0 || c.TRP < 0 || c.TCL < 0 || c.TRAS < 0 || c.TurnAround < 0:
+		return fmt.Errorf("timing parameters must be non-negative")
+	case c.TREFI < 0 || c.TRFC < 0 || c.BurstCycles < 0:
+		return fmt.Errorf("TREFI, TRFC and BurstCycles must be non-negative")
 	}
 	return nil
 }
@@ -180,8 +190,10 @@ func (s Stats) TotalBurstBytes() int64 {
 
 // Utilization is the fraction of elapsed time the data bus was busy —
 // the metric Fig. 13 plots.
+//
+//quicknnlint:reporting utilization is a ratio for reports, not cycle state
 func (s Stats) Utilization() float64 {
-	if s.Elapsed == 0 {
+	if s.Elapsed <= 0 {
 		return 0
 	}
 	u := float64(s.DataBusBusy) / float64(s.Elapsed)
@@ -189,6 +201,77 @@ func (s Stats) Utilization() float64 {
 		u = 1
 	}
 	return u
+}
+
+// RowHitRate is the fraction of bursts that hit an open row, over all
+// streams (0 when nothing was transferred).
+//
+//quicknnlint:reporting hit rate is a ratio for reports, not cycle state
+func (s Stats) RowHitRate() float64 {
+	hits, misses := 0, 0
+	for _, st := range s.Streams {
+		hits += st.RowHits
+		misses += st.RowMisses
+	}
+	if hits+misses <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// BusEfficiency is the fraction of transferred bytes the requesters
+// actually asked for (0 when nothing was transferred) — the waste factor
+// behind the paper's gather caches.
+//
+//quicknnlint:reporting efficiency is a ratio for reports, not cycle state
+func (s Stats) BusEfficiency() float64 {
+	burst := s.TotalBurstBytes()
+	if burst <= 0 {
+		return 0
+	}
+	return float64(s.TotalUsefulBytes()) / float64(burst)
+}
+
+// Validate cross-checks the counters for internal consistency. It returns
+// a descriptive error on the first inconsistency, nil otherwise. Tests run
+// it on every snapshot they inspect.
+func (s Stats) Validate() error {
+	if s.Elapsed < 0 {
+		return fmt.Errorf("dram: Stats.Elapsed negative: %d", s.Elapsed)
+	}
+	if s.DataBusBusy < 0 {
+		return fmt.Errorf("dram: Stats.DataBusBusy negative: %d", s.DataBusBusy)
+	}
+	if s.DataBusBusy > s.Elapsed {
+		return fmt.Errorf("dram: DataBusBusy (%d) exceeds Elapsed (%d)", s.DataBusBusy, s.Elapsed)
+	}
+	if s.Refreshes < 0 {
+		return fmt.Errorf("dram: Stats.Refreshes negative: %d", s.Refreshes)
+	}
+	for id, st := range s.Streams {
+		sid := StreamID(id)
+		switch {
+		case st.Accesses < 0 || st.RowHits < 0 || st.RowMisses < 0:
+			return fmt.Errorf("dram: stream %v has negative counters: %+v", sid, st)
+		case st.UsefulBytes < 0 || st.BurstBytes < 0:
+			return fmt.Errorf("dram: stream %v has negative byte counters: %+v", sid, st)
+		case st.BurstBytes < st.UsefulBytes:
+			return fmt.Errorf("dram: stream %v moved fewer bytes (%d) than requested (%d)",
+				sid, st.BurstBytes, st.UsefulBytes)
+		case (st.BurstBytes > 0) != (st.RowHits+st.RowMisses > 0):
+			return fmt.Errorf("dram: stream %v burst bytes (%d) inconsistent with hits+misses (%d)",
+				sid, st.BurstBytes, st.RowHits+st.RowMisses)
+		case st.Accesses == 0 && st.UsefulBytes != 0:
+			return fmt.Errorf("dram: stream %v has bytes without accesses: %+v", sid, st)
+		}
+	}
+	if u := s.Utilization(); u < 0 || u > 1 {
+		return fmt.Errorf("dram: Utilization out of range: %v", u)
+	}
+	if e := s.BusEfficiency(); e < 0 || e > 1 {
+		return fmt.Errorf("dram: BusEfficiency out of range: %v", e)
+	}
+	return nil
 }
 
 // Memory is a stateful DDR4 timing model. It is not safe for concurrent
@@ -206,19 +289,23 @@ type Memory struct {
 	nextRefresh int64
 	stats       Stats
 	tracer      func(TraceRecord)
+	check       *checker
 }
 
 // New returns a Memory with the given configuration. It panics on an
 // invalid configuration (programmer error).
 func New(cfg Config) *Memory {
 	if err := cfg.validate(); err != nil {
-		panic(err.Error())
+		panic("dram: invalid config: " + err.Error())
 	}
 	m := &Memory{
 		cfg:         cfg,
 		openRow:     make([]int64, cfg.Banks),
 		bankReady:   make([]int64, cfg.Banks),
 		nextRefresh: int64(cfg.TREFI),
+	}
+	if cfg.Check {
+		m.check = newChecker(cfg)
 	}
 	for i := range m.openRow {
 		m.openRow[i] = -1
@@ -264,7 +351,6 @@ func (m *Memory) Access(addr uint64, n int, write bool, stream StreamID) int64 {
 	if m.tracer != nil {
 		m.tracer(TraceRecord{At: m.now, Addr: addr, Bytes: n, Write: write, Stream: stream})
 	}
-	m.refresh()
 	st := &m.stats.Streams[stream]
 	st.Accesses++
 	st.UsefulBytes += int64(n)
@@ -292,6 +378,11 @@ func (m *Memory) Access(addr uint64, n int, write bool, stream StreamID) int64 {
 // configuration the prototype uses); this is pessimistic for random
 // traffic and neutral for sequential traffic.
 func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
+	// Refresh deadlines are honoured per burst, not per access: a single
+	// large access spans many bursts and can cross several tREFI windows,
+	// and the protocol checker's no-data-during-refresh invariant depends
+	// on stalling inside the stream, not just at access boundaries.
+	m.refresh()
 	cfg := m.cfg
 	row := int64(addr / uint64(cfg.RowBytes))
 	bank := int(row % int64(cfg.Banks))
@@ -305,10 +396,17 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
 		if r := m.bankReady[bank]; r > start {
 			start = r
 		}
+		actStart := start
 		if m.openRow[bank] != -1 {
-			start += int64(cfg.TRP)
+			if m.check != nil {
+				m.check.onPrecharge(bank, start)
+			}
+			actStart = start + int64(cfg.TRP)
 		}
-		rowOpen := start + int64(cfg.TRCD)
+		rowOpen := actStart + int64(cfg.TRCD)
+		if m.check != nil {
+			m.check.onActivate(bank, row, actStart)
+		}
 		m.openRow[bank] = row
 		m.bankReady[bank] = rowOpen + int64(cfg.TRAS)
 		dataStart = rowOpen + int64(cfg.TCL)
@@ -328,6 +426,9 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
 		dataStart += int64(cfg.TurnAround)
 		m.lastWrite = write
 	}
+	if m.check != nil {
+		m.check.onData(bank, row, write, dataStart, dataStart+dur)
+	}
 	m.busFree = dataStart + dur
 	m.stats.DataBusBusy += dur
 	st.BurstBytes += int64(cfg.BurstBytes())
@@ -335,13 +436,23 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
 }
 
 // refresh stalls the device for tRFC and closes every row whenever the
-// current time has passed a refresh deadline.
+// current time has passed a refresh deadline. A refresh that falls due
+// while a burst is still draining the bus is postponed until the bus is
+// free (DDR4 permits postponing REF within the tREFI window), so a data
+// burst never overlaps a refresh stall.
 func (m *Memory) refresh() {
 	if m.cfg.TREFI <= 0 {
 		return
 	}
 	for m.now >= m.nextRefresh {
-		stallEnd := m.nextRefresh + int64(m.cfg.TRFC)
+		stallStart := m.nextRefresh
+		if m.busFree > stallStart {
+			stallStart = m.busFree
+		}
+		stallEnd := stallStart + int64(m.cfg.TRFC)
+		if m.check != nil {
+			m.check.onRefresh(stallStart, stallEnd)
+		}
 		if m.now < stallEnd {
 			m.now = stallEnd
 		}

@@ -23,18 +23,18 @@ func TestConfigValidation(t *testing.T) {
 			New(cfg)
 		}()
 	}
-	New(DefaultConfig()) // must not panic
+	New(checkedConfig()) // must not panic
 }
 
 func TestSequentialBeatsRandom(t *testing.T) {
-	seq := New(DefaultConfig())
+	seq := New(checkedConfig())
 	const total = 1 << 20 // 1 MiB
 	for addr := uint64(0); addr < total; addr += 64 {
 		seq.Access(addr, 64, false, StreamRd1)
 	}
 	seqTime := seq.Now()
 
-	rnd := New(DefaultConfig())
+	rnd := New(checkedConfig())
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < total/64; i++ {
 		addr := uint64(rng.Intn(1<<28)) &^ 63
@@ -56,7 +56,7 @@ func TestSequentialBeatsRandom(t *testing.T) {
 }
 
 func TestRowHitMissAccounting(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	m.Access(0, 64, false, StreamRd1)     // opens row 0: miss
 	m.Access(64, 64, false, StreamRd1)    // same row: hit
 	m.Access(128, 64, false, StreamRd1)   // same row: hit
@@ -71,7 +71,7 @@ func TestRowHitMissAccounting(t *testing.T) {
 }
 
 func TestSmallAccessWastesBurst(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	m.Access(0, 12, false, StreamRd3) // one 12-byte point
 	st := m.Stats().Streams[StreamRd3]
 	if st.UsefulBytes != 12 {
@@ -83,7 +83,7 @@ func TestSmallAccessWastesBurst(t *testing.T) {
 }
 
 func TestUnalignedAccessSpansBursts(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	m.Access(60, 12, false, StreamRd3) // crosses the 64-byte boundary
 	st := m.Stats().Streams[StreamRd3]
 	if st.BurstBytes != 128 {
@@ -92,7 +92,7 @@ func TestUnalignedAccessSpansBursts(t *testing.T) {
 }
 
 func TestZeroLengthAccessIsNoOp(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	before := m.Now()
 	if got := m.Access(0, 0, false, StreamRd1); got != before {
 		t.Errorf("zero-length access advanced time to %d", got)
@@ -104,11 +104,11 @@ func TestZeroLengthAccessIsNoOp(t *testing.T) {
 
 func TestTurnaroundPenalty(t *testing.T) {
 	// Alternating read/write to the same row costs more than all-reads.
-	alt := New(DefaultConfig())
+	alt := New(checkedConfig())
 	for i := 0; i < 100; i++ {
 		alt.Access(uint64(i*64), 64, i%2 == 0, StreamWr1)
 	}
-	same := New(DefaultConfig())
+	same := New(checkedConfig())
 	for i := 0; i < 100; i++ {
 		same.Access(uint64(i*64), 64, false, StreamWr1)
 	}
@@ -118,7 +118,7 @@ func TestTurnaroundPenalty(t *testing.T) {
 }
 
 func TestAdvanceTo(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	m.AdvanceTo(1000)
 	if m.Now() != 1000 {
 		t.Errorf("Now = %d", m.Now())
@@ -134,7 +134,7 @@ func TestAdvanceTo(t *testing.T) {
 }
 
 func TestNowCoreRoundsUp(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	m.AdvanceTo(13)
 	if got := m.NowCore(); got != 2 { // ceil(13/12)
 		t.Errorf("NowCore = %d, want 2", got)
@@ -142,7 +142,7 @@ func TestNowCoreRoundsUp(t *testing.T) {
 }
 
 func TestStreamSeparation(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	m.Access(0, 64, false, StreamRd1)
 	m.Access(64, 64, true, StreamWr2)
 	s := m.Stats()
@@ -155,7 +155,7 @@ func TestStreamSeparation(t *testing.T) {
 }
 
 func TestResetClearsState(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	m.Access(0, 4096, false, StreamRd1)
 	m.Reset()
 	if m.Now() != 0 || m.Stats().TotalAccesses() != 0 {
@@ -178,7 +178,7 @@ func TestStreamNames(t *testing.T) {
 func TestBandwidthCeiling(t *testing.T) {
 	// A fully sequential stream cannot exceed the theoretical peak:
 	// BusBytes per 0.5 tCK (DDR). Check bytes/cycle ≤ 2*BusBytes.
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	for addr := uint64(0); addr < 1<<22; addr += 64 {
 		m.Access(addr, 64, false, StreamRd1)
 	}
@@ -190,7 +190,7 @@ func TestBandwidthCeiling(t *testing.T) {
 }
 
 func TestUtilizationBounded(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 1000; i++ {
 		m.Access(uint64(rng.Intn(1<<26)), 12, rng.Intn(2) == 0, StreamOther)
@@ -201,7 +201,7 @@ func TestUtilizationBounded(t *testing.T) {
 }
 
 func TestRefreshStallsAndClosesRows(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := checkedConfig()
 	cfg.TREFI = 1000
 	cfg.TRFC = 100
 	m := New(cfg)
@@ -232,7 +232,7 @@ func TestRefreshStallsAndClosesRows(t *testing.T) {
 }
 
 func TestRefreshClosesOpenRow(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := checkedConfig()
 	cfg.TREFI = 50
 	cfg.TRFC = 10
 	m := New(cfg)

@@ -14,7 +14,7 @@ func TestPropertyTimeMonotonicAndBytesCovered(t *testing.T) {
 		Bytes uint8
 		Write bool
 	}) bool {
-		m := New(DefaultConfig())
+		m := New(checkedConfig())
 		var last int64
 		for _, op := range ops {
 			n := int(op.Bytes) % 100
@@ -42,7 +42,7 @@ func TestPropertyHitsPlusMissesEqualsBursts(t *testing.T) {
 		Addr  uint16
 		Bytes uint8
 	}) bool {
-		m := New(DefaultConfig())
+		m := New(checkedConfig())
 		for _, op := range ops {
 			m.Access(uint64(op.Addr), int(op.Bytes)%64+1, false, StreamRd1)
 		}

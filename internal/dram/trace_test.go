@@ -9,7 +9,7 @@ import (
 
 func captureTrace(t *testing.T, n int, seed int64) []TraceRecord {
 	t.Helper()
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	var records []TraceRecord
 	m.SetTracer(func(r TraceRecord) { records = append(records, r) })
 	rng := rand.New(rand.NewSource(seed))
@@ -76,7 +76,7 @@ func TestReadTraceErrors(t *testing.T) {
 func TestReplayReproducesStats(t *testing.T) {
 	// Capturing a run and replaying it through the same config must give
 	// identical traffic accounting.
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	var records []TraceRecord
 	m.SetTracer(func(r TraceRecord) { records = append(records, r) })
 	rng := rand.New(rand.NewSource(3))
@@ -105,7 +105,7 @@ func TestReplayFasterMemoryFinishesSooner(t *testing.T) {
 }
 
 func TestResetKeepsTracer(t *testing.T) {
-	m := New(DefaultConfig())
+	m := New(checkedConfig())
 	count := 0
 	m.SetTracer(func(TraceRecord) { count++ })
 	m.Access(0, 64, false, StreamRd1)

@@ -1,0 +1,73 @@
+package linear
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+func racePoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: rng.Float32()*100 - 50,
+			Y: rng.Float32()*100 - 50,
+			Z: rng.Float32() * 4,
+		}
+	}
+	return pts
+}
+
+// TestSearchAllParallelRace is a regression test for the goroutine fan-out
+// in SearchAllParallel: concurrent calls share one reference slice and
+// search overlapping query windows. Under `go test -race` this proves the
+// per-worker TopK state is private and result slots are disjoint; the
+// results are also checked against the serial SearchAll.
+func TestSearchAllParallelRace(t *testing.T) {
+	reference := racePoints(1200, 21)
+	queries := racePoints(900, 22)
+	const k = 4
+	want := SearchAll(reference, queries, k)
+
+	windows := [][2]int{{0, 900}, {0, 600}, {300, 900}, {200, 700}}
+	var wg sync.WaitGroup
+	errs := make(chan string, len(windows)*4)
+	for rep := 0; rep < 4; rep++ {
+		for wi, w := range windows {
+			wg.Add(1)
+			go func(rep, wi, lo, hi, workers int) {
+				defer wg.Done()
+				got := SearchAllParallel(reference, queries[lo:hi], k, workers)
+				for i := range got {
+					if !reflect.DeepEqual(got[i], want[lo+i]) {
+						errs <- "parallel result diverges from serial result"
+						return
+					}
+				}
+			}(rep, wi, w[0], w[1], 1+(rep+wi)%4)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestSearchAllParallelWorkerEdgeCases pins worker-count normalisation.
+func TestSearchAllParallelWorkerEdgeCases(t *testing.T) {
+	reference := racePoints(200, 5)
+	queries := racePoints(90, 6)
+	const k = 2
+	want := SearchAll(reference, queries, k)
+	for _, workers := range []int{-3, 0, 1, 2, 13, len(queries), len(queries) * 2} {
+		got := SearchAllParallel(reference, queries, k, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel result diverges from serial", workers)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package cycleint implements the cycle-int64 analyzer: inside the timing
+// model packages (internal/dram and internal/arch/...), cycle and tCK
+// arithmetic must stay in integer types. Floating point creeping into
+// cycle accounting makes results platform- and order-dependent (FMA
+// contraction, x87 vs SSE rounding) and can silently lose precision above
+// 2^53 cycles — either would invalidate the paper's cycle-exact claims.
+//
+// Floats are still legitimate in reporting helpers (utilizations, frame
+// rates, ratios). Those must be explicitly marked with a declaration-level
+// directive carrying a justification:
+//
+//	//quicknnlint:reporting <why this is report output, not cycle state>
+//
+// placed in the doc comment of the enclosing function, field, const block
+// or type.
+package cycleint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// Analyzer is the cycle-int64 rule.
+var Analyzer = &lint.Analyzer{
+	Name: "cycleint",
+	Doc:  "cycle/tCK arithmetic in timing-model packages must stay integer; mark reporting helpers with //quicknnlint:reporting",
+	Run:  run,
+}
+
+// ReportingDirective marks a declaration as reporting-only.
+const ReportingDirective = "quicknnlint:reporting"
+
+// inScope reports whether the package holds cycle-domain timing models.
+func inScope(pass *lint.Pass) bool {
+	return pass.Pkg.Path == pass.Module+"/internal/dram" ||
+		pass.Pkg.Path == pass.Module+"/internal/arch" ||
+		strings.HasPrefix(pass.Pkg.Path, pass.Module+"/internal/arch/")
+}
+
+func run(pass *lint.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		lint.WalkStack(f.AST, func(n ast.Node, stack []ast.Node) {
+			var what string
+			switch v := n.(type) {
+			case *ast.Ident:
+				if v.Name != "float64" && v.Name != "float32" {
+					return
+				}
+				if v.Obj != nil { // locally declared identifier, not the builtin type
+					return
+				}
+				what = v.Name
+			case *ast.BasicLit:
+				if v.Kind != token.FLOAT {
+					return
+				}
+				what = "float literal " + v.Value
+			default:
+				return
+			}
+			if markedReporting(stack) {
+				return
+			}
+			pass.Reportf(n.Pos(),
+				"%s in cycle-domain package %s: cycle/tCK arithmetic must stay integer; if this is report output, mark the declaration with //%s <reason>",
+				what, pass.Pkg.Path, ReportingDirective)
+		})
+	}
+	return nil
+}
+
+// markedReporting reports whether any enclosing declaration carries the
+// reporting directive.
+func markedReporting(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch d := stack[i].(type) {
+		case *ast.FuncDecl:
+			if lint.HasDirective(ReportingDirective, d.Doc) {
+				return true
+			}
+		case *ast.GenDecl:
+			if lint.HasDirective(ReportingDirective, d.Doc) {
+				return true
+			}
+		case *ast.Field:
+			if lint.HasDirective(ReportingDirective, d.Doc, d.Comment) {
+				return true
+			}
+		case *ast.ValueSpec:
+			if lint.HasDirective(ReportingDirective, d.Doc, d.Comment) {
+				return true
+			}
+		case *ast.TypeSpec:
+			if lint.HasDirective(ReportingDirective, d.Doc, d.Comment) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package cycleint_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/cycleint"
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, cycleint.Analyzer,
+		"testdata/src/dram", "example.com/m/internal/dram", "example.com/m")
+}
+
+// TestOutOfScope loads a float-heavy package under an import path outside
+// the timing-model subtrees; nothing may be flagged.
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, cycleint.Analyzer,
+		"testdata/src/outofscope", "example.com/m/internal/geom", "example.com/m")
+}
+
+// TestArchSubtree verifies the rule also covers internal/arch descendants.
+func TestArchSubtree(t *testing.T) {
+	linttest.Run(t, cycleint.Analyzer,
+		"testdata/src/dram", "example.com/m/internal/arch/traversal", "example.com/m")
+}

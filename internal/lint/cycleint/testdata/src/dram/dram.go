@@ -1,0 +1,42 @@
+// Package dram is a cycleint fixture standing in for a timing-model
+// package; the test loads it under the in-scope import path
+// <module>/internal/dram.
+package dram
+
+// Cycles accumulates in integers, as required in the cycle domain.
+func Cycles(n, per int64) int64 { return n * per }
+
+// badRatio leaks floating point into the cycle domain — the
+// would-have-failed case.
+func badRatio(busy, total int64) float64 { // want "cycleint: float64 in cycle-domain package"
+	b := float64(busy) // want "cycleint: float64 in cycle-domain package"
+	return b / 2.0     // want "cycleint: float literal 2\.0 in cycle-domain package"
+}
+
+// badConst binds a float literal without a reporting marker.
+const badScale = 1.5 // want "cycleint: float literal 1\.5 in cycle-domain package"
+
+// Utilization is a reporting helper: the ratio leaves the cycle domain at
+// the report boundary, so the directive legitimises the floats.
+//
+//quicknnlint:reporting ratio is operator output, not cycle state
+func Utilization(busy, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(total)
+}
+
+// Stats mixes cycle counters with marked report-only fields.
+type Stats struct {
+	// Cycles is simulated time and must stay integer.
+	Cycles int64
+	// FPS is derived for reports only.
+	//quicknnlint:reporting frame rate is presentation, not simulation state
+	FPS float64
+}
+
+// Nominal clock constants used only when converting cycles for display.
+//
+//quicknnlint:reporting frequency constant feeds report conversion only
+const clockGHz = 1.5

@@ -1,0 +1,12 @@
+// Package outofscope is a cycleint fixture loaded under an import path
+// outside the timing-model subtrees; its floats must not be flagged.
+package outofscope
+
+// Distance is geometry, not cycle accounting: floats are the right tool.
+func Distance(ax, ay, bx, by float64) float64 {
+	dx, dy := ax-bx, ay-by
+	return dx*dx + dy*dy
+}
+
+// half is a plain float constant, fine outside the cycle domain.
+const half = 0.5

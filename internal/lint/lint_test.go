@@ -1,0 +1,169 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// flagReturns reports every return statement; the tests use it to probe
+// the framework's suppression machinery independent of any real rule.
+var flagReturns = &lint.Analyzer{
+	Name: "flagreturn",
+	Doc:  "test analyzer: reports every return statement",
+	Run: func(p *lint.Pass) error {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				if _, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(n.Pos(), "return found")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// parse wraps src into a single-file package.
+func parse(t *testing.T, fset *token.FileSet, src string) *lint.Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &lint.Package{
+		Path:  "example.com/m/x",
+		Name:  f.Name.Name,
+		Files: []lint.File{{AST: f, Name: "x.go"}},
+	}
+}
+
+func TestSuppressionSameAndPreviousLine(t *testing.T) {
+	const src = `package x
+
+func a() int {
+	return 1 // diagnostic expected here
+}
+
+func b() int {
+	return 2 //lint:ignore flagreturn suppressed on the same line
+}
+
+func c() int {
+	//lint:ignore flagreturn suppressed from the line above
+	return 3
+}
+
+func d() int {
+	//lint:ignore otherrule wrong analyzer name does not suppress
+	return 4
+}
+
+func e() int {
+	//lint:ignore * wildcard suppresses every analyzer
+	return 5
+}
+`
+	fset := token.NewFileSet()
+	diags, err := lint.Run(fset, []*lint.Package{parse(t, fset, src)}, "example.com/m", []*lint.Analyzer{flagReturns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (a and d):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "flagreturn" {
+			t.Errorf("diagnostic from %q, want flagreturn", d.Analyzer)
+		}
+	}
+	if diags[0].Pos.Line != 4 || diags[1].Pos.Line != 18 {
+		t.Errorf("diagnostic lines %d, %d; want 4 and 18", diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+func TestMalformedIgnoreIsItselfReported(t *testing.T) {
+	const src = `package x
+
+func a() int {
+	//lint:ignore flagreturn
+	return 1
+}
+`
+	fset := token.NewFileSet()
+	diags, err := lint.Run(fset, []*lint.Package{parse(t, fset, src)}, "example.com/m", []*lint.Analyzer{flagReturns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawReturn bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			sawMalformed = strings.Contains(d.Message, "malformed")
+		case "flagreturn":
+			sawReturn = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("reason-less directive not reported as malformed: %v", diags)
+	}
+	if !sawReturn {
+		t.Errorf("reason-less directive suppressed the diagnostic anyway: %v", diags)
+	}
+}
+
+func TestImportName(t *testing.T) {
+	const src = `package x
+
+import (
+	"fmt"
+	r "math/rand"
+	_ "os"
+	. "strings"
+	"math/rand/v2"
+)
+
+var _ = fmt.Sprint
+var _ = r.Int
+var _ = Contains
+var _ = rand.Int64
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		path string
+		name string
+		ok   bool
+	}{
+		{"fmt", "fmt", true},
+		{"math/rand", "r", true},
+		{"os", "", false},      // blank import: nothing referencable
+		{"strings", "", false}, // dot import: no qualifier to match
+		{"math/rand/v2", "rand", true},
+		{"net/http", "", false}, // not imported
+	}
+	for _, c := range cases {
+		name, ok := lint.ImportName(f, c.path)
+		if name != c.name || ok != c.ok {
+			t.Errorf("ImportName(%q) = %q, %v; want %q, %v", c.path, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 7, Column: 3},
+		Analyzer: "walltime",
+		Message:  "no clocks",
+	}
+	if got, want := d.String(), "a/b.go:7:3: walltime: no clocks"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,106 @@
+// Package linttest runs a lint.Analyzer over a fixture directory and
+// checks its diagnostics against expectations embedded in the fixture
+// sources, in the style of golang.org/x/tools/go/analysis/analysistest
+// (rebuilt on the standard library because the environment is hermetic).
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp"
+//
+// on the line where a diagnostic is expected. Every diagnostic must match
+// a want on its line, and every want must be matched by a diagnostic;
+// anything else fails the test. Fixtures live under testdata/ so the main
+// build never compiles them.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// wantRe extracts the quoted pattern of a `// want "..."` comment. The
+// pattern is a Go regexp; backslash escapes inside the quotes are passed
+// through to the regexp engine (the fixture is not Go-unquoted, so `\\(`
+// is NOT needed — write `\(`).
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies analyzer a to the single fixture package in dir, which is
+// loaded under the given import path and module, and diffs the produced
+// diagnostics against the fixture's `// want` comments.
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath, module string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := lint.LoadDir(fset, dir, pkgPath)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", dir, err)
+	}
+	wants := collectWants(t, fset, pkg)
+	diags, err := lint.Run(fset, []*lint.Package{pkg}, module, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: run %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic: %s:%d: no report matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants gathers every `// want "re"` expectation in the package.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, `"`) {
+						t.Fatalf("linttest: malformed want comment %q in %s", c.Text, f.Name)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("linttest: bad want pattern %q in %s: %v", m[1], f.Name, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches, and reports whether one was found.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(fmt.Sprintf("%s: %s", d.Analyzer, d.Message)) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

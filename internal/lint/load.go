@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModulePath reads the module path from the go.mod at root.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses every Go package under root (the module root),
+// skipping testdata, hidden and underscore-prefixed directories. It
+// returns the packages sorted by import path plus the shared FileSet.
+func LoadModule(root string) ([]*Package, *token.FileSet, string, error) {
+	module, err := ModulePath(root)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		pkg, err := loadDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if pkg == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkg.Path = module
+		if rel != "." {
+			pkg.Path = module + "/" + filepath.ToSlash(rel)
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, fset, module, nil
+}
+
+// LoadDir parses the single package in dir (no import-path inference); the
+// fixture runner uses it with an explicit path.
+func LoadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
+	pkg, err := loadDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg.Path = importPath
+	return pkg, nil
+}
+
+// loadDir parses the .go files directly inside dir; nil if there are none.
+func loadDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Dir: dir}
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, File{
+			AST:  f,
+			Name: full,
+			Test: strings.HasSuffix(name, "_test.go"),
+		})
+		if pkg.Name == "" && !strings.HasSuffix(name, "_test.go") {
+			pkg.Name = f.Name.Name
+		}
+	}
+	if pkg.Name == "" {
+		pkg.Name = strings.TrimSuffix(pkg.Files[0].AST.Name.Name, "_test")
+	}
+	return pkg, nil
+}

@@ -1,0 +1,75 @@
+// Package nakedrand implements the no-naked-rand analyzer: outside tests,
+// every use of math/rand must go through an injected, explicitly seeded
+// *rand.Rand. The package-level convenience functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...) draw from the process-global source,
+// whose seeding is out of the caller's control — a single call anywhere in
+// a simulation path silently destroys run-to-run reproducibility, which
+// the paper-reproduction experiments (EXPERIMENTS.md) depend on.
+package nakedrand
+
+import (
+	"go/ast"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// Analyzer is the no-naked-rand rule.
+var Analyzer = &lint.Analyzer{
+	Name: "nakedrand",
+	Doc:  "forbid global math/rand state outside tests; inject a seeded *rand.Rand instead",
+	Run:  run,
+}
+
+// allowed lists the math/rand package-level names that do NOT touch the
+// global source: constructors and type names.
+var allowed = map[string]bool{
+	// Constructors.
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+	// Type names (signatures like func(rng *rand.Rand)).
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"Zipf":     true,
+	"PCG":      true,
+	"ChaCha8":  true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		names := make(map[string]bool)
+		if n, ok := lint.ImportName(f.AST, "math/rand"); ok {
+			names[n] = true
+		}
+		if n, ok := lint.ImportName(f.AST, "math/rand/v2"); ok {
+			names[n] = true
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !names[id.Name] || !lint.PkgIdent(id, id.Name) {
+				return true
+			}
+			if allowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global math/rand state %s.%s: runs must be reproducible — thread an injected *rand.Rand (seeded from config) instead",
+				id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

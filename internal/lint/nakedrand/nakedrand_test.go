@@ -1,0 +1,12 @@
+package nakedrand_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+	"github.com/quicknn/quicknn/internal/lint/nakedrand"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, nakedrand.Analyzer, "testdata/src/a", "example.com/m/a", "example.com/m")
+}

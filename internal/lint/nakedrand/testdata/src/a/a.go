@@ -1,0 +1,54 @@
+// Package a exercises the nakedrand analyzer: global math/rand state is
+// forbidden outside tests, injected generators and constructors are fine.
+package a
+
+import (
+	"math/rand"
+	mrand "math/rand/v2"
+)
+
+// bad draws from the process-global source — this is the would-have-failed
+// case: run-to-run reproducibility is silently lost.
+func bad() int {
+	return rand.Intn(10) // want "nakedrand: global math/rand state rand\.Intn"
+}
+
+// badV2 draws from the v2 global source through an aliased import.
+func badV2() float64 {
+	return mrand.Float64() // want "nakedrand: global math/rand state mrand\.Float64"
+}
+
+// badShuffle permutes with the global source.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "nakedrand: global math/rand state rand\.Shuffle"
+}
+
+// good uses an injected, explicitly seeded generator.
+func good(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// construct builds a seeded generator; constructors and type names are
+// allowed because they do not touch the global source.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// fake shadows the package name with a local identifier.
+type fake struct{}
+
+// Intn mimics the generator method.
+func (fake) Intn(n int) int { return n - n }
+
+// shadowed calls through a local identifier named rand, which must not be
+// mistaken for the package.
+func shadowed() int {
+	rand := fake{}
+	return rand.Intn(2)
+}
+
+// suppressed carries a justified ignore directive.
+func suppressed() int {
+	//lint:ignore nakedrand fixture demonstrates a justified suppression
+	return rand.Intn(3)
+}

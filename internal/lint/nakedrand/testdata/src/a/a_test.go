@@ -1,0 +1,9 @@
+// Test files are exempt from the nakedrand rule: tests may use the global
+// source for convenience without affecting simulation reproducibility.
+package a
+
+import "math/rand"
+
+func testOnlyHelper() int {
+	return rand.Intn(10) // no want: test files are exempt
+}

@@ -1,0 +1,111 @@
+// Package panicmsg implements the panic-msg analyzer: panics in library
+// packages must carry a message with a "pkg: " prefix so a stack-less
+// crash report (or a recovered panic logged far from its origin) still
+// names its source. Conforming forms:
+//
+//	panic("dram: BusBytes must be positive")
+//	panic("dram: invalid config: " + err.Error())
+//	panic(fmt.Sprintf("cachemodel: invalid geometry for %q", name))
+//
+// Command binaries (package main) and test files are exempt. A panic
+// whose value is a typed error can be suppressed with
+// //lint:ignore panicmsg <reason>.
+package panicmsg
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// Analyzer is the panic-msg rule.
+var Analyzer = &lint.Analyzer{
+	Name: "panicmsg",
+	Doc:  "library panics must carry a \"pkg: \"-prefixed message",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	prefix := pass.Pkg.Name + ": "
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		fmtName, _ := lint.ImportName(f.AST, "fmt")
+		errorsName, _ := lint.ImportName(f.AST, "errors")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "panic" || fn.Obj != nil || len(call.Args) != 1 {
+				return true
+			}
+			if !conforming(call.Args[0], prefix, fmtName, errorsName) {
+				pass.Reportf(call.Pos(),
+					"panic in package %s must carry a %q-prefixed string message (literal, concatenation, or fmt.Sprintf); got %s",
+					pass.Pkg.Name, prefix, exprKind(call.Args[0]))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// conforming reports whether arg statically resolves to a string whose
+// leftmost component is a literal starting with prefix.
+func conforming(arg ast.Expr, prefix, fmtName, errorsName string) bool {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if a.Kind != token.STRING {
+			return false
+		}
+		s, err := strconv.Unquote(a.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.BinaryExpr:
+		// "pkg: ..." + anything.
+		return a.Op == token.ADD && conforming(a.X, prefix, fmtName, errorsName)
+	case *ast.ParenExpr:
+		return conforming(a.X, prefix, fmtName, errorsName)
+	case *ast.CallExpr:
+		// fmt.Sprintf("pkg: ...", ...), fmt.Errorf, errors.New.
+		sel, ok := a.Fun.(*ast.SelectorExpr)
+		if !ok || len(a.Args) == 0 {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !lint.PkgIdent(id, id.Name) {
+			return false
+		}
+		switch {
+		case id.Name == fmtName && (sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf"):
+			return conforming(a.Args[0], prefix, fmtName, errorsName)
+		case id.Name == errorsName && sel.Sel.Name == "New":
+			return conforming(a.Args[0], prefix, fmtName, errorsName)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// exprKind names the offending argument shape for the diagnostic.
+func exprKind(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return "literal " + v.Value
+	case *ast.Ident:
+		return "identifier " + v.Name
+	case *ast.CallExpr:
+		return "call expression"
+	default:
+		return "non-literal expression"
+	}
+}

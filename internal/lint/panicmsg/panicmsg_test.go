@@ -1,0 +1,13 @@
+package panicmsg_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+	"github.com/quicknn/quicknn/internal/lint/panicmsg"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, panicmsg.Analyzer,
+		"testdata/src/pm", "example.com/m/pm", "example.com/m")
+}

@@ -1,0 +1,56 @@
+// Package pm exercises the panicmsg analyzer: library panics must carry a
+// "pm: " prefix so recovered or stack-less reports still name their
+// source.
+package pm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// bad panics without any package prefix — the would-have-failed case.
+func bad() {
+	panic("bad input") // want "panicmsg: panic in package pm"
+}
+
+// badPrefix names the wrong package.
+func badPrefix() {
+	panic("other: not ours") // want "panicmsg: panic in package pm"
+}
+
+// badDynamic panics with a bare value whose rendering is unknowable
+// statically.
+func badDynamic(err error) {
+	panic(err) // want "panicmsg: .*got identifier err"
+}
+
+// good panics with the package prefix.
+func good() {
+	panic("pm: invalid state")
+}
+
+// goodConcat concatenates detail onto a prefixed literal.
+func goodConcat(err error) {
+	panic("pm: bad config: " + err.Error())
+}
+
+// goodSprintf formats with a prefixed format string.
+func goodSprintf(n int) {
+	panic(fmt.Sprintf("pm: bad count %d", n))
+}
+
+// goodErrors wraps a prefixed errors.New.
+func goodErrors() {
+	panic(errors.New("pm: unreachable"))
+}
+
+// goodParen tolerates redundant parentheses.
+func goodParen() {
+	panic(("pm: grouped"))
+}
+
+// suppressed panics with a typed error that renders its own prefix.
+func suppressed(err error) {
+	//lint:ignore panicmsg typed error renders its own pm: prefix
+	panic(err)
+}

@@ -1,0 +1,21 @@
+// Package rules registers the full quicknnlint analyzer suite. The
+// command (cmd/quicknnlint) and the repo self-test both consume All, so
+// the binary and `go test ./...` can never disagree about which rules are
+// in force.
+package rules
+
+import (
+	"github.com/quicknn/quicknn/internal/lint"
+	"github.com/quicknn/quicknn/internal/lint/cycleint"
+	"github.com/quicknn/quicknn/internal/lint/nakedrand"
+	"github.com/quicknn/quicknn/internal/lint/panicmsg"
+	"github.com/quicknn/quicknn/internal/lint/walltime"
+)
+
+// All lists every analyzer the quicknnlint multichecker runs.
+var All = []*lint.Analyzer{
+	cycleint.Analyzer,
+	nakedrand.Analyzer,
+	panicmsg.Analyzer,
+	walltime.Analyzer,
+}

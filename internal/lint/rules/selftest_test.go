@@ -1,0 +1,60 @@
+package rules_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint"
+	"github.com/quicknn/quicknn/internal/lint/rules"
+)
+
+// TestRepoIsLintClean bakes quicknnlint cleanliness into the ordinary test
+// suite: the whole module must produce zero diagnostics, so a rule
+// violation fails `go test ./...` even where CI cannot run the binary.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, fset, module, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from module root")
+	}
+	diags, err := lint.Run(fset, pkgs, module, rules.All)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d diagnostic(s); see docs/invariants.md for each rule and its suppression syntax", len(diags))
+	}
+}
+
+// TestSuiteIsComplete pins the analyzer roster so a rule cannot silently
+// drop out of the suite.
+func TestSuiteIsComplete(t *testing.T) {
+	want := map[string]bool{
+		"cycleint":  true,
+		"nakedrand": true,
+		"panicmsg":  true,
+		"walltime":  true,
+	}
+	if len(rules.All) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(rules.All), len(want))
+	}
+	for _, a := range rules.All {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in suite", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package sim is a walltime fixture standing in for a simulation package;
+// the test loads it under a non-exempt import path.
+package sim
+
+import "time"
+
+// bad reads the wall clock — the would-have-failed case: results would
+// depend on host load.
+func bad() time.Time {
+	return time.Now() // want "walltime: wall-clock call time\.Now"
+}
+
+// wait sleeps, which depends on host scheduling.
+func wait() {
+	time.Sleep(time.Millisecond) // want "walltime: wall-clock call time\.Sleep"
+}
+
+// tick builds a ticker, which observes real time.
+func tick() *time.Ticker {
+	return time.NewTicker(time.Second) // want "walltime: wall-clock call time\.NewTicker"
+}
+
+// dur manipulates pure duration constants, which never touch the clock.
+func dur() time.Duration { return 5 * time.Millisecond }
+
+// format renders a zero time value; construction and formatting are fine.
+func format() string { return time.Time{}.String() }
+
+// suppressed carries a justified ignore directive.
+func suppressed() time.Time {
+	//lint:ignore walltime fixture demonstrates a justified suppression
+	return time.Now()
+}

@@ -1,0 +1,87 @@
+// Package walltime implements the no-time-now analyzer: simulation
+// packages must never read the wall clock. Simulated time comes from
+// cycle counters only; a time.Now (or Sleep, or ticker) in a simulation
+// path makes results depend on host load and scheduling, which breaks the
+// determinism the paper reproduction rests on.
+//
+// Host-measurement packages are exempt by design: internal/hostperf and
+// internal/bench exist to time the host, and cmd/ and examples/ report
+// wall time to the operator.
+package walltime
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// Analyzer is the no-time-now rule.
+var Analyzer = &lint.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock calls (time.Now, time.Sleep, tickers) in simulation packages",
+	Run:  run,
+}
+
+// banned lists the time package functions that observe or depend on the
+// wall clock. Pure types and constructors of constants (time.Duration,
+// time.Millisecond) remain allowed.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// exempt returns whether the package may legitimately read the wall clock.
+func exempt(pass *lint.Pass) bool {
+	rel := strings.TrimPrefix(pass.Pkg.Path, pass.Module)
+	rel = strings.TrimPrefix(rel, "/")
+	for _, prefix := range []string{
+		"internal/hostperf", // measures the host by definition
+		"internal/bench",    // host-side benchmark harness
+		"internal/lint",     // tooling, not simulation
+		"cmd",               // operator-facing binaries
+		"examples",          // operator-facing demos
+	} {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	if exempt(pass) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		name, ok := lint.ImportName(f.AST, "time")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !lint.PkgIdent(id, name) || !banned[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock call %s.%s in simulation package %s: simulated time must come from cycle counters (see docs/invariants.md)",
+				id.Name, sel.Sel.Name, pass.Pkg.Path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+	"github.com/quicknn/quicknn/internal/lint/walltime"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer,
+		"testdata/src/sim", "example.com/m/internal/sim", "example.com/m")
+}
+
+// TestExempt loads wall-clock code under the exempt internal/hostperf
+// path; nothing may be flagged.
+func TestExempt(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer,
+		"testdata/src/hostperf", "example.com/m/internal/hostperf", "example.com/m")
+}
+
+// TestExemptCmd verifies operator-facing binaries under cmd/ are exempt.
+func TestExemptCmd(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer,
+		"testdata/src/hostperf", "example.com/m/cmd/quicknn", "example.com/m")
+}
