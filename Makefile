@@ -8,7 +8,7 @@ FUZZTIME  ?= 10s
 # accepts only one matching target at a time.
 FUZZ_TARGETS := FuzzReadFrameCSV FuzzReadFrameBinary FuzzLoadIndex
 
-.PHONY: all build vet lint test race fuzz ci clean
+.PHONY: all build vet lint test race fuzz trace-demo ci clean
 
 all: build
 
@@ -39,8 +39,23 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) . || exit 1; \
 	done
 
+## trace-demo: end-to-end observability smoke — run a small simulated
+## drive, validate the Perfetto trace it emits, and check that the
+## Prometheus snapshot carries every layer's metric families
+## (docs/observability.md).
+trace-demo:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/quicknn -points 2000 -frames 3 -sim \
+		-trace "$$dir/drive.trace.json" -metrics "$$dir/drive.prom" && \
+	$(GO) run ./cmd/memtrace -check "$$dir/drive.trace.json" && \
+	for fam in quicknn_dram_ quicknn_sim_ quicknn_pipeline_; do \
+		grep -q "$$fam" "$$dir/drive.prom" || \
+			{ echo "trace-demo: $$fam metrics missing from snapshot"; exit 1; }; \
+	done && \
+	echo "trace-demo: OK (trace + metrics snapshot verified)"
+
 ## ci: everything the pipeline runs, in order.
-ci: build vet lint test race fuzz
+ci: build vet lint test race fuzz trace-demo
 
 clean:
 	$(GO) clean ./...

@@ -16,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/quicknn/quicknn/internal/bench"
+	"github.com/quicknn/quicknn/internal/obs"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 		frames  = flag.Int("frames", 0, "sequence length override (default 12)")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		quick   = flag.Bool("quick", false, "reduced workload sizes")
+		mdir    = flag.String("metrics-dir", "", "write a Prometheus metrics snapshot per experiment to <dir>/<id>.prom")
 	)
 	flag.Parse()
 
@@ -63,12 +66,44 @@ func main() {
 		}
 	}
 
+	if *mdir != "" {
+		if err := os.MkdirAll(*mdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, e := range selected {
+		runOpts := opts
+		if *mdir != "" {
+			// Fresh sink per experiment: the snapshot next to a table
+			// describes that table only.
+			runOpts.Obs = obs.NewSink("benchtables/" + e.ID)
+		}
 		start := time.Now()
-		if err := e.Run(os.Stdout, opts); err != nil {
+		if err := bench.RunExperiment(e, os.Stdout, runOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if *mdir != "" {
+			if err := writeMetrics(filepath.Join(*mdir, e.ID+".prom"), runOpts.Obs); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeMetrics dumps the sink's registry in Prometheus text format.
+func writeMetrics(path string, sink *obs.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sink.Reg().WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

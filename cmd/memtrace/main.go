@@ -10,6 +10,18 @@
 //
 //	memtrace -replay trace.csv
 //	memtrace -replay trace.csv -hbm
+//
+// Perfetto export converts a captured trace into a Chrome trace-event
+// timeline (one span per access, grouped by stream; load the file at
+// ui.perfetto.dev — see docs/observability.md):
+//
+//	memtrace -replay trace.csv -perfetto timeline.json
+//
+// Check parses a Chrome trace-event file back and prints its event
+// counts; it exits non-zero on malformed JSON, which makes it a cheap CI
+// validator for exported timelines:
+//
+//	memtrace -check timeline.json
 package main
 
 import (
@@ -23,6 +35,8 @@ import (
 	"github.com/quicknn/quicknn/internal/dram"
 	"github.com/quicknn/quicknn/internal/kdtree"
 	"github.com/quicknn/quicknn/internal/lidar"
+	"github.com/quicknn/quicknn/internal/obs"
+	"github.com/quicknn/quicknn/internal/obs/obsdram"
 )
 
 func main() {
@@ -33,6 +47,9 @@ func main() {
 		fus     = flag.Int("fus", 64, "functional units for -capture")
 		seed    = flag.Int64("seed", 1, "workload seed for -capture")
 		hbm     = flag.Bool("hbm", false, "replay against the HBM profile instead of DDR4")
+
+		perfetto = flag.String("perfetto", "", "with -replay: also write the replay as Chrome trace-event JSON")
+		check    = flag.String("check", "", "parse a Chrome trace-event file and print its event counts")
 	)
 	flag.Parse()
 
@@ -43,7 +60,12 @@ func main() {
 			os.Exit(1)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *hbm); err != nil {
+		if err := doReplay(*replay, *hbm, *perfetto); err != nil {
+			fmt.Fprintf(os.Stderr, "memtrace: %v\n", err)
+			os.Exit(1)
+		}
+	case *check != "":
+		if err := doCheck(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "memtrace: %v\n", err)
 			os.Exit(1)
 		}
@@ -77,7 +99,7 @@ func doCapture(path string, points, fus int, seed int64) error {
 	return nil
 }
 
-func doReplay(path string, hbm bool) error {
+func doReplay(path string, hbm bool, perfetto string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -93,7 +115,29 @@ func doReplay(path string, hbm bool) error {
 		cfg = arch.HBMMemConfig()
 		name = "HBM profile"
 	}
-	stats := dram.Replay(records, cfg)
+	var stats dram.Stats
+	if perfetto != "" {
+		tr, st := obsdram.ConvertTrace(records, cfg, name)
+		stats = st
+		out, err := os.Create(perfetto)
+		if err != nil {
+			return err
+		}
+		// ConvertTrace ticks are tCK; a core cycle is CoreRatio tCK, so
+		// the tCK rate is CoreRatio × the core-cycle rate.
+		ticksPerMicro := float64(arch.CyclesPerMicrosecond * cfg.CoreRatio)
+		if err := tr.WriteChrome(out, ticksPerMicro); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace (%d spans, %d events) to %s — open it at ui.perfetto.dev\n",
+			tr.SpanCount(), tr.Len(), perfetto)
+	} else {
+		stats = dram.Replay(records, cfg)
+	}
 	fmt.Printf("replayed %d accesses against %s\n", len(records), name)
 	fmt.Printf("elapsed          : %d cycles\n", stats.Elapsed)
 	fmt.Printf("bus utilization  : %.1f%%\n", 100*stats.Utilization())
@@ -110,6 +154,39 @@ func doReplay(path string, hbm bool) error {
 		}
 		fmt.Printf("  %-6v accesses=%-8d useful=%-10d hits=%-7d misses=%d\n",
 			s, st.Accesses, st.UsefulBytes, st.RowHits, st.RowMisses)
+	}
+	return nil
+}
+
+// doCheck parses a Chrome trace-event JSON file and prints event counts.
+// A parse failure returns an error (non-zero exit), so CI can use this as
+// a structural validator for exported timelines.
+func doCheck(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ct, err := obs.ParseChrome(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	spans := ct.SpanEvents()
+	meta, counters, instants := 0, 0, 0
+	for _, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "C":
+			counters++
+		case "i":
+			instants++
+		}
+	}
+	fmt.Printf("%s: %d events (%d spans, %d counter samples, %d instants, %d metadata)\n",
+		path, len(ct.TraceEvents), len(spans), counters, instants, meta)
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no complete spans", path)
 	}
 	return nil
 }

@@ -8,6 +8,13 @@
 //	quicknn -points 30000 -frames 4 -k 8 -fus 64
 //	quicknn -mode incremental -frames 10
 //	quicknn -input 'frames/frame_*.csv'       # real frames instead of synthetic
+//	quicknn -trace out.json -metrics out.prom # observability artifacts
+//
+// With -trace, every simulated round's engine phases and DRAM events are
+// stitched onto one drive timeline and written as Chrome trace-event JSON
+// (load it at ui.perfetto.dev). With -metrics, the run's counters, gauges
+// and histograms are written in Prometheus text format. See
+// docs/observability.md.
 package main
 
 import (
@@ -19,19 +26,23 @@ import (
 	"time"
 
 	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/arch"
+	"github.com/quicknn/quicknn/internal/obs"
 )
 
 func main() {
 	var (
-		points = flag.Int("points", 30000, "points per frame (after ground removal)")
-		frames = flag.Int("frames", 4, "number of successive frames")
-		k      = flag.Int("k", 8, "nearest neighbors per query")
-		fus    = flag.Int("fus", 64, "functional units in the simulated accelerator")
-		bucket = flag.Int("bucket", 256, "k-d tree bucket size B_N")
-		mode   = flag.String("mode", "rebuild", "tree maintenance: rebuild|static|incremental")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		sim    = flag.Bool("sim", true, "also run the accelerator simulation")
-		input  = flag.String("input", "", "glob of CSV frame files (x,y,z per line); overrides synthesis")
+		points  = flag.Int("points", 30000, "points per frame (after ground removal)")
+		frames  = flag.Int("frames", 4, "number of successive frames")
+		k       = flag.Int("k", 8, "nearest neighbors per query")
+		fus     = flag.Int("fus", 64, "functional units in the simulated accelerator")
+		bucket  = flag.Int("bucket", 256, "k-d tree bucket size B_N")
+		mode    = flag.String("mode", "rebuild", "tree maintenance: rebuild|static|incremental")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		sim     = flag.Bool("sim", true, "also run the accelerator simulation")
+		input   = flag.String("input", "", "glob of CSV frame files (x,y,z per line); overrides synthesis")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the simulated rounds")
+		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
 	)
 	flag.Parse()
 
@@ -46,6 +57,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "quicknn: unknown -mode %q\n", *mode)
 		os.Exit(2)
+	}
+
+	// One sink covers the whole run: the software pipeline feeds the
+	// registry, each simulated round feeds both the registry and the
+	// tracer. A nil sink (no -trace/-metrics) keeps every hook inert.
+	var sink *obs.Sink
+	if *trace != "" || *metrics != "" {
+		sink = obs.NewSink("quicknn drive")
 	}
 
 	var drive [][]quicknn.Point
@@ -66,46 +85,90 @@ func main() {
 		os.Exit(1)
 	}
 
-	var ix *quicknn.Index
+	pipe := quicknn.NewPipeline(quicknn.PipelineConfig{
+		K:          *k,
+		BucketSize: *bucket,
+		Mode:       treeMode.Mode,
+		Seed:       *seed,
+		Obs:        sink,
+	})
+
+	// Rounds restart their simulated clocks at zero; the tracer offset
+	// stitches them into one drive timeline.
+	var cum int64
 	for fi, frame := range drive {
+		start := time.Now()
+		res := pipe.Process(frame)
+		dur := time.Since(start)
 		if fi == 0 {
-			start := time.Now()
-			ix = quicknn.NewIndex(frame, quicknn.WithBucketSize(*bucket), quicknn.WithSeed(*seed))
-			fmt.Printf("frame 0: built index over %d points in %v\n", ix.Len(), time.Since(start).Round(time.Microsecond))
+			fmt.Printf("frame 0: built index over %d points in %v\n",
+				pipe.Index().Len(), dur.Round(time.Microsecond))
 			continue
 		}
-		start := time.Now()
-		results := ix.SearchAll(frame, *k)
-		searchDur := time.Since(start)
 		found := 0
-		for _, r := range results {
+		for _, r := range res.Neighbors {
 			found += len(r)
 		}
-		stats := ix.Stats()
-		fmt.Printf("frame %d: software search %d queries (k=%d) in %v (%.0f q/ms); buckets [%d..%d], mean %.0f\n",
-			fi, len(frame), *k, searchDur.Round(time.Microsecond),
-			float64(len(frame))/float64(searchDur.Milliseconds()+1), stats.Min, stats.Max, stats.Mean)
+		stats := res.IndexStats
+		fmt.Printf("frame %d: software search+advance %d queries (k=%d) in %v (%.0f q/ms); buckets [%d..%d], mean %.0f\n",
+			fi, len(frame), *k, dur.Round(time.Microsecond),
+			float64(len(frame))/float64(dur.Milliseconds()+1), stats.Min, stats.Max, stats.Mean)
 
 		if *sim {
-			cfg := quicknn.SimConfig{FUs: *fus, K: *k, BucketSize: *bucket, Mode: treeMode.Mode}
+			sink.Tr().SetOffset(cum)
+			cfg := quicknn.SimConfig{FUs: *fus, K: *k, BucketSize: *bucket, Mode: treeMode.Mode, Obs: sink}
 			rep := quicknn.SimulateAccelerator(drive[fi-1], frame, cfg, *seed)
+			cum += rep.Cycles
 			fmt.Printf("         accelerator (%d FUs): %d cycles = %.2f ms @100MHz → %.1f FPS, mem util %.0f%%\n",
 				*fus, rep.Cycles, 1000*quicknn.CyclesToSeconds(rep.Cycles), rep.FPS, 100*rep.Mem.Utilization())
 		}
-
-		// Advance the index for the next round, per the chosen mode.
-		start = time.Now()
-		switch treeMode.Mode {
-		case quicknn.ModeStatic:
-			ix.UpdateStatic(frame)
-		case quicknn.ModeIncremental:
-			ix.Update(frame)
-		default:
-			ix = quicknn.NewIndex(frame, quicknn.WithBucketSize(*bucket), quicknn.WithSeed(*seed))
-		}
-		fmt.Printf("         index advanced (%s) in %v\n", *mode, time.Since(start).Round(time.Microsecond))
 		_ = found
 	}
+	sink.Tr().SetOffset(cum)
+
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "quicknn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metrics)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "quicknn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace (%d events) to %s — open it at ui.perfetto.dev\n",
+			sink.Tr().Len(), *trace)
+	}
+}
+
+// writeMetrics dumps the sink's registry in Prometheus text format.
+func writeMetrics(path string, sink *obs.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sink.Reg().WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace dumps the sink's tracer as Chrome trace-event JSON; simulated
+// timestamps are core cycles at the prototype's 100 MHz clock, so
+// arch.CyclesPerMicrosecond converts them to Perfetto's microseconds.
+func writeTrace(path string, sink *obs.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sink.Tr().WriteChrome(f, arch.CyclesPerMicrosecond); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadFrames reads every CSV file matching the glob, in sorted name order.

@@ -168,6 +168,9 @@ type Stats = kdtree.BucketStats
 // Stats returns the current bucket-size distribution.
 func (ix *Index) Stats() Stats { return ix.tree.Stats() }
 
+// Depth returns the index tree's depth (levels below the root).
+func (ix *Index) Depth() int { return ix.tree.Depth() }
+
 // AccuracyReport quantifies approximate-search quality (Fig. 3).
 type AccuracyReport = kdtree.AccuracyReport
 

@@ -20,6 +20,11 @@ import (
 //quicknnlint:reporting clock constant used only to convert cycles for reports
 const CoreClockHz = 100e6
 
+// CyclesPerMicrosecond is the number of core cycles per microsecond at
+// the prototype clock — the tick scale obs.Tracer.WriteChrome wants for
+// core-cycle timelines (Perfetto timestamps are microseconds).
+const CyclesPerMicrosecond = 100 // CoreClockHz / 1e6
+
 // CyclesToSeconds converts core cycles to wall time at the prototype clock.
 //
 //quicknnlint:reporting wall-time conversion for reports, not cycle state

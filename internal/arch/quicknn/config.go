@@ -15,7 +15,10 @@
 // (Simple k-d = everything off) fall out of the same model.
 package quicknn
 
-import "github.com/quicknn/quicknn/internal/arch/traversal"
+import (
+	"github.com/quicknn/quicknn/internal/arch/traversal"
+	"github.com/quicknn/quicknn/internal/obs"
+)
 
 // TreeMode selects how TBuild obtains each frame's tree (§4.4).
 type TreeMode int
@@ -105,6 +108,15 @@ type Config struct {
 	// ComputeResults runs the functional FU datapath so the report
 	// carries real neighbor lists.
 	ComputeResults bool
+
+	// Obs attaches an observability sink: engine phase spans
+	// (Report.Timeline) land on the tracer as the round simulates,
+	// per-round cycle/FPS/tree counters enter the metrics registry, and
+	// the shared DRAM publishes per-stream latency histograms and
+	// row-hit/refresh counters (see internal/obs and
+	// docs/observability.md). nil — the default — keeps the simulation
+	// instrumentation-free apart from one nil check per round.
+	Obs *obs.Sink
 }
 
 func (c Config) withDefaults() Config {

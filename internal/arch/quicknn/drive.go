@@ -1,9 +1,12 @@
 package quicknn
 
 import (
+	"fmt"
+
 	"github.com/quicknn/quicknn/internal/arch"
 	"github.com/quicknn/quicknn/internal/dram"
 	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/obs/obsdram"
 )
 
 // DriveReport aggregates a multi-round simulation over a frame sequence
@@ -49,15 +52,27 @@ func SimulateDrive(frames [][]geom.Point, cfg Config, memCfg dram.Config, seed i
 		panic("quicknn: SimulateDrive requires at least two frames")
 	}
 	var out DriveReport
+	// Rounds restart their local clocks at zero; the tracer offset
+	// stitches them into one drive timeline (round i starts where round
+	// i-1 ended). The offset is left at the drive's end so callers can
+	// append further rounds.
+	tr := cfg.Obs.Tr()
+	base := tr.Offset()
 	out.Warmup = simulateBuildOnly(frames[0], cfg, dram.New(memCfg), seed)
+	tr.Span(trackRound, "warmup", 0, out.Warmup.Cycles, nil)
+	base += out.Warmup.Cycles
 	out.TotalCycles = out.Warmup.Cycles
 	tree := out.Warmup.Tree
 	for i := 1; i < len(frames); i++ {
+		tr.SetOffset(base)
 		rep := SimulateFrame(tree, frames[i], cfg, dram.New(memCfg), seed+int64(i))
+		tr.Span(trackRound, fmt.Sprintf("round %d", i), 0, rep.Cycles, nil)
+		base += rep.Cycles
 		out.Rounds = append(out.Rounds, rep)
 		out.TotalCycles += rep.Cycles
 		tree = rep.Tree
 	}
+	tr.SetOffset(base)
 	out.MeanFPS = meanFPS(out.Rounds)
 	return out
 }
@@ -69,6 +84,7 @@ func simulateBuildOnly(points []geom.Point, cfg Config, mem *dram.Memory, seed i
 	rep := &Report{}
 	amap := arch.DefaultAddressMap(len(points), cfg.BlockPoints)
 	port := arch.NewMemPort(mem)
+	col := obsdram.Attach(mem, cfg.Obs)
 	// Round 1 always builds from scratch — there is no previous tree to
 	// reuse, whatever the configured mode.
 	buildCfg := cfg
@@ -86,5 +102,7 @@ func simulateBuildOnly(points []geom.Point, cfg Config, mem *dram.Memory, seed i
 	rep.TreeDepth = tb.tree.Depth()
 	rep.BlocksUsed = tb.alloc.blocksUsed()
 	rep.BucketStats = tb.tree.Stats()
+	col.Finish()
+	publishReport(cfg.Obs, rep)
 	return *rep
 }

@@ -1,0 +1,61 @@
+package quicknn
+
+import (
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// Span-track names: one Perfetto thread per engine, matching the
+// Report.Timeline Engine labels, plus a per-round summary track.
+const (
+	trackRound = "Round"
+)
+
+// publishReport pushes one simulated round's outcome into the sink: one
+// tracer span per Report.Timeline entry (track = engine, name = phase)
+// and the per-round counters and gauges of the quicknn_sim_* families.
+// The tracer's current offset places the round on the stitched drive
+// timeline; callers running several rounds advance it between rounds.
+//
+//quicknnlint:reporting publishes round results (rates, depths, counts) as report values
+func publishReport(sink *obs.Sink, rep *Report) {
+	if sink == nil {
+		return
+	}
+	tr := sink.Tr()
+	for _, sp := range rep.Timeline {
+		tr.Span(sp.Engine, sp.Phase, sp.Start, sp.End, nil)
+	}
+
+	reg := sink.Reg()
+	reg.Counter("quicknn_sim_rounds_total",
+		"Simulated rounds completed (warmup included).").With().Inc()
+	cyc := reg.Counter("quicknn_sim_cycles_total",
+		"Core cycles spent, by engine ('round' is the per-frame latency).", "engine")
+	cyc.With("round").Add(rep.Cycles)
+	cyc.With("TBuild").Add(rep.TBuildCycles)
+	cyc.With("TSearch").Add(rep.TSearchCycles)
+
+	phase := reg.Counter("quicknn_sim_phase_cycles_total",
+		"Core cycles per engine phase, from the round timeline (Fig. 7).",
+		"engine", "phase")
+	for _, sp := range rep.Timeline {
+		phase.With(sp.Engine, sp.Phase).Add(sp.End - sp.Start)
+	}
+
+	unit := reg.Counter("quicknn_sim_unit_cycles_total",
+		"Accelerator unit occupancy in core cycles.", "unit")
+	unit.With("sort").Add(rep.SortCycles)
+	unit.With("fu").Add(rep.FUCycles)
+	unit.With("traversal_build").Add(rep.BuildTraversalCycles)
+	unit.With("traversal_search").Add(rep.SearchTraversalCycles)
+	unit.With("rebalance").Add(rep.RebalanceCycles)
+
+	reg.Gauge("quicknn_sim_fps",
+		"Frame rate of the latest round at the 100 MHz prototype clock.").With().Set(rep.FPS)
+	reg.Gauge("quicknn_sim_tree_depth",
+		"Depth of the tree the latest round built.").With().Set(float64(rep.TreeDepth))
+	reg.Gauge("quicknn_sim_tree_nodes",
+		"Node count of the tree the latest round built.").With().Set(float64(rep.TreeNodes))
+	reg.Gauge("quicknn_sim_blocks_used",
+		"Bucket blocks the latest round allocated in DRAM.").With().Set(float64(rep.BlocksUsed))
+}

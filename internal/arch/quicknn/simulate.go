@@ -12,6 +12,7 @@ import (
 	"github.com/quicknn/quicknn/internal/geom"
 	"github.com/quicknn/quicknn/internal/kdtree"
 	"github.com/quicknn/quicknn/internal/nn"
+	"github.com/quicknn/quicknn/internal/obs/obsdram"
 )
 
 // Report is the outcome of simulating one steady-state round (Fig. 7):
@@ -100,6 +101,7 @@ func SimulateFrame(prevTree *kdtree.Tree, current []geom.Point, cfg Config, mem 
 	}
 	amap := arch.DefaultAddressMap(maxPoints, cfg.BlockPoints)
 	port := arch.NewMemPort(mem)
+	col := obsdram.Attach(mem, cfg.Obs) // nil sink → nil, inert collector
 
 	// Reconstruct the previous round's bucket-block layout so Rd3 reads
 	// are addressed exactly as TBuild wrote them.
@@ -127,6 +129,8 @@ func SimulateFrame(prevTree *kdtree.Tree, current []geom.Point, cfg Config, mem 
 	rep.TreeDepth = tb.tree.Depth()
 	rep.BlocksUsed = tb.alloc.blocksUsed()
 	rep.BucketStats = tb.tree.Stats()
+	col.Finish()
+	publishReport(cfg.Obs, rep)
 	return *rep
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/quicknn/quicknn/internal/geom"
 	"github.com/quicknn/quicknn/internal/kdtree"
 	"github.com/quicknn/quicknn/internal/lidar"
+	"github.com/quicknn/quicknn/internal/obs"
 )
 
 // Options tune experiment scale.
@@ -36,6 +37,13 @@ type Options struct {
 	Seed int64
 	// Quick shrinks workloads (~4×) for fast runs.
 	Quick bool
+	// Obs optionally attaches an observability sink: RunExperiment
+	// wraps each run with harness metrics, and simulation-backed
+	// experiments (e.g. the fig7 timeline) thread it into their
+	// simulated rounds so DRAM and engine metrics accumulate alongside
+	// the printed table. cmd/benchtables dumps one snapshot per
+	// experiment next to each table with -metrics-dir.
+	Obs *obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +89,35 @@ func All() []Experiment {
 	out := make([]Experiment, len(registry))
 	copy(out, registry)
 	return out
+}
+
+// RunExperiment runs e, and — when opts.Obs carries a registry — wraps
+// the run with harness metrics (wall seconds, run/error counts, workload
+// scale), so a metrics snapshot taken afterwards describes the table it
+// sits next to. With a nil sink it is exactly e.Run.
+func RunExperiment(e Experiment, w io.Writer, opts Options) error {
+	reg := opts.Obs.Reg()
+	if reg == nil {
+		return e.Run(w, opts)
+	}
+	scaled := opts.withDefaults()
+	reg.Gauge("quicknn_bench_points", "Frame size of the run.", "id").
+		With(e.ID).Set(float64(scaled.Points))
+	reg.Gauge("quicknn_bench_queries", "Accuracy query count of the run.", "id").
+		With(e.ID).Set(float64(scaled.Queries))
+	reg.Gauge("quicknn_bench_frames", "Sequence length of the run.", "id").
+		With(e.ID).Set(float64(scaled.Frames))
+	sw := obs.StartStopwatch()
+	err := e.Run(w, opts)
+	reg.Gauge("quicknn_bench_experiment_seconds",
+		"Host wall seconds of the latest run.", "id").With(e.ID).Set(sw.Seconds())
+	reg.Counter("quicknn_bench_runs_total", "Experiment executions.", "id").
+		With(e.ID).Inc()
+	if err != nil {
+		reg.Counter("quicknn_bench_errors_total", "Failed experiment executions.", "id").
+			With(e.ID).Inc()
+	}
+	return err
 }
 
 // ByID finds an experiment by its CLI name.

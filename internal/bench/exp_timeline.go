@@ -24,7 +24,7 @@ func runTimeline(w io.Writer, opts Options) error {
 	opts = opts.withDefaults()
 	ref, qry := framePair(opts.Points, opts.Seed)
 	tree := buildTree(ref, 256, opts.Seed)
-	rep := quicknn.SimulateFrame(tree, qry, quicknn.Config{FUs: 64, K: 8},
+	rep := quicknn.SimulateFrame(tree, qry, quicknn.Config{FUs: 64, K: 8, Obs: opts.Obs},
 		dram.New(arch.PrototypeMemConfig()), opts.Seed)
 
 	if err := header(w, "Fig. 7: one steady-state round (64 FUs)"); err != nil {

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// TestRunExperimentRecordsHarnessMetrics checks the wrapper that
+// cmd/benchtables uses for -metrics-dir: workload-scale gauges, wall-time
+// gauge, and run/error counters, labeled by experiment id.
+func TestRunExperimentRecordsHarnessMetrics(t *testing.T) {
+	ran := 0
+	e := Experiment{
+		ID:    "fake",
+		Title: "fake experiment",
+		Run: func(w io.Writer, opts Options) error {
+			ran++
+			_, err := io.WriteString(w, "table\n")
+			return err
+		},
+	}
+	sink := obs.NewSink("bench")
+	opts := Options{Points: 1234, Quick: true, Obs: sink}
+	var sb strings.Builder
+	if err := RunExperiment(e, &sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 || !strings.Contains(sb.String(), "table") {
+		t.Fatalf("experiment did not run: ran=%d out=%q", ran, sb.String())
+	}
+	snap := sink.Reg().Snapshot()
+	scaled := opts.withDefaults()
+	pts, _ := snap.Find("quicknn_bench_points")
+	if s, _ := pts.Find("fake"); s.Gauge != float64(scaled.Points) {
+		t.Errorf("points gauge = %v, want %d (the scaled workload)", s.Gauge, scaled.Points)
+	}
+	runs, _ := snap.Find("quicknn_bench_runs_total")
+	if s, _ := runs.Find("fake"); s.Counter != 1 {
+		t.Errorf("runs_total = %d, want 1", s.Counter)
+	}
+	if secs, ok := snap.Find("quicknn_bench_experiment_seconds"); !ok {
+		t.Error("experiment_seconds gauge missing")
+	} else if s, _ := secs.Find("fake"); s.Gauge < 0 {
+		t.Errorf("experiment_seconds = %v", s.Gauge)
+	}
+	if _, ok := snap.Find("quicknn_bench_errors_total"); ok {
+		t.Error("errors_total must not appear for a clean run")
+	}
+}
+
+func TestRunExperimentCountsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	e := Experiment{ID: "bad", Run: func(io.Writer, Options) error { return boom }}
+	sink := obs.NewSink("bench")
+	if err := RunExperiment(e, io.Discard, Options{Obs: sink}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	fam, ok := sink.Reg().Snapshot().Find("quicknn_bench_errors_total")
+	if !ok {
+		t.Fatal("errors_total missing")
+	}
+	if s, _ := fam.Find("bad"); s.Counter != 1 {
+		t.Errorf("errors_total = %d, want 1", s.Counter)
+	}
+}
+
+func TestRunExperimentNilSinkIsPlainRun(t *testing.T) {
+	e := Experiment{ID: "plain", Run: func(w io.Writer, _ Options) error {
+		_, err := io.WriteString(w, "ok")
+		return err
+	}}
+	var sb strings.Builder
+	if err := RunExperiment(e, &sb, Options{}); err != nil || sb.String() != "ok" {
+		t.Fatalf("plain run broken: %q %v", sb.String(), nil)
+	}
+}

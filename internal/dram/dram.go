@@ -157,6 +157,12 @@ type Stats struct {
 	DataBusBusy int64
 	// Elapsed is the tCK span from the first to the last access.
 	Elapsed int64
+	// Overrun is the tCK by which DataBusBusy exceeds Elapsed. A busy
+	// time beyond the elapsed window is physically impossible — it means
+	// the model double-booked the data bus — so it is surfaced as a
+	// counter (and an obs gauge) instead of being clamped away inside
+	// Utilization, and Stats.Validate flags it as a model bug.
+	Overrun int64
 	// Refreshes counts refresh stalls taken.
 	Refreshes int
 }
@@ -189,18 +195,16 @@ func (s Stats) TotalBurstBytes() int64 {
 }
 
 // Utilization is the fraction of elapsed time the data bus was busy —
-// the metric Fig. 13 plots.
+// the metric Fig. 13 plots. The ratio is reported as-is: a value above 1
+// is a model bug (the bus was double-booked) that Stats.Overrun counts
+// and Stats.Validate flags, not something to clamp silently.
 //
 //quicknnlint:reporting utilization is a ratio for reports, not cycle state
 func (s Stats) Utilization() float64 {
 	if s.Elapsed <= 0 {
 		return 0
 	}
-	u := float64(s.DataBusBusy) / float64(s.Elapsed)
-	if u > 1 {
-		u = 1
-	}
-	return u
+	return float64(s.DataBusBusy) / float64(s.Elapsed)
 }
 
 // RowHitRate is the fraction of bursts that hit an open row, over all
@@ -242,8 +246,15 @@ func (s Stats) Validate() error {
 	if s.DataBusBusy < 0 {
 		return fmt.Errorf("dram: Stats.DataBusBusy negative: %d", s.DataBusBusy)
 	}
-	if s.DataBusBusy > s.Elapsed {
-		return fmt.Errorf("dram: DataBusBusy (%d) exceeds Elapsed (%d)", s.DataBusBusy, s.Elapsed)
+	if s.Overrun < 0 {
+		return fmt.Errorf("dram: Stats.Overrun negative: %d", s.Overrun)
+	}
+	if over := s.DataBusBusy - s.Elapsed; over > 0 {
+		return fmt.Errorf("dram: DataBusBusy (%d) exceeds Elapsed (%d) by %d tCK (Stats.Overrun): bus double-booked, model bug",
+			s.DataBusBusy, s.Elapsed, over)
+	}
+	if s.Overrun > 0 {
+		return fmt.Errorf("dram: Stats.Overrun is %d tCK: bus busy time exceeded the elapsed window, model bug", s.Overrun)
 	}
 	if s.Refreshes < 0 {
 		return fmt.Errorf("dram: Stats.Refreshes negative: %d", s.Refreshes)
@@ -289,6 +300,7 @@ type Memory struct {
 	nextRefresh int64
 	stats       Stats
 	tracer      func(TraceRecord)
+	events      func(Event)
 	check       *checker
 }
 
@@ -351,6 +363,7 @@ func (m *Memory) Access(addr uint64, n int, write bool, stream StreamID) int64 {
 	if m.tracer != nil {
 		m.tracer(TraceRecord{At: m.now, Addr: addr, Bytes: n, Write: write, Stream: stream})
 	}
+	submitted := m.now
 	st := &m.stats.Streams[stream]
 	st.Accesses++
 	st.UsefulBytes += int64(n)
@@ -359,10 +372,13 @@ func (m *Memory) Access(addr uint64, n int, write bool, stream StreamID) int64 {
 	first := addr / burstBytes
 	last := (addr + uint64(n) - 1) / burstBytes
 	for b := first; b <= last; b++ {
-		m.burst(b*burstBytes, write, st)
+		m.burst(b*burstBytes, write, st, stream)
 	}
 	if m.now < m.busFree {
 		m.now = m.busFree
+	}
+	if m.events != nil {
+		m.events(Event{Kind: EventAccess, At: submitted, End: m.now, Stream: stream, Write: write, Bytes: n})
 	}
 	return m.now
 }
@@ -377,7 +393,7 @@ func (m *Memory) Access(addr uint64, n int, write bool, stream StreamID) int64 {
 // not modelled (in-order single-stream controller, like the simple MIG
 // configuration the prototype uses); this is pessimistic for random
 // traffic and neutral for sequential traffic.
-func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
+func (m *Memory) burst(addr uint64, write bool, st *StreamStats, stream StreamID) {
 	// Refresh deadlines are honoured per burst, not per access: a single
 	// large access spans many bursts and can cross several tREFI windows,
 	// and the protocol checker's no-data-during-refresh invariant depends
@@ -388,7 +404,8 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
 	bank := int(row % int64(cfg.Banks))
 	dur := cfg.burstCycles()
 	var dataStart int64
-	if m.openRow[bank] != row {
+	rowHit := m.openRow[bank] == row
+	if !rowHit {
 		// Row miss: precharge (if a row is open) + activate + CAS, all
 		// serialized before this burst's data slot. The activate cannot
 		// start before the bank honours tRAS from its previous activate.
@@ -433,6 +450,9 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats) {
 	m.stats.DataBusBusy += dur
 	st.BurstBytes += int64(cfg.BurstBytes())
 	m.now = m.busFree
+	if m.events != nil {
+		m.events(Event{Kind: EventBurst, At: dataStart, End: m.busFree, Stream: stream, Write: write, RowHit: rowHit})
+	}
 }
 
 // refresh stalls the device for tRFC and closes every row whenever the
@@ -467,6 +487,9 @@ func (m *Memory) refresh() {
 		}
 		m.stats.Refreshes++
 		m.nextRefresh += int64(m.cfg.TREFI)
+		if m.events != nil {
+			m.events(Event{Kind: EventRefresh, At: stallStart, End: stallEnd})
+		}
 	}
 }
 
@@ -479,14 +502,18 @@ func (m *Memory) Stats() Stats {
 			s.Elapsed = m.busFree - m.startTime
 		}
 	}
+	if over := s.DataBusBusy - s.Elapsed; over > 0 {
+		s.Overrun = over
+	}
 	return s
 }
 
 // Reset clears counters and bank state but keeps the configuration and
-// any installed tracer.
+// any installed tracer and event tracer.
 func (m *Memory) Reset() {
-	tracer := m.tracer
+	tracer, events := m.tracer, m.events
 	nm := New(m.cfg)
 	*m = *nm
 	m.tracer = tracer
+	m.events = events
 }

@@ -1,0 +1,39 @@
+package dram
+
+// EventKind discriminates timing events emitted by the model.
+type EventKind int
+
+// The event kinds.
+const (
+	// EventAccess is one completed Access call: At is the submission
+	// time, End the completion time (End-At is the access latency),
+	// Bytes the useful bytes requested.
+	EventAccess EventKind = iota
+	// EventBurst is one aligned burst's data slot on the bus; RowHit
+	// tells whether it hit an open row (a miss is a row conflict that
+	// paid precharge/activate).
+	EventBurst
+	// EventRefresh is one refresh stall: the device is unavailable for
+	// [At, End) and every row closes.
+	EventRefresh
+)
+
+// Event is one timing event, in tCK. Unlike TraceRecord (the replayable
+// access log), events carry the model's timing decisions — latencies,
+// row hits/conflicts, refresh stalls — and exist to feed observability
+// sinks (histograms, Perfetto counter tracks; see internal/obs).
+type Event struct {
+	Kind   EventKind
+	At     int64 // start, tCK
+	End    int64 // end, tCK
+	Stream StreamID
+	Write  bool
+	RowHit bool // EventBurst only
+	Bytes  int  // EventAccess only: useful bytes requested
+}
+
+// SetEventTracer installs a hook called for every timing event (nil
+// uninstalls). The hook adds one nil check per access/burst/refresh when
+// uninstalled; architecture models run unchanged either way. It is
+// independent of SetTracer, which logs replayable access records.
+func (m *Memory) SetEventTracer(fn func(Event)) { m.events = fn }

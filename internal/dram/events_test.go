@@ -1,0 +1,134 @@
+package dram
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestEventsCoverEveryAccessAndBurst checks the event stream against the
+// statistics: one EventAccess per Access with payload, burst events whose
+// hit/miss tally matches Stats, refresh events matching Stats.Refreshes.
+func TestEventsCoverEveryAccessAndBurst(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TREFI = 2000
+	cfg.TRFC = 50
+	m := New(cfg)
+	var accesses, bursts, hits, refreshes int
+	m.SetEventTracer(func(e Event) {
+		switch e.Kind {
+		case EventAccess:
+			accesses++
+			if e.End < e.At {
+				t.Fatalf("access event ends (%d) before it starts (%d)", e.End, e.At)
+			}
+		case EventBurst:
+			bursts++
+			if e.RowHit {
+				hits++
+			}
+			if e.End <= e.At {
+				t.Fatalf("burst event has no duration: [%d,%d)", e.At, e.End)
+			}
+		case EventRefresh:
+			refreshes++
+			if e.End <= e.At {
+				t.Fatalf("refresh event has no duration: [%d,%d)", e.At, e.End)
+			}
+		}
+	})
+	rng := rand.New(rand.NewSource(11))
+	const n = 300
+	for i := 0; i < n; i++ {
+		m.Access(uint64(rng.Intn(1<<22)), 8+rng.Intn(100), i%2 == 0, StreamRd1)
+	}
+	m.Access(0, 0, false, StreamRd1) // zero-length: no event
+
+	s := m.Stats()
+	if accesses != n {
+		t.Errorf("access events = %d, want %d (zero-length access must emit none)", accesses, n)
+	}
+	totalBursts := 0
+	for _, st := range s.Streams {
+		totalBursts += st.RowHits + st.RowMisses
+	}
+	if bursts != totalBursts {
+		t.Errorf("burst events = %d, want %d", bursts, totalBursts)
+	}
+	if wantHits := s.Streams[StreamRd1].RowHits; hits != wantHits {
+		t.Errorf("hit events = %d, want %d", hits, wantHits)
+	}
+	if refreshes != s.Refreshes {
+		t.Errorf("refresh events = %d, want %d", refreshes, s.Refreshes)
+	}
+}
+
+func TestResetKeepsEventTracer(t *testing.T) {
+	m := New(DefaultConfig())
+	count := 0
+	m.SetEventTracer(func(Event) { count++ })
+	m.Access(0, 8, false, StreamOther)
+	m.Reset()
+	m.Access(0, 8, false, StreamOther)
+	if count < 2 {
+		t.Fatalf("event tracer lost across Reset: %d events", count)
+	}
+}
+
+// TestUtilizationDoesNotClamp pins satellite behaviour: a corrupt busy
+// time is reported honestly (> 1 utilization, Overrun set, Validate
+// error) instead of being clamped to 100%.
+func TestUtilizationDoesNotClamp(t *testing.T) {
+	s := Stats{Elapsed: 100, DataBusBusy: 150}
+	if got := s.Utilization(); got != 1.5 {
+		t.Errorf("Utilization = %v, want unclamped 1.5", got)
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("Validate must flag DataBusBusy > Elapsed")
+	}
+	s.Overrun = 50
+	if err := s.Validate(); err == nil {
+		t.Error("Validate must flag a positive Overrun")
+	}
+	s = Stats{Elapsed: 100, DataBusBusy: 100}
+	if got := s.Utilization(); got != 1 {
+		t.Errorf("Utilization = %v, want 1", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("full utilization is legal: %v", err)
+	}
+	s = Stats{Overrun: -1}
+	if err := s.Validate(); err == nil {
+		t.Error("Validate must flag a negative Overrun")
+	}
+}
+
+// TestOverrunZeroOnRealTraffic checks the model itself never overruns.
+func TestOverrunZeroOnRealTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Check = true
+	m := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		m.Access(uint64(rng.Intn(1<<24)), 4+rng.Intn(80), i%3 == 0, StreamWr2)
+	}
+	s := m.Stats()
+	if s.Overrun != 0 {
+		t.Fatalf("model double-booked the bus: Overrun = %d", s.Overrun)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("stats invalid: %v", err)
+	}
+}
+
+type errWriter struct{ err error }
+
+func (w errWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestWriteTracePropagatesWriterError(t *testing.T) {
+	werr := errors.New("pipe closed")
+	records := []TraceRecord{{At: 1, Addr: 2, Bytes: 3, Write: true, Stream: StreamWr1}}
+	if err := WriteTrace(errWriter{werr}, records); !errors.Is(err, werr) {
+		t.Fatalf("err = %v, want %v", err, werr)
+	}
+}

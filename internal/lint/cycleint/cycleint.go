@@ -1,5 +1,6 @@
 // Package cycleint implements the cycle-int64 analyzer: inside the timing
-// model packages (internal/dram and internal/arch/...), cycle and tCK
+// model packages (internal/dram and internal/arch/...) and the
+// observability layer they publish into (internal/obs/...), cycle and tCK
 // arithmetic must stay in integer types. Floating point creeping into
 // cycle accounting makes results platform- and order-dependent (FMA
 // contraction, x87 vs SSE rounding) and can silently lose precision above
@@ -33,11 +34,16 @@ var Analyzer = &lint.Analyzer{
 // ReportingDirective marks a declaration as reporting-only.
 const ReportingDirective = "quicknnlint:reporting"
 
-// inScope reports whether the package holds cycle-domain timing models.
+// inScope reports whether the package holds cycle-domain timing models or
+// the observability layer that carries their cycle timestamps (counters
+// and trace ticks stay integer; only the export/report boundary may go
+// floating, and must say so).
 func inScope(pass *lint.Pass) bool {
 	return pass.Pkg.Path == pass.Module+"/internal/dram" ||
 		pass.Pkg.Path == pass.Module+"/internal/arch" ||
-		strings.HasPrefix(pass.Pkg.Path, pass.Module+"/internal/arch/")
+		strings.HasPrefix(pass.Pkg.Path, pass.Module+"/internal/arch/") ||
+		pass.Pkg.Path == pass.Module+"/internal/obs" ||
+		strings.HasPrefix(pass.Pkg.Path, pass.Module+"/internal/obs/")
 }
 
 func run(pass *lint.Pass) error {

@@ -24,3 +24,18 @@ func TestArchSubtree(t *testing.T) {
 	linttest.Run(t, cycleint.Analyzer,
 		"testdata/src/dram", "example.com/m/internal/arch/traversal", "example.com/m")
 }
+
+// TestObsPackage verifies the observability layer is in scope: counter
+// and tracer tick arithmetic stay integer, and only marked export/report
+// boundaries may go floating.
+func TestObsPackage(t *testing.T) {
+	linttest.Run(t, cycleint.Analyzer,
+		"testdata/src/obs", "example.com/m/internal/obs", "example.com/m")
+}
+
+// TestObsSubtree verifies internal/obs descendants (e.g. obs/obsdram)
+// are covered too.
+func TestObsSubtree(t *testing.T) {
+	linttest.Run(t, cycleint.Analyzer,
+		"testdata/src/obs", "example.com/m/internal/obs/obsdram", "example.com/m")
+}

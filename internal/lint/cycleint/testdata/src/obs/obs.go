@@ -1,0 +1,49 @@
+// Package obs is a cycleint fixture standing in for the observability
+// layer; the test loads it under the in-scope import path
+// <module>/internal/obs (and a child path for the subtree case). The
+// registry's integer counters and the tracer's tick arithmetic must stay
+// in the cycle domain; only the marked export/report boundary may go
+// floating.
+package obs
+
+// counterAdd models the registry's integer-counter fast path: cycle and
+// event counts stay int64.
+func counterAdd(cur, n int64) int64 { return cur + n }
+
+// spanEnd models tick arithmetic in the tracer: offsets stay integer.
+func spanEnd(start, dur, offset int64) int64 { return start + dur + offset }
+
+// badSample leaks floating point into tick bookkeeping — the
+// would-have-failed case for an unmarked obs helper.
+func badSample(at int64) float64 { // want "cycleint: float64 in cycle-domain package"
+	scaled := float64(at) // want "cycleint: float64 in cycle-domain package"
+	return scaled / 100.0 // want "cycleint: float literal 100\.0 in cycle-domain package"
+}
+
+// badBound binds a float bound without a reporting marker.
+const badBound = 1.5 // want "cycleint: float literal 1\.5 in cycle-domain package"
+
+// TicksToMicros is the sanctioned export boundary: ticks become
+// microsecond report values only under a justification.
+//
+//quicknnlint:reporting converts ticks to microseconds at the export boundary
+func TicksToMicros(ticks int64, ticksPerMicro float64) float64 {
+	if ticksPerMicro <= 0 {
+		ticksPerMicro = 1
+	}
+	return float64(ticks) / ticksPerMicro
+}
+
+// Buckets carries report-only histogram bounds under a marker.
+//
+//quicknnlint:reporting bucket bounds classify report samples, not cycle state
+var Buckets = []float64{1.5, 3.0}
+
+// Gauge mixes integer tick state with a marked report-only field.
+type Gauge struct {
+	// LastTick is tracer time and must stay integer.
+	LastTick int64
+	// Value is the exposed report value.
+	//quicknnlint:reporting gauges hold report values, not cycle state
+	Value float64
+}

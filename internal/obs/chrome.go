@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format's
+// "traceEvents" array — the subset Perfetto and chrome://tracing
+// consume: metadata (ph "M"), complete spans (ph "X"), instants (ph "i")
+// and counters (ph "C").
+//
+//quicknnlint:reporting trace timestamps are microsecond report values, not cycle state
+type ChromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+	// S is the instant-event scope ("t" = thread).
+	S string `json:"s,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of the trace-event format.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// SpanEvents returns the complete ("X") events of the trace.
+func (c *ChromeTrace) SpanEvents() []ChromeEvent {
+	var out []ChromeEvent
+	for _, e := range c.TraceEvents {
+		if e.Ph == "X" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// chromePid is the single simulated process of a trace.
+const chromePid = 1
+
+// WriteChrome exports the tracer as Chrome trace-event JSON:
+// process/thread name metadata first, then every recorded event in
+// record order. ticksPerMicro converts recorded ticks to trace
+// microseconds (e.g. 100 for 100 MHz core cycles, 1200 for DDR4-2400
+// tCK); values <= 0 mean one tick per microsecond.
+//
+// The output loads in https://ui.perfetto.dev or chrome://tracing.
+//
+//quicknnlint:reporting converts tick timestamps to microsecond report values at the export boundary
+func (t *Tracer) WriteChrome(w io.Writer, ticksPerMicro float64) error {
+	trace := t.Chrome(ticksPerMicro)
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// Chrome builds the trace-event representation without serializing it.
+//
+//quicknnlint:reporting converts tick timestamps to microsecond report values at the export boundary
+func (t *Tracer) Chrome(ticksPerMicro float64) *ChromeTrace {
+	if ticksPerMicro <= 0 {
+		ticksPerMicro = 1
+	}
+	out := &ChromeTrace{DisplayTimeUnit: "ns", TraceEvents: []ChromeEvent{}}
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]interface{}{"name": t.process},
+	})
+	for i, name := range t.tracks {
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: i + 1,
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+	ts := func(ticks int64) float64 { return float64(ticks) / ticksPerMicro }
+	for _, e := range t.events {
+		switch e.kind {
+		case 'X':
+			ev := ChromeEvent{
+				Name: e.name, Ph: "X", Cat: "phase",
+				Ts: ts(e.start), Dur: ts(e.end - e.start),
+				Pid: chromePid, Tid: e.track + 1,
+			}
+			if len(e.args) > 0 {
+				ev.Args = make(map[string]interface{}, len(e.args))
+				for k, v := range e.args {
+					ev.Args[k] = v
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		case 'i':
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: e.name, Ph: "i", Cat: "event",
+				Ts: ts(e.start), Pid: chromePid, Tid: e.track + 1, S: "t",
+			})
+		case 'C':
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: e.name, Ph: "C",
+				Ts: ts(e.start), Pid: chromePid,
+				Args: map[string]interface{}{"value": e.value},
+			})
+		}
+	}
+	return out
+}
+
+// ParseChrome decodes Chrome trace-event JSON produced by WriteChrome
+// (object form with a "traceEvents" array).
+func ParseChrome(r io.Reader) (*ChromeTrace, error) {
+	var out ChromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	if out.TraceEvents == nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: no traceEvents array")
+	}
+	return &out, nil
+}

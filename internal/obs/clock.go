@@ -1,0 +1,38 @@
+package obs
+
+import "time"
+
+// This file is the single sanctioned host-clock boundary of the
+// observability layer. The walltime analyzer bans wall-clock reads in
+// simulation packages because simulated results must be deterministic;
+// software-pipeline metrics, by contrast, exist to measure the host, so
+// the two reads below carry explicit, justified suppressions. Everything
+// else in this repository that wants a wall time goes through
+// MonotonicSeconds / Stopwatch rather than calling time.Now itself.
+
+// processEpoch anchors the monotonic clock once at startup; durations are
+// differences of monotonic readings, immune to wall-clock steps.
+var processEpoch = time.Now() //lint:ignore walltime monotonic epoch for host-side pipeline metrics, captured once at startup (docs/observability.md)
+
+// MonotonicSeconds returns seconds since process start on the host's
+// monotonic clock. It is the time source for the software-pipeline
+// metrics (build/search wall time, queries/sec).
+//
+//quicknnlint:reporting host wall seconds are report output, not simulated cycle state
+func MonotonicSeconds() float64 {
+	//lint:ignore walltime sanctioned host-clock read for pipeline metrics (docs/observability.md)
+	return time.Since(processEpoch).Seconds()
+}
+
+// Stopwatch measures one host-side interval on the monotonic clock.
+//
+//quicknnlint:reporting host wall seconds are report output, not simulated cycle state
+type Stopwatch struct{ start float64 }
+
+// StartStopwatch begins an interval.
+func StartStopwatch() Stopwatch { return Stopwatch{start: MonotonicSeconds()} }
+
+// Seconds returns the elapsed host seconds since StartStopwatch.
+//
+//quicknnlint:reporting host wall seconds are report output, not simulated cycle state
+func (s Stopwatch) Seconds() float64 { return MonotonicSeconds() - s.start }

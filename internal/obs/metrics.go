@@ -1,0 +1,528 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+// The three family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind the way the Prometheus TYPE line spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Registry holds labeled metric families. It is safe for concurrent use;
+// a nil *Registry is a valid no-op sink (every method tolerates it).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric family: fixed kind, fixed label names, one
+// series per distinct label-value tuple.
+//
+//quicknnlint:reporting histogram bucket bounds are report output, not cycle state
+type family struct {
+	name, help string
+	kind       Kind
+	labels     []string
+	buckets    []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // insertion-independent: sorted at snapshot time
+}
+
+// series is one label-value tuple's instrument storage. Counters are
+// integer (cycle counts, byte counts, event counts — the cycle domain
+// stays integer); gauges and histogram samples are floating report
+// values.
+//
+//quicknnlint:reporting gauge bits and histogram sums are report values, not cycle state
+type series struct {
+	labels []string
+	// counter is the value of counter series.
+	counter atomic.Int64
+	// gaugeBits holds math.Float64bits of the gauge value.
+	gaugeBits atomic.Uint64
+	// histogram state, guarded by mu.
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+// seriesKey joins label values with an unprintable separator.
+func seriesKey(values []string) string { return strings.Join(values, "\x00") }
+
+// lookup returns the family with the given name, creating it on first
+// use. Re-registering a name with a different kind or label set is a
+// programmer error and panics.
+//
+//quicknnlint:reporting histogram bucket bounds are report configuration, not cycle state
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v with %d label(s); have %v with %d",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// with returns the series for the label values, creating it on demand.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label value(s), got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			s.counts = make([]int64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// ----------------------------------------------------------------- counters
+
+// CounterVec is a labeled counter family handle.
+type CounterVec struct{ f *family }
+
+// Counter is one counter series. Counters are monotone int64 — cycle,
+// byte and event counts stay in the integer domain.
+type Counter struct{ s *series }
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, KindCounter, nil, labels)}
+}
+
+// With resolves one series by label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return &Counter{s: v.f.with(values)}
+}
+
+// Add increments the counter by n (negative n is a programmer error and
+// panics: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("obs: counter decremented by %d: counters are monotone", n))
+	}
+	c.s.counter.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.s.counter.Load()
+}
+
+// ------------------------------------------------------------------- gauges
+
+// GaugeVec is a labeled gauge family handle.
+type GaugeVec struct{ f *family }
+
+// Gauge is one gauge series: a floating report value (utilization,
+// frame rate, seconds) that may go up or down.
+type Gauge struct{ s *series }
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.lookup(name, help, KindGauge, nil, labels)}
+}
+
+// With resolves one series by label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return &Gauge{s: v.f.with(values)}
+}
+
+// Set stores v.
+//
+//quicknnlint:reporting gauges hold report values (ratios, rates, seconds), not cycle state
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.gaugeBits.Store(math.Float64bits(v))
+}
+
+// Value reads the gauge.
+//
+//quicknnlint:reporting gauges hold report values, not cycle state
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.gaugeBits.Load())
+}
+
+// --------------------------------------------------------------- histograms
+
+// HistogramVec is a labeled histogram family handle.
+type HistogramVec struct{ f *family }
+
+// Histogram is one histogram series with the family's fixed buckets.
+type Histogram struct {
+	s *series
+	f *family
+}
+
+// Histogram registers (or fetches) a histogram family with the given
+// fixed upper bounds (ascending; the implicit +Inf bucket is appended).
+//
+//quicknnlint:reporting bucket bounds classify report samples, not cycle state
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending at %d", name, i))
+		}
+	}
+	return &HistogramVec{f: r.lookup(name, help, KindHistogram, buckets, labels)}
+}
+
+// With resolves one series by label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return &Histogram{s: v.f.with(values), f: v.f}
+}
+
+// Observe records one sample.
+//
+//quicknnlint:reporting histogram samples are report values (latencies, seconds), not cycle state
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	h.s.mu.Lock()
+	h.s.counts[i]++
+	h.s.sum += v
+	h.s.count++
+	h.s.mu.Unlock()
+}
+
+// ObserveInt records an integer sample (cycle latencies enter the report
+// domain here).
+//
+//quicknnlint:reporting converts an integer sample to a report value at the boundary
+func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start with the given factor — the shape used for cycle latencies.
+//
+//quicknnlint:reporting bucket bounds are report configuration, not cycle state
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets wants n > 0, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// TimeBuckets are the default bounds for host wall-time histograms, in
+// seconds (1 µs … ~16 s).
+//
+//quicknnlint:reporting wall-second bounds are report configuration, not cycle state
+func TimeBuckets() []float64 { return ExpBuckets(1e-6, 4, 13) }
+
+// --------------------------------------------------------------- snapshots
+
+// Snapshot is a deep, immutable copy of a registry's state.
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// FamilySnapshot is one family's state.
+//
+//quicknnlint:reporting snapshot carries report values, not cycle state
+type FamilySnapshot struct {
+	Name, Help string
+	Kind       Kind
+	LabelNames []string
+	Buckets    []float64 // histogram families only
+	Series     []SeriesSnapshot
+}
+
+// SeriesSnapshot is one series' state; which fields are meaningful
+// depends on the family kind.
+//
+//quicknnlint:reporting snapshot carries report values, not cycle state
+type SeriesSnapshot struct {
+	LabelValues []string
+	Counter     int64
+	Gauge       float64
+	// Histogram state: BucketCounts[i] counts samples ≤ Buckets[i];
+	// the last entry is the +Inf bucket.
+	BucketCounts []int64
+	Sum          float64
+	Count        int64
+}
+
+// Find returns the series with the given label values, if present.
+func (f FamilySnapshot) Find(values ...string) (SeriesSnapshot, bool) {
+	key := seriesKey(values)
+	for _, s := range f.Series {
+		if seriesKey(s.LabelValues) == key {
+			return s, true
+		}
+	}
+	return SeriesSnapshot{}, false
+}
+
+// Find returns the family with the given name, if present.
+func (s Snapshot) Find(name string) (FamilySnapshot, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Snapshot deep-copies the registry. Families and series are sorted by
+// name and label values, so snapshots are deterministic.
+//
+//quicknnlint:reporting copies report values (gauges, bucket bounds) out of the registry
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out Snapshot
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:       f.name,
+			Help:       f.help,
+			Kind:       f.kind,
+			LabelNames: append([]string(nil), f.labels...),
+			Buckets:    append([]float64(nil), f.buckets...),
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			s := f.series[key]
+			ss := SeriesSnapshot{
+				LabelValues: append([]string(nil), s.labels...),
+				Counter:     s.counter.Load(),
+				Gauge:       math.Float64frombits(s.gaugeBits.Load()),
+			}
+			if f.kind == KindHistogram {
+				s.mu.Lock()
+				ss.BucketCounts = append([]int64(nil), s.counts...)
+				ss.Sum = s.sum
+				ss.Count = s.count
+				s.mu.Unlock()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}
+
+// -------------------------------------------------------------- exposition
+
+// WriteText writes the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP and TYPE lines per family, one sample line per
+// series, histogram expansion into _bucket/_sum/_count. Output order is
+// deterministic (families by name, series by label values).
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}
+
+// WriteText writes the snapshot in the Prometheus text format.
+//
+//quicknnlint:reporting formats report values for exposition
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, f := range s.Families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, ser := range f.Series {
+			switch f.Kind {
+			case KindCounter:
+				if err := writeSample(w, f.Name, f.LabelNames, ser.LabelValues, "", "",
+					strconv.FormatInt(ser.Counter, 10)); err != nil {
+					return err
+				}
+			case KindGauge:
+				if err := writeSample(w, f.Name, f.LabelNames, ser.LabelValues, "", "",
+					formatFloat(ser.Gauge)); err != nil {
+					return err
+				}
+			case KindHistogram:
+				cum := int64(0)
+				for i, bound := range f.Buckets {
+					cum += ser.BucketCounts[i]
+					if err := writeSample(w, f.Name+"_bucket", f.LabelNames, ser.LabelValues,
+						"le", formatFloat(bound), strconv.FormatInt(cum, 10)); err != nil {
+						return err
+					}
+				}
+				cum += ser.BucketCounts[len(f.Buckets)]
+				if err := writeSample(w, f.Name+"_bucket", f.LabelNames, ser.LabelValues,
+					"le", "+Inf", strconv.FormatInt(cum, 10)); err != nil {
+					return err
+				}
+				if err := writeSample(w, f.Name+"_sum", f.LabelNames, ser.LabelValues, "", "",
+					formatFloat(ser.Sum)); err != nil {
+					return err
+				}
+				if err := writeSample(w, f.Name+"_count", f.LabelNames, ser.LabelValues, "", "",
+					strconv.FormatInt(ser.Count, 10)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one exposition line, appending an extra label (le for
+// histogram buckets) when extraName is non-empty.
+func writeSample(w io.Writer, name string, labelNames, labelValues []string, extraName, extraValue, value string) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		sb.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(ln)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(labelValues[i]))
+			sb.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labelNames) > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(extraName)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(extraValue))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// formatFloat renders a float the shortest round-trippable way.
+//
+//quicknnlint:reporting float formatting for exposition output
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.", "code").With("200")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	// Second registration of the same family resolves the same series.
+	if got := r.Counter("requests_total", "Requests.", "code").With("200").Value(); got != 5 {
+		t.Fatalf("re-resolved Value = %d, want 5", got)
+	}
+	if got := r.Counter("requests_total", "Requests.", "code").With("404").Value(); got != 0 {
+		t.Fatalf("fresh series Value = %d, want 0", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok || !strings.HasPrefix(msg, "obs: ") {
+			t.Fatalf("want obs-prefixed panic, got %v", msg)
+		}
+	}()
+	NewRegistry().Counter("c_total", "h").With().Add(-1)
+}
+
+func TestGaugeSetAndValue(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("util", "Utilization.").With()
+	g.Set(0.875)
+	if got := g.Value(); got != 0.875 {
+		t.Fatalf("Value = %v, want 0.875", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("Value = %v, want -3", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{1, 10, 100}).With()
+	for _, v := range []float64{0.5, 1, 2, 10, 11, 1e6} {
+		h.Observe(v)
+	}
+	h.ObserveInt(50)
+	snap, ok := r.Snapshot().Find("lat")
+	if !ok {
+		t.Fatal("family missing from snapshot")
+	}
+	ser := snap.Series[0]
+	// Buckets count ≤ bound: {0.5,1}=2, {2,10}=2, {11? no: 11>10, ≤100: 11,50}=2, +Inf: {1e6}=1.
+	want := []int64{2, 2, 2, 1}
+	for i, w := range want {
+		if ser.BucketCounts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, ser.BucketCounts[i], w, ser.BucketCounts)
+		}
+	}
+	if ser.Count != 7 {
+		t.Fatalf("Count = %d, want 7", ser.Count)
+	}
+	if wantSum := 0.5 + 1 + 2 + 10 + 11 + 1e6 + 50; ser.Sum != wantSum {
+		t.Fatalf("Sum = %v, want %v", ser.Sum, wantSum)
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on non-ascending buckets")
+		}
+	}()
+	NewRegistry().Histogram("h", "help", []float64{1, 1})
+}
+
+func TestReRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok || !strings.Contains(msg, "re-registered") {
+			t.Fatalf("want re-registration panic, got %v", msg)
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestLabelArityMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong label count")
+		}
+	}()
+	r.Counter("m", "h", "a", "b").With("only-one")
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "h").With().Inc()
+	r.Gauge("g", "h").With().Set(1)
+	r.Histogram("h", "h", []float64{1}).With().Observe(1)
+	if n := len(r.Snapshot().Families); n != 0 {
+		t.Fatalf("nil registry snapshot has %d families", n)
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+	var s *Sink
+	if s.Reg() != nil || s.Tr() != nil {
+		t.Fatal("nil sink must expose nil registry and tracer")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	tb := TimeBuckets()
+	if len(tb) != 13 || tb[0] != 1e-6 {
+		t.Fatalf("TimeBuckets = %v", tb)
+	}
+}
+
+// TestWriteTextExact pins the Prometheus exposition byte-for-byte: family
+// HELP/TYPE headers, label escaping, histogram expansion with cumulative
+// le buckets, deterministic family and series order.
+func TestWriteTextExact(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "Last family by name.").With().Add(3)
+	r.Gauge("aa_ratio", "First family; value \"quoted\"\nand broken.", "dev").With("a\\b").Set(0.5)
+	h := r.Histogram("mm_lat", "Middle.", []float64{1, 2}, "s")
+	h.With("x").Observe(1.5)
+	h.With("x").Observe(99)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_ratio First family; value "quoted"\nand broken.
+# TYPE aa_ratio gauge
+aa_ratio{dev="a\\b"} 0.5
+# HELP mm_lat Middle.
+# TYPE mm_lat histogram
+mm_lat_bucket{s="x",le="1"} 0
+mm_lat_bucket{s="x",le="2"} 1
+mm_lat_bucket{s="x",le="+Inf"} 2
+mm_lat_sum{s="x"} 100.5
+mm_lat_count{s="x"} 2
+# HELP zz_total Last family by name.
+# TYPE zz_total counter
+zz_total 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("WriteText output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, l := range order {
+			r.Counter("hits_total", "Hits.", "s").With(l).Inc()
+		}
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := build([]string{"x", "y", "z"})
+	b := build([]string{"z", "x", "y"})
+	if a != b {
+		t.Errorf("series insertion order leaked into output:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestWriteTextPropagatesWriterError(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").With().Inc()
+	werr := errors.New("disk full")
+	if err := r.WriteText(failingWriter{werr}); !errors.Is(err, werr) {
+		t.Fatalf("err = %v, want %v", err, werr)
+	}
+}
+
+type failingWriter struct{ err error }
+
+func (f failingWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestFormatFloatSpecials(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Errorf("+Inf = %q", got)
+	}
+	if got := formatFloat(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("-Inf = %q", got)
+	}
+	if got := formatFloat(0.25); got != "0.25" {
+		t.Errorf("0.25 = %q", got)
+	}
+}
+
+func TestSnapshotFind(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", "k").With("v").Add(7)
+	snap := r.Snapshot()
+	fam, ok := snap.Find("c_total")
+	if !ok {
+		t.Fatal("family not found")
+	}
+	ser, ok := fam.Find("v")
+	if !ok || ser.Counter != 7 {
+		t.Fatalf("series = %+v ok=%v", ser, ok)
+	}
+	if _, ok := fam.Find("missing"); ok {
+		t.Fatal("found a series that does not exist")
+	}
+	if _, ok := snap.Find("missing"); ok {
+		t.Fatal("found a family that does not exist")
+	}
+}
+
+// TestRegistryConcurrency exercises the registry under -race: concurrent
+// registration, resolution and updates of the same families.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, n = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				r.Counter("ops_total", "Ops.", "w").With(string(rune('a' + w%4))).Inc()
+				r.Gauge("level", "Level.").With().Set(float64(i))
+				r.Histogram("lat", "Lat.", []float64{1, 10}).With().Observe(float64(i % 20))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fam, _ := r.Snapshot().Find("ops_total")
+	var total int64
+	for _, s := range fam.Series {
+		total += s.Counter
+	}
+	if total != workers*n {
+		t.Fatalf("total = %d, want %d", total, workers*n)
+	}
+	lat, _ := r.Snapshot().Find("lat")
+	if lat.Series[0].Count != workers*n {
+		t.Fatalf("histogram count = %d, want %d", lat.Series[0].Count, workers*n)
+	}
+}
+
+func TestStopwatchMonotone(t *testing.T) {
+	sw := StartStopwatch()
+	if sw.Seconds() < 0 {
+		t.Fatal("stopwatch went backward")
+	}
+	if MonotonicSeconds() < 0 {
+		t.Fatal("monotonic clock negative")
+	}
+}

@@ -1,0 +1,61 @@
+// Package obs is the repository's unified observability layer: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms with labeled families, Prometheus text exposition) and a
+// hierarchical span tracer that exports Chrome trace-event JSON loadable
+// in Perfetto or chrome://tracing.
+//
+// The paper's whole evaluation (Figs. 7, 10, 13; §6) is an observability
+// exercise — bus utilization, row-hit rates, per-phase round timelines.
+// This package makes those quantities first-class: the DRAM model, the
+// architecture engines, the software pipeline and the benchmark harness
+// all publish into one Sink, and the CLIs export the result as a
+// Prometheus snapshot (-metrics) and a Perfetto trace (-trace).
+//
+// # Design rules
+//
+//   - Zero cost when unattached. Every instrument method is safe on a nil
+//     receiver and returns immediately, so instrumented code carries only
+//     a nil check when no sink is installed.
+//   - No wall clocks except through the sanctioned helper in clock.go
+//     (host-side pipeline metrics), which carries the quicknnlint
+//     suppression and its justification. Simulated components pass cycle
+//     timestamps; obs never invents time.
+//   - Deterministic output. WriteText and WriteChrome emit families,
+//     series and events in a stable order so snapshots diff cleanly and
+//     golden tests are byte-exact.
+//
+// See docs/observability.md for the metric families, the span naming
+// scheme, and a Perfetto walkthrough.
+package obs
+
+// Sink bundles the two halves of the observability layer. A nil *Sink is
+// the "observability off" state: every helper tolerates it, so code can
+// thread a Sink unconditionally.
+type Sink struct {
+	// Metrics is the metrics registry (may be nil).
+	Metrics *Registry
+	// Trace is the span tracer (may be nil).
+	Trace *Tracer
+}
+
+// NewSink returns a Sink with a fresh registry and a tracer labeled with
+// the given process name (the Perfetto "process" of the simulation).
+func NewSink(process string) *Sink {
+	return &Sink{Metrics: NewRegistry(), Trace: NewTracer(process)}
+}
+
+// Reg returns the sink's registry, nil when the sink is nil or empty.
+func (s *Sink) Reg() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// Tr returns the sink's tracer, nil when the sink is nil or empty.
+func (s *Sink) Tr() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
+}

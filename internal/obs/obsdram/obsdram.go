@@ -1,0 +1,202 @@
+// Package obsdram bridges the dram timing model into the obs layer: a
+// Collector that turns dram.Event streams into registry metrics (per-
+// stream access-latency histograms, row hit/conflict counters, refresh
+// and bus-busy accounting) and Perfetto counter tracks, plus a converter
+// that renders captured dram.TraceRecord streams as Chrome trace-event
+// timelines (cmd/memtrace -perfetto).
+//
+// The bridge lives outside package obs so the core registry/tracer stay
+// dependency-free, and outside package dram so the timing model keeps
+// emitting plain events without knowing about sinks.
+package obsdram
+
+import (
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// sampleEvery throttles Perfetto counter-track samples to one per this
+// many bursts, keeping trace files proportional to the timeline, not the
+// traffic.
+const sampleEvery = 64
+
+// streams lists every accountable stream once, in StreamID order.
+var streams = []dram.StreamID{
+	dram.StreamOther, dram.StreamRd1, dram.StreamWr1,
+	dram.StreamRd2, dram.StreamRd3, dram.StreamWr2,
+}
+
+// latencyBuckets are the access-latency histogram bounds in tCK
+// (1..32768, powers of two) — row hits land in the low buckets,
+// precharge+activate conflicts and refresh stalls in the high ones.
+//
+//quicknnlint:reporting histogram bounds classify report samples, not cycle state
+func latencyBuckets() []float64 { return obs.ExpBuckets(1, 2, 16) }
+
+// Collector subscribes a Memory's event stream to an obs.Sink. A nil
+// *Collector (from Attach with a nil sink) is inert; Finish tolerates it.
+type Collector struct {
+	mem   *dram.Memory
+	tr    *obs.Tracer
+	reg   *obs.Registry
+	ratio int64 // tCK per tracer tick (the memory's CoreRatio)
+
+	// per-stream instruments, indexed by StreamID (streams above).
+	accesses  []*obs.Counter
+	useful    []*obs.Counter
+	latency   []*obs.Histogram
+	rowHits   []*obs.Counter
+	rowMisses []*obs.Counter
+	refreshes *obs.Counter
+	busBusy   *obs.Counter
+
+	bursts  int64
+	cumBusy int64
+	cumHits int64
+}
+
+// Attach registers the DRAM metric families on the sink and installs an
+// event tracer on mem that populates them live. It returns nil (an inert
+// collector) when sink is nil. Call Finish after the simulation to
+// record the end-of-run gauges (utilization, row-hit rate, overrun).
+//
+// Attach replaces any previously installed event tracer on mem.
+func Attach(mem *dram.Memory, sink *obs.Sink) *Collector {
+	if sink == nil || (sink.Metrics == nil && sink.Trace == nil) {
+		return nil
+	}
+	reg := sink.Reg()
+	c := &Collector{
+		mem:   mem,
+		tr:    sink.Tr(),
+		reg:   reg,
+		ratio: int64(mem.Config().CoreRatio),
+	}
+	if c.ratio <= 0 {
+		c.ratio = 1
+	}
+	accesses := reg.Counter("quicknn_dram_accesses_total",
+		"External-memory accesses submitted, by stream (Fig. 6).", "stream")
+	useful := reg.Counter("quicknn_dram_useful_bytes_total",
+		"Bytes the requesters asked for, by stream.", "stream")
+	latency := reg.Histogram("quicknn_dram_access_latency_tck",
+		"Access latency (submission to completion) in tCK, by stream.",
+		latencyBuckets(), "stream")
+	rowHits := reg.Counter("quicknn_dram_row_hits_total",
+		"Bursts that hit an open row, by stream.", "stream")
+	rowMisses := reg.Counter("quicknn_dram_row_misses_total",
+		"Bursts that paid a row conflict (precharge+activate), by stream.", "stream")
+	for _, s := range streams {
+		name := s.String()
+		c.accesses = append(c.accesses, accesses.With(name))
+		c.useful = append(c.useful, useful.With(name))
+		c.latency = append(c.latency, latency.With(name))
+		c.rowHits = append(c.rowHits, rowHits.With(name))
+		c.rowMisses = append(c.rowMisses, rowMisses.With(name))
+	}
+	c.refreshes = reg.Counter("quicknn_dram_refreshes_total",
+		"Refresh stalls taken (tREFI deadlines honoured).").With()
+	c.busBusy = reg.Counter("quicknn_dram_bus_busy_tck_total",
+		"Total tCK the data bus spent transferring.").With()
+	mem.SetEventTracer(c.onEvent)
+	return c
+}
+
+// onEvent dispatches one timing event into the metrics and the trace.
+func (c *Collector) onEvent(e dram.Event) {
+	switch e.Kind {
+	case dram.EventAccess:
+		c.accesses[e.Stream].Inc()
+		c.useful[e.Stream].Add(int64(e.Bytes))
+		c.latency[e.Stream].ObserveInt(e.End - e.At)
+	case dram.EventBurst:
+		if e.RowHit {
+			c.rowHits[e.Stream].Inc()
+			c.cumHits++
+		} else {
+			c.rowMisses[e.Stream].Inc()
+		}
+		dur := e.End - e.At
+		c.busBusy.Add(dur)
+		c.cumBusy += dur
+		c.bursts++
+		if c.bursts%sampleEvery == 0 {
+			at := e.End / c.ratio
+			c.tr.Sample("dram bus busy tCK", at, c.cumBusy)
+			c.tr.Sample("dram row hits", at, c.cumHits)
+		}
+	case dram.EventRefresh:
+		c.refreshes.Inc()
+		c.tr.Span("DRAM", "refresh", e.At/c.ratio, e.End/c.ratio, nil)
+	}
+}
+
+// Finish snapshots the memory's end-of-run statistics into gauges and
+// emits final counter-track samples. Safe on a nil collector.
+//
+//quicknnlint:reporting end-of-run ratios and rates are report output, not cycle state
+func (c *Collector) Finish() {
+	if c == nil {
+		return
+	}
+	st := c.mem.Stats()
+	c.reg.Gauge("quicknn_dram_utilization",
+		"Fraction of elapsed tCK the data bus was busy (Fig. 13).").With().Set(st.Utilization())
+	c.reg.Gauge("quicknn_dram_row_hit_rate",
+		"Fraction of bursts that hit an open row.").With().Set(st.RowHitRate())
+	c.reg.Gauge("quicknn_dram_bus_efficiency",
+		"Fraction of transferred bytes the requesters asked for.").With().Set(st.BusEfficiency())
+	c.reg.Gauge("quicknn_dram_overrun_tck",
+		"tCK by which bus busy time exceeded the elapsed window (0 unless the model double-booked the bus).").With().Set(float64(st.Overrun))
+	c.reg.Gauge("quicknn_dram_elapsed_tck",
+		"tCK from first to last access of the run.").With().Set(float64(st.Elapsed))
+	if c.bursts > 0 {
+		at := c.mem.Now() / c.ratio
+		c.tr.Sample("dram bus busy tCK", at, c.cumBusy)
+		c.tr.Sample("dram row hits", at, c.cumHits)
+	}
+}
+
+// ConvertTrace replays a captured access trace through the given memory
+// configuration and renders the timing as a tracer: one complete span
+// per access (on the access's stream track, with byte count and latency
+// args), refresh-stall spans on the DRAM track, and bus-busy/row-hit
+// counter tracks. Ticks are tCK. Records with non-positive sizes are
+// replayed but produce no span (they move no data).
+//
+// The returned Stats are the replay's counters, as from dram.Replay.
+func ConvertTrace(records []dram.TraceRecord, cfg dram.Config, process string) (*obs.Tracer, dram.Stats) {
+	tr := obs.NewTracer(process)
+	m := dram.New(cfg)
+	var bursts, cumBusy, cumHits int64
+	m.SetEventTracer(func(e dram.Event) {
+		switch e.Kind {
+		case dram.EventAccess:
+			name := "read"
+			if e.Write {
+				name = "write"
+			}
+			tr.Span(e.Stream.String(), name, e.At, e.End, map[string]int64{
+				"bytes":       int64(e.Bytes),
+				"latency_tck": e.End - e.At,
+			})
+		case dram.EventBurst:
+			if e.RowHit {
+				cumHits++
+			}
+			cumBusy += e.End - e.At
+			bursts++
+			if bursts%sampleEvery == 0 {
+				tr.Sample("dram bus busy tCK", e.End, cumBusy)
+				tr.Sample("dram row hits", e.End, cumHits)
+			}
+		case dram.EventRefresh:
+			tr.Span("DRAM", "refresh", e.At, e.End, nil)
+		}
+	})
+	for _, r := range records {
+		m.AdvanceTo(r.At)
+		m.Access(r.Addr, r.Bytes, r.Write, r.Stream)
+	}
+	return tr, m.Stats()
+}

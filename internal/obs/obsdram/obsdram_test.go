@@ -1,0 +1,234 @@
+package obsdram
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/dram"
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testConfig is a small, fast DRAM profile (CoreRatio 1 keeps tCK ==
+// tracer ticks, so span math in assertions stays readable).
+func testConfig() dram.Config {
+	return dram.Config{
+		BusBytes:    8,
+		BurstLength: 8,
+		BurstCycles: 8,
+		RowBytes:    2048,
+		Banks:       4,
+		TRCD:        2,
+		TRP:         2,
+		TCL:         2,
+		TRAS:        4,
+		TurnAround:  2,
+		CoreRatio:   1,
+		TREFI:       5000,
+		TRFC:        60,
+		Check:       true,
+	}
+}
+
+// drive pushes a deterministic mixed workload through mem.
+func drive(mem *dram.Memory, n int) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		stream := []dram.StreamID{dram.StreamRd1, dram.StreamWr1, dram.StreamRd3, dram.StreamWr2}[i%4]
+		mem.Access(uint64(rng.Intn(1<<22)), 12+rng.Intn(64), i%3 == 0, stream)
+	}
+}
+
+// TestCollectorMatchesStats checks that the live event-driven metrics
+// agree exactly with the memory's own end-of-run statistics: nothing is
+// double-counted, nothing dropped.
+func TestCollectorMatchesStats(t *testing.T) {
+	mem := dram.New(testConfig())
+	sink := obs.NewSink("test")
+	col := Attach(mem, sink)
+	if col == nil {
+		t.Fatal("Attach returned nil for a live sink")
+	}
+	drive(mem, 500)
+	col.Finish()
+
+	st := mem.Stats()
+	if err := st.Validate(); err != nil {
+		t.Fatalf("stats invalid: %v", err)
+	}
+	snap := sink.Reg().Snapshot()
+
+	acc, _ := snap.Find("quicknn_dram_accesses_total")
+	useful, _ := snap.Find("quicknn_dram_useful_bytes_total")
+	hits, _ := snap.Find("quicknn_dram_row_hits_total")
+	misses, _ := snap.Find("quicknn_dram_row_misses_total")
+	lat, _ := snap.Find("quicknn_dram_access_latency_tck")
+	for s := dram.StreamOther; s <= dram.StreamWr2; s++ {
+		name := s.String()
+		ss := st.Streams[s]
+		if got, _ := acc.Find(name); got.Counter != int64(ss.Accesses) {
+			t.Errorf("%s accesses = %d, want %d", name, got.Counter, ss.Accesses)
+		}
+		if got, _ := useful.Find(name); got.Counter != ss.UsefulBytes {
+			t.Errorf("%s useful = %d, want %d", name, got.Counter, ss.UsefulBytes)
+		}
+		if got, _ := hits.Find(name); got.Counter != int64(ss.RowHits) {
+			t.Errorf("%s hits = %d, want %d", name, got.Counter, ss.RowHits)
+		}
+		if got, _ := misses.Find(name); got.Counter != int64(ss.RowMisses) {
+			t.Errorf("%s misses = %d, want %d", name, got.Counter, ss.RowMisses)
+		}
+		if got, _ := lat.Find(name); got.Count != int64(ss.Accesses) {
+			t.Errorf("%s latency samples = %d, want %d", name, got.Count, ss.Accesses)
+		}
+	}
+	if fam, _ := snap.Find("quicknn_dram_refreshes_total"); fam.Series[0].Counter != int64(st.Refreshes) {
+		t.Errorf("refreshes = %d, want %d", fam.Series[0].Counter, st.Refreshes)
+	}
+	if fam, _ := snap.Find("quicknn_dram_bus_busy_tck_total"); fam.Series[0].Counter != st.DataBusBusy {
+		t.Errorf("bus busy = %d, want %d", fam.Series[0].Counter, st.DataBusBusy)
+	}
+	if fam, _ := snap.Find("quicknn_dram_utilization"); fam.Series[0].Gauge != st.Utilization() {
+		t.Errorf("utilization gauge = %v, want %v", fam.Series[0].Gauge, st.Utilization())
+	}
+	if fam, _ := snap.Find("quicknn_dram_overrun_tck"); fam.Series[0].Gauge != float64(st.Overrun) {
+		t.Errorf("overrun gauge = %v, want %d", fam.Series[0].Gauge, st.Overrun)
+	}
+	// Refresh spans landed on the DRAM track.
+	var refreshSpans int
+	for _, sp := range sink.Tr().Spans() {
+		if sp.Track == "DRAM" && sp.Name == "refresh" {
+			refreshSpans++
+		}
+	}
+	if refreshSpans != st.Refreshes {
+		t.Errorf("refresh spans = %d, want %d", refreshSpans, st.Refreshes)
+	}
+}
+
+func TestAttachNilSinkIsInert(t *testing.T) {
+	mem := dram.New(testConfig())
+	col := Attach(mem, nil)
+	if col != nil {
+		t.Fatal("Attach(nil sink) must return nil")
+	}
+	col.Finish() // must not panic
+	drive(mem, 10)
+	if mem.Stats().TotalAccesses() != 10 {
+		t.Fatal("memory must run unchanged without a collector")
+	}
+}
+
+// goldenRecords is the small fixed trace behind the golden-file test.
+func goldenRecords() []dram.TraceRecord {
+	return []dram.TraceRecord{
+		{At: 0, Addr: 0, Bytes: 64, Write: false, Stream: dram.StreamRd1},
+		{At: 0, Addr: 64, Bytes: 64, Write: false, Stream: dram.StreamRd1},
+		{At: 10, Addr: 1 << 16, Bytes: 12, Write: true, Stream: dram.StreamWr1},
+		{At: 20, Addr: 128, Bytes: 24, Write: false, Stream: dram.StreamRd3},
+		{At: 30, Addr: 4096, Bytes: 0, Write: true, Stream: dram.StreamWr2}, // no data: no span
+		{At: 40, Addr: 2 << 16, Bytes: 96, Write: true, Stream: dram.StreamWr2},
+	}
+}
+
+// TestConvertTraceGolden pins the trace→Perfetto conversion byte-exact.
+// Run with -update to regenerate testdata/golden.json after intentional
+// format changes.
+func TestConvertTraceGolden(t *testing.T) {
+	tr, _ := ConvertTrace(goldenRecords(), testConfig(), "golden")
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("conversion drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestConvertTraceRoundTrip is the capture → export → parse property:
+// every captured access with a payload becomes exactly one complete span
+// in the exported Chrome trace, refresh stalls add theirs on the DRAM
+// track, and the replay statistics match dram.Replay on the same input.
+func TestConvertTraceRoundTrip(t *testing.T) {
+	mem := dram.New(testConfig())
+	var records []dram.TraceRecord
+	mem.SetTracer(func(r dram.TraceRecord) { records = append(records, r) })
+	drive(mem, 400)
+	if len(records) != 400 {
+		t.Fatalf("captured %d records, want 400", len(records))
+	}
+
+	tr, stats := ConvertTrace(records, testConfig(), "roundtrip")
+	ref := dram.Replay(records, testConfig())
+	if stats.TotalAccesses() != ref.TotalAccesses() ||
+		stats.TotalUsefulBytes() != ref.TotalUsefulBytes() ||
+		stats.DataBusBusy != ref.DataBusBusy ||
+		stats.Refreshes != ref.Refreshes {
+		t.Errorf("ConvertTrace stats differ from Replay: %+v vs %+v", stats, ref)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := obs.ParseChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := 0
+	for _, r := range records {
+		if r.Bytes > 0 {
+			payload++
+		}
+	}
+	var accessSpans, refreshSpans int
+	for _, e := range ct.SpanEvents() {
+		switch e.Name {
+		case "read", "write":
+			accessSpans++
+		case "refresh":
+			refreshSpans++
+		}
+	}
+	if accessSpans != payload {
+		t.Errorf("%d access spans, want one per record with payload (%d)", accessSpans, payload)
+	}
+	if refreshSpans != stats.Refreshes {
+		t.Errorf("%d refresh spans, want %d", refreshSpans, stats.Refreshes)
+	}
+	if got := len(ct.SpanEvents()); got != tr.SpanCount() {
+		t.Errorf("chrome spans = %d, tracer spans = %d", got, tr.SpanCount())
+	}
+	// Spans carry direction and byte count.
+	for _, e := range ct.SpanEvents() {
+		if e.Name == "refresh" {
+			continue
+		}
+		if _, ok := e.Args["bytes"]; !ok {
+			t.Fatalf("span %q lacks bytes arg: %v", e.Name, e.Args)
+		}
+		if !strings.Contains("read write", e.Name) {
+			t.Fatalf("unexpected span name %q", e.Name)
+		}
+	}
+}

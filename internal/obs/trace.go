@@ -1,0 +1,176 @@
+package obs
+
+import "sync"
+
+// Tracer collects a hierarchical event timeline: one "process" per
+// simulation, one "track" (Perfetto thread) per engine or stream, plus
+// named counter series sampled over time. Timestamps are integer ticks in
+// the caller's time domain (core cycles for the architecture models, tCK
+// for raw DRAM traces); WriteChrome scales them to trace microseconds at
+// export time.
+//
+// A nil *Tracer is a valid no-op sink. Tracer is safe for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	process  string
+	offset   int64
+	trackIDs map[string]int
+	tracks   []string
+	events   []traceEvent
+}
+
+// traceEvent is one recorded event. kind 'X' is a complete span, 'i' an
+// instant, 'C' a counter sample (value in value, series name in name).
+type traceEvent struct {
+	kind       byte
+	track      int
+	name       string
+	start, end int64
+	value      int64
+	args       map[string]int64
+}
+
+// NewTracer returns an empty tracer for the named process.
+func NewTracer(process string) *Tracer {
+	return &Tracer{process: process, trackIDs: make(map[string]int)}
+}
+
+// SetOffset sets the tick offset added to every subsequently recorded
+// timestamp. Drivers that stitch several independently-clocked rounds
+// into one timeline (each simulated round restarts at cycle 0) advance
+// the offset by the previous round's length between rounds.
+func (t *Tracer) SetOffset(ticks int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.offset = ticks
+	t.mu.Unlock()
+}
+
+// Offset returns the current tick offset.
+func (t *Tracer) Offset() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.offset
+}
+
+// track resolves a track name to its id, registering it on first use.
+// Caller holds t.mu.
+func (t *Tracer) track(name string) int {
+	id, ok := t.trackIDs[name]
+	if !ok {
+		id = len(t.tracks)
+		t.trackIDs[name] = id
+		t.tracks = append(t.tracks, name)
+	}
+	return id
+}
+
+// Span records a complete span [start, end) on the named track. Spans
+// with end <= start are dropped (zero-length phases carry no information
+// on a timeline). args may be nil.
+func (t *Tracer) Span(track, name string, start, end int64, args map[string]int64) {
+	if t == nil || end <= start {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		kind:  'X',
+		track: t.track(track),
+		name:  name,
+		start: start + t.offset,
+		end:   end + t.offset,
+		args:  args,
+	})
+	t.mu.Unlock()
+}
+
+// Instant records a point event on the named track.
+func (t *Tracer) Instant(track, name string, at int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		kind:  'i',
+		track: t.track(track),
+		name:  name,
+		start: at + t.offset,
+	})
+	t.mu.Unlock()
+}
+
+// Sample records one value of the named counter series at tick `at`.
+// Perfetto renders each series as a counter track.
+func (t *Tracer) Sample(series string, at, value int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		kind:  'C',
+		name:  series,
+		start: at + t.offset,
+		value: value,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (spans + instants + samples).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// SpanCount returns the number of recorded complete spans.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.events {
+		if e.kind == 'X' {
+			n++
+		}
+	}
+	return n
+}
+
+// SpanInfo is one recorded span, as returned by Spans.
+type SpanInfo struct {
+	Track, Name string
+	Start, End  int64
+}
+
+// Spans returns a copy of the recorded complete spans in record order,
+// with offsets already applied. Intended for tests and converters.
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanInfo
+	for _, e := range t.events {
+		if e.kind != 'X' {
+			continue
+		}
+		out = append(out, SpanInfo{
+			Track: t.tracks[e.track],
+			Name:  e.name,
+			Start: e.start,
+			End:   e.end,
+		})
+	}
+	return out
+}

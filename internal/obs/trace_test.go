@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerSpansAndTracks(t *testing.T) {
+	tr := NewTracer("sim")
+	tr.Span("TBuild", "fetch", 0, 10, nil)
+	tr.Span("TSearch", "search", 5, 20, map[string]int64{"queries": 3})
+	tr.Span("TBuild", "sort", 10, 30, nil)
+	tr.Instant("TBuild", "flush", 12)
+	tr.Sample("busy", 15, 7)
+
+	if got := tr.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	if got := tr.SpanCount(); got != 3 {
+		t.Fatalf("SpanCount = %d, want 3", got)
+	}
+	spans := tr.Spans()
+	if spans[0].Track != "TBuild" || spans[1].Track != "TSearch" || spans[2].Track != "TBuild" {
+		t.Fatalf("tracks = %+v", spans)
+	}
+	if spans[1].Start != 5 || spans[1].End != 20 {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestTracerDropsEmptySpans(t *testing.T) {
+	tr := NewTracer("sim")
+	tr.Span("E", "zero", 5, 5, nil)
+	tr.Span("E", "negative", 5, 4, nil)
+	if got := tr.SpanCount(); got != 0 {
+		t.Fatalf("SpanCount = %d, want 0 (zero-length spans must be dropped)", got)
+	}
+}
+
+// TestTracerOffsetStitchesRounds models SimulateDrive: every round
+// restarts its local clock at zero, and the driver advances the offset by
+// the previous round's length.
+func TestTracerOffsetStitchesRounds(t *testing.T) {
+	tr := NewTracer("drive")
+	tr.Span("TBuild", "round0", 0, 100, nil)
+	tr.SetOffset(100)
+	if tr.Offset() != 100 {
+		t.Fatalf("Offset = %d", tr.Offset())
+	}
+	tr.Span("TBuild", "round1", 0, 80, nil)
+	spans := tr.Spans()
+	if spans[1].Start != 100 || spans[1].End != 180 {
+		t.Fatalf("stitched span = %+v, want [100,180)", spans[1])
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Span("a", "b", 0, 1, nil)
+	tr.Instant("a", "b", 0)
+	tr.Sample("a", 0, 1)
+	tr.SetOffset(5)
+	if tr.Len() != 0 || tr.SpanCount() != 0 || tr.Offset() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must be a no-op")
+	}
+	ct := tr.Chrome(1)
+	if len(ct.TraceEvents) != 0 {
+		t.Fatalf("nil tracer chrome has %d events", len(ct.TraceEvents))
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb, 1); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+}
+
+func TestChromeExportRoundTrips(t *testing.T) {
+	tr := NewTracer("quicknn sim")
+	tr.Span("TBuild", "insert", 0, 200, map[string]int64{"points": 64})
+	tr.Span("TSearch", "search", 100, 400, nil)
+	tr.Instant("TBuild", "handoff", 200)
+	tr.Sample("bus busy", 150, 42)
+
+	var sb strings.Builder
+	// 100 ticks per microsecond: the prototype's core clock.
+	if err := tr.WriteChrome(&sb, 100); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ParseChrome(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Metadata: one process_name + one thread_name per track.
+	var procName string
+	threads := map[int]string{}
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "M" {
+			continue
+		}
+		switch e.Name {
+		case "process_name":
+			procName, _ = e.Args["name"].(string)
+		case "thread_name":
+			name, _ := e.Args["name"].(string)
+			threads[e.Tid] = name
+		}
+	}
+	if procName != "quicknn sim" {
+		t.Errorf("process_name = %q", procName)
+	}
+	if len(threads) != 2 || threads[1] != "TBuild" || threads[2] != "TSearch" {
+		t.Errorf("threads = %v", threads)
+	}
+
+	spans := ct.SpanEvents()
+	if len(spans) != tr.SpanCount() {
+		t.Fatalf("%d chrome spans, want %d", len(spans), tr.SpanCount())
+	}
+	// Tick scaling: span [100,400) at 100 ticks/µs → ts 1µs, dur 3µs.
+	if spans[1].Ts != 1 || spans[1].Dur != 3 {
+		t.Errorf("span = ts %v dur %v, want 1/3", spans[1].Ts, spans[1].Dur)
+	}
+	if v, ok := spans[0].Args["points"].(float64); !ok || v != 64 {
+		t.Errorf("span args = %v", spans[0].Args)
+	}
+
+	var counters, instants int
+	for _, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "C":
+			counters++
+			if v, ok := e.Args["value"].(float64); !ok || v != 42 {
+				t.Errorf("counter args = %v", e.Args)
+			}
+		case "i":
+			instants++
+			if e.S != "t" {
+				t.Errorf("instant scope = %q, want t", e.S)
+			}
+		}
+	}
+	if counters != 1 || instants != 1 {
+		t.Errorf("counters=%d instants=%d, want 1/1", counters, instants)
+	}
+}
+
+func TestChromeZeroTicksPerMicroDefaultsToIdentity(t *testing.T) {
+	tr := NewTracer("p")
+	tr.Span("E", "s", 0, 7, nil)
+	ct := tr.Chrome(0)
+	spans := ct.SpanEvents()
+	if len(spans) != 1 || spans[0].Dur != 7 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestParseChromeErrors(t *testing.T) {
+	if _, err := ParseChrome(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON must fail")
+	} else if !strings.HasPrefix(err.Error(), "obs: ") {
+		t.Errorf("error %q lacks package prefix", err)
+	}
+	if _, err := ParseChrome(strings.NewReader(`{"displayTimeUnit":"ns"}`)); err == nil {
+		t.Error("missing traceEvents array must fail")
+	}
+	if ct, err := ParseChrome(strings.NewReader(`{"traceEvents":[]}`)); err != nil || len(ct.TraceEvents) != 0 {
+		t.Errorf("empty traceEvents should parse: %v %v", ct, err)
+	}
+}

@@ -2,6 +2,7 @@ package quicknn
 
 import (
 	qsim "github.com/quicknn/quicknn/internal/arch/quicknn"
+	"github.com/quicknn/quicknn/internal/obs"
 )
 
 // PipelineConfig configures the streaming perception loop.
@@ -24,6 +25,11 @@ type PipelineConfig struct {
 	Workers int
 	// Seed drives index construction sampling.
 	Seed int64
+	// Obs attaches an observability sink: each Process call records
+	// per-frame software metrics (build/search wall seconds on the
+	// monotonic clock, queries/sec, tree depth and bucket balance) into
+	// the quicknn_pipeline_* families. nil disables instrumentation.
+	Obs *obs.Sink
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -79,9 +85,11 @@ func (p *Pipeline) Process(frame []Point) FrameResult {
 	res := FrameResult{FrameIndex: p.count}
 	p.count++
 	if p.index == nil {
+		sw := obs.StartStopwatch()
 		p.index = NewIndex(frame,
 			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed))
 		res.IndexStats = p.index.Stats()
+		p.record(frame, sw.Seconds(), 0)
 		return res
 	}
 	queries := frame
@@ -89,10 +97,49 @@ func (p *Pipeline) Process(frame []Point) FrameResult {
 		res.Motion = EstimateMotion(p.index, frame, p.cfg.ICP)
 		queries = res.Motion.Motion.ApplyAll(frame)
 	}
+	sw := obs.StartStopwatch()
 	res.Neighbors = p.index.SearchAllParallel(queries, p.cfg.K, p.cfg.Workers)
+	searchSec := sw.Seconds()
+	sw = obs.StartStopwatch()
 	p.advance(frame)
 	res.IndexStats = p.index.Stats()
+	p.record(frame, sw.Seconds(), searchSec)
 	return res
+}
+
+// record publishes one frame's software metrics: wall times on the
+// monotonic clock (obs.MonotonicSeconds — the sanctioned host-clock
+// boundary), throughput, and the index shape after advancing.
+//
+//quicknnlint:reporting wall seconds and throughput are host-side report values
+func (p *Pipeline) record(frame []Point, buildSec, searchSec float64) {
+	sink := p.cfg.Obs
+	if sink == nil {
+		return
+	}
+	reg := sink.Reg()
+	reg.Counter("quicknn_pipeline_frames_total",
+		"Frames processed by the software pipeline.").With().Inc()
+	reg.Counter("quicknn_pipeline_points_total",
+		"Points ingested by the software pipeline.").With().Add(int64(len(frame)))
+	reg.Histogram("quicknn_pipeline_build_seconds",
+		"Host wall seconds spent building/advancing the index per frame.",
+		obs.TimeBuckets()).With().Observe(buildSec)
+	if searchSec > 0 {
+		reg.Histogram("quicknn_pipeline_search_seconds",
+			"Host wall seconds spent searching a frame against the previous index.",
+			obs.TimeBuckets()).With().Observe(searchSec)
+		reg.Gauge("quicknn_pipeline_queries_per_second",
+			"Software search throughput of the latest frame.").With().
+			Set(float64(len(frame)) / searchSec)
+	}
+	st := p.index.Stats()
+	reg.Gauge("quicknn_pipeline_tree_depth",
+		"Depth of the software index after advancing.").With().Set(float64(p.index.Depth()))
+	reg.Gauge("quicknn_pipeline_bucket_mean",
+		"Mean bucket occupancy of the software index.").With().Set(st.Mean)
+	reg.Gauge("quicknn_pipeline_bucket_max",
+		"Largest bucket of the software index.").With().Set(float64(st.Max))
 }
 
 // advance moves the index to the new frame per the maintenance mode.
