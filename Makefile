@@ -8,7 +8,7 @@ FUZZTIME  ?= 10s
 # accepts only one matching target at a time.
 FUZZ_TARGETS := FuzzReadFrameCSV FuzzReadFrameBinary FuzzLoadIndex
 
-.PHONY: all build vet lint test race fuzz trace-demo ci clean
+.PHONY: all build vet lint test race fuzz trace-demo serve-demo ci clean
 
 all: build
 
@@ -54,8 +54,21 @@ trace-demo:
 	done && \
 	echo "trace-demo: OK (trace + metrics snapshot verified)"
 
+## serve-demo: end-to-end serving smoke — quicknnd binds a loopback
+## port, ingests synthetic frames, answers batched searches in every
+## mode over real HTTP, and the /metrics scrape must carry the
+## quicknn_serve_* families (docs/serving.md).
+serve-demo:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/quicknnd -selftest -metrics-out "$$dir/serve.prom" && \
+	for fam in quicknn_serve_batch_size quicknn_serve_latency_seconds; do \
+		grep -q "$$fam" "$$dir/serve.prom" || \
+			{ echo "serve-demo: $$fam metrics missing from scrape"; exit 1; }; \
+	done && \
+	echo "serve-demo: OK (HTTP cycle + metrics scrape verified)"
+
 ## ci: everything the pipeline runs, in order.
-ci: build vet lint test race fuzz trace-demo
+ci: build vet lint test race fuzz trace-demo serve-demo
 
 clean:
 	$(GO) clean ./...

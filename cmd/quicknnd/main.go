@@ -1,0 +1,283 @@
+// Command quicknnd serves micro-batched kNN search over HTTP.
+//
+// The daemon wraps internal/serve.Engine: POST /frame advances the
+// epoch-snapshot index to the next frame, POST /search answers a query
+// batch against the current epoch, GET /metrics exposes the obs
+// registry in Prometheus text format, and GET /healthz reports
+// readiness. See docs/serving.md for the full API.
+//
+// With -selftest the daemon binds 127.0.0.1:0, drives itself through a
+// frame + search + scrape cycle with real HTTP requests, writes the
+// /metrics scrape to -metrics-out, and exits non-zero on any failure —
+// this is the `make serve-demo` entry point.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/obs"
+	"github.com/quicknn/quicknn/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		bucket     = flag.Int("bucket", 256, "k-d tree leaf bucket size")
+		queue      = flag.Int("queue", 256, "submission queue depth (backpressure bound)")
+		batch      = flag.Int("batch", 64, "max queries coalesced into one batch")
+		window     = flag.Duration("window", 2*time.Millisecond, "max micro-batch gather window")
+		workers    = flag.Int("workers", 0, "batch worker budget (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "subsample RNG seed")
+		mode       = flag.String("maintenance", "rebuild", "frame maintenance: rebuild|static|incremental")
+		readyFile  = flag.String("ready-file", "", "write the base URL here once listening")
+		selftest   = flag.Bool("selftest", false, "run the built-in HTTP smoke cycle and exit")
+		metricsOut = flag.String("metrics-out", "", "selftest: write the /metrics scrape to this file")
+	)
+	flag.Parse()
+
+	maint, err := parseMaintenance(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quicknnd:", err)
+		os.Exit(2)
+	}
+	sink := obs.NewSink("quicknnd")
+	engine := serve.NewEngine(serve.Config{
+		BucketSize:  *bucket,
+		Seed:        *seed,
+		Maintenance: maint,
+		QueueDepth:  *queue,
+		MaxBatch:    *batch,
+		MaxWindow:   *window,
+		Workers:     *workers,
+		Obs:         sink,
+	})
+	srv := &server{engine: engine, sink: sink}
+
+	listenAddr := *addr
+	if *selftest {
+		listenAddr = "127.0.0.1:0" // never collide with a real deployment
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quicknnd: listen:", err)
+		os.Exit(1)
+	}
+	base := "http://" + ln.Addr().String()
+	httpSrv := &http.Server{Handler: srv.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(base+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "quicknnd: ready-file:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *selftest {
+		err := runSelftest(base, *metricsOut)
+		shutdown(httpSrv, engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicknnd: selftest:", err)
+			os.Exit(1)
+		}
+		fmt.Println("quicknnd: selftest OK (" + base + ")")
+		return
+	}
+
+	fmt.Println("quicknnd: listening on", base)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		shutdown(httpSrv, engine)
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "quicknnd: serve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func parseMaintenance(s string) (serve.Maintenance, error) {
+	switch s {
+	case "rebuild":
+		return serve.MaintRebuild, nil
+	case "static":
+		return serve.MaintStatic, nil
+	case "incremental":
+		return serve.MaintIncremental, nil
+	}
+	return 0, fmt.Errorf("unknown -maintenance %q (want rebuild|static|incremental)", s)
+}
+
+// shutdown quiesces the HTTP listener first (no new submissions), then
+// drains the engine so every accepted request is answered.
+func shutdown(httpSrv *http.Server, engine *serve.Engine) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	_ = engine.Close(ctx)
+}
+
+// runSelftest drives the running daemon through the full serving cycle
+// with real HTTP requests: readiness gating, frame ingest, batched
+// search in several modes, error taxonomy checks, and a /metrics scrape
+// asserting the quicknn_serve_* families.
+func runSelftest(base, metricsOut string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// 1. Before the first frame the daemon must report not-ready.
+	if status, _, err := get(client, base+"/healthz"); err != nil {
+		return err
+	} else if status != http.StatusServiceUnavailable {
+		return fmt.Errorf("/healthz before first frame = %d, want 503", status)
+	}
+	// ... and /search must shed with the no-index taxonomy (503).
+	if status, _, err := post(client, base+"/search", searchRequest{Queries: [][3]float32{{1, 2, 3}}}); err != nil {
+		return err
+	} else if status != http.StatusServiceUnavailable {
+		return fmt.Errorf("/search before first frame = %d, want 503", status)
+	}
+
+	// 2. Ingest two synthetic frames (epoch advances).
+	frames := quicknn.SyntheticFrames(4000, 2, 42)
+	for fi, frame := range frames {
+		triples := make([][3]float32, len(frame))
+		for i, p := range frame {
+			triples[i] = [3]float32{p.X, p.Y, p.Z}
+		}
+		status, body, err := post(client, base+"/frame", frameRequest{Points: triples})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("/frame %d = %d: %s", fi, status, body)
+		}
+		var fr frameResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			return fmt.Errorf("/frame %d body: %w", fi, err)
+		}
+		if fr.Epoch != uint64(fi+1) || fr.Points != len(frame) {
+			return fmt.Errorf("/frame %d reply %+v, want epoch %d with %d points", fi, fr, fi+1, len(frame))
+		}
+	}
+
+	// 3. Batched search in every mode against the current epoch.
+	queries := make([][3]float32, 32)
+	for i, p := range frames[1][:len(queries)] {
+		queries[i] = [3]float32{p.X, p.Y, p.Z}
+	}
+	for _, req := range []searchRequest{
+		{Queries: queries, K: 4},                           // approx (default)
+		{Queries: queries, K: 4, Mode: "exact"},            // exact
+		{Queries: queries, K: 4, Mode: "checks", Checks: 64}, // bounded checks
+		{Queries: queries, Mode: "radius", Radius: 5},      // radius
+	} {
+		status, body, err := post(client, base+"/search", req)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("/search mode=%q = %d: %s", req.Mode, status, body)
+		}
+		var sr searchResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return fmt.Errorf("/search mode=%q body: %w", req.Mode, err)
+		}
+		if sr.Epoch != uint64(len(frames)) || len(sr.Results) != len(queries) {
+			return fmt.Errorf("/search mode=%q: epoch %d / %d results, want epoch %d / %d",
+				req.Mode, sr.Epoch, len(sr.Results), len(frames), len(queries))
+		}
+		if req.Mode == "" || req.Mode == "exact" {
+			for qi, nbrs := range sr.Results {
+				if len(nbrs) != req.K {
+					return fmt.Errorf("/search mode=%q query %d: %d neighbors, want %d", req.Mode, qi, len(nbrs), req.K)
+				}
+			}
+		}
+	}
+
+	// 4. Error taxonomy: a bad mode must map to 400, not 500.
+	if status, _, err := post(client, base+"/search", searchRequest{Queries: queries, Mode: "psychic"}); err != nil {
+		return err
+	} else if status != http.StatusBadRequest {
+		return fmt.Errorf("/search bad mode = %d, want 400", status)
+	}
+
+	// 5. Readiness flipped after the first frame.
+	if status, _, err := get(client, base+"/healthz"); err != nil {
+		return err
+	} else if status != http.StatusOK {
+		return fmt.Errorf("/healthz after frames = %d, want 200", status)
+	}
+
+	// 6. Scrape /metrics and assert the serving families are present.
+	status, scrape, err := get(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/metrics = %d", status)
+	}
+	for _, fam := range []string{
+		"quicknn_serve_batch_size",
+		"quicknn_serve_latency_seconds",
+		"quicknn_serve_requests_total",
+		"quicknn_serve_epoch_live",
+		"quicknn_serve_frame_build_seconds",
+	} {
+		if !strings.Contains(string(scrape), fam) {
+			return fmt.Errorf("/metrics scrape missing family %s", fam)
+		}
+	}
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, scrape, 0o644); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	return nil
+}
+
+func get(client *http.Client, url string) (int, []byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, nil, fmt.Errorf("GET %s: read: %w", url, err)
+	}
+	return resp.StatusCode, buf.Bytes(), nil
+}
+
+func post(client *http.Client, url string, body interface{}) (int, []byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, fmt.Errorf("POST %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, nil, fmt.Errorf("POST %s: read: %w", url, err)
+	}
+	return resp.StatusCode, buf.Bytes(), nil
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/obs"
+	"github.com/quicknn/quicknn/internal/serve"
+)
+
+// server is the HTTP facade over the serving engine. Endpoints:
+//
+//	POST /frame    ingest the next frame (epoch advance)
+//	POST /search   micro-batched kNN search against the current epoch
+//	GET  /metrics  Prometheus text exposition of the obs registry
+//	GET  /healthz  liveness + readiness (503 until the first frame)
+//
+// See docs/serving.md for the request/response schemas and the error
+// taxonomy → status code mapping.
+type server struct {
+	engine *serve.Engine
+	sink   *obs.Sink
+}
+
+// frameRequest is the /frame body.
+type frameRequest struct {
+	// Points is the frame as [x,y,z] triples.
+	Points [][3]float32 `json:"points"`
+}
+
+// frameResponse is the /frame reply.
+type frameResponse struct {
+	Epoch        uint64  `json:"epoch"`
+	Points       int     `json:"points"`
+	BuildSeconds float64 `json:"build_seconds"`
+	BucketMax    int     `json:"bucket_max"`
+	BucketMean   float64 `json:"bucket_mean"`
+}
+
+// searchRequest is the /search body.
+type searchRequest struct {
+	// Queries is the query batch as [x,y,z] triples.
+	Queries [][3]float32 `json:"queries"`
+	// K is the neighbor count (default 8).
+	K int `json:"k"`
+	// Mode is one of "approx" (default), "exact", "checks", "radius".
+	Mode string `json:"mode"`
+	// Checks is the reference-point budget of mode "checks".
+	Checks int `json:"checks"`
+	// Radius is the radius of mode "radius", meters.
+	Radius float64 `json:"radius"`
+	// TimeoutMillis bounds the request's time in the engine (0 = none).
+	TimeoutMillis int `json:"timeout_ms"`
+}
+
+// neighborJSON is one search result.
+type neighborJSON struct {
+	Index  int        `json:"index"`
+	Point  [3]float32 `json:"point"`
+	DistSq float64    `json:"dist_sq"`
+}
+
+// searchResponse is the /search reply.
+type searchResponse struct {
+	Epoch   uint64           `json:"epoch"`
+	Results [][]neighborJSON `json:"results"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/frame", s.handleFrame)
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps the engine/root error taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded),
+		errors.Is(err, serve.ErrClosed),
+		errors.Is(err, serve.ErrNoIndex):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, quicknn.ErrEmptyInput),
+		errors.Is(err, quicknn.ErrInvalidOptions):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func toPoints(triples [][3]float32) []quicknn.Point {
+	pts := make([]quicknn.Point, len(triples))
+	for i, t := range triples {
+		pts[i] = quicknn.Point{X: t[0], Y: t[1], Z: t[2]}
+	}
+	return pts
+}
+
+func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req frameRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad frame body: " + err.Error()})
+		return
+	}
+	info, err := s.engine.Advance(r.Context(), toPoints(req.Points))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, frameResponse{
+		Epoch:        info.Epoch,
+		Points:       info.Points,
+		BuildSeconds: info.BuildSeconds,
+		BucketMax:    info.Stats.Max,
+		BucketMean:   info.Stats.Mean,
+	})
+}
+
+// parseMode maps the wire mode names onto QueryOptions.
+func parseMode(req searchRequest) (quicknn.QueryOptions, error) {
+	opts := quicknn.QueryOptions{K: req.K, Checks: req.Checks, Radius: req.Radius}
+	if opts.K == 0 {
+		opts.K = 8
+	}
+	switch req.Mode {
+	case "", "approx":
+		opts.Mode = quicknn.ModeApprox
+	case "exact":
+		opts.Mode = quicknn.ModeExact
+	case "checks":
+		opts.Mode = quicknn.ModeChecks
+	case "radius":
+		opts.Mode = quicknn.ModeRadius
+	default:
+		return opts, fmt.Errorf("%w: unknown mode %q (want approx|exact|checks|radius)",
+			quicknn.ErrInvalidOptions, req.Mode)
+	}
+	return opts, nil
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad search body: " + err.Error()})
+		return
+	}
+	opts, err := parseMode(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	results, err := s.engine.QueryBatch(ctx, toPoints(req.Queries), opts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := searchResponse{Epoch: s.engine.Epoch(), Results: make([][]neighborJSON, len(results))}
+	for qi, nbrs := range results {
+		out := make([]neighborJSON, len(nbrs))
+		for i, nb := range nbrs {
+			out[i] = neighborJSON{
+				Index:  nb.Index,
+				Point:  [3]float32{nb.Point.X, nb.Point.Y, nb.Point.Z},
+				DistSq: nb.DistSq,
+			}
+		}
+		resp.Results[qi] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.sink.Metrics.WriteText(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if epoch := s.engine.Epoch(); epoch > 0 {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "epoch": epoch})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"status": "no-index"})
+}

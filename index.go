@@ -1,10 +1,10 @@
 package quicknn
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"github.com/quicknn/quicknn/internal/geom"
 	"github.com/quicknn/quicknn/internal/kdtree"
@@ -51,17 +51,50 @@ type Index struct {
 	ref  []Point
 }
 
-// NewIndex builds an index over the reference points using the paper's
-// two-phase construction. It panics if points is empty.
-func NewIndex(points []Point, opts ...Option) *Index {
+// BuildIndex builds an index over the reference points using the paper's
+// two-phase construction. It is the preferred constructor: invalid input
+// is reported as an error (ErrEmptyInput for an empty cloud,
+// ErrInvalidOptions for out-of-domain options) instead of a panic.
+func BuildIndex(points []Point, opts ...Option) (*Index, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("%w (BuildIndex requires at least one reference point)", ErrEmptyInput)
+	}
 	o := indexOptions{seed: 1}
 	for _, fn := range opts {
 		fn(&o)
 	}
+	if o.bucketSize < 0 {
+		return nil, fmt.Errorf("%w: bucket size %d must be >= 0 (0 selects the default)", ErrInvalidOptions, o.bucketSize)
+	}
+	if o.sampleSize < 0 {
+		return nil, fmt.Errorf("%w: sample size %d must be >= 0 (0 selects automatic)", ErrInvalidOptions, o.sampleSize)
+	}
 	cfg := kdtree.Config{BucketSize: o.bucketSize, SampleSize: o.sampleSize}
 	ref := append([]Point(nil), points...)
 	tree := kdtree.Build(ref, cfg, rand.New(rand.NewSource(o.seed)))
-	return &Index{tree: tree, ref: ref}
+	return &Index{tree: tree, ref: ref}, nil
+}
+
+// NewIndex builds an index over the reference points using the paper's
+// two-phase construction. It panics if points is empty.
+//
+// Deprecated: use BuildIndex, which reports invalid input as an error
+// instead of panicking. NewIndex is retained as a thin wrapper so
+// existing callers keep compiling.
+func NewIndex(points []Point, opts ...Option) *Index {
+	ix, err := BuildIndex(points, opts...)
+	if err != nil {
+		panic("quicknn: NewIndex: " + err.Error())
+	}
+	return ix
+}
+
+// Snapshot returns a deep, independent copy of the index: searches and
+// updates on either side never observe the other's mutations. The serving
+// engine (internal/serve) snapshots the current index per epoch so that
+// lock-free readers keep searching frame i while frame i+1 builds.
+func (ix *Index) Snapshot() *Index {
+	return &Index{tree: ix.tree.Clone(), ref: append([]Point(nil), ix.ref...)}
 }
 
 // Len returns the number of indexed points.
@@ -71,15 +104,24 @@ func (ix *Index) Len() int { return ix.tree.NumPoints() }
 func (ix *Index) Points() []Point { return ix.ref }
 
 // Search returns up to k approximate nearest neighbors of q, nearest
-// first — the paper's single-bucket approximate search.
+// first — the paper's single-bucket approximate search. It is a wrapper
+// over Query with ModeApprox; it panics on invalid k where Query would
+// return ErrInvalidOptions.
 func (ix *Index) Search(q Point, k int) []Neighbor {
-	res, _ := ix.tree.SearchApprox(q, k)
+	res, err := ix.Query(context.Background(), q, QueryOptions{K: k})
+	if err != nil {
+		panic("quicknn: Search: " + err.Error())
+	}
 	return res
 }
 
 // SearchExact returns the k exact nearest neighbors using backtracking.
+// It is a wrapper over Query with ModeExact.
 func (ix *Index) SearchExact(q Point, k int) []Neighbor {
-	res, _ := ix.tree.SearchExact(q, k)
+	res, err := ix.Query(context.Background(), q, QueryOptions{K: k, Mode: ModeExact})
+	if err != nil {
+		panic("quicknn: SearchExact: " + err.Error())
+	}
 	return res
 }
 
@@ -87,16 +129,24 @@ func (ix *Index) SearchExact(q Point, k int) []Neighbor {
 // primary bucket, the nearest unexplored branches are visited until at
 // least `checks` reference points have been examined. checks=0 equals
 // Search; checks ≥ Len() approaches SearchExact. It exposes the
-// accuracy/latency trade-off the paper's CPU baseline tunes.
+// accuracy/latency trade-off the paper's CPU baseline tunes. It is a
+// wrapper over Query with ModeChecks.
 func (ix *Index) SearchChecks(q Point, k, checks int) []Neighbor {
-	res, _ := ix.tree.SearchChecks(q, k, checks)
+	res, err := ix.Query(context.Background(), q, QueryOptions{K: k, Mode: ModeChecks, Checks: checks})
+	if err != nil {
+		panic("quicknn: SearchChecks: " + err.Error())
+	}
 	return res
 }
 
 // SearchRadius returns every indexed point within radius meters of q
-// (exact, via backtracking), nearest first.
+// (exact, via backtracking), nearest first. It is a wrapper over Query
+// with ModeRadius.
 func (ix *Index) SearchRadius(q Point, radius float64) []Neighbor {
-	res, _ := ix.tree.SearchRadius(q, radius)
+	res, err := ix.Query(context.Background(), q, QueryOptions{Mode: ModeRadius, Radius: radius})
+	if err != nil {
+		panic("quicknn: SearchRadius: " + err.Error())
+	}
 	return res
 }
 
@@ -109,40 +159,14 @@ func (ix *Index) SearchAll(queries []Point, k int) [][]Neighbor {
 
 // SearchAllParallel is SearchAll fanned out across workers goroutines
 // (GOMAXPROCS when workers <= 0). Searches do not mutate the index, so
-// this is safe whenever no Update runs concurrently.
+// this is safe whenever no Update runs concurrently. It is a wrapper over
+// QueryBatch.
 func (ix *Index) SearchAllParallel(queries []Point, k, workers int) [][]Neighbor {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	res, err := ix.QueryBatch(context.Background(), queries, QueryOptions{K: k, Workers: workers})
+	if err != nil {
+		panic("quicknn: SearchAllParallel: " + err.Error())
 	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		return ix.SearchAll(queries, k)
-	}
-	out := make([][]Neighbor, len(queries))
-	var wg sync.WaitGroup
-	chunk := (len(queries) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(queries) {
-			hi = len(queries)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for qi := lo; qi < hi; qi++ {
-				res, _ := ix.tree.SearchApprox(queries[qi], k)
-				out[qi] = res
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return res
 }
 
 // Update re-populates the index with a new frame using the paper's
@@ -186,21 +210,48 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.tree.WriteTo(w)
 
 // LoadIndex restores an index saved with WriteTo. The loaded index
 // answers every search identically to the saved one and remains fully
-// updatable.
+// updatable. A stream whose bucket back-indices do not form an exact
+// cover of [0, NumPoints) — out-of-range or duplicated indices from a
+// corrupt or truncated dump — is rejected with an error wrapping
+// ErrCorruptIndex rather than silently reconstructing a zero-filled
+// reference slice.
 func LoadIndex(r io.Reader) (*Index, error) {
 	tree, err := kdtree.ReadFrom(r)
 	if err != nil {
 		return nil, err
 	}
-	// Reconstruct the reference slice from the buckets' back-indices.
-	ref := make([]Point, tree.NumPoints())
-	tree.Buckets(func(_ int32, b *kdtree.Bucket) {
+	// Reconstruct the reference slice from the buckets' back-indices,
+	// validating that they exactly cover [0, n): every index in range and
+	// none seen twice. With n indices total, that pigeonholes into a
+	// bijection, so the reconstruction is faithful or the load fails.
+	n := tree.NumPoints()
+	ref := make([]Point, n)
+	seen := make([]bool, n)
+	var loadErr error
+	tree.Buckets(func(id int32, b *kdtree.Bucket) {
+		if loadErr != nil {
+			return
+		}
 		for i, idx := range b.Indices {
-			if idx >= 0 && idx < len(ref) {
-				ref[idx] = b.Points[i]
+			if idx < 0 || idx >= n {
+				loadErr = fmt.Errorf(
+					"%w: bucket %d holds reference index %d outside [0,%d)",
+					ErrCorruptIndex, id, idx, n)
+				return
 			}
+			if seen[idx] {
+				loadErr = fmt.Errorf(
+					"%w: bucket %d repeats reference index %d (another point would be dropped)",
+					ErrCorruptIndex, id, idx)
+				return
+			}
+			seen[idx] = true
+			ref[idx] = b.Points[i]
 		}
 	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
 	return &Index{tree: tree, ref: ref}, nil
 }
 

@@ -1,0 +1,127 @@
+package kdtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/nn"
+)
+
+// This file holds the cancellable variants of the backtracking searches.
+// Each takes a stop predicate that is polled once per bucket visit — the
+// natural quantum of work in the bucketed tree (a bucket scan is B_N
+// distance tests, a few microseconds) — and reports stopped=true when the
+// search was abandoned. The predicate is the hook the root package's
+// context-aware Query API plugs ctx.Err checks into; keeping kdtree free
+// of the context package preserves its zero-dependency, simulation-grade
+// surface.
+
+// SearchExactStop is SearchExact with a cancellation hook: stop is polled
+// before every bucket scan, and a true return abandons the search. The
+// partial candidate list is discarded (results are nil when stopped).
+func (t *Tree) SearchExactStop(query geom.Point, k int, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
+	tk := nn.NewTopK(k)
+	if t.searchExactStop(t.root, query, tk, &stats, stop) {
+		return nil, stats, true
+	}
+	return tk.Results(), stats, false
+}
+
+func (t *Tree) searchExactStop(idx int32, query geom.Point, tk *nn.TopK, stats *SearchStats, stop func() bool) bool {
+	nd := t.nodes[idx]
+	if nd.Leaf() {
+		if stop() {
+			return true
+		}
+		bk := &t.buckets[nd.Bucket]
+		for i, p := range bk.Points {
+			tk.Push(nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: query.DistSq(p)})
+		}
+		stats.PointsScanned += len(bk.Points)
+		stats.BucketsVisited++
+		return false
+	}
+	stats.TraversalSteps++
+	near := nd.side(query)
+	far := nd.Left
+	if near == nd.Left {
+		far = nd.Right
+	}
+	if t.searchExactStop(near, query, tk, stats, stop) {
+		return true
+	}
+	d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
+	if worst, full := tk.Worst(); !full || d*d < worst {
+		return t.searchExactStop(far, query, tk, stats, stop)
+	}
+	return false
+}
+
+// SearchChecksStop is SearchChecks with a cancellation hook: stop is
+// polled before every deferred-branch descent (each descent ends in one
+// bucket scan). A true return abandons the search with nil results.
+func (t *Tree) SearchChecksStop(query geom.Point, k, checks int, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
+	tk := nn.NewTopK(k)
+	queue := &branchHeap{{node: t.root}}
+	first := true
+	for queue.Len() > 0 && (first || stats.PointsScanned < checks) {
+		first = false
+		if stop() {
+			return nil, stats, true
+		}
+		entry := heap.Pop(queue).(branchEntry)
+		if worst, full := tk.Worst(); full && entry.bound >= worst {
+			continue
+		}
+		t.descendBBF(entry.node, entry.bound, query, tk, queue, &stats)
+	}
+	return tk.Results(), stats, false
+}
+
+// SearchRadiusStop is SearchRadius with a cancellation hook: stop is
+// polled before every bucket scan. A true return abandons the search with
+// nil results.
+func (t *Tree) SearchRadiusStop(query geom.Point, radius float64, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
+	var out []nn.Neighbor
+	r2 := radius * radius
+	if t.searchRadiusStop(t.root, query, r2, &out, &stats, stop) {
+		return nil, stats, true
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistSq != out[j].DistSq {
+			return out[i].DistSq < out[j].DistSq
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, stats, false
+}
+
+func (t *Tree) searchRadiusStop(idx int32, query geom.Point, r2 float64, out *[]nn.Neighbor, stats *SearchStats, stop func() bool) bool {
+	nd := t.nodes[idx]
+	if nd.Leaf() {
+		if stop() {
+			return true
+		}
+		bk := &t.buckets[nd.Bucket]
+		for i, p := range bk.Points {
+			if d := query.DistSq(p); d <= r2 {
+				*out = append(*out, nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: d})
+			}
+		}
+		stats.PointsScanned += len(bk.Points)
+		stats.BucketsVisited++
+		return false
+	}
+	stats.TraversalSteps++
+	d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
+	if d < 0 || d*d <= r2 {
+		if t.searchRadiusStop(nd.Left, query, r2, out, stats, stop) {
+			return true
+		}
+	}
+	if d >= 0 || d*d <= r2 {
+		return t.searchRadiusStop(nd.Right, query, r2, out, stats, stop)
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/ctxfirst"
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, ctxfirst.Analyzer,
+		"testdata/src/api", "example.com/m/internal/api", "example.com/m")
+}

@@ -1,0 +1,59 @@
+// Package api is a ctxfirst fixture: functions, methods, literals,
+// interfaces and structs that place context.Context correctly and
+// incorrectly.
+package api
+
+import "context"
+
+type engine struct{}
+
+// good is the convention: ctx first.
+func good(ctx context.Context, q string) error { return ctx.Err() }
+
+// noCtx has no context at all; nothing to place.
+func noCtx(a, b int) int { return a + b }
+
+// bad buries the context mid-list — callers lose sight of the
+// cancellation contract.
+func bad(q string, ctx context.Context) error { // want "ctxfirst: context\.Context is parameter 2 of function bad"
+	return ctx.Err()
+}
+
+// multiName counts positions through multi-name fields: ctx is the
+// third parameter even though it sits in the second field.
+func multiName(a, b int, ctx context.Context) error { // want "ctxfirst: context\.Context is parameter 3 of function multiName"
+	return ctx.Err()
+}
+
+// goodMethod follows the convention on a receiver.
+func (engine) goodMethod(ctx context.Context, n int) error { return ctx.Err() }
+
+// badMethod misplaces it on a receiver.
+func (engine) badMethod(n int, ctx context.Context) error { // want "ctxfirst: context\.Context is parameter 2 of method badMethod"
+	return ctx.Err()
+}
+
+// literals are checked too.
+var _ = func(n int, ctx context.Context) error { // want "ctxfirst: context\.Context is parameter 2 of function literal"
+	return ctx.Err()
+}
+
+// searcher's interface methods must also lead with ctx.
+type searcher interface {
+	Query(ctx context.Context, q string) error
+	Bad(q string, ctx context.Context) error // want "ctxfirst: context\.Context is parameter 2 of interface method Bad"
+}
+
+// holder stores a context in a field — the detached-deadline hazard.
+type holder struct {
+	ctx context.Context // want "ctxfirst: context\.Context stored in a struct field"
+}
+
+// carrier is the sanctioned queue-request exception, justified inline.
+type carrier struct {
+	//lint:ignore ctxfirst fixture demonstrates the request-object exception
+	ctx context.Context
+}
+
+func (h holder) use() error  { return h.ctx.Err() }
+func (c carrier) use() error { return c.ctx.Err() }

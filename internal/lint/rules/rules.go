@@ -6,6 +6,7 @@ package rules
 
 import (
 	"github.com/quicknn/quicknn/internal/lint"
+	"github.com/quicknn/quicknn/internal/lint/ctxfirst"
 	"github.com/quicknn/quicknn/internal/lint/cycleint"
 	"github.com/quicknn/quicknn/internal/lint/nakedrand"
 	"github.com/quicknn/quicknn/internal/lint/panicmsg"
@@ -14,6 +15,7 @@ import (
 
 // All lists every analyzer the quicknnlint multichecker runs.
 var All = []*lint.Analyzer{
+	ctxfirst.Analyzer,
 	cycleint.Analyzer,
 	nakedrand.Analyzer,
 	panicmsg.Analyzer,

@@ -38,6 +38,7 @@ func TestRepoIsLintClean(t *testing.T) {
 // drop out of the suite.
 func TestSuiteIsComplete(t *testing.T) {
 	want := map[string]bool{
+		"ctxfirst":  true,
 		"cycleint":  true,
 		"nakedrand": true,
 		"panicmsg":  true,

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// request is one submitted search: a set of query points answered
+// together, against a single epoch. A request travels through the
+// submission queue whole — the batcher coalesces requests into batches
+// but never splits one, so all of a request's queries are answered by
+// the same snapshot (per-request epoch consistency).
+type request struct {
+	//lint:ignore ctxfirst a request carries its submitter's context through the queue so batch workers honor the caller's deadline, in the manner of net/http.Request
+	ctx     context.Context
+	queries []quicknn.Point
+	opts    quicknn.QueryOptions
+
+	// results is filled by batch workers, one slot per query.
+	results [][]quicknn.Neighbor
+	// epochID records which snapshot answered the request.
+	epochID uint64
+
+	// pending counts unfinished queries; the last decrement closes done.
+	pending atomic.Int64
+	// failed flags the request so remaining workers skip its queries.
+	failed atomic.Bool
+	// err holds the first failure (type error).
+	err atomic.Value
+	// done is closed when every query finished or was skipped.
+	done chan struct{}
+	// submitted is the obs.MonotonicSeconds submission timestamp.
+	submitted float64
+}
+
+func newRequest(ctx context.Context, queries []quicknn.Point, opts quicknn.QueryOptions) *request {
+	r := &request{
+		ctx:       ctx,
+		queries:   queries,
+		opts:      opts,
+		results:   make([][]quicknn.Neighbor, len(queries)),
+		done:      make(chan struct{}),
+		submitted: obs.MonotonicSeconds(),
+	}
+	r.pending.Store(int64(len(queries)))
+	return r
+}
+
+// fail records the request's first error and flags it for skipping.
+func (r *request) fail(err error) {
+	if r.failed.CompareAndSwap(false, true) {
+		r.err.Store(err)
+	}
+}
+
+// failure returns the recorded error, nil when none.
+func (r *request) failure() error {
+	if err, ok := r.err.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// finishOne marks one query finished; the last one completes the request.
+func (r *request) finishOne(m *metrics) {
+	if r.pending.Add(-1) != 0 {
+		return
+	}
+	m.latency.Observe(obs.MonotonicSeconds() - r.submitted)
+	if r.failure() != nil {
+		m.requests.With("error").Inc()
+	} else {
+		m.requests.With("ok").Inc()
+	}
+	close(r.done)
+}
+
+// workItem addresses one query of one request inside a batch.
+type workItem struct {
+	req *request
+	qi  int
+}
+
+// runBatch executes one coalesced batch against a pinned epoch: the
+// flattened query list is partitioned into per-worker steal ranges and
+// processed by up to `workers` goroutines (bounded globally by the
+// engine's worker budget). An idle worker steals the back half of the
+// fullest-looking victim it finds, so stragglers rebalance instead of
+// stalling the batch the way static contiguous chunks would.
+func (e *Engine) runBatch(ep *epoch, items []workItem, workers int) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ranges := splitRanges(len(items), workers)
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	var workersDone sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workersDone.Add(1)
+		go func(me int) {
+			defer workersDone.Done()
+			e.sem <- struct{}{}
+			defer func() { <-e.sem }()
+			for {
+				if idx, ok := ranges[me].popFront(); ok {
+					e.runItem(ep, items[idx])
+					wg.Done()
+					continue
+				}
+				// Own range drained: steal the back half of the first
+				// non-empty victim, preferring the fullest.
+				best, bestLen := -1, uint32(0)
+				for off := 1; off < workers; off++ {
+					v := (me + off) % workers
+					if n := ranges[v].len(); n > bestLen {
+						best, bestLen = v, n
+					}
+				}
+				if best < 0 {
+					return // nothing left anywhere
+				}
+				if lo, hi, ok := ranges[best].stealBack(); ok {
+					ranges[me].install(lo, hi)
+					e.m.steals.Inc()
+				}
+				// On a failed steal (victim drained meanwhile) rescan;
+				// the next scan either finds work or exits.
+			}
+		}(w)
+	}
+	wg.Wait()
+	workersDone.Wait()
+}
+
+// runItem answers one query of one request against the batch's epoch,
+// honoring the request's deadline between queries.
+func (e *Engine) runItem(ep *epoch, it workItem) {
+	req := it.req
+	defer req.finishOne(e.m)
+	if req.failed.Load() {
+		return // sibling query already failed; skip the rest cheaply
+	}
+	if err := req.ctx.Err(); err != nil {
+		req.fail(err)
+		return
+	}
+	res, err := ep.index.Query(req.ctx, req.queries[it.qi], req.opts)
+	if err != nil {
+		req.fail(err)
+		return
+	}
+	req.results[it.qi] = res
+	e.m.queries.Inc()
+}

@@ -1,0 +1,23 @@
+package serve
+
+import "time"
+
+// This file is the serving engine's sanctioned host-clock boundary, in
+// the same spirit as internal/obs/clock.go: the walltime analyzer bans
+// wall-clock reads so that simulation packages stay deterministic, and
+// internal/serve stays inside that scope on purpose — the engine is
+// host-side by definition (deadlines, batch windows), but every timer it
+// arms is concentrated here with an explicit, justified suppression
+// instead of a blanket package exemption. Durations and latencies are
+// measured through obs.MonotonicSeconds, never time.Now.
+
+// newWindowTimer arms the batcher's batch-window timer. It is the only
+// place the engine creates a timer.
+func newWindowTimer(d time.Duration) *time.Timer {
+	//lint:ignore walltime the micro-batch window is host real time by definition (docs/serving.md)
+	return time.NewTimer(d)
+}
+
+// stopTimer releases a window timer without draining semantics (the
+// batcher never reuses a timer after Stop).
+func stopTimer(t *time.Timer) { t.Stop() }

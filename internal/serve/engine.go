@@ -1,0 +1,506 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// Maintenance selects how the index advances between frames, mirroring
+// the pipeline's tree modes (§4.4 of the paper).
+type Maintenance int
+
+const (
+	// MaintRebuild rebuilds the index from scratch each frame.
+	MaintRebuild Maintenance = iota
+	// MaintStatic keeps the splits frozen and refills the buckets.
+	MaintStatic
+	// MaintIncremental reuses the splits with merge/split rebalancing.
+	MaintIncremental
+)
+
+// Config parameterizes the engine. The zero value is usable: every field
+// has a serving-grade default.
+type Config struct {
+	// BucketSize is the index's bucket target B_N (default 256).
+	BucketSize int
+	// Seed drives index construction sampling (default 1).
+	Seed int64
+	// Maintenance selects the frame-advance mode (default MaintRebuild).
+	Maintenance Maintenance
+	// QueueDepth bounds the submission queue; a full queue sheds with
+	// ErrOverloaded (default 256 requests).
+	QueueDepth int
+	// MaxBatch closes a micro-batch once it holds this many query points
+	// (default 64).
+	MaxBatch int
+	// MaxWindow caps the adaptive batch window (default 2ms).
+	MaxWindow time.Duration
+	// MinWindow floors the adaptive batch window (default 50µs).
+	MinWindow time.Duration
+	// Workers bounds the total number of concurrently searching
+	// goroutines across all in-flight batches (default GOMAXPROCS).
+	Workers int
+	// Obs attaches the observability sink publishing the quicknn_serve_*
+	// families; nil disables instrumentation.
+	Obs *obs.Sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketSize <= 0 {
+		c.BucketSize = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 2 * time.Millisecond
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 50 * time.Microsecond
+	}
+	if c.MinWindow > c.MaxWindow {
+		c.MinWindow = c.MaxWindow
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// FrameInfo describes one ingested frame.
+type FrameInfo struct {
+	// Epoch is the new snapshot's epoch id (1 for the first frame).
+	Epoch uint64
+	// Points is the frame size.
+	Points int
+	// Stats is the new index's bucket occupancy.
+	Stats quicknn.Stats
+	// BuildSeconds is the host wall time spent building the snapshot.
+	BuildSeconds float64
+}
+
+// Engine is the concurrent serving core: epoch-snapshot reads plus a
+// micro-batched query path. All methods are safe for concurrent use;
+// queries never block frame advances and vice versa.
+type Engine struct {
+	cfg Config
+	m   *metrics
+
+	// current is the epoch readers pin (nil before the first frame).
+	current atomic.Pointer[epoch]
+
+	// queue is the bounded submission queue.
+	queue chan *request
+	// sem is the global worker budget shared by overlapping batches.
+	sem chan struct{}
+
+	// subMu guards closed against racing submissions: submit holds the
+	// read side across its non-blocking send, so after Close takes the
+	// write side and flips closed, the queue is quiescent modulo what is
+	// already in it.
+	subMu  sync.RWMutex
+	closed bool
+
+	// stop signals the batcher to drain and exit.
+	stop chan struct{}
+	// batcherDone closes when the batcher has drained the queue.
+	batcherDone chan struct{}
+	// batches tracks in-flight dispatched batches.
+	batches sync.WaitGroup
+
+	// frameMu serializes frame advances.
+	frameMu sync.Mutex
+
+	// epochMu guards the live-epoch set (epoch lag accounting).
+	epochMu sync.Mutex
+	live    map[uint64]struct{}
+
+	// ewmaArrival is the EWMA of request inter-arrival seconds (float64
+	// bits); lastArrival is the previous submission timestamp (float64
+	// bits of obs.MonotonicSeconds). Both are report-domain host values.
+	ewmaArrival atomic.Uint64
+	lastArrival atomic.Uint64
+}
+
+// NewEngine starts an engine: the batcher runs immediately, queries
+// before the first Advance fail with ErrNoIndex.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:         cfg,
+		m:           newMetrics(cfg.Obs),
+		queue:       make(chan *request, cfg.QueueDepth),
+		sem:         make(chan struct{}, cfg.Workers),
+		stop:        make(chan struct{}),
+		batcherDone: make(chan struct{}),
+		live:        make(map[uint64]struct{}),
+	}
+	e.m.window.Set(cfg.MinWindow.Seconds())
+	go e.batcher()
+	return e
+}
+
+// Epoch returns the current epoch id (0 before the first frame).
+func (e *Engine) Epoch() uint64 {
+	if ep := e.current.Load(); ep != nil {
+		return ep.id
+	}
+	return 0
+}
+
+// Index returns the current snapshot's index, or nil before the first
+// frame. The returned index is immutable; callers may search it directly
+// (bypassing batching) but must not update it.
+func (e *Engine) Index() *quicknn.Index {
+	if ep := e.current.Load(); ep != nil {
+		return ep.index
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- frames
+
+// Advance ingests the next frame: it builds (or incrementally updates, on
+// a private copy, per Config.Maintenance) the next index snapshot in the
+// background of the read path, then swaps it in atomically. Readers keep
+// searching the previous epoch throughout; the previous epoch is retired
+// once its last in-flight query drains. Advances are serialized with each
+// other but never block queries.
+func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo, error) {
+	if len(frame) == 0 {
+		return FrameInfo{}, fmt.Errorf("%w (Advance requires a non-empty frame)", quicknn.ErrEmptyInput)
+	}
+	if err := ctx.Err(); err != nil {
+		return FrameInfo{}, err
+	}
+	e.subMu.RLock()
+	closed := e.closed
+	e.subMu.RUnlock()
+	if closed {
+		return FrameInfo{}, ErrClosed
+	}
+	e.frameMu.Lock()
+	defer e.frameMu.Unlock()
+
+	cur := e.current.Load()
+	sw := obs.StartStopwatch()
+	var (
+		ix  *quicknn.Index
+		err error
+	)
+	if cur == nil || e.cfg.Maintenance == MaintRebuild {
+		ix, err = quicknn.BuildIndex(frame,
+			quicknn.WithBucketSize(e.cfg.BucketSize), quicknn.WithSeed(e.cfg.Seed))
+		if err != nil {
+			return FrameInfo{}, err
+		}
+	} else {
+		ix = cur.index.Snapshot()
+		switch e.cfg.Maintenance {
+		case MaintStatic:
+			ix.UpdateStatic(frame)
+		default:
+			ix.Update(frame)
+		}
+	}
+	buildSec := sw.Seconds()
+
+	var id uint64 = 1
+	if cur != nil {
+		id = cur.id + 1
+	}
+	next := newEpoch(id, ix, len(frame))
+	e.epochMu.Lock()
+	e.live[id] = struct{}{}
+	e.epochMu.Unlock()
+
+	old := e.current.Swap(next)
+	if old != nil {
+		old.release(e.retire) // drop the engine's current-reference
+	}
+
+	e.m.frames.Inc()
+	e.m.epochsTotal.Inc()
+	e.m.frameBuild.Observe(buildSec)
+	e.publishEpochGauges(id)
+	return FrameInfo{Epoch: id, Points: len(frame), Stats: ix.Stats(), BuildSeconds: buildSec}, nil
+}
+
+// retire is the epoch drain callback: the last reference release lands
+// here exactly once per epoch.
+func (e *Engine) retire(ep *epoch) {
+	e.epochMu.Lock()
+	delete(e.live, ep.id)
+	e.epochMu.Unlock()
+	if cur := e.current.Load(); cur != nil {
+		e.publishEpochGauges(cur.id)
+	}
+}
+
+// publishEpochGauges refreshes the epoch gauges from the live set.
+func (e *Engine) publishEpochGauges(currentID uint64) {
+	e.epochMu.Lock()
+	liveCount := len(e.live)
+	oldest := currentID
+	for id := range e.live {
+		if id < oldest {
+			oldest = id
+		}
+	}
+	e.epochMu.Unlock()
+	e.m.epoch.Set(float64(currentID))
+	e.m.epochLive.Set(float64(liveCount))
+	e.m.epochLag.Set(float64(currentID - oldest))
+}
+
+// acquireCurrent pins the current epoch for a batch, retrying across
+// concurrent swaps; nil before the first frame.
+func (e *Engine) acquireCurrent() *epoch {
+	for {
+		ep := e.current.Load()
+		if ep == nil {
+			return nil
+		}
+		if !ep.tryAcquire() {
+			continue // drained between load and acquire: reload
+		}
+		if e.current.Load() == ep {
+			return ep
+		}
+		ep.release(e.retire) // swapped meanwhile: prefer the fresh epoch
+	}
+}
+
+// --------------------------------------------------------------- queries
+
+// Query answers a single query point; it is QueryBatch for one point.
+func (e *Engine) Query(ctx context.Context, q quicknn.Point, opts quicknn.QueryOptions) ([]quicknn.Neighbor, error) {
+	res, err := e.QueryBatch(ctx, []quicknn.Point{q}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// QueryBatch submits the queries as one request to the micro-batching
+// engine and waits for the answer. All queries are answered against one
+// epoch snapshot. Failure modes: ErrOverloaded (queue full at submit),
+// ErrClosed (engine draining), ErrNoIndex (no frame yet), or the ctx
+// error when the deadline expires first — in-flight work for an expired
+// request is skipped, not executed.
+func (e *Engine) QueryBatch(ctx context.Context, queries []quicknn.Point, opts quicknn.QueryOptions) ([][]quicknn.Neighbor, error) {
+	if len(queries) == 0 {
+		return [][]quicknn.Neighbor{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.current.Load() == nil {
+		return nil, ErrNoIndex
+	}
+	req := newRequest(ctx, queries, opts)
+	if err := e.submit(req); err != nil {
+		return nil, err
+	}
+	select {
+	case <-req.done:
+		if err := req.failure(); err != nil {
+			return nil, err
+		}
+		return req.results, nil
+	case <-ctx.Done():
+		// The request keeps draining in the background (workers skip its
+		// remaining queries); the caller gets the deadline verdict now.
+		req.fail(ctx.Err())
+		return nil, ctx.Err()
+	}
+}
+
+// submit enqueues a request, shedding instead of blocking.
+func (e *Engine) submit(req *request) error {
+	e.subMu.RLock()
+	defer e.subMu.RUnlock()
+	if e.closed {
+		e.m.requests.With("closed").Inc()
+		return ErrClosed
+	}
+	select {
+	case e.queue <- req:
+		e.noteArrival(req.submitted)
+		e.m.queueDepth.Set(float64(len(e.queue)))
+		return nil
+	default:
+		e.m.shed.Inc()
+		e.m.requests.With("shed").Inc()
+		return ErrOverloaded
+	}
+}
+
+// noteArrival feeds the adaptive-window estimator with one submission
+// timestamp, maintaining an EWMA of inter-arrival seconds.
+func (e *Engine) noteArrival(now float64) {
+	prev := math.Float64frombits(e.lastArrival.Swap(math.Float64bits(now)))
+	if prev <= 0 || now <= prev {
+		return
+	}
+	interval := now - prev
+	for {
+		oldBits := e.ewmaArrival.Load()
+		old := math.Float64frombits(oldBits)
+		next := interval
+		if old > 0 {
+			next = 0.8*old + 0.2*interval
+		}
+		if e.ewmaArrival.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// windowFor derives the batch window from the arrival-rate estimate: the
+// time to fill roughly half a batch at the observed rate, clamped to
+// [MinWindow, MaxWindow]. Idle services converge to MinWindow (no
+// pointless waiting); hot services grow the window toward MaxWindow only
+// as far as batching actually pays.
+func (e *Engine) windowFor() time.Duration {
+	ewma := math.Float64frombits(e.ewmaArrival.Load())
+	if ewma <= 0 {
+		e.m.window.Set(e.cfg.MinWindow.Seconds())
+		return e.cfg.MinWindow
+	}
+	w := time.Duration(ewma * float64(e.cfg.MaxBatch) / 2 * float64(time.Second))
+	if w < e.cfg.MinWindow {
+		w = e.cfg.MinWindow
+	}
+	if w > e.cfg.MaxWindow {
+		w = e.cfg.MaxWindow
+	}
+	e.m.window.Set(w.Seconds())
+	return w
+}
+
+// --------------------------------------------------------------- batcher
+
+// batcher is the engine's single coalescing loop: it blocks for the
+// first request, gathers more until the adaptive window closes or the
+// batch is full, and dispatches. On stop it drains the queue (every
+// accepted request is answered) and exits.
+func (e *Engine) batcher() {
+	defer close(e.batcherDone)
+	for {
+		req, ok := e.nextRequest()
+		if !ok {
+			return
+		}
+		batch := []*request{req}
+		points := len(req.queries)
+		timer := newWindowTimer(e.windowFor())
+	gather:
+		for points < e.cfg.MaxBatch {
+			select {
+			case r2 := <-e.queue:
+				batch = append(batch, r2)
+				points += len(r2.queries)
+			case <-timer.C:
+				break gather
+			case <-e.stop:
+				break gather // drain fast on shutdown
+			}
+		}
+		stopTimer(timer)
+		e.m.queueDepth.Set(float64(len(e.queue)))
+		e.dispatch(batch, points)
+	}
+}
+
+// nextRequest blocks for the next request; after stop it keeps returning
+// leftovers until the queue is empty, then reports done.
+func (e *Engine) nextRequest() (*request, bool) {
+	select {
+	case r := <-e.queue:
+		return r, true
+	case <-e.stop:
+		select {
+		case r := <-e.queue:
+			return r, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// dispatch pins the current epoch and hands the batch to the stealing
+// worker pool asynchronously, so the batcher can keep coalescing.
+func (e *Engine) dispatch(batch []*request, points int) {
+	e.m.batches.Inc()
+	e.m.batchSize.Observe(float64(points))
+	ep := e.acquireCurrent()
+	if ep == nil {
+		// No index (first frame raced a query past the submit check):
+		// answer everything with ErrNoIndex.
+		for _, req := range batch {
+			req.fail(ErrNoIndex)
+			for range req.queries {
+				req.finishOne(e.m)
+			}
+		}
+		return
+	}
+	items := make([]workItem, 0, points)
+	for _, req := range batch {
+		req.epochID = ep.id
+		for qi := range req.queries {
+			items = append(items, workItem{req: req, qi: qi})
+		}
+	}
+	e.batches.Add(1)
+	go func() {
+		defer e.batches.Done()
+		defer ep.release(e.retire)
+		e.runBatch(ep, items, e.cfg.Workers)
+	}()
+}
+
+// ----------------------------------------------------------------- drain
+
+// Close drains the engine gracefully: new submissions fail with
+// ErrClosed immediately, every already-accepted request is answered, the
+// batcher and all in-flight batches finish, and pinned epochs are
+// released. ctx bounds the wait; on expiry the engine is still closed
+// (the drain keeps finishing in the background) and ctx.Err() is
+// returned. Close is idempotent.
+func (e *Engine) Close(ctx context.Context) error {
+	e.subMu.Lock()
+	already := e.closed
+	e.closed = true
+	e.subMu.Unlock()
+	if !already {
+		close(e.stop)
+	}
+	done := make(chan struct{})
+	go func() {
+		<-e.batcherDone
+		e.batches.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

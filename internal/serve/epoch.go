@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"github.com/quicknn/quicknn"
+)
+
+// epoch is one immutable index snapshot plus its drain accounting. The
+// index inside an epoch is never mutated after construction; frame
+// advances build the next epoch on a private copy and swap the engine's
+// current pointer.
+//
+// Lifetime is reference-counted: the count starts at 1 (the engine's
+// "current" reference) and every in-flight batch holds one more. The
+// frame swap drops the current reference; whichever release brings the
+// count to zero retires the epoch. Acquisition uses a CAS loop that
+// refuses to resurrect a drained epoch (count 0 never goes back up), so
+// a reader either pins a live snapshot or retries against the new
+// current — it can never observe a torn or freed tree.
+type epoch struct {
+	// id is the epoch's position in the frame stream, starting at 1 for
+	// the first ingested frame.
+	id uint64
+	// index is the immutable snapshot searched by this epoch's readers.
+	index *quicknn.Index
+	// points is the frame size, for introspection.
+	points int
+	// refs is the drain reference count (see type comment).
+	refs atomic.Int64
+}
+
+// newEpoch returns an epoch holding the engine's current-reference.
+func newEpoch(id uint64, index *quicknn.Index, points int) *epoch {
+	e := &epoch{id: id, index: index, points: points}
+	e.refs.Store(1)
+	return e
+}
+
+// tryAcquire takes one reference unless the epoch has already drained.
+func (e *epoch) tryAcquire() bool {
+	for {
+		n := e.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if e.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference, invoking onRetire exactly once when the
+// last reference drains.
+func (e *epoch) release(onRetire func(*epoch)) {
+	if e.refs.Add(-1) == 0 {
+		onRetire(e)
+	}
+}

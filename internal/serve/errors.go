@@ -1,0 +1,22 @@
+package serve
+
+import "errors"
+
+// The engine's error taxonomy. Every error returned by Engine methods
+// either is one of these sentinels, wraps one (match with errors.Is), or
+// is a context / root-package error propagated unchanged (context.
+// Canceled, context.DeadlineExceeded, quicknn.ErrEmptyInput, ...).
+var (
+	// ErrOverloaded reports that the submission queue was full at submit
+	// time: the engine sheds the request instead of queueing it
+	// unboundedly. Callers should back off and retry, or surface 503.
+	ErrOverloaded = errors.New("serve: overloaded: submission queue full")
+
+	// ErrClosed reports a submission after Close began: the engine is
+	// draining and accepts no new work.
+	ErrClosed = errors.New("serve: engine closed")
+
+	// ErrNoIndex reports a query before the first frame was ingested:
+	// there is no epoch to search yet.
+	ErrNoIndex = errors.New("serve: no index: no frame ingested yet")
+)

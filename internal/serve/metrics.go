@@ -1,0 +1,66 @@
+package serve
+
+import "github.com/quicknn/quicknn/internal/obs"
+
+// metrics bundles the engine's quicknn_serve_* instrument handles. All
+// handles tolerate a nil sink (obs instruments are nil-safe), so the
+// engine threads them unconditionally; see docs/serving.md for the
+// family reference.
+type metrics struct {
+	requests    *obs.CounterVec // label result: ok | error | shed | closed
+	queries     *obs.Counter
+	shed        *obs.Counter
+	batches     *obs.Counter
+	frames      *obs.Counter
+	steals      *obs.Counter
+	queueDepth  *obs.Gauge
+	window      *obs.Gauge
+	epoch       *obs.Gauge
+	epochLive   *obs.Gauge
+	epochLag    *obs.Gauge
+	batchSize   *obs.Histogram
+	latency     *obs.Histogram
+	frameBuild  *obs.Histogram
+	epochsTotal *obs.Counter
+}
+
+// newMetrics registers the serve metric families on the sink's registry
+// (a nil sink yields all-nil, no-op instruments).
+func newMetrics(sink *obs.Sink) *metrics {
+	reg := sink.Reg()
+	m := &metrics{}
+	m.requests = reg.Counter("quicknn_serve_requests_total",
+		"Search requests by outcome.", "result")
+	m.queries = reg.Counter("quicknn_serve_queries_total",
+		"Individual query points executed by the batch engine.").With()
+	m.shed = reg.Counter("quicknn_serve_shed_total",
+		"Requests shed by backpressure (submission queue full).").With()
+	m.batches = reg.Counter("quicknn_serve_batches_total",
+		"Micro-batches dispatched to the worker pool.").With()
+	m.frames = reg.Counter("quicknn_serve_frames_total",
+		"Frames ingested (epoch advances).").With()
+	m.steals = reg.Counter("quicknn_serve_steals_total",
+		"Work-stealing operations between batch workers.").With()
+	m.queueDepth = reg.Gauge("quicknn_serve_queue_depth",
+		"Requests waiting in the submission queue.").With()
+	m.window = reg.Gauge("quicknn_serve_batch_window_seconds",
+		"Current adaptive micro-batch window.").With()
+	m.epoch = reg.Gauge("quicknn_serve_epoch",
+		"Current epoch id (frames ingested).").With()
+	m.epochLive = reg.Gauge("quicknn_serve_epoch_live",
+		"Epochs still alive (current plus draining).").With()
+	m.epochLag = reg.Gauge("quicknn_serve_epoch_lag",
+		"Current epoch id minus the oldest still-draining epoch id.").With()
+	m.batchSize = reg.Histogram("quicknn_serve_batch_size",
+		"Queries per dispatched micro-batch.",
+		obs.ExpBuckets(1, 2, 11)).With()
+	m.latency = reg.Histogram("quicknn_serve_latency_seconds",
+		"Request latency from submission to completion.",
+		obs.TimeBuckets()).With()
+	m.frameBuild = reg.Histogram("quicknn_serve_frame_build_seconds",
+		"Host wall seconds building or updating one frame's index snapshot.",
+		obs.TimeBuckets()).With()
+	m.epochsTotal = reg.Counter("quicknn_serve_epochs_total",
+		"Epochs created since engine start.").With()
+	return m
+}

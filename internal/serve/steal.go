@@ -1,0 +1,85 @@
+package serve
+
+import "sync/atomic"
+
+// Work-stealing ranges: the batch executor's replacement for
+// Index.SearchAllParallel's static contiguous chunks. Each worker owns a
+// half-open index range [lo, hi) packed into one atomic word; the owner
+// pops items from the front one at a time, and an idle worker steals the
+// back half of a victim's range in a single CAS. Both operations contend
+// on the same word, so ownership transfer is linearizable: every index is
+// claimed exactly once, by exactly one worker.
+//
+// Ranges are bounded (batch sizes are far below 2^32), so lo and hi fit
+// in 32 bits each and the whole deque state is one uint64 — no locks, no
+// ABA (indices within one batch are strictly increasing and never reused).
+
+// stealRange is one worker's claimable index interval.
+type stealRange struct {
+	bits atomic.Uint64 // hi 32 bits: lo, low 32 bits: hi
+}
+
+func packRange(lo, hi uint32) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+func unpackRange(b uint64) (lo, hi uint32) { return uint32(b >> 32), uint32(b) }
+
+// install replaces the range's interval. Callers must only install into
+// an empty range they own (a worker adopting a stolen interval).
+func (r *stealRange) install(lo, hi uint32) { r.bits.Store(packRange(lo, hi)) }
+
+// popFront claims the next index for the owner; ok=false when empty.
+func (r *stealRange) popFront() (idx uint32, ok bool) {
+	for {
+		b := r.bits.Load()
+		lo, hi := unpackRange(b)
+		if lo >= hi {
+			return 0, false
+		}
+		if r.bits.CompareAndSwap(b, packRange(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+// stealBack claims the back half of the range (at least one item) for a
+// thief; ok=false when the range is empty.
+func (r *stealRange) stealBack() (lo, hi uint32, ok bool) {
+	for {
+		b := r.bits.Load()
+		clo, chi := unpackRange(b)
+		if clo >= chi {
+			return 0, 0, false
+		}
+		k := (chi - clo + 1) / 2 // half, rounded up: a 1-item range is stealable
+		if r.bits.CompareAndSwap(b, packRange(clo, chi-k)) {
+			return chi - k, chi, true
+		}
+	}
+}
+
+// len returns the current interval length (racy snapshot, for metrics).
+func (r *stealRange) len() uint32 {
+	lo, hi := unpackRange(r.bits.Load())
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// splitRanges partitions [0, n) into w near-equal ranges.
+func splitRanges(n, w int) []stealRange {
+	out := make([]stealRange, w)
+	chunk := (n + w - 1) / w
+	for i := range out {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		out[i].install(uint32(lo), uint32(hi))
+	}
+	return out
+}

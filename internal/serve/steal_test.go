@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStealRangeSequential(t *testing.T) {
+	var r stealRange
+	r.install(3, 7)
+	if got := r.len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	idx, ok := r.popFront()
+	if !ok || idx != 3 {
+		t.Fatalf("popFront = %d,%v, want 3,true", idx, ok)
+	}
+	lo, hi, ok := r.stealBack()
+	if !ok || lo != 5 || hi != 7 {
+		t.Fatalf("stealBack = [%d,%d),%v, want [5,7),true", lo, hi, ok)
+	}
+	if idx, ok = r.popFront(); !ok || idx != 4 {
+		t.Fatalf("popFront = %d,%v, want 4,true", idx, ok)
+	}
+	if _, ok = r.popFront(); ok {
+		t.Fatal("popFront on empty range succeeded")
+	}
+	if _, _, ok = r.stealBack(); ok {
+		t.Fatal("stealBack on empty range succeeded")
+	}
+}
+
+func TestStealRangeSingleItemIsStealable(t *testing.T) {
+	var r stealRange
+	r.install(9, 10)
+	lo, hi, ok := r.stealBack()
+	if !ok || lo != 9 || hi != 10 {
+		t.Fatalf("stealBack = [%d,%d),%v, want [9,10),true", lo, hi, ok)
+	}
+	if _, ok := r.popFront(); ok {
+		t.Fatal("owner still found an item after a full steal")
+	}
+}
+
+func TestSplitRangesCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{{10, 3}, {1, 4}, {64, 8}, {7, 7}, {5, 16}} {
+		ranges := splitRanges(tc.n, tc.w)
+		seen := make([]bool, tc.n)
+		for i := range ranges {
+			for {
+				idx, ok := ranges[i].popFront()
+				if !ok {
+					break
+				}
+				if seen[idx] {
+					t.Fatalf("n=%d w=%d: index %d covered twice", tc.n, tc.w, idx)
+				}
+				seen[idx] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("n=%d w=%d: index %d never covered", tc.n, tc.w, i)
+			}
+		}
+	}
+}
+
+// TestStealRangeConcurrentExactlyOnce hammers one set of ranges with an
+// owner per range plus roaming thieves and checks every index is claimed
+// exactly once — the linearizability property the batch executor rests on.
+func TestStealRangeConcurrentExactlyOnce(t *testing.T) {
+	const n, w = 4096, 8
+	ranges := splitRanges(n, w)
+	claims := make([]atomic.Int32, n)
+	var wg sync.WaitGroup
+	for me := 0; me < w; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			for {
+				if idx, ok := ranges[me].popFront(); ok {
+					claims[idx].Add(1)
+					continue
+				}
+				stole := false
+				for off := 1; off < w; off++ {
+					if lo, hi, ok := ranges[(me+off)%w].stealBack(); ok {
+						ranges[me].install(lo, hi)
+						stole = true
+						break
+					}
+				}
+				if !stole {
+					return
+				}
+			}
+		}(me)
+	}
+	wg.Wait()
+	for i := range claims {
+		if got := claims[i].Load(); got != 1 {
+			t.Fatalf("index %d claimed %d times, want exactly once", i, got)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package quicknn
 
 import (
+	"context"
+	"fmt"
+
 	qsim "github.com/quicknn/quicknn/internal/arch/quicknn"
 	"github.com/quicknn/quicknn/internal/obs"
 )
@@ -80,17 +83,44 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 // first frame).
 func (p *Pipeline) Index() *Index { return p.index }
 
-// Process ingests the next frame and returns its result.
+// Process ingests the next frame and returns its result. It delegates to
+// ProcessCtx with a background context and panics on the errors ProcessCtx
+// reports (an empty frame), preserving the original panicking contract.
 func (p *Pipeline) Process(frame []Point) FrameResult {
+	res, err := p.ProcessCtx(context.Background(), frame)
+	if err != nil {
+		panic("quicknn: Process: " + err.Error())
+	}
+	return res
+}
+
+// ProcessCtx ingests the next frame and returns its result. It is the
+// error-returning, context-aware form of Process: an empty frame is
+// rejected with ErrEmptyInput (the stream's frame counter does not
+// advance), and ctx cancellation is honored mid-search — the per-frame
+// kNN fan-out checks ctx between query chunks and returns ctx.Err(),
+// leaving the index on the previous frame so the caller can retry or
+// drop the frame.
+func (p *Pipeline) ProcessCtx(ctx context.Context, frame []Point) (FrameResult, error) {
+	if len(frame) == 0 {
+		return FrameResult{}, fmt.Errorf("%w (frame %d is empty)", ErrEmptyInput, p.count)
+	}
+	if err := ctx.Err(); err != nil {
+		return FrameResult{}, err
+	}
 	res := FrameResult{FrameIndex: p.count}
-	p.count++
 	if p.index == nil {
 		sw := obs.StartStopwatch()
-		p.index = NewIndex(frame,
+		ix, err := BuildIndex(frame,
 			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed))
+		if err != nil {
+			return FrameResult{}, err
+		}
+		p.index = ix
+		p.count++
 		res.IndexStats = p.index.Stats()
 		p.record(frame, sw.Seconds(), 0)
-		return res
+		return res, nil
 	}
 	queries := frame
 	if p.cfg.EstimateMotion {
@@ -98,13 +128,19 @@ func (p *Pipeline) Process(frame []Point) FrameResult {
 		queries = res.Motion.Motion.ApplyAll(frame)
 	}
 	sw := obs.StartStopwatch()
-	res.Neighbors = p.index.SearchAllParallel(queries, p.cfg.K, p.cfg.Workers)
+	neighbors, err := p.index.QueryBatch(ctx, queries,
+		QueryOptions{K: p.cfg.K, Workers: p.cfg.Workers})
+	if err != nil {
+		return FrameResult{}, err
+	}
+	res.Neighbors = neighbors
 	searchSec := sw.Seconds()
 	sw = obs.StartStopwatch()
+	p.count++
 	p.advance(frame)
 	res.IndexStats = p.index.Stats()
 	p.record(frame, sw.Seconds(), searchSec)
-	return res
+	return res, nil
 }
 
 // record publishes one frame's software metrics: wall times on the

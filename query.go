@@ -1,0 +1,206 @@
+package quicknn
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// QueryMode selects which of the paper's search algorithms a Query runs.
+type QueryMode int
+
+const (
+	// ModeApprox is the paper's single-bucket approximate search (the
+	// hardware TSearch datapath): traverse to the query's bucket and scan
+	// only it. The default.
+	ModeApprox QueryMode = iota
+	// ModeExact is the exact k-nearest-neighbor search via backtracking.
+	ModeExact
+	// ModeChecks is the FLANN-style budgeted search: explore the nearest
+	// deferred branches until QueryOptions.Checks reference points have
+	// been examined.
+	ModeChecks
+	// ModeRadius returns every point within QueryOptions.Radius of the
+	// query (exact, via backtracking), nearest first. K is ignored.
+	ModeRadius
+)
+
+// String names the mode for logs and errors.
+func (m QueryMode) String() string {
+	switch m {
+	case ModeApprox:
+		return "approx"
+	case ModeExact:
+		return "exact"
+	case ModeChecks:
+		return "checks"
+	case ModeRadius:
+		return "radius"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// QueryOptions parameterizes Query and QueryBatch. The zero value is a
+// valid approximate search except for K, which must be positive in every
+// mode but ModeRadius.
+type QueryOptions struct {
+	// K is the number of neighbors returned (ignored by ModeRadius).
+	K int
+	// Mode selects the search algorithm (default ModeApprox).
+	Mode QueryMode
+	// Checks is the reference-point budget of ModeChecks.
+	Checks int
+	// Radius is the search radius of ModeRadius, in meters.
+	Radius float64
+	// Workers bounds QueryBatch's parallel fan-out (<= 0 = GOMAXPROCS).
+	// Single-query Query ignores it.
+	Workers int
+}
+
+// validate reports the first out-of-domain option.
+func (o QueryOptions) validate() error {
+	switch o.Mode {
+	case ModeApprox, ModeExact, ModeChecks:
+		if o.K <= 0 {
+			return fmt.Errorf("%w: K = %d must be > 0 for mode %v", ErrInvalidOptions, o.K, o.Mode)
+		}
+		if o.Mode == ModeChecks && o.Checks < 0 {
+			return fmt.Errorf("%w: Checks = %d must be >= 0", ErrInvalidOptions, o.Checks)
+		}
+	case ModeRadius:
+		if o.Radius < 0 {
+			return fmt.Errorf("%w: Radius = %g must be >= 0", ErrInvalidOptions, o.Radius)
+		}
+	default:
+		return fmt.Errorf("%w: unknown query mode %v", ErrInvalidOptions, o.Mode)
+	}
+	return nil
+}
+
+// Query runs one search against the index under the given options. It is
+// the unified, context-aware entry point behind the Search/SearchExact/
+// SearchChecks/SearchRadius wrappers: invalid options surface as errors
+// wrapping ErrInvalidOptions, and ctx cancellation is honored between
+// bucket visits (the backtracking modes poll ctx once per bucket scan),
+// returning ctx.Err(). Concurrent Query calls are safe as long as no
+// Update runs concurrently.
+func (ix *Index) Query(ctx context.Context, q Point, opts QueryOptions) ([]Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	stop := func() bool { return ctx.Err() != nil }
+	var (
+		res     []Neighbor
+		stopped bool
+	)
+	switch opts.Mode {
+	case ModeApprox:
+		res, _ = ix.tree.SearchApprox(q, opts.K)
+	case ModeExact:
+		res, _, stopped = ix.tree.SearchExactStop(q, opts.K, stop)
+	case ModeChecks:
+		res, _, stopped = ix.tree.SearchChecksStop(q, opts.K, opts.Checks, stop)
+	case ModeRadius:
+		res, _, stopped = ix.tree.SearchRadiusStop(q, opts.Radius, stop)
+	}
+	if stopped {
+		return nil, ctx.Err()
+	}
+	return res, nil
+}
+
+// batchGrain is the number of queries a QueryBatch worker claims per
+// atomic fetch. Small enough that cancellation is honored promptly and
+// stragglers rebalance, large enough that the counter is not contended.
+const batchGrain = 16
+
+// QueryBatch runs one search per query under the given options, fanned
+// out across opts.Workers goroutines (GOMAXPROCS when <= 0). Queries are
+// claimed dynamically in batchGrain-sized chunks rather than static
+// contiguous shards, so an unlucky worker cannot stall the batch; ctx is
+// checked between chunks and inside each query's bucket loop, and the
+// first cancellation abandons the batch with ctx.Err(). The returned
+// slice is parallel to queries.
+func (ix *Index) QueryBatch(ctx context.Context, queries []Point, opts QueryOptions) ([][]Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(queries) == 0 {
+		return [][]Neighbor{}, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(queries) + batchGrain - 1) / batchGrain; workers > max {
+		workers = max
+	}
+	out := make([][]Neighbor, len(queries))
+	if workers <= 1 {
+		for qi := range queries {
+			if qi%batchGrain == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			res, err := ix.Query(ctx, queries[qi], opts)
+			if err != nil {
+				return nil, err
+			}
+			out[qi] = res
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		firstErr atomic.Value // error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(batchGrain)) - batchGrain
+				if lo >= len(queries) || failed.Load() {
+					return
+				}
+				hi := lo + batchGrain
+				if hi > len(queries) {
+					hi = len(queries)
+				}
+				if err := ctx.Err(); err != nil {
+					if failed.CompareAndSwap(false, true) {
+						firstErr.Store(err)
+					}
+					return
+				}
+				for qi := lo; qi < hi; qi++ {
+					res, err := ix.Query(ctx, queries[qi], opts)
+					if err != nil {
+						if failed.CompareAndSwap(false, true) {
+							firstErr.Store(err)
+						}
+						return
+					}
+					out[qi] = res
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, firstErr.Load().(error)
+	}
+	return out, nil
+}
