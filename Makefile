@@ -4,11 +4,20 @@
 
 GO        ?= go
 FUZZTIME  ?= 10s
+# bench-hot knobs: BENCHTIME scales run length (CI smoke uses a short
+# one); the MIN_* gates are the acceptance thresholds BENCH_hotpath.json
+# must meet on the batch-shaped benchmarks (docs/performance.md). Set
+# MIN_SPEEDUP=0 for runs on noisy/shared machines — the allocs/op gate
+# stays meaningful at any benchtime because allocation counts are
+# deterministic.
+BENCHTIME     ?= 2s
+MIN_SPEEDUP   ?= 1.4
+MIN_ALLOC_RED ?= 0.9
 # Every fuzz target; each gets its own smoke run because `go test -fuzz`
 # accepts only one matching target at a time.
 FUZZ_TARGETS := FuzzReadFrameCSV FuzzReadFrameBinary FuzzLoadIndex
 
-.PHONY: all build vet lint test race fuzz trace-demo serve-demo ci clean
+.PHONY: all build vet lint test race fuzz trace-demo serve-demo bench-hot ci clean
 
 all: build
 
@@ -66,6 +75,22 @@ serve-demo:
 			{ echo "serve-demo: $$fam metrics missing from scrape"; exit 1; }; \
 	done && \
 	echo "serve-demo: OK (HTTP cycle + metrics scrape verified)"
+
+## bench-hot: run the hot-path benchmarks (BenchmarkHot*), compare them
+## against the checked-in pre-optimization baseline
+## (testdata/bench/hotpath_baseline.txt), and write BENCH_hotpath.json.
+## The batch-shaped benchmarks are gated on MIN_SPEEDUP / MIN_ALLOC_RED
+## (docs/performance.md).
+bench-hot:
+	$(GO) test -run '^$$' -bench '^BenchmarkHot' -benchmem -benchtime $(BENCHTIME) \
+		./ ./internal/kdtree | tee testdata/bench/hotpath_current.txt
+	$(GO) run ./cmd/benchjson \
+		-baseline testdata/bench/hotpath_baseline.txt \
+		-current testdata/bench/hotpath_current.txt \
+		-out BENCH_hotpath.json \
+		-gate HotSearchAllApprox,HotQueryBatch,HotQueryBatchSerial,HotSearchAllExact \
+		-min-speedup $(MIN_SPEEDUP) -min-alloc-reduction $(MIN_ALLOC_RED)
+	@echo "bench-hot: OK (BENCH_hotpath.json written)"
 
 ## ci: everything the pipeline runs, in order.
 ci: build vet lint test race fuzz trace-demo serve-demo

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/quicknn/quicknn/internal/kdtree
+BenchmarkHotSearchAllApprox-8   	     266	   4487313 ns/op	  573696 B/op	    2050 allocs/op
+BenchmarkHotSearchApprox-8      	  467000	      2571 ns/op	     368 B/op	       2 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["HotSearchAllApprox"]
+	if !ok {
+		t.Fatalf("HotSearchAllApprox missing: %+v", got)
+	}
+	if m.NsPerOp != 4487313 || m.BytesPerOp != 573696 || m.AllocsPerOp != 2050 {
+		t.Fatalf("HotSearchAllApprox = %+v", m)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok\n"), "empty"); err == nil {
+		t.Fatal("want error for input without benchmark lines")
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	report := Report{Benchmarks: map[string]Comparison{
+		"Fast": {Speedup: 2.0, AllocReduction: 0.99},
+		"Slow": {Speedup: 1.1, AllocReduction: 0.5},
+	}}
+	if failed := checkGates(report, "Fast", 1.4, 0.9); len(failed) != 0 {
+		t.Fatalf("Fast should pass, got %v", failed)
+	}
+	if failed := checkGates(report, "Fast,Slow", 1.4, 0.9); len(failed) != 2 {
+		t.Fatalf("Slow should fail both gates, got %v", failed)
+	}
+	if failed := checkGates(report, "Missing", 1.4, 0); len(failed) != 1 {
+		t.Fatalf("missing benchmark should fail the gate, got %v", failed)
+	}
+	if failed := checkGates(report, "Slow", 0, 0); len(failed) != 0 {
+		t.Fatalf("no thresholds means no gate, got %v", failed)
+	}
+}

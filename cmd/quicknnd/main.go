@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +46,7 @@ func main() {
 		readyFile  = flag.String("ready-file", "", "write the base URL here once listening")
 		selftest   = flag.Bool("selftest", false, "run the built-in HTTP smoke cycle and exit")
 		metricsOut = flag.String("metrics-out", "", "selftest: write the /metrics scrape to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
 	)
 	flag.Parse()
 
@@ -65,6 +67,15 @@ func main() {
 		Obs:         sink,
 	})
 	srv := &server{engine: engine, sink: sink}
+
+	if *pprofAddr != "" {
+		got, err := startPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicknnd: pprof listen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("quicknnd: pprof on http://" + got + "/debug/pprof/")
+	}
 
 	listenAddr := *addr
 	if *selftest {
@@ -122,6 +133,27 @@ func parseMaintenance(s string) (serve.Maintenance, error) {
 		return serve.MaintIncremental, nil
 	}
 	return 0, fmt.Errorf("unknown -maintenance %q (want rebuild|static|incremental)", s)
+}
+
+// startPprof serves net/http/pprof on its own listener with an explicit
+// mux. The profiler is never mounted on the serving mux: operators opt in
+// per deployment with -pprof, bind it to loopback, and a slow profile
+// scrape can never head-of-line-block /search or /frame traffic (see
+// docs/serving.md, "Profiling"). Returns the bound address (useful with
+// :0 ports).
+func startPprof(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
+	return ln.Addr().String(), nil
 }
 
 // shutdown quiesces the HTTP listener first (no new submissions), then

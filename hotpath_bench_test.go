@@ -1,0 +1,84 @@
+package quicknn_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn"
+)
+
+// Root-level hot-path benchmarks: the public Query/QueryBatch surface the
+// serving engine fans queries through. One op of BenchmarkHotQueryBatch is
+// the full 2048-query batch; BenchmarkHotQuery is a single query. See
+// docs/performance.md and `make bench-hot`.
+
+func hotCloud(n int, seed int64) []quicknn.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]quicknn.Point, n)
+	for i := range pts {
+		pts[i] = quicknn.Point{
+			X: rng.Float32()*100 - 50,
+			Y: rng.Float32()*100 - 50,
+			Z: rng.Float32() * 4,
+		}
+	}
+	return pts
+}
+
+func hotIndexAndQueries(b *testing.B, n, q int) (*quicknn.Index, []quicknn.Point) {
+	b.Helper()
+	ix, err := quicknn.BuildIndex(hotCloud(n, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix, hotCloud(q, 3)
+}
+
+// BenchmarkHotQueryBatch is the serving-shaped workload: a 2048-query
+// approximate batch fanned out across 4 workers.
+func BenchmarkHotQueryBatch(b *testing.B) {
+	ix, queries := hotIndexAndQueries(b, 20000, 2048)
+	ctx := context.Background()
+	opts := quicknn.QueryOptions{K: 8, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ix.QueryBatch(ctx, queries, opts)
+		if err != nil || len(res) != len(queries) {
+			b.Fatalf("res %d err %v", len(res), err)
+		}
+	}
+}
+
+// BenchmarkHotQueryBatchSerial is the same batch on one worker — the
+// number that isolates per-query cost from fan-out overhead.
+func BenchmarkHotQueryBatchSerial(b *testing.B) {
+	ix, queries := hotIndexAndQueries(b, 20000, 2048)
+	ctx := context.Background()
+	opts := quicknn.QueryOptions{K: 8, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ix.QueryBatch(ctx, queries, opts)
+		if err != nil || len(res) != len(queries) {
+			b.Fatalf("res %d err %v", len(res), err)
+		}
+	}
+}
+
+// BenchmarkHotQuery is one approximate query per op through the public
+// context-aware entry point.
+func BenchmarkHotQuery(b *testing.B) {
+	ix, queries := hotIndexAndQueries(b, 20000, 2048)
+	ctx := context.Background()
+	opts := quicknn.QueryOptions{K: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ix.Query(ctx, queries[i%len(queries)], opts)
+		if err != nil || len(res) == 0 {
+			b.Fatalf("res %d err %v", len(res), err)
+		}
+	}
+}

@@ -232,7 +232,9 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		if loadErr != nil {
 			return
 		}
-		for i, idx := range b.Indices {
+		pts, ids := tree.BucketPoints(id), tree.BucketIndices(id)
+		for i, idx32 := range ids {
+			idx := int(idx32)
 			if idx < 0 || idx >= n {
 				loadErr = fmt.Errorf(
 					"%w: bucket %d holds reference index %d outside [0,%d)",
@@ -246,7 +248,7 @@ func LoadIndex(r io.Reader) (*Index, error) {
 				return
 			}
 			seen[idx] = true
-			ref[idx] = b.Points[i]
+			ref[idx] = pts[i]
 		}
 	})
 	if loadErr != nil {

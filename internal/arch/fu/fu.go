@@ -82,12 +82,15 @@ func (b *Bank) Load(queries []geom.Point, ids []int) {
 
 // Stream broadcasts reference points to all loaded FUs and returns the
 // pipeline cycles consumed: one point per cycle, matching the hardware's
-// fully-pipelined distance + insert datapath.
-func (b *Bank) Stream(points []geom.Point, indices []int) int64 {
+// fully-pipelined distance + insert datapath. indices carries the points'
+// reference ids in the int32 form the k-d tree's SoA bucket arena stores
+// (so a bucket span streams straight into the bank with no conversion
+// copy); nil means the stream position is the id.
+func (b *Bank) Stream(points []geom.Point, indices []int32) int64 {
 	for pi, p := range points {
 		idx := pi
 		if indices != nil {
-			idx = indices[pi]
+			idx = int(indices[pi])
 		}
 		for u := 0; u < b.loaded; u++ {
 			b.lists[u].Push(nn.Neighbor{Index: idx, Point: p, DistSq: b.queries[u].DistSq(p)})

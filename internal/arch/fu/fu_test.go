@@ -86,7 +86,7 @@ func TestStreamWithExplicitIndices(t *testing.T) {
 	b := NewBank(1, 2)
 	b.Load([]geom.Point{{}}, []int{0})
 	pts := []geom.Point{{X: 3}, {X: 1}}
-	b.Stream(pts, []int{30, 10})
+	b.Stream(pts, []int32{30, 10})
 	res := b.Flush()
 	if res[0].Neighbors[0].Index != 10 || res[0].Neighbors[1].Index != 30 {
 		t.Errorf("indices not honored: %+v", res[0].Neighbors)
@@ -98,7 +98,7 @@ func TestReloadResetsLists(t *testing.T) {
 	b.Load([]geom.Point{{}}, []int{0})
 	b.Stream([]geom.Point{{X: 1}}, nil)
 	b.Load([]geom.Point{{}}, []int{1}) // reload without flush
-	b.Stream([]geom.Point{{X: 5}}, []int{9})
+	b.Stream([]geom.Point{{X: 5}}, []int32{9})
 	res := b.Flush()
 	if len(res) != 1 || res[0].Neighbors[0].Index != 9 {
 		t.Errorf("stale candidates survived reload: %+v", res)

@@ -122,10 +122,10 @@ func Simulate(reference, queries []geom.Point, cfg Config, mem *dram.Memory) Rep
 	return report
 }
 
-func indicesFrom(lo, hi int) []int {
-	out := make([]int, hi-lo)
+func indicesFrom(lo, hi int) []int32 {
+	out := make([]int32, hi-lo)
 	for i := range out {
-		out[i] = lo + i
+		out[i] = int32(lo + i)
 	}
 	return out
 }

@@ -534,7 +534,7 @@ func (s *tsearch) computeResults(f gather.Flush) {
 			ids[i] = int(qi)
 		}
 		s.bank.Load(qs, ids)
-		s.bank.Stream(bk.Points, bk.Indices)
+		s.bank.Stream(s.tree.BucketPoints(f.Bucket), s.tree.BucketIndices(f.Bucket))
 		for _, r := range s.bank.Flush() {
 			s.rep.Results[r.QueryID] = r.Neighbors
 		}

@@ -3,7 +3,6 @@ package kdtree
 import (
 	"github.com/quicknn/quicknn/internal/geom"
 	"github.com/quicknn/quicknn/internal/linear"
-	"github.com/quicknn/quicknn/internal/nn"
 )
 
 // AccuracyReport quantifies approximate-search quality the way the paper
@@ -42,11 +41,12 @@ func (t *Tree) MeasureAccuracy(reference, queries []geom.Point, k, x int) Accura
 	allIn := 0
 	top1 := 0
 	var neighborHits, neighborTotal int
-	approx := nn.NewTopK(k)
+	s := getScratch()
+	defer putScratch(s)
 	for _, q := range queries {
-		approx.Reset()
-		t.searchApproxInto(q, approx)
-		res := approx.Results()
+		s.initCands(k)
+		t.searchApproxInto(q, s)
+		res := t.appendCands(nil, s.cands)
 		exact := linear.Search(reference, q, k+x)
 		exactSet := make(map[int]int, len(exact))
 		for rank, e := range exact {

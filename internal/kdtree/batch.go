@@ -1,0 +1,236 @@
+package kdtree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/nn"
+)
+
+// Leaf-grouped batch execution (docs/performance.md).
+//
+// A successive-frame batch issues thousands of queries against an arena
+// that is larger than L2, and the per-query search order visits buckets
+// effectively at random — so nearly every bucket scan streams its span in
+// from L3/DRAM and the batch spends more time waiting on loads than
+// computing distances. The batch planner removes that stall: it first
+// descends every query to its primary leaf (a pass that touches only the
+// small, cache-resident node array), then counting-sorts the query indices
+// by bucket and executes them group by group, so each arena span is
+// fetched once per batch and scanned while L1-resident for all of its
+// queries.
+//
+// Grouping is a pure reordering. Each query's result is a function of
+// (tree, query) alone and is written to its own results[qi] region, and
+// the summed SearchStats are order-independent, so the output is
+// byte-identical to running the queries one by one (the equivalence suite
+// asserts exactly that).
+
+// batchPlan is the reusable grouped execution order for one query batch.
+type batchPlan struct {
+	leaf   []int32 // per-query primary bucket id
+	depth  []int32 // per-query descent depth (traversal steps)
+	starts []int32 // group start offsets into order, len = len(buckets)+1
+	cursor []int32 // scatter cursors (planning scratch)
+	order  []int32 // query indices, grouped by primary bucket
+}
+
+// batchPlanPool recycles plans across batches: after warm-up a plan of
+// sufficient capacity is reused allocation-free.
+var batchPlanPool = sync.Pool{New: func() interface{} { return new(batchPlan) }}
+
+// sized32 returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified.
+func sized32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// plan fills pl with the leaf-grouped order of queries: after the call,
+// pl.order[pl.starts[b]:pl.starts[b+1]] lists (in ascending query order)
+// the indices of every query whose primary leaf is bucket b.
+func (t *Tree) plan(queries []geom.Point, pl *batchPlan) {
+	n := len(queries)
+	nb := len(t.buckets)
+	pl.leaf = sized32(pl.leaf, n)
+	pl.depth = sized32(pl.depth, n)
+	pl.order = sized32(pl.order, n)
+	pl.starts = sized32(pl.starts, nb+1)
+	pl.cursor = sized32(pl.cursor, nb)
+	for i := range pl.starts {
+		pl.starts[i] = 0
+	}
+	// Descent pass: only the node array is touched, so it stays cached
+	// across all n descents.
+	for qi, q := range queries {
+		_, b, depth := t.FindLeaf(q)
+		pl.leaf[qi] = b
+		pl.depth[qi] = int32(depth)
+		pl.starts[b+1]++
+	}
+	for b := 0; b < nb; b++ {
+		pl.starts[b+1] += pl.starts[b]
+		pl.cursor[b] = pl.starts[b]
+	}
+	for qi := 0; qi < n; qi++ {
+		b := pl.leaf[qi]
+		pl.order[pl.cursor[b]] = int32(qi)
+		pl.cursor[b]++
+	}
+}
+
+// SearchApproxBatch runs the approximate search for every query, appending
+// query qi's neighbors to results[qi] (which must be a caller-provided
+// slice with capacity for k more entries; regions of one flat backing
+// array in practice). Queries execute grouped by primary leaf, fanned out
+// over workers goroutines when workers > 1 — callers must then ensure the
+// results regions do not alias. Per-query output and the summed stats are
+// identical to calling SearchApproxInto per query.
+//
+// stop, when non-nil, is polled once per group; a true return abandons the
+// batch (stopped=true, results partially filled).
+func (t *Tree) SearchApproxBatch(queries []geom.Point, k, workers int, results [][]nn.Neighbor, stop func() bool) (stats SearchStats, stopped bool) {
+	if len(queries) == 0 {
+		return SearchStats{}, false
+	}
+	pl := batchPlanPool.Get().(*batchPlan)
+	defer batchPlanPool.Put(pl)
+	t.plan(queries, pl)
+	if workers <= 1 {
+		s := getScratch()
+		defer putScratch(s)
+		return t.runApproxGroups(queries, k, pl, 0, len(t.buckets), s, results, stop)
+	}
+	var (
+		next    atomic.Int64
+		aborted atomic.Bool
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+	)
+	nb := len(t.buckets)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := getScratch()
+			defer putScratch(s)
+			var local SearchStats
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb || aborted.Load() {
+					break
+				}
+				st, stp := t.runApproxGroups(queries, k, pl, b, b+1, s, results, stop)
+				local.Add(st)
+				if stp {
+					aborted.Store(true)
+					break
+				}
+			}
+			mu.Lock()
+			stats.Add(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return stats, aborted.Load()
+}
+
+// runApproxGroups executes the planned groups for buckets [lo, hi) on one
+// goroutine. Empty groups cost one slice-bound comparison.
+func (t *Tree) runApproxGroups(queries []geom.Point, k int, pl *batchPlan, lo, hi int, s *Scratch, results [][]nn.Neighbor, stop func() bool) (stats SearchStats, stopped bool) {
+	for b := lo; b < hi; b++ {
+		group := pl.order[pl.starts[b]:pl.starts[b+1]]
+		if len(group) == 0 {
+			continue
+		}
+		if stop != nil && stop() {
+			return stats, true
+		}
+		for _, qi := range group {
+			s.initCands(k)
+			scanned := t.scanBucket(int32(b), queries[qi], s)
+			results[qi] = t.appendCands(results[qi], s.cands)
+			stats.TraversalSteps += int(pl.depth[qi])
+			stats.PointsScanned += scanned
+			stats.BucketsVisited++
+		}
+	}
+	return stats, false
+}
+
+// SearchExactBatch is SearchApproxBatch's exact-mode counterpart: the full
+// backtracking search per query, executed in leaf-grouped order. Grouping
+// helps here too — co-located queries backtrack into largely overlapping
+// bucket sets, so the spans a group pulls in are reused across its
+// queries. stop is polled once per query (the per-bucket polling of the
+// underlying search is preserved on top).
+func (t *Tree) SearchExactBatch(queries []geom.Point, k, workers int, results [][]nn.Neighbor, stop func() bool) (stats SearchStats, stopped bool) {
+	if len(queries) == 0 {
+		return SearchStats{}, false
+	}
+	pl := batchPlanPool.Get().(*batchPlan)
+	defer batchPlanPool.Put(pl)
+	t.plan(queries, pl)
+	if workers <= 1 {
+		s := getScratch()
+		defer putScratch(s)
+		return t.runExactOrder(queries, k, pl.order, s, results, stop)
+	}
+	var (
+		next    atomic.Int64
+		aborted atomic.Bool
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+	)
+	// Claim exactGrain-query runs of the grouped order so a group's
+	// locality is kept within one worker.
+	const exactGrain = 16
+	n := len(queries)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := getScratch()
+			defer putScratch(s)
+			var local SearchStats
+			for {
+				lo := int(next.Add(exactGrain)) - exactGrain
+				if lo >= n || aborted.Load() {
+					break
+				}
+				hi := lo + exactGrain
+				if hi > n {
+					hi = n
+				}
+				st, stp := t.runExactOrder(queries, k, pl.order[lo:hi], s, results, stop)
+				local.Add(st)
+				if stp {
+					aborted.Store(true)
+					break
+				}
+			}
+			mu.Lock()
+			stats.Add(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return stats, aborted.Load()
+}
+
+// runExactOrder runs the exact search for the given query indices in
+// order, appending into each query's results region.
+func (t *Tree) runExactOrder(queries []geom.Point, k int, order []int32, s *Scratch, results [][]nn.Neighbor, stop func() bool) (stats SearchStats, stopped bool) {
+	for _, qi := range order {
+		s.initCands(k)
+		if t.searchExactCore(queries[qi], s, &stats, stop, nil) {
+			return stats, true
+		}
+		results[qi] = t.appendCands(results[qi], s.cands)
+	}
+	return stats, false
+}

@@ -75,7 +75,7 @@ func (t *Tree) buildSplits(sample []geom.Point, axis geom.Axis, depth int, paren
 // original reference slice, kept in lockstep during sorting.
 type pointSet struct {
 	pts  []geom.Point
-	idxs []int // may be nil when indices are not tracked
+	idxs []int32 // may be nil when indices are not tracked
 }
 
 func (s pointSet) slice(lo, hi int) pointSet {
@@ -215,28 +215,30 @@ func (t *Tree) FindLeafBits(p geom.Point) (bucket int32, bits uint64, depth int)
 // and returns the bucket id.
 func (t *Tree) Insert(p geom.Point, index int) int32 {
 	_, b, _ := t.FindLeaf(p)
-	t.buckets[b].Points = append(t.buckets[b].Points, p)
-	t.buckets[b].Indices = append(t.buckets[b].Indices, index)
+	t.bucketAppend(b, p, int32(index))
 	return b
 }
 
 // Place inserts points into the buckets by traversal (phase 2 of
 // construction, and the whole of TBuild's per-frame work in static-tree
-// mode). Indices are positions within the given slice.
+// mode). Indices are positions within the given slice. Bucket spans grown
+// during placement retire their old arena slots; Place compacts the arena
+// afterwards if the holes came to dominate.
 func (t *Tree) Place(points []geom.Point) {
 	for i, p := range points {
 		t.Insert(p, i)
 	}
+	t.maybeCompact()
 }
 
 // ResetBuckets empties every bucket while keeping the split structure —
 // the "static tree" reuse mode of §4.4: thresholds stay fixed, only the
-// buckets are refilled each frame.
+// buckets are refilled each frame. Arena spans keep their capacity, so
+// re-placing a same-shaped frame touches no allocator at all.
 func (t *Tree) ResetBuckets() {
 	for i := range t.buckets {
 		if t.buckets[i].live {
-			t.buckets[i].Points = t.buckets[i].Points[:0]
-			t.buckets[i].Indices = t.buckets[i].Indices[:0]
+			t.buckets[i].n = 0
 		}
 	}
 }

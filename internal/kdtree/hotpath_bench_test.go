@@ -1,0 +1,117 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+// Hot-path benchmarks: the steady-state query workload the zero-allocation
+// work (docs/performance.md) targets. `make bench-hot` runs everything
+// matching ^BenchmarkHot and cmd/benchjson turns the output into
+// BENCH_hotpath.json, comparing against the checked-in pre-SoA baseline in
+// testdata/bench_hotpath_baseline.txt.
+//
+// The workload mirrors hostperf.MeasureHost: a 20k-point synthetic LiDAR
+// frame (street-scale xy extent, shallow z), 2048 query points, k=8,
+// 256-point buckets — the paper's main operating point.
+
+func benchCloud(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: rng.Float32()*100 - 50,
+			Y: rng.Float32()*100 - 50,
+			Z: rng.Float32() * 4,
+		}
+	}
+	return pts
+}
+
+func benchTreeAndQueries(b *testing.B, n, q int) (*Tree, []geom.Point) {
+	b.Helper()
+	ref := benchCloud(n, 1)
+	tree := Build(ref, Config{BucketSize: 256}, rand.New(rand.NewSource(2)))
+	queries := benchCloud(q, 3)
+	return tree, queries
+}
+
+// BenchmarkHotSearchAllApprox is the successive-frame workload: one op =
+// the full 2048-query approximate batch.
+func BenchmarkHotSearchAllApprox(b *testing.B) {
+	tree, queries := benchTreeAndQueries(b, 20000, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := tree.SearchAllApprox(queries, 8)
+		if len(res) != len(queries) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
+
+// BenchmarkHotSearchApprox is one approximate query per op.
+func BenchmarkHotSearchApprox(b *testing.B) {
+	tree, queries := benchTreeAndQueries(b, 20000, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := tree.SearchApprox(queries[i%len(queries)], 8)
+		if len(res) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkHotSearchExact is one exact (backtracking) query per op.
+func BenchmarkHotSearchExact(b *testing.B) {
+	tree, queries := benchTreeAndQueries(b, 20000, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := tree.SearchExact(queries[i%len(queries)], 8)
+		if len(res) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkHotSearchChecks is one budgeted best-bin-first query per op
+// (the FLANN-style CPU baseline mode).
+func BenchmarkHotSearchChecks(b *testing.B) {
+	tree, queries := benchTreeAndQueries(b, 20000, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := tree.SearchChecks(queries[i%len(queries)], 8, 1024)
+		if len(res) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkHotSearchRadius is one radius query per op.
+func BenchmarkHotSearchRadius(b *testing.B) {
+	tree, queries := benchTreeAndQueries(b, 20000, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.SearchRadius(queries[i%len(queries)], 1.5)
+	}
+}
+
+// BenchmarkHotSearchAllExact is the exact batch workload (satellite fix:
+// the per-query TopK hoisted out of the loop).
+func BenchmarkHotSearchAllExact(b *testing.B) {
+	tree, queries := benchTreeAndQueries(b, 20000, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := tree.SearchAllExact(queries, 8)
+		if len(res) != len(queries) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}

@@ -60,14 +60,15 @@ func TestBuildPlacesEveryPoint(t *testing.T) {
 	}
 	// Every original index appears exactly once.
 	seen := make([]bool, len(pts))
-	tree.Buckets(func(_ int32, b *Bucket) {
-		for j, idx := range b.Indices {
+	tree.Buckets(func(id int32, _ *Bucket) {
+		bp, bi := tree.BucketPoints(id), tree.BucketIndices(id)
+		for j, idx := range bi {
 			if seen[idx] {
 				t.Fatalf("index %d placed twice", idx)
 			}
 			seen[idx] = true
-			if b.Points[j] != pts[idx] {
-				t.Fatalf("bucket point %v != original %v", b.Points[j], pts[idx])
+			if bp[j] != pts[idx] {
+				t.Fatalf("bucket point %v != original %v", bp[j], pts[idx])
 			}
 		}
 	})
@@ -83,8 +84,8 @@ func TestBuildRespectsRegionInvariant(t *testing.T) {
 	// own bucket: placement and search use the same side() rule.
 	pts := clusteredPoints(3000, 3)
 	tree := mustBuild(t, pts, Config{BucketSize: 128}, 4)
-	tree.Buckets(func(id int32, b *Bucket) {
-		for _, p := range b.Points {
+	tree.Buckets(func(id int32, _ *Bucket) {
+		for _, p := range tree.BucketPoints(id) {
 			if _, got, _ := tree.FindLeaf(p); got != id {
 				t.Fatalf("point %v placed in bucket %d but FindLeaf returns %d", p, id, got)
 			}

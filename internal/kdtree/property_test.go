@@ -69,8 +69,9 @@ func TestPropertyBuildIsValidPermutation(t *testing.T) {
 		}
 		seen := make([]bool, len(pts))
 		ok := true
-		tree.Buckets(func(_ int32, b *Bucket) {
-			for _, idx := range b.Indices {
+		tree.Buckets(func(id int32, _ *Bucket) {
+			for _, idx32 := range tree.BucketIndices(id) {
+				idx := int(idx32)
 				if idx < 0 || idx >= len(pts) || seen[idx] {
 					ok = false
 					return

@@ -1,9 +1,6 @@
 package kdtree
 
 import (
-	"container/heap"
-	"sort"
-
 	"github.com/quicknn/quicknn/internal/geom"
 	"github.com/quicknn/quicknn/internal/nn"
 )
@@ -15,113 +12,79 @@ import (
 // search was abandoned. The predicate is the hook the root package's
 // context-aware Query API plugs ctx.Err checks into; keeping kdtree free
 // of the context package preserves its zero-dependency, simulation-grade
-// surface.
+// surface. The *StopInto forms additionally take a caller-owned Scratch
+// and dst, making the cancellable paths allocation-free too; a nil stop
+// degenerates to the plain search.
 
 // SearchExactStop is SearchExact with a cancellation hook: stop is polled
 // before every bucket scan, and a true return abandons the search. The
 // partial candidate list is discarded (results are nil when stopped).
 func (t *Tree) SearchExactStop(query geom.Point, k int, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
-	tk := nn.NewTopK(k)
-	if t.searchExactStop(t.root, query, tk, &stats, stop) {
-		return nil, stats, true
-	}
-	return tk.Results(), stats, false
+	s := getScratch()
+	res, stats, stopped = t.SearchExactStopInto(query, k, s, nil, stop)
+	putScratch(s)
+	return res, stats, stopped
 }
 
-func (t *Tree) searchExactStop(idx int32, query geom.Point, tk *nn.TopK, stats *SearchStats, stop func() bool) bool {
-	nd := t.nodes[idx]
-	if nd.Leaf() {
-		if stop() {
-			return true
-		}
-		bk := &t.buckets[nd.Bucket]
-		for i, p := range bk.Points {
-			tk.Push(nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: query.DistSq(p)})
-		}
-		stats.PointsScanned += len(bk.Points)
-		stats.BucketsVisited++
-		return false
+// SearchExactStopInto is the scratch-reusing, dst-appending form of
+// SearchExactStop. When stopped, dst is returned unextended (res keeps
+// the caller's prefix; no partial results are appended).
+func (t *Tree) SearchExactStopInto(query geom.Point, k int, s *Scratch, dst []nn.Neighbor, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
+	s.initCands(k)
+	if t.searchExactCore(query, s, &stats, stop, nil) {
+		return stopReturn(dst), stats, true
 	}
-	stats.TraversalSteps++
-	near := nd.side(query)
-	far := nd.Left
-	if near == nd.Left {
-		far = nd.Right
-	}
-	if t.searchExactStop(near, query, tk, stats, stop) {
-		return true
-	}
-	d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
-	if worst, full := tk.Worst(); !full || d*d < worst {
-		return t.searchExactStop(far, query, tk, stats, stop)
-	}
-	return false
+	return t.appendCands(dst, s.cands), stats, false
 }
 
 // SearchChecksStop is SearchChecks with a cancellation hook: stop is
 // polled before every deferred-branch descent (each descent ends in one
 // bucket scan). A true return abandons the search with nil results.
 func (t *Tree) SearchChecksStop(query geom.Point, k, checks int, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
-	tk := nn.NewTopK(k)
-	queue := &branchHeap{{node: t.root}}
-	first := true
-	for queue.Len() > 0 && (first || stats.PointsScanned < checks) {
-		first = false
-		if stop() {
-			return nil, stats, true
-		}
-		entry := heap.Pop(queue).(branchEntry)
-		if worst, full := tk.Worst(); full && entry.bound >= worst {
-			continue
-		}
-		t.descendBBF(entry.node, entry.bound, query, tk, queue, &stats)
+	s := getScratch()
+	res, stats, stopped = t.SearchChecksStopInto(query, k, checks, s, nil, stop)
+	putScratch(s)
+	return res, stats, stopped
+}
+
+// SearchChecksStopInto is the scratch-reusing, dst-appending form of
+// SearchChecksStop.
+func (t *Tree) SearchChecksStopInto(query geom.Point, k, checks int, s *Scratch, dst []nn.Neighbor, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
+	s.initCands(k)
+	if t.searchChecksCore(query, checks, s, &stats, stop) {
+		return stopReturn(dst), stats, true
 	}
-	return tk.Results(), stats, false
+	return t.appendCands(dst, s.cands), stats, false
 }
 
 // SearchRadiusStop is SearchRadius with a cancellation hook: stop is
 // polled before every bucket scan. A true return abandons the search with
 // nil results.
 func (t *Tree) SearchRadiusStop(query geom.Point, radius float64, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
-	var out []nn.Neighbor
-	r2 := radius * radius
-	if t.searchRadiusStop(t.root, query, r2, &out, &stats, stop) {
-		return nil, stats, true
+	s := getScratch()
+	res, stats, stopped = t.SearchRadiusStopInto(query, radius, s, nil, stop)
+	putScratch(s)
+	return res, stats, stopped
+}
+
+// SearchRadiusStopInto is the scratch-reusing, dst-appending form of
+// SearchRadiusStop. When stopped, any matches already appended to dst are
+// discarded: the returned slice is the caller's prefix, unextended.
+func (t *Tree) SearchRadiusStopInto(query geom.Point, radius float64, s *Scratch, dst []nn.Neighbor, stop func() bool) (res []nn.Neighbor, stats SearchStats, stopped bool) {
+	base := len(dst)
+	out, stopped := t.searchRadiusCore(query, radius, s, dst, &stats, stop)
+	if stopped {
+		return stopReturn(out[:base]), stats, true
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].DistSq != out[j].DistSq {
-			return out[i].DistSq < out[j].DistSq
-		}
-		return out[i].Index < out[j].Index
-	})
 	return out, stats, false
 }
 
-func (t *Tree) searchRadiusStop(idx int32, query geom.Point, r2 float64, out *[]nn.Neighbor, stats *SearchStats, stop func() bool) bool {
-	nd := t.nodes[idx]
-	if nd.Leaf() {
-		if stop() {
-			return true
-		}
-		bk := &t.buckets[nd.Bucket]
-		for i, p := range bk.Points {
-			if d := query.DistSq(p); d <= r2 {
-				*out = append(*out, nn.Neighbor{Index: bk.Indices[i], Point: p, DistSq: d})
-			}
-		}
-		stats.PointsScanned += len(bk.Points)
-		stats.BucketsVisited++
-		return false
+// stopReturn normalizes the abandoned-search result: a nil dst stays nil
+// (preserving the historical "results are nil when stopped" contract),
+// a caller-owned dst is returned unextended.
+func stopReturn(dst []nn.Neighbor) []nn.Neighbor {
+	if len(dst) == 0 && cap(dst) == 0 {
+		return nil
 	}
-	stats.TraversalSteps++
-	d := float64(query.Coord(nd.Axis)) - float64(nd.Threshold)
-	if d < 0 || d*d <= r2 {
-		if t.searchRadiusStop(nd.Left, query, r2, out, stats, stop) {
-			return true
-		}
-	}
-	if d >= 0 || d*d <= r2 {
-		return t.searchRadiusStop(nd.Right, query, r2, out, stats, stop)
-	}
-	return false
+	return dst
 }

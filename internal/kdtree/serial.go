@@ -61,12 +61,17 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 		if b.live {
 			live = 1
 		}
-		if err := put(live, uint32(b.Leaf), uint32(len(b.Points))); err != nil {
+		if err := put(live, uint32(b.Leaf), uint32(b.n)); err != nil {
 			return cw.n, err
 		}
-		for j, p := range b.Points {
+		// Per-bucket point records from the arena span. The wire format is
+		// unchanged from the per-bucket-slice layout: a dump written before
+		// the SoA arena loads bit-identically after it (and vice versa).
+		pts := t.arenaPts[b.off : b.off+b.n]
+		idxs := t.arenaIdx[b.off : b.off+b.n]
+		for j, p := range pts {
 			if err := put(math.Float32bits(p.X), math.Float32bits(p.Y), math.Float32bits(p.Z),
-				uint32(b.Indices[j])); err != nil {
+				uint32(idxs[j])); err != nil {
 				return cw.n, err
 			}
 		}
@@ -150,6 +155,10 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 			Bucket:    int32(rec[5]),
 		}
 	}
+	// Buckets load into a freshly packed arena: spans laid out
+	// back-to-back in bucket order with no slack and no holes, preserving
+	// each bucket's point order so the loaded tree answers every search
+	// bit-identically to the saved one.
 	t.buckets = make([]Bucket, numBuckets)
 	bhdr := make([]uint32, 3)
 	prec := make([]uint32, 4)
@@ -164,18 +173,26 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 			return nil, fmt.Errorf("kdtree: bucket %d claims %d points", i, count)
 		}
 		b := Bucket{live: bhdr[0] == 1, Leaf: int32(bhdr[1])}
-		b.Points = make([]geom.Point, count)
-		b.Indices = make([]int, count)
-		for j := range b.Points {
+		n := int32(count)
+		b.off = t.arenaReserve(n)
+		b.n, b.cap = n, n
+		for j := int32(0); j < n; j++ {
 			if err := getN(prec); err != nil {
 				return nil, fmt.Errorf("kdtree: bucket %d point %d: %v", i, j, err)
 			}
-			b.Points[j] = geom.Point{
+			t.arenaPts[b.off+j] = geom.Point{
 				X: math.Float32frombits(prec[0]),
 				Y: math.Float32frombits(prec[1]),
 				Z: math.Float32frombits(prec[2]),
 			}
-			b.Indices[j] = int(int32(prec[3]))
+			t.arenaIdx[b.off+j] = int32(prec[3])
+		}
+		t.syncShadow(b.off, b.off+n)
+		if !b.live {
+			// A dead bucket slot has no span (its count is zero for dumps
+			// we write; tolerate garbage by retiring whatever was claimed).
+			t.arenaHole += int(b.cap)
+			b = Bucket{live: false, Leaf: b.Leaf}
 		}
 		t.buckets[i] = b
 	}

@@ -19,6 +19,7 @@ package kdtree
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/quicknn/quicknn/internal/geom"
 )
@@ -44,17 +45,23 @@ type Node struct {
 // Leaf reports whether the node is a leaf.
 func (n Node) Leaf() bool { return n.Bucket != nilIdx }
 
-// Bucket holds the points placed under one leaf, along with their indices
-// in the original reference slice.
+// Bucket is one leaf's view into the tree's SoA point arena: a contiguous
+// {off, len, cap} span of Tree.arenaPts / Tree.arenaIdx. Keeping every
+// bucket inside two flat per-tree arrays (instead of per-bucket heap
+// slices) is the software mirror of the paper's contiguous bucket blocks
+// (§4): a bucket scan is one sequential walk of cache lines, a tree clone
+// is two bulk copies, and the steady-state query path allocates nothing.
+// Use Tree.BucketPoints / Tree.BucketIndices to read a bucket's contents.
 type Bucket struct {
-	Points  []geom.Point
-	Indices []int
-	Leaf    int32 // owning leaf node
-	live    bool
+	off  int32 // first slot of the span in the arena
+	n    int32 // live points in the span
+	cap  int32 // reserved span length (n <= cap)
+	Leaf int32 // owning leaf node
+	live bool
 }
 
 // Len returns the number of points in the bucket.
-func (b *Bucket) Len() int { return len(b.Points) }
+func (b *Bucket) Len() int { return int(b.n) }
 
 // Config controls tree construction.
 type Config struct {
@@ -115,7 +122,193 @@ type Tree struct {
 	freeNodes   []int32
 	freeBuckets []int32
 	liveBuckets int
+
+	// The SoA bucket arena: every bucket's points and reference indices
+	// live in these two flat arrays, addressed by Bucket{off, n, cap}
+	// spans. arenaHole counts retired span slots (from bucket growth
+	// relocations and freed buckets); when holes dominate, maybeCompact
+	// repacks the live spans front-to-back. Invariant (docs/invariants.md):
+	// sum of live bucket caps + arenaHole == len(arenaPts) == len(arenaIdx).
+	arenaPts  []geom.Point
+	arenaIdx  []int32
+	arenaHole int
+
+	// The widened coordinate shadow: per-axis float64 copies of arenaPts,
+	// kept in lockstep by every arena write path (docs/performance.md).
+	// scanBucket's distance pass reads these instead of arenaPts, so its
+	// inner loop is three sequential float64 loads per point with no
+	// float32→float64 conversions on the critical path (the conversions
+	// halved the pass's throughput; see the benchmark methodology notes).
+	// The shadow is a query-side accelerator only: the architecture models
+	// and the serialized format still account the compact float32 layout.
+	arenaX []float64
+	arenaY []float64
+	arenaZ []float64
 }
+
+// syncShadow recomputes the widened coordinate shadow for arena slots
+// [lo, hi) from arenaPts. Bulk write paths (rebuild leaves, deserialization)
+// call it once per span instead of shadowing each store.
+func (t *Tree) syncShadow(lo, hi int32) {
+	for i := lo; i < hi; i++ {
+		p := t.arenaPts[i]
+		t.arenaX[i] = float64(p.X)
+		t.arenaY[i] = float64(p.Y)
+		t.arenaZ[i] = float64(p.Z)
+	}
+}
+
+// BucketPoints returns bucket id's points as a view into the tree arena.
+// The view is read-only and valid until the next mutation (Insert, Place,
+// Update*, Rebalance, CompactArena) — mutations may relocate spans.
+func (t *Tree) BucketPoints(id int32) []geom.Point {
+	b := &t.buckets[id]
+	return t.arenaPts[b.off : b.off+b.n : b.off+b.n]
+}
+
+// BucketIndices returns bucket id's reference indices as a view into the
+// tree arena, under the same read-only/validity contract as BucketPoints.
+func (t *Tree) BucketIndices(id int32) []int32 {
+	b := &t.buckets[id]
+	return t.arenaIdx[b.off : b.off+b.n : b.off+b.n]
+}
+
+// arenaReserve appends a span of n slots to the arena tail and returns
+// its offset. The slots are zeroed.
+func (t *Tree) arenaReserve(n int32) int32 {
+	off := int32(len(t.arenaPts))
+	need := len(t.arenaPts) + int(n)
+	if need > cap(t.arenaPts) {
+		newCap := 2 * cap(t.arenaPts)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		pts := make([]geom.Point, need, newCap)
+		copy(pts, t.arenaPts)
+		t.arenaPts = pts
+		idx := make([]int32, need, newCap)
+		copy(idx, t.arenaIdx)
+		t.arenaIdx = idx
+		xs := make([]float64, need, newCap)
+		copy(xs, t.arenaX)
+		t.arenaX = xs
+		ys := make([]float64, need, newCap)
+		copy(ys, t.arenaY)
+		t.arenaY = ys
+		zs := make([]float64, need, newCap)
+		copy(zs, t.arenaZ)
+		t.arenaZ = zs
+		return off
+	}
+	t.arenaPts = t.arenaPts[:need]
+	t.arenaIdx = t.arenaIdx[:need]
+	t.arenaX = t.arenaX[:need]
+	t.arenaY = t.arenaY[:need]
+	t.arenaZ = t.arenaZ[:need]
+	for i := off; i < int32(need); i++ {
+		t.arenaPts[i] = geom.Point{}
+		t.arenaIdx[i] = 0
+		t.arenaX[i] = 0
+		t.arenaY[i] = 0
+		t.arenaZ[i] = 0
+	}
+	return off
+}
+
+// bucketAppend adds one point to bucket id, relocating the bucket's span
+// to the arena tail with doubled capacity when it is full. Relocation is
+// amortized: capacities persist across ResetBuckets, so steady-state
+// re-population of same-shaped frames never grows.
+func (t *Tree) bucketAppend(id int32, p geom.Point, ref int32) {
+	b := &t.buckets[id]
+	if b.n == b.cap {
+		t.growBucket(id)
+		b = &t.buckets[id]
+	}
+	t.arenaPts[b.off+b.n] = p
+	t.arenaIdx[b.off+b.n] = ref
+	t.arenaX[b.off+b.n] = float64(p.X)
+	t.arenaY[b.off+b.n] = float64(p.Y)
+	t.arenaZ[b.off+b.n] = float64(p.Z)
+	b.n++
+}
+
+// growBucket relocates bucket id's span to the arena tail with at least
+// double the capacity, retiring the old span as a hole.
+func (t *Tree) growBucket(id int32) {
+	b := &t.buckets[id]
+	newCap := b.cap * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	off := t.arenaReserve(newCap)
+	b = &t.buckets[id] // arenaReserve does not touch buckets; defensive reload
+	copy(t.arenaPts[off:off+b.n], t.arenaPts[b.off:b.off+b.n])
+	copy(t.arenaIdx[off:off+b.n], t.arenaIdx[b.off:b.off+b.n])
+	copy(t.arenaX[off:off+b.n], t.arenaX[b.off:b.off+b.n])
+	copy(t.arenaY[off:off+b.n], t.arenaY[b.off:b.off+b.n])
+	copy(t.arenaZ[off:off+b.n], t.arenaZ[b.off:b.off+b.n])
+	t.arenaHole += int(b.cap)
+	b.off, b.cap = off, newCap
+}
+
+// minCompactSlack is the hole count below which compaction never runs —
+// repacking a few hundred slots is not worth the copies.
+const minCompactSlack = 1024
+
+// maybeCompact repacks the arena when retired spans outnumber live ones.
+// Called on retire paths only (after Rebalance, at the end of Place),
+// never mid-scan, so search-held views are never invalidated by it.
+func (t *Tree) maybeCompact() {
+	if t.arenaHole < minCompactSlack || 2*t.arenaHole <= len(t.arenaPts) {
+		return
+	}
+	t.CompactArena()
+}
+
+// CompactArena repacks every live bucket span front-to-back in ascending
+// offset order, dropping reserved slack (cap becomes n) and truncating the
+// arena tail. Point order within each bucket is preserved, so search
+// results are bit-identical across a compaction. Exposed for tests and
+// tooling; the tree compacts itself on retire paths via maybeCompact.
+func (t *Tree) CompactArena() {
+	ids := make([]int32, 0, t.liveBuckets)
+	for i := range t.buckets {
+		if t.buckets[i].live {
+			ids = append(ids, int32(i))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return t.buckets[ids[i]].off < t.buckets[ids[j]].off })
+	var w int32
+	for _, id := range ids {
+		b := &t.buckets[id]
+		if b.off != w {
+			copy(t.arenaPts[w:w+b.n], t.arenaPts[b.off:b.off+b.n])
+			copy(t.arenaIdx[w:w+b.n], t.arenaIdx[b.off:b.off+b.n])
+			copy(t.arenaX[w:w+b.n], t.arenaX[b.off:b.off+b.n])
+			copy(t.arenaY[w:w+b.n], t.arenaY[b.off:b.off+b.n])
+			copy(t.arenaZ[w:w+b.n], t.arenaZ[b.off:b.off+b.n])
+		}
+		b.off = w
+		b.cap = b.n
+		w += b.n
+	}
+	t.arenaPts = t.arenaPts[:w]
+	t.arenaIdx = t.arenaIdx[:w]
+	t.arenaX = t.arenaX[:w]
+	t.arenaY = t.arenaY[:w]
+	t.arenaZ = t.arenaZ[:w]
+	t.arenaHole = 0
+}
+
+// ArenaLen returns the arena length in slots (live spans + slack + holes);
+// ArenaHoles returns the retired-slot count. Tests use them to pin the
+// compaction invariants.
+func (t *Tree) ArenaLen() int   { return len(t.arenaPts) }
+func (t *Tree) ArenaHoles() int { return t.arenaHole }
 
 // Config returns the configuration the tree was built with.
 func (t *Tree) Config() Config { return t.cfg }
@@ -135,7 +328,7 @@ func (t *Tree) NumPoints() int {
 	n := 0
 	for i := range t.buckets {
 		if t.buckets[i].live {
-			n += len(t.buckets[i].Points)
+			n += int(t.buckets[i].n)
 		}
 	}
 	return n
@@ -180,6 +373,7 @@ func (t *Tree) bucket(leaf int32) int32 {
 func (t *Tree) freeNode(idx int32) { t.freeNodes = append(t.freeNodes, idx) }
 
 func (t *Tree) freeBucket(idx int32) {
+	t.arenaHole += int(t.buckets[idx].cap)
 	t.buckets[idx] = Bucket{}
 	t.freeBuckets = append(t.freeBuckets, idx)
 	t.liveBuckets--
@@ -241,7 +435,7 @@ func (t *Tree) Stats() BucketStats {
 		if !t.buckets[i].live {
 			continue
 		}
-		n := len(t.buckets[i].Points)
+		n := int(t.buckets[i].n)
 		if n < s.Min {
 			s.Min = n
 		}
@@ -261,27 +455,26 @@ func (t *Tree) Stats() BucketStats {
 
 // Clone returns a deep copy of the tree: mutations of one (placement,
 // rebalance) never affect the other. Multi-frame simulations clone the
-// previous tree to model static reuse and incremental update.
+// previous tree to model static reuse and incremental update. With the
+// SoA arena a clone is a handful of bulk array copies instead of one heap
+// allocation per bucket, which is what lets the serving engine snapshot
+// per frame cheaply.
 func (t *Tree) Clone() *Tree {
-	c := &Tree{
+	return &Tree{
 		cfg:         t.cfg,
 		root:        t.root,
 		liveBuckets: t.liveBuckets,
 		nodes:       append([]Node(nil), t.nodes...),
 		freeNodes:   append([]int32(nil), t.freeNodes...),
 		freeBuckets: append([]int32(nil), t.freeBuckets...),
-		buckets:     make([]Bucket, len(t.buckets)),
+		buckets:     append([]Bucket(nil), t.buckets...),
+		arenaPts:    append([]geom.Point(nil), t.arenaPts...),
+		arenaIdx:    append([]int32(nil), t.arenaIdx...),
+		arenaX:      append([]float64(nil), t.arenaX...),
+		arenaY:      append([]float64(nil), t.arenaY...),
+		arenaZ:      append([]float64(nil), t.arenaZ...),
+		arenaHole:   t.arenaHole,
 	}
-	for i := range t.buckets {
-		b := t.buckets[i]
-		c.buckets[i] = Bucket{
-			Points:  append([]geom.Point(nil), b.Points...),
-			Indices: append([]int(nil), b.Indices...),
-			Leaf:    b.Leaf,
-			live:    b.live,
-		}
-	}
-	return c
 }
 
 // Validate checks structural invariants: link symmetry, every leaf has a
@@ -329,9 +522,6 @@ func (t *Tree) Validate() error {
 				return fmt.Errorf("kdtree: bucket %d shared by two leaves", nd.Bucket)
 			}
 			seenBuckets[nd.Bucket] = true
-			if len(b.Points) != len(b.Indices) {
-				return fmt.Errorf("kdtree: bucket %d points/indices length mismatch", nd.Bucket)
-			}
 			return nil
 		}
 		if nd.Left == nilIdx || nd.Right == nilIdx {
@@ -347,6 +537,59 @@ func (t *Tree) Validate() error {
 	}
 	if len(seenBuckets) != t.liveBuckets {
 		return fmt.Errorf("kdtree: reachable buckets %d != live buckets %d", len(seenBuckets), t.liveBuckets)
+	}
+	return t.validateArena()
+}
+
+// validateArena checks the SoA arena invariants (docs/invariants.md):
+// both arrays in lockstep, every live span in range with n <= cap, live
+// spans pairwise disjoint, and live capacity + holes covering the arena
+// exactly — the arena holds exactly the live points plus accounted slack.
+func (t *Tree) validateArena() error {
+	if len(t.arenaPts) != len(t.arenaIdx) {
+		return fmt.Errorf("kdtree: arena arrays diverge: %d points vs %d indices",
+			len(t.arenaPts), len(t.arenaIdx))
+	}
+	if len(t.arenaX) != len(t.arenaPts) || len(t.arenaY) != len(t.arenaPts) || len(t.arenaZ) != len(t.arenaPts) {
+		return fmt.Errorf("kdtree: coordinate shadow diverges: x %d / y %d / z %d vs %d points",
+			len(t.arenaX), len(t.arenaY), len(t.arenaZ), len(t.arenaPts))
+	}
+	for i := range t.arenaPts {
+		p := t.arenaPts[i]
+		if t.arenaX[i] != float64(p.X) || t.arenaY[i] != float64(p.Y) || t.arenaZ[i] != float64(p.Z) {
+			return fmt.Errorf("kdtree: coordinate shadow stale at slot %d", i)
+		}
+	}
+	type span struct {
+		id       int32
+		off, end int32
+	}
+	var spans []span
+	liveCap := 0
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if !b.live {
+			continue
+		}
+		if b.n < 0 || b.cap < b.n || b.off < 0 || int(b.off)+int(b.cap) > len(t.arenaPts) {
+			return fmt.Errorf("kdtree: bucket %d span {off %d, n %d, cap %d} out of arena [0,%d)",
+				i, b.off, b.n, b.cap, len(t.arenaPts))
+		}
+		liveCap += int(b.cap)
+		if b.cap > 0 {
+			spans = append(spans, span{int32(i), b.off, b.off + b.cap})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].off < spans[i-1].end {
+			return fmt.Errorf("kdtree: bucket %d span [%d,%d) overlaps bucket %d span ending at %d",
+				spans[i].id, spans[i].off, spans[i].end, spans[i-1].id, spans[i-1].end)
+		}
+	}
+	if liveCap+t.arenaHole != len(t.arenaPts) {
+		return fmt.Errorf("kdtree: arena accounting broken: live cap %d + holes %d != arena %d",
+			liveCap, t.arenaHole, len(t.arenaPts))
 	}
 	return nil
 }

@@ -105,6 +105,9 @@ func (t *Tree) Rebalance(lower, upper int) UpdateResult {
 		res.Split++
 		t.rebuildAt(leaf, upper, freed, &res)
 	}
+	// Rebuilds retire the merged/split leaves' old arena spans; repack the
+	// arena once the retired slots dominate ("compaction on retire").
+	t.maybeCompact()
 	return res
 }
 
@@ -113,22 +116,22 @@ func (t *Tree) Rebalance(lower, upper int) UpdateResult {
 // beneath it, splitting any group larger than target.
 func (t *Tree) rebuildAt(idx int32, target int, freed map[int32]bool, res *UpdateResult) {
 	var pts []geom.Point
-	var idxs []int
+	var idxs []int32
 	t.collectSubtree(idx, &pts, &idxs, freed, true)
 	res.PointsResorted += len(pts)
 	axis := t.depthOf(idx) % geom.Dims
 	t.rebuildNode(idx, pointSet{pts: pts, idxs: idxs}, geom.Axis(axis), target, freed, res)
 }
 
-// collectSubtree gathers all points below idx, freeing buckets and child
+// collectSubtree gathers all points below idx (copied out of the arena,
+// so later span retirement cannot clobber them), freeing buckets and child
 // nodes. When keepRoot is true the node at idx itself is retained (links
 // cleared) so it can be rebuilt in place.
-func (t *Tree) collectSubtree(idx int32, pts *[]geom.Point, idxs *[]int, freed map[int32]bool, keepRoot bool) {
+func (t *Tree) collectSubtree(idx int32, pts *[]geom.Point, idxs *[]int32, freed map[int32]bool, keepRoot bool) {
 	nd := t.nodes[idx]
 	if nd.Leaf() {
-		b := &t.buckets[nd.Bucket]
-		*pts = append(*pts, b.Points...)
-		*idxs = append(*idxs, b.Indices...)
+		*pts = append(*pts, t.BucketPoints(nd.Bucket)...)
+		*idxs = append(*idxs, t.BucketIndices(nd.Bucket)...)
 		t.freeBucket(nd.Bucket)
 	} else {
 		t.collectSubtree(nd.Left, pts, idxs, freed, false)
@@ -151,8 +154,13 @@ func (t *Tree) rebuildNode(idx int32, s pointSet, axis geom.Axis, target int, fr
 	makeLeaf := func() {
 		b := t.bucket(idx)
 		t.nodes[idx].Bucket = b
-		t.buckets[b].Points = append([]geom.Point(nil), s.pts...)
-		t.buckets[b].Indices = append([]int(nil), s.idxs...)
+		n := int32(len(s.pts))
+		off := t.arenaReserve(n)
+		copy(t.arenaPts[off:off+n], s.pts)
+		copy(t.arenaIdx[off:off+n], s.idxs)
+		t.syncShadow(off, off+n)
+		bk := &t.buckets[b]
+		bk.off, bk.n, bk.cap = off, n, n
 	}
 	if len(s.pts) <= target {
 		makeLeaf()

@@ -33,6 +33,23 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, items: make([]Neighbor, 0, k)}
 }
 
+// Init prepares the list for a fresh query retaining the k nearest
+// candidates, reusing the existing backing array when it is large enough.
+// It is the allocation-free equivalent of NewTopK for TopK values embedded
+// in reusable scratch state (kdtree.Scratch): after the first warm-up call
+// with a given k, Init never allocates. It panics if k <= 0.
+func (t *TopK) Init(k int) {
+	if k <= 0 {
+		panic("nn: TopK requires k > 0")
+	}
+	t.k = k
+	if cap(t.items) < k {
+		t.items = make([]Neighbor, 0, k)
+		return
+	}
+	t.items = t.items[:0]
+}
+
 // K returns the capacity of the list.
 func (t *TopK) K() int { return t.k }
 
@@ -51,20 +68,34 @@ func (t *TopK) Worst() (distSq float64, ok bool) {
 
 // Push offers a candidate; it is kept only if it is among the k nearest
 // seen so far. Returns true if the candidate was inserted.
+//
+// The insertion walks backward from the tail, shifting farther candidates
+// down as it goes — one fused scan-and-shift loop instead of a position
+// scan followed by a copy. For the domain's small k a manual shift of a
+// handful of records beats the memmove call the copy form pays, and the
+// resulting array is identical: the candidate lands after any
+// equal-distance entries (first-seen wins ties), exactly as before.
 func (t *TopK) Push(n Neighbor) bool {
-	if len(t.items) == t.k && n.DistSq >= t.items[len(t.items)-1].DistSq {
-		return false
+	m := len(t.items)
+	if m == t.k {
+		if n.DistSq >= t.items[m-1].DistSq {
+			return false
+		}
+		i := m - 1 // the dropped (k+1)-th candidate
+		for i > 0 && t.items[i-1].DistSq > n.DistSq {
+			t.items[i] = t.items[i-1]
+			i--
+		}
+		t.items[i] = n
+		return true
 	}
-	// Find insertion position (first item strictly farther).
-	pos := len(t.items)
-	for pos > 0 && t.items[pos-1].DistSq > n.DistSq {
-		pos--
+	t.items = append(t.items, Neighbor{})
+	i := m
+	for i > 0 && t.items[i-1].DistSq > n.DistSq {
+		t.items[i] = t.items[i-1]
+		i--
 	}
-	if len(t.items) < t.k {
-		t.items = append(t.items, Neighbor{})
-	}
-	copy(t.items[pos+1:], t.items[pos:])
-	t.items[pos] = n
+	t.items[i] = n
 	return true
 }
 
@@ -79,6 +110,13 @@ func (t *TopK) Results() []Neighbor {
 	out := make([]Neighbor, len(t.items))
 	copy(out, t.items)
 	return out
+}
+
+// AppendTo appends the retained neighbors (nearest-first) to dst and
+// returns the extended slice. With a dst of sufficient capacity it never
+// allocates — the zero-allocation *Into search variants stack on it.
+func (t *TopK) AppendTo(dst []Neighbor) []Neighbor {
+	return append(dst, t.items...)
 }
 
 // Reset empties the list so the TopK can be reused for the next query,

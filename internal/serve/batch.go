@@ -22,6 +22,11 @@ type request struct {
 
 	// results is filled by batch workers, one slot per query.
 	results [][]quicknn.Neighbor
+	// backing is the flat result arena of the k-bounded modes: one
+	// allocation of len(queries)*K neighbor records, with results[qi] a
+	// capacity-capped view of its stride-K region. ModeRadius (unbounded
+	// result counts) leaves it nil and takes per-query slices.
+	backing []quicknn.Neighbor
 	// epochID records which snapshot answered the request.
 	epochID uint64
 
@@ -46,8 +51,24 @@ func newRequest(ctx context.Context, queries []quicknn.Point, opts quicknn.Query
 		done:      make(chan struct{}),
 		submitted: obs.MonotonicSeconds(),
 	}
+	if opts.Mode != quicknn.ModeRadius && opts.K > 0 {
+		r.backing = make([]quicknn.Neighbor, len(queries)*opts.K)
+	}
 	r.pending.Store(int64(len(queries)))
 	return r
+}
+
+// region returns query qi's slot in the flat result backing: a
+// zero-length, capacity-K view that QueryInto appends into without ever
+// reallocating (each k-bounded mode returns at most K neighbors) and
+// without aliasing a sibling query's span. nil when the request has no
+// backing (ModeRadius, or options that will fail validation anyway).
+func (r *request) region(qi int) []quicknn.Neighbor {
+	if r.backing == nil {
+		return nil
+	}
+	k := r.opts.K
+	return r.backing[qi*k : qi*k : (qi+1)*k]
 }
 
 // fail records the request's first error and flags it for skipping.
@@ -108,9 +129,14 @@ func (e *Engine) runBatch(ep *epoch, items []workItem, workers int) {
 			defer workersDone.Done()
 			e.sem <- struct{}{}
 			defer func() { <-e.sem }()
+			// One Scratch per worker for the worker's lifetime: every
+			// query this goroutine answers reuses the same traversal
+			// stack, heap, and candidate list (docs/performance.md).
+			sc := getServeScratch()
+			defer putServeScratch(sc)
 			for {
 				if idx, ok := ranges[me].popFront(); ok {
-					e.runItem(ep, items[idx])
+					e.runItem(ep, items[idx], sc)
 					wg.Done()
 					continue
 				}
@@ -140,8 +166,10 @@ func (e *Engine) runBatch(ep *epoch, items []workItem, workers int) {
 }
 
 // runItem answers one query of one request against the batch's epoch,
-// honoring the request's deadline between queries.
-func (e *Engine) runItem(ep *epoch, it workItem) {
+// honoring the request's deadline between queries. Results land in the
+// request's flat backing via QueryInto with the worker's Scratch, so a
+// warm steady state performs no per-query allocations.
+func (e *Engine) runItem(ep *epoch, it workItem, sc *quicknn.Scratch) {
 	req := it.req
 	defer req.finishOne(e.m)
 	if req.failed.Load() {
@@ -151,7 +179,7 @@ func (e *Engine) runItem(ep *epoch, it workItem) {
 		req.fail(err)
 		return
 	}
-	res, err := ep.index.Query(req.ctx, req.queries[it.qi], req.opts)
+	res, err := ep.index.QueryInto(req.ctx, req.queries[it.qi], req.opts, sc, req.region(it.qi))
 	if err != nil {
 		req.fail(err)
 		return
@@ -159,3 +187,10 @@ func (e *Engine) runItem(ep *epoch, it workItem) {
 	req.results[it.qi] = res
 	e.m.queries.Inc()
 }
+
+// serveScratchPool hands each batch-worker goroutine a warm Scratch for
+// its lifetime; capacities survive across batches and epochs.
+var serveScratchPool = sync.Pool{New: func() interface{} { return quicknn.NewScratch() }}
+
+func getServeScratch() *quicknn.Scratch  { return serveScratchPool.Get().(*quicknn.Scratch) }
+func putServeScratch(s *quicknn.Scratch) { serveScratchPool.Put(s) }

@@ -87,30 +87,59 @@ func (o QueryOptions) validate() error {
 // bucket visits (the backtracking modes poll ctx once per bucket scan),
 // returning ctx.Err(). Concurrent Query calls are safe as long as no
 // Update runs concurrently.
+//
+// Query borrows a pooled Scratch, so it allocates only the returned
+// slice; callers on the hot path can go all the way to zero allocations
+// with QueryInto.
 func (ix *Index) Query(ctx context.Context, q Point, opts QueryOptions) ([]Neighbor, error) {
+	sc := getQueryScratch()
+	res, err := ix.QueryInto(ctx, q, opts, sc, nil)
+	putQueryScratch(sc)
+	return res, err
+}
+
+// QueryInto is the allocation-free form of Query: results are appended to
+// dst (which may be nil) and all traversal state lives in sc. With a warm
+// Scratch, a dst of capacity >= K, and an uncancellable ctx
+// (context.Background), the non-radius modes perform zero heap
+// allocations per call — the property the serving engine's batch workers
+// and the AllocsPerRun guards in hotpath_alloc_test.go rely on.
+//
+// On error (including cancellation) dst is returned unextended; a nil
+// dst comes back nil.
+func (ix *Index) QueryInto(ctx context.Context, q Point, opts QueryOptions, sc *Scratch, dst []Neighbor) ([]Neighbor, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return dst, err
 	}
-	stop := func() bool { return ctx.Err() != nil }
+	if sc == nil || sc.s == nil {
+		return dst, fmt.Errorf("%w: QueryInto requires a Scratch from NewScratch", ErrInvalidOptions)
+	}
+	// Only pay for the cancellation closure when ctx can actually be
+	// cancelled: Background/TODO have a nil Done channel, and the kdtree
+	// searches treat a nil stop as "never".
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = func() bool { return ctx.Err() != nil }
+	}
 	var (
 		res     []Neighbor
 		stopped bool
 	)
 	switch opts.Mode {
 	case ModeApprox:
-		res, _ = ix.tree.SearchApprox(q, opts.K)
+		res, _ = ix.tree.SearchApproxInto(q, opts.K, sc.s, dst)
 	case ModeExact:
-		res, _, stopped = ix.tree.SearchExactStop(q, opts.K, stop)
+		res, _, stopped = ix.tree.SearchExactStopInto(q, opts.K, sc.s, dst, stop)
 	case ModeChecks:
-		res, _, stopped = ix.tree.SearchChecksStop(q, opts.K, opts.Checks, stop)
+		res, _, stopped = ix.tree.SearchChecksStopInto(q, opts.K, opts.Checks, sc.s, dst, stop)
 	case ModeRadius:
-		res, _, stopped = ix.tree.SearchRadiusStop(q, opts.Radius, stop)
+		res, _, stopped = ix.tree.SearchRadiusStopInto(q, opts.Radius, sc.s, dst, stop)
 	}
 	if stopped {
-		return nil, ctx.Err()
+		return res, ctx.Err()
 	}
 	return res, nil
 }
@@ -127,6 +156,14 @@ const batchGrain = 16
 // checked between chunks and inside each query's bucket loop, and the
 // first cancellation abandons the batch with ctx.Err(). The returned
 // slice is parallel to queries.
+//
+// Memory layout: in the k-bounded modes every result neighbor lives in
+// one flat backing array allocated up front (len(queries)*K records);
+// out[qi] is a capacity-capped view of its stride-K region, so workers
+// append into disjoint spans with no per-query slice allocations and no
+// false sharing of slice headers. ModeRadius, whose result count is
+// data-dependent, falls back to per-query slices. Each worker keeps one
+// pooled Scratch for the whole batch.
 func (ix *Index) QueryBatch(ctx context.Context, queries []Point, opts QueryOptions) ([][]Neighbor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -145,14 +182,50 @@ func (ix *Index) QueryBatch(ctx context.Context, queries []Point, opts QueryOpti
 		workers = max
 	}
 	out := make([][]Neighbor, len(queries))
+	// Flat result backing for the k-bounded modes: query qi appends into
+	// backing[qi*K : qi*K : (qi+1)*K] — zero-length, capacity-K regions
+	// that can never reallocate (each mode returns at most K neighbors)
+	// and never alias a neighboring query's span.
+	var backing []Neighbor
+	if opts.Mode != ModeRadius {
+		backing = make([]Neighbor, len(queries)*opts.K)
+	}
+	region := func(qi int) []Neighbor {
+		if backing == nil {
+			return nil
+		}
+		return backing[qi*opts.K : qi*opts.K : (qi+1)*opts.K]
+	}
+	if opts.Mode == ModeApprox {
+		// The approximate mode runs on the kd-tree's leaf-grouped batch
+		// executor (docs/performance.md): queries are pre-sorted by primary
+		// bucket so each arena span is scanned while cache-hot for all of
+		// its queries, serially or fanned out over the same worker count.
+		// Results and stats are identical to the per-query loop below —
+		// grouping is a pure reordering — so this is a fast path, not a
+		// semantic fork.
+		for qi := range out {
+			out[qi] = region(qi)
+		}
+		var stop func() bool
+		if ctx.Done() != nil {
+			stop = func() bool { return ctx.Err() != nil }
+		}
+		if _, stopped := ix.tree.SearchApproxBatch(queries, opts.K, workers, out, stop); stopped {
+			return nil, ctx.Err()
+		}
+		return out, nil
+	}
 	if workers <= 1 {
+		sc := getQueryScratch()
+		defer putQueryScratch(sc)
 		for qi := range queries {
 			if qi%batchGrain == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 			}
-			res, err := ix.Query(ctx, queries[qi], opts)
+			res, err := ix.QueryInto(ctx, queries[qi], opts, sc, region(qi))
 			if err != nil {
 				return nil, err
 			}
@@ -170,6 +243,8 @@ func (ix *Index) QueryBatch(ctx context.Context, queries []Point, opts QueryOpti
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := getQueryScratch()
+			defer putQueryScratch(sc)
 			for {
 				lo := int(next.Add(batchGrain)) - batchGrain
 				if lo >= len(queries) || failed.Load() {
@@ -186,7 +261,7 @@ func (ix *Index) QueryBatch(ctx context.Context, queries []Point, opts QueryOpti
 					return
 				}
 				for qi := lo; qi < hi; qi++ {
-					res, err := ix.Query(ctx, queries[qi], opts)
+					res, err := ix.QueryInto(ctx, queries[qi], opts, sc, region(qi))
 					if err != nil {
 						if failed.CompareAndSwap(false, true) {
 							firstErr.Store(err)

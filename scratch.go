@@ -1,0 +1,35 @@
+package quicknn
+
+import (
+	"sync"
+
+	"github.com/quicknn/quicknn/internal/kdtree"
+)
+
+// Scratch is reusable per-goroutine search state for the allocation-free
+// QueryInto entry point: the running candidate list plus the traversal
+// stack and branch heap of the backtracking modes. A zero-cost wrapper
+// over the k-d tree's internal scratch, it exists so callers that issue
+// many queries (the serving engine's batch workers, benchmark loops,
+// odometry pipelines) can pay the traversal-state allocations once and
+// never again.
+//
+// A Scratch must not be used by two concurrent queries. The zero value is
+// not ready; use NewScratch.
+type Scratch struct {
+	s *kdtree.Scratch
+}
+
+// NewScratch returns an empty Scratch. Capacity grows on first use and is
+// retained for the lifetime of the value; after one warm-up query at a
+// given K, QueryInto with this scratch performs zero heap allocations
+// (see docs/performance.md).
+func NewScratch() *Scratch { return &Scratch{s: kdtree.NewScratch()} }
+
+// queryScratchPool backs the convenience entry points (Query, QueryBatch,
+// Search, ...) so that even they stop allocating traversal state per
+// call — only their returned result slices remain.
+var queryScratchPool = sync.Pool{New: func() interface{} { return NewScratch() }}
+
+func getQueryScratch() *Scratch  { return queryScratchPool.Get().(*Scratch) }
+func putQueryScratch(s *Scratch) { queryScratchPool.Put(s) }
