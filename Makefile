@@ -13,11 +13,12 @@ FUZZTIME  ?= 10s
 BENCHTIME     ?= 2s
 MIN_SPEEDUP   ?= 1.4
 MIN_ALLOC_RED ?= 0.9
-# Every fuzz target; each gets its own smoke run because `go test -fuzz`
-# accepts only one matching target at a time.
-FUZZ_TARGETS := FuzzReadFrameCSV FuzzReadFrameBinary FuzzLoadIndex
+# Every fuzz target as name:package; each gets its own smoke run because
+# `go test -fuzz` accepts only one matching target at a time.
+FUZZ_TARGETS := FuzzReadFrameCSV:. FuzzReadFrameBinary:. FuzzLoadIndex:. \
+	FuzzConfigCheck:./internal/dram
 
-.PHONY: all build vet lint test race fuzz trace-demo serve-demo bench-hot ci clean
+.PHONY: all build vet lint lint-syntactic test race fuzz sanitize trace-demo serve-demo bench-hot ci clean
 
 all: build
 
@@ -29,9 +30,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-## lint: run the quicknnlint analyzer suite (see docs/invariants.md).
+## lint: run the typed quicknnlint analyzer suite (see docs/lint.md).
 lint:
 	$(GO) run ./cmd/quicknnlint ./...
+
+## lint-syntactic: the degraded AST-only driver (what the typed driver
+## falls back to per-file when type information is unavailable).
+lint-syntactic:
+	$(GO) run ./cmd/quicknnlint -syntactic ./...
 
 ## test: run the full test suite (includes the lint self-test).
 test:
@@ -44,9 +50,18 @@ race:
 ## fuzz: short fuzzing smoke over every fuzz target.
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) . || exit 1; \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "fuzz $$name in $$pkg ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$name$$" -fuzztime $(FUZZTIME) "$$pkg" || exit 1; \
 	done
+
+## sanitize: build and test the runtime sanitizers — the epoch-snapshot
+## lifecycle checker (internal/serve) and the arena lockstep checker
+## (internal/kdtree) — under the race detector, then lint the
+## tag-gated sources the default build excludes (docs/lint.md).
+sanitize:
+	$(GO) test -tags quicknn_sanitize -race ./internal/serve/... ./internal/kdtree/...
+	$(GO) run ./cmd/quicknnlint -tags quicknn_sanitize ./...
 
 ## trace-demo: end-to-end observability smoke — run a small simulated
 ## drive, validate the Perfetto trace it emits, and check that the
@@ -93,7 +108,7 @@ bench-hot:
 	@echo "bench-hot: OK (BENCH_hotpath.json written)"
 
 ## ci: everything the pipeline runs, in order.
-ci: build vet lint test race fuzz trace-demo serve-demo
+ci: build vet lint test race sanitize fuzz trace-demo serve-demo
 
 clean:
 	$(GO) clean ./...

@@ -1,11 +1,16 @@
 // Command quicknnlint is the repository's multichecker: it applies the
 // custom analyzer suite (internal/lint/rules) that enforces the
-// simulation invariants documented in docs/invariants.md —
+// simulation invariants documented in docs/invariants.md and
+// docs/lint.md —
 //
-//	cycleint:  cycle/tCK arithmetic in timing-model packages stays integer
-//	nakedrand: no global math/rand state outside tests
-//	panicmsg:  library panics carry a "pkg: " prefix
-//	walltime:  no wall-clock calls in simulation packages
+//	atomicfield: sync/atomic'd struct fields atomic at every site + aligned
+//	ctxfirst:    context.Context first parameter, never a struct field
+//	cycleint:    cycle/tCK arithmetic in timing-model packages stays integer
+//	nakedrand:   no global math/rand state outside tests
+//	panicmsg:    library panics carry a "pkg: " prefix
+//	scratchleak: pooled *Scratch reaches its Put on every return path
+//	shadowsync:  arenaPts writes keep the f64 shadow planes in lockstep
+//	walltime:    no wall-clock calls in simulation packages
 //
 // Usage:
 //
@@ -13,8 +18,20 @@
 //
 // Package patterns are accepted for familiarity with go vet, but the
 // checker always analyzes the whole module containing the working
-// directory; it prints diagnostics to stderr and exits non-zero if there
-// are any. Suppress an individual finding with
+// directory. By default it type-checks the module with the stdlib-only
+// go/types loader and runs the typed analyzers; packages that fail
+// type-checking are reported (analyzer "typecheck") and still analyzed
+// with partial information — diagnostics are aggregated across ALL
+// packages and the process exits non-zero once, at the end, never on
+// the first broken package.
+//
+// Flags:
+//
+//	-list       list registered analyzers and exit
+//	-syntactic  skip type-checking (parse-only degraded mode)
+//	-tags a,b   extra build tags for file selection (e.g. race,quicknn_sanitize)
+//
+// Suppress an individual finding with
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -25,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/quicknn/quicknn/internal/lint"
 	"github.com/quicknn/quicknn/internal/lint/rules"
@@ -32,48 +50,54 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	syntactic := flag.Bool("syntactic", false, "skip type-checking; run parse-only analyzers")
+	tags := flag.String("tags", "", "comma-separated extra build tags for file selection")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: quicknnlint [-list] [packages]\n\nAnalyzes the enclosing module regardless of the package pattern.\n\n")
+			"usage: quicknnlint [-list] [-syntactic] [-tags a,b] [packages]\n\nAnalyzes the enclosing module regardless of the package pattern.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *list {
 		for _, a := range rules.All {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			mode := "typed+syntactic"
+			if a.NeedsTypes {
+				mode = "typed-only"
+			}
+			fmt.Printf("%-12s %-16s %s\n", a.Name, mode, a.Doc)
 		}
 		return
 	}
-	if err := run(); err != nil {
+	if err := run(*syntactic, *tags); err != nil {
 		fmt.Fprintln(os.Stderr, "quicknnlint:", err)
 		os.Exit(2)
 	}
 }
 
-// run loads the module, applies the suite and prints diagnostics; a
-// non-empty report exits with status 1 like go vet.
-func run() error {
+// run analyzes the enclosing module and prints the aggregated
+// diagnostics; a non-empty report exits with status 1 like go vet.
+func run(syntactic bool, tags string) error {
 	wd, err := os.Getwd()
 	if err != nil {
 		return err
 	}
-	root, err := lint.FindModuleRoot(wd)
+	opts := lint.Options{
+		Syntactic: syntactic,
+		Analyzers: rules.All,
+	}
+	if tags != "" {
+		opts.Tags.Extra = strings.Split(tags, ",")
+	}
+	res, err := lint.Analyze(wd, opts)
 	if err != nil {
 		return err
 	}
-	pkgs, fset, module, err := lint.LoadModule(root)
-	if err != nil {
-		return err
-	}
-	diags, err := lint.Run(fset, pkgs, module, rules.All)
-	if err != nil {
-		return err
-	}
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
-	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "quicknnlint: %d issue(s) in %s (see docs/invariants.md)\n", n, module)
+	if n := len(res.Diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "quicknnlint: %d issue(s) across %d package(s) in %s (see docs/invariants.md)\n",
+			n, res.Packages, res.Module)
 		os.Exit(1)
 	}
 	return nil

@@ -100,10 +100,11 @@ const historyDepth = 16
 
 // bankState is the checker's independent view of one bank.
 type bankState struct {
-	openRow int64 // -1 = precharged
-	actAt   int64 // time of the most recent ACT (-1 = never)
-	preAt   int64 // time of the most recent PRE (-1 = never)
-	lastAt  int64 // time of the most recent command on this bank
+	openRow  int64 // -1 = precharged
+	actAt    int64 // time of the most recent ACT (-1 = never)
+	preAt    int64 // time of the most recent PRE (-1 = never)
+	lastAt   int64 // time of the most recent command on this bank
+	writeEnd int64 // end of the most recent write burst (-1 = never)
 }
 
 // checker validates the command stream emitted by Memory. It keeps no
@@ -117,6 +118,12 @@ type checker struct {
 	dataEnd   int64
 	lastWrite bool
 
+	// Rank-level activate history: actTimes is a ring of the last four
+	// ACT issue times for the tRRD/tFAW window checks; numActs counts
+	// ACTs observed.
+	actTimes [4]int64
+	numActs  int
+
 	// Most recent refresh stall window.
 	refStart, refEnd int64
 	haveRef          bool
@@ -129,7 +136,7 @@ type checker struct {
 func newChecker(cfg Config) *checker {
 	c := &checker{cfg: cfg, banks: make([]bankState, cfg.Banks)}
 	for i := range c.banks {
-		c.banks[i] = bankState{openRow: -1, actAt: -1, preAt: -1, lastAt: -1}
+		c.banks[i] = bankState{openRow: -1, actAt: -1, preAt: -1, lastAt: -1, writeEnd: -1}
 	}
 	return c
 }
@@ -176,6 +183,10 @@ func (c *checker) onPrecharge(bank int, at int64) {
 		c.fail(cmd, "tRAS", "PRE bank %d at %d before ACT@%d + tRAS(%d) = %d",
 			bank, at, b.actAt, c.cfg.TRAS, b.actAt+int64(c.cfg.TRAS))
 	}
+	if b.writeEnd >= 0 && at < b.writeEnd+int64(c.cfg.TWR) {
+		c.fail(cmd, "tWR", "PRE bank %d at %d before write end@%d + tWR(%d) = %d",
+			bank, at, b.writeEnd, c.cfg.TWR, b.writeEnd+int64(c.cfg.TWR))
+	}
 	if c.haveRef && at < c.refEnd {
 		c.fail(cmd, "tRFC", "PRE bank %d at %d inside refresh stall [%d,%d)", bank, at, c.refStart, c.refEnd)
 	}
@@ -201,6 +212,21 @@ func (c *checker) onActivate(bank int, row, at int64) {
 		c.fail(cmd, "tRAS", "ACT bank %d at %d before previous ACT@%d + tRAS(%d) = %d",
 			bank, at, b.actAt, c.cfg.TRAS, b.actAt+int64(c.cfg.TRAS))
 	}
+	// Rank-level activate windows: tRRD spaces this ACT from the
+	// previous one on any bank; tFAW bounds four ACTs in a rolling
+	// window (this ACT against the fourth-most-recent).
+	if c.numActs > 0 {
+		if prev := c.actTimes[(c.numActs-1)%4]; at < prev+int64(c.cfg.TRRD) {
+			c.fail(cmd, "tRRD", "ACT bank %d at %d before previous rank ACT@%d + tRRD(%d) = %d",
+				bank, at, prev, c.cfg.TRRD, prev+int64(c.cfg.TRRD))
+		}
+	}
+	if c.numActs >= 4 {
+		if fourth := c.actTimes[c.numActs%4]; at < fourth+int64(c.cfg.TFAW) {
+			c.fail(cmd, "tFAW", "ACT bank %d at %d is the fifth activate inside [%d,%d): fourth-last ACT@%d + tFAW(%d)",
+				bank, at, fourth, fourth+int64(c.cfg.TFAW), fourth, c.cfg.TFAW)
+		}
+	}
 	if c.haveRef && at < c.refEnd {
 		c.fail(cmd, "tRFC", "ACT bank %d at %d inside refresh stall [%d,%d)", bank, at, c.refStart, c.refEnd)
 	}
@@ -210,6 +236,8 @@ func (c *checker) onActivate(bank int, row, at int64) {
 	b.openRow = row
 	b.actAt = at
 	b.lastAt = at
+	c.actTimes[c.numActs%4] = at
+	c.numActs++
 	c.record(cmd)
 }
 
@@ -236,6 +264,13 @@ func (c *checker) onData(bank int, row int64, write bool, start, end int64) {
 		if start < c.dataEnd {
 			c.fail(cmd, "data-bus", "data burst [%d,%d) overlaps previous burst ending at %d", start, end, c.dataEnd)
 		}
+		// Write-to-read recovery is checked before the generic
+		// turnaround so a schedule violating both is reported against
+		// the tighter, more specific parameter.
+		if !write && c.lastWrite && start < c.dataEnd+int64(c.cfg.TWTR) {
+			c.fail(cmd, "tWTR", "RD at %d follows write data end@%d inside tWTR(%d): earliest legal %d",
+				start, c.dataEnd, c.cfg.TWTR, c.dataEnd+int64(c.cfg.TWTR))
+		}
 		if write != c.lastWrite && start < c.dataEnd+int64(c.cfg.TurnAround) {
 			c.fail(cmd, "turnaround", "%s at %d switches bus direction before %d + turnaround(%d) = %d",
 				kind, start, c.dataEnd, c.cfg.TurnAround, c.dataEnd+int64(c.cfg.TurnAround))
@@ -248,6 +283,9 @@ func (c *checker) onData(bank int, row int64, write bool, start, end int64) {
 	c.haveData = true
 	c.dataEnd = end
 	c.lastWrite = write
+	if write {
+		b.writeEnd = end
+	}
 	c.record(cmd)
 }
 

@@ -1,0 +1,133 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+// multiWindowConfig is the reference operating point for the rolling
+// window checks: the default timing plus datasheet tRRD/tFAW/tWR/tWTR.
+func multiWindowConfig() Config {
+	return DefaultConfig().WithMultiWindowTiming()
+}
+
+// TestDefaultConfigLeavesMultiWindowDisabled pins the compatibility
+// contract: the default operating point keeps the multi-window
+// parameters at zero (so established traces and golden files keep their
+// exact timing) and WithMultiWindowTiming opts in to the datasheet
+// values.
+func TestDefaultConfigLeavesMultiWindowDisabled(t *testing.T) {
+	d := DefaultConfig()
+	if d.TRRD != 0 || d.TFAW != 0 || d.TWR != 0 || d.TWTR != 0 {
+		t.Fatalf("DefaultConfig has non-zero multi-window timing: tRRD=%d tFAW=%d tWR=%d tWTR=%d",
+			d.TRRD, d.TFAW, d.TWR, d.TWTR)
+	}
+	mw := multiWindowConfig()
+	if mw.TRRD != 6 || mw.TFAW != 26 || mw.TWR != 18 || mw.TWTR != 9 {
+		t.Fatalf("WithMultiWindowTiming = tRRD=%d tFAW=%d tWR=%d tWTR=%d, want 6/26/18/9",
+			mw.TRRD, mw.TFAW, mw.TWR, mw.TWTR)
+	}
+	if mw.TRCD != d.TRCD || mw.Banks != d.Banks {
+		t.Fatal("WithMultiWindowTiming must not alter unrelated parameters")
+	}
+}
+
+// TestMultiWindowModelSelfConsistent drives heavy mixed traffic through
+// a checked memory running the full multi-window timing: the model's
+// schedule must satisfy its own checker for every window parameter.
+func TestMultiWindowModelSelfConsistent(t *testing.T) {
+	cfg := multiWindowConfig()
+	cfg.Check = true
+	m := New(cfg)
+	for addr := uint64(0); addr < 1<<18; addr += 64 {
+		m.Access(addr, 64, addr%128 == 0, StreamRd1)
+	}
+	// Same-bank write-then-evict traffic keeps tWR and tWTR binding:
+	// rows 0 and 16 both live in bank 0 (row % banks).
+	rowStride := uint64(m.Config().RowBytes) * uint64(m.Config().Banks)
+	for i := 0; i < 2000; i++ {
+		base := uint64(i%3) * rowStride
+		m.Access(base, 128, true, StreamWr1)
+		m.Access(base+uint64(m.Config().RowBytes), 64, i%2 == 0, StreamRd3)
+	}
+	if err := m.Stats().Validate(); err != nil {
+		t.Fatalf("stats invalid after multi-window checked run: %v", err)
+	}
+}
+
+// expectProtocolError runs f and asserts it panics with a
+// *ProtocolError naming param.
+func expectProtocolError(t *testing.T, param string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("schedule violating %s not caught by protocol checker", param)
+		}
+		perr, ok := r.(*ProtocolError)
+		if !ok {
+			t.Fatalf("panic value %T, want *ProtocolError", r)
+		}
+		if perr.Param != param {
+			t.Errorf("violation names %q, want %q (detail: %s)", perr.Param, param, perr.Detail)
+		}
+		if !strings.Contains(perr.Error(), param) {
+			t.Errorf("violation report does not mention %s:\n%s", param, perr.Error())
+		}
+	}()
+	f()
+}
+
+// TestCheckerNamesMultiWindowParameter feeds each rolling-window rule a
+// schedule violating exactly that rule and asserts the diagnostic names
+// the parameter. tRRD and tFAW use hand-built command sequences — the
+// in-order model serializes activates through tRCD+tCL, so it can never
+// emit ACTs close enough to violate them — while tWR and tWTR replay a
+// deliberately loosened model against the reference checker, same as
+// TestCheckerNamesViolatedParameter.
+func TestCheckerNamesMultiWindowParameter(t *testing.T) {
+	t.Run("tRRD", func(t *testing.T) {
+		c := newChecker(multiWindowConfig())
+		c.onActivate(0, 0, 100)
+		expectProtocolError(t, "tRRD", func() {
+			c.onActivate(1, 1, 103) // 3 tCK after the previous rank ACT, tRRD = 6
+		})
+	})
+	t.Run("tFAW", func(t *testing.T) {
+		c := newChecker(multiWindowConfig())
+		for bank := 0; bank < 4; bank++ {
+			c.onActivate(bank, int64(bank), 100+int64(bank)*6) // exactly tRRD apart
+		}
+		expectProtocolError(t, "tFAW", func() {
+			// Fifth ACT at 124: satisfies tRRD (118+6) but lands inside
+			// the four-activate window opened at 100 (tFAW = 26).
+			c.onActivate(4, 4, 124)
+		})
+	})
+	t.Run("tWR", func(t *testing.T) {
+		broken := multiWindowConfig()
+		broken.TWR = 0
+		m := New(broken)
+		m.check = newChecker(multiWindowConfig())
+		expectProtocolError(t, "tWR", func() {
+			// Two write bursts into bank 0 row 0, then a row miss on the
+			// same bank: the loosened model precharges as soon as tRAS
+			// allows, inside the reference write-recovery window.
+			m.Access(0, 128, true, StreamWr1)
+			m.Access(uint64(broken.RowBytes)*uint64(broken.Banks), 64, true, StreamWr1)
+		})
+	})
+	t.Run("tWTR", func(t *testing.T) {
+		broken := multiWindowConfig()
+		broken.TWTR = 0
+		m := New(broken)
+		m.check = newChecker(multiWindowConfig())
+		expectProtocolError(t, "tWTR", func() {
+			// Write then read the same open row: the loosened model pays
+			// only the generic turnaround (8 tCK), one short of the
+			// reference write-to-read recovery (9 tCK).
+			m.Access(0, 64, true, StreamWr1)
+			m.Access(0, 64, false, StreamRd1)
+		})
+	})
+}

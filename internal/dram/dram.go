@@ -32,6 +32,19 @@ type Config struct {
 	TRCD, TRP, TCL, TRAS int
 	// TurnAround is the bus penalty when switching read↔write.
 	TurnAround int
+	// TRRD is the minimum rank-level ACT-to-ACT spacing and TFAW the
+	// rolling four-activate window (no more than four ACTs in any TFAW
+	// span), both in tCK. Zero disables the constraint. The in-order
+	// model serializes activates through tRCD+tCL anyway, so these bind
+	// only under aggressive timing overrides; the protocol checker
+	// enforces them regardless (see check.go).
+	TRRD, TFAW int
+	// TWR is the write-recovery time: a precharge may not follow the end
+	// of a write burst to the same bank by less than TWR tCK. TWTR is the
+	// write-to-read turnaround: read data may not start within TWTR of
+	// the end of the preceding write burst. Zero disables either
+	// constraint; see WithMultiWindowTiming for datasheet values.
+	TWR, TWTR int
 	// CoreRatio is DRAM command-clock cycles per accelerator core cycle.
 	CoreRatio int
 	// BurstCycles overrides the data-bus occupancy of one burst in tCK.
@@ -73,6 +86,20 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithMultiWindowTiming returns a copy of the configuration with the
+// multi-window timing parameters set to representative DDR4-2400 values
+// (Micron 4Gb datasheet, rounded to 1200 MHz tCK): tRRD 6, tFAW 26,
+// tWR 18 (15 ns), tWTR 9 (7.5 ns, same-group). DefaultConfig leaves
+// them zero so established traces and golden files keep their timing;
+// opt in per-model when the extra fidelity matters.
+func (c Config) WithMultiWindowTiming() Config {
+	c.TRRD = 6
+	c.TFAW = 26
+	c.TWR = 18
+	c.TWTR = 9
+	return c
+}
+
 func (c Config) validate() error {
 	switch {
 	case c.BusBytes <= 0:
@@ -87,6 +114,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("CoreRatio must be positive")
 	case c.TRCD < 0 || c.TRP < 0 || c.TCL < 0 || c.TRAS < 0 || c.TurnAround < 0:
 		return fmt.Errorf("timing parameters must be non-negative")
+	case c.TRRD < 0 || c.TFAW < 0 || c.TWR < 0 || c.TWTR < 0:
+		return fmt.Errorf("multi-window timing parameters must be non-negative")
 	case c.TREFI < 0 || c.TRFC < 0 || c.BurstCycles < 0:
 		return fmt.Errorf("TREFI, TRFC and BurstCycles must be non-negative")
 	}
@@ -292,16 +321,24 @@ type Memory struct {
 	cfg         Config
 	openRow     []int64 // per bank; -1 = closed
 	bankReady   []int64 // per bank: earliest next activate
+	writeEnd    []int64 // per bank: end of the last write burst; -1 = none
 	busFree     int64   // earliest next data transfer
 	lastWrite   bool
 	now         int64 // completion time of the most recent access
 	started     bool
 	startTime   int64
 	nextRefresh int64
-	stats       Stats
-	tracer      func(TraceRecord)
-	events      func(Event)
-	check       *checker
+	// recentActs is a ring of the last four rank-level ACT issue times
+	// (tRRD spaces consecutive entries, tFAW bounds the window of four);
+	// numActs counts ACTs issued so far. lastWriteEnd is the rank-level
+	// end of the most recent write burst (-1 = none), for tWTR.
+	recentActs   [4]int64
+	numActs      int
+	lastWriteEnd int64
+	stats        Stats
+	tracer       func(TraceRecord)
+	events       func(Event)
+	check        *checker
 }
 
 // New returns a Memory with the given configuration. It panics on an
@@ -311,16 +348,19 @@ func New(cfg Config) *Memory {
 		panic("dram: invalid config: " + err.Error())
 	}
 	m := &Memory{
-		cfg:         cfg,
-		openRow:     make([]int64, cfg.Banks),
-		bankReady:   make([]int64, cfg.Banks),
-		nextRefresh: int64(cfg.TREFI),
+		cfg:          cfg,
+		openRow:      make([]int64, cfg.Banks),
+		bankReady:    make([]int64, cfg.Banks),
+		writeEnd:     make([]int64, cfg.Banks),
+		nextRefresh:  int64(cfg.TREFI),
+		lastWriteEnd: -1,
 	}
 	if cfg.Check {
 		m.check = newChecker(cfg)
 	}
 	for i := range m.openRow {
 		m.openRow[i] = -1
+		m.writeEnd[i] = -1
 	}
 	return m
 }
@@ -415,15 +455,36 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats, stream StreamID
 		}
 		actStart := start
 		if m.openRow[bank] != -1 {
+			// Write recovery: the precharge waits out tWR from the end
+			// of the bank's last write burst.
+			if w := m.writeEnd[bank]; w >= 0 {
+				if r := w + int64(cfg.TWR); r > start {
+					start = r
+				}
+			}
 			if m.check != nil {
 				m.check.onPrecharge(bank, start)
 			}
 			actStart = start + int64(cfg.TRP)
 		}
+		// Rank-level activate windows: tRRD from the previous ACT and
+		// tFAW from the fourth-most-recent.
+		if m.numActs > 0 {
+			if r := m.recentActs[(m.numActs-1)%4] + int64(cfg.TRRD); r > actStart {
+				actStart = r
+			}
+		}
+		if m.numActs >= 4 {
+			if r := m.recentActs[m.numActs%4] + int64(cfg.TFAW); r > actStart {
+				actStart = r
+			}
+		}
 		rowOpen := actStart + int64(cfg.TRCD)
 		if m.check != nil {
 			m.check.onActivate(bank, row, actStart)
 		}
+		m.recentActs[m.numActs%4] = actStart
+		m.numActs++
 		m.openRow[bank] = row
 		m.bankReady[bank] = rowOpen + int64(cfg.TRAS)
 		dataStart = rowOpen + int64(cfg.TCL)
@@ -439,6 +500,14 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats, stream StreamID
 		}
 		st.RowHits++
 	}
+	// Write-to-read turnaround: read data waits out tWTR from the end of
+	// the most recent write burst (rank level, on top of the generic bus
+	// turnaround below).
+	if !write && m.lastWriteEnd >= 0 {
+		if r := m.lastWriteEnd + int64(cfg.TWTR); r > dataStart {
+			dataStart = r
+		}
+	}
 	if write != m.lastWrite {
 		dataStart += int64(cfg.TurnAround)
 		m.lastWrite = write
@@ -449,6 +518,10 @@ func (m *Memory) burst(addr uint64, write bool, st *StreamStats, stream StreamID
 	m.busFree = dataStart + dur
 	m.stats.DataBusBusy += dur
 	st.BurstBytes += int64(cfg.BurstBytes())
+	if write {
+		m.writeEnd[bank] = m.busFree
+		m.lastWriteEnd = m.busFree
+	}
 	m.now = m.busFree
 	if m.events != nil {
 		m.events(Event{Kind: EventBurst, At: dataStart, End: m.busFree, Stream: stream, Write: write, RowHit: rowHit})

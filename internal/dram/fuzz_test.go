@@ -1,0 +1,85 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzConfigCheck fuzzes the Config legality boundary: every generated
+// configuration must either be rejected by New with the documented
+// "dram: invalid config" panic, or produce a model whose own protocol
+// checker accepts a deterministic pseudo-random schedule. A checker
+// panic on a valid config is a timing-model bug — exactly the class of
+// seed this fuzzer exists to find.
+func FuzzConfigCheck(f *testing.F) {
+	f.Add(8, 8, 8192, 16, 17, 17, 17, 39, 8, 12, 0, 0, 0, 0, 0, uint64(1))
+	f.Add(8, 8, 8192, 16, 17, 17, 17, 39, 8, 12, 6, 26, 18, 9, 4, uint64(7))
+	f.Add(0, 8, 8192, 16, 17, 17, 17, 39, 8, 12, 0, 0, 0, 0, 0, uint64(3)) // invalid: BusBytes
+	f.Add(8, 8, 8192, 16, -1, 17, 17, 39, 8, 12, 0, 0, 0, 0, 0, uint64(3)) // invalid: TRCD
+	f.Add(8, 8, 8192, 16, 17, 17, 17, 39, 8, 12, -6, 26, 18, 9, 0, uint64(5))
+	f.Add(4, 4, 1024, 2, 1, 1, 1, 2, 0, 1, 1, 2, 1, 1, 2, uint64(11))
+	f.Fuzz(func(t *testing.T,
+		busBytes, burstLen, rowBytes, banks,
+		trcd, trp, tcl, tras, turn, ratio,
+		trrd, tfaw, twr, twtr, burstCyc int, seed uint64) {
+		cfg := Config{
+			BusBytes:    busBytes % 64,
+			BurstLength: burstLen % 64,
+			RowBytes:    rowBytes % (1 << 16),
+			Banks:       banks % 64,
+			TRCD:        trcd % 256,
+			TRP:         trp % 256,
+			TCL:         tcl % 256,
+			TRAS:        tras % 256,
+			TurnAround:  turn % 256,
+			CoreRatio:   ratio % 64,
+			TRRD:        trrd % 256,
+			TFAW:        tfaw % 256,
+			TWR:         twr % 256,
+			TWTR:        twtr % 256,
+			BurstCycles: burstCyc % 64,
+			// Aggressive refresh cadence so short schedules still cross
+			// tREFI deadlines (refresh interacting with the window rules
+			// is the interesting regime).
+			TREFI: 200,
+			TRFC:  30,
+			Check: true,
+		}
+		if err := cfg.validate(); err != nil {
+			// Invalid configs must be refused loudly, never half-built.
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("New accepted invalid config (%v): %+v", err, cfg)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.HasPrefix(msg, "dram: invalid config") {
+					t.Fatalf("New panic = %v, want dram: invalid config prefix", r)
+				}
+			}()
+			New(cfg)
+			return
+		}
+		m := New(cfg)
+		// A protocol-checker panic from here on means the model emitted
+		// an illegal schedule for a legal config: let it crash the fuzz
+		// run and become a corpus entry.
+		x := seed
+		next := func() uint64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x >> 11
+		}
+		for i := 0; i < 200; i++ {
+			addr := next() % (1 << 24)
+			n := int(next()%192) + 1
+			write := next()%3 == 0
+			m.Access(addr, n, write, StreamID(next()%uint64(numStreams)))
+			if next()%8 == 0 {
+				m.AdvanceTo(m.Now() + int64(next()%512))
+			}
+		}
+		if err := m.Stats().Validate(); err != nil {
+			t.Fatalf("stats invalid after checked schedule: %v", err)
+		}
+	})
+}

@@ -225,6 +225,7 @@ func (t *Tree) Insert(p geom.Point, index int) int32 {
 // during placement retire their old arena slots; Place compacts the arena
 // afterwards if the holes came to dominate.
 func (t *Tree) Place(points []geom.Point) {
+	defer t.arenaCheckpoint("Place")
 	for i, p := range points {
 		t.Insert(p, i)
 	}
@@ -236,6 +237,7 @@ func (t *Tree) Place(points []geom.Point) {
 // buckets are refilled each frame. Arena spans keep their capacity, so
 // re-placing a same-shaped frame touches no allocator at all.
 func (t *Tree) ResetBuckets() {
+	defer t.arenaCheckpoint("ResetBuckets")
 	for i := range t.buckets {
 		if t.buckets[i].live {
 			t.buckets[i].n = 0

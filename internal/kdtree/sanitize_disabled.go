@@ -1,0 +1,15 @@
+//go:build !quicknn_sanitize
+
+package kdtree
+
+// Default-build stubs of the arena lockstep sanitizer: the checkpoint
+// hooks compile to nothing. Build with -tags quicknn_sanitize for the
+// checking implementation (see sanitize_enabled.go and docs/lint.md).
+
+// SanitizeEnabled reports whether the arena sanitizer is compiled in.
+const SanitizeEnabled = false
+
+// SetArenaSanitizeInterval is a no-op in the default build.
+func SetArenaSanitizeInterval(int) {}
+
+func (t *Tree) arenaCheckpoint(string) {}

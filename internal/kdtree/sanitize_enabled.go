@@ -1,0 +1,63 @@
+//go:build quicknn_sanitize
+
+package kdtree
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Arena lockstep sanitizer (enabled build). The SoA arena keeps every
+// point twice — float32 AoS (arenaPts) plus the float64 X/Y/Z shadow
+// planes the distance kernels read — and the shadowsync lint rule
+// guards the write sites statically. This sanitizer is the dynamic half
+// of that contract: built with -tags quicknn_sanitize, every arena
+// mutation entry point (Place, ResetBuckets, UpdateFrame, Rebalance,
+// CompactArena, deserialization) ends with a slot-by-slot verification
+// that the shadow still mirrors the AoS, so a lockstep bug panics at
+// the operation that introduced it instead of surfacing frames later as
+// quietly wrong neighbors.
+//
+// Checkpoints are sampled: SetArenaSanitizeInterval(n) verifies every
+// n-th checkpoint (default 1 — every checkpoint), bounding overhead on
+// sanitized stress runs with many frames.
+
+// arenaSanitizeEvery is the sampling interval; arenaCheckpointCount
+// numbers checkpoints process-wide.
+var (
+	arenaSanitizeEvery   atomic.Int64
+	arenaCheckpointCount atomic.Int64
+)
+
+// SanitizeEnabled reports whether the arena sanitizer is compiled in.
+const SanitizeEnabled = true
+
+// SetArenaSanitizeInterval makes the sanitizer verify only every n-th
+// checkpoint (n < 1 is treated as 1). A no-op in the default build.
+func SetArenaSanitizeInterval(n int) {
+	if n < 1 {
+		n = 1
+	}
+	arenaSanitizeEvery.Store(int64(n))
+}
+
+// arenaCheckpoint verifies the float64 shadow against the AoS
+// slot-by-slot (holes included: retired spans keep their last synced
+// values in both representations, exactly like Tree.Validate checks).
+func (t *Tree) arenaCheckpoint(site string) {
+	every := arenaSanitizeEvery.Load()
+	if every > 1 && arenaCheckpointCount.Add(1)%every != 0 {
+		return
+	}
+	if len(t.arenaX) != len(t.arenaPts) || len(t.arenaY) != len(t.arenaPts) || len(t.arenaZ) != len(t.arenaPts) {
+		panic(fmt.Sprintf("kdtree: sanitizer: shadow length diverged after %s: x %d / y %d / z %d vs %d points",
+			site, len(t.arenaX), len(t.arenaY), len(t.arenaZ), len(t.arenaPts)))
+	}
+	for i := range t.arenaPts {
+		p := t.arenaPts[i]
+		if t.arenaX[i] != float64(p.X) || t.arenaY[i] != float64(p.Y) || t.arenaZ[i] != float64(p.Z) {
+			panic(fmt.Sprintf("kdtree: sanitizer: arena shadow out of lockstep at slot %d after %s: aos (%g,%g,%g) shadow (%g,%g,%g)",
+				i, site, p.X, p.Y, p.Z, t.arenaX[i], t.arenaY[i], t.arenaZ[i]))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+//go:build quicknn_sanitize
+
+package kdtree
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/geom"
+)
+
+// TestArenaSanitizerCatchesLockstepBreak corrupts one shadow-plane slot
+// behind the AoS arena's back — exactly the bug class the shadowsync
+// lint rule guards statically — and pins that the next checkpointed
+// mutation panics, naming the slot and the site.
+func TestArenaSanitizerCatchesLockstepBreak(t *testing.T) {
+	if !SanitizeEnabled {
+		t.Fatal("sanitizer tag plumbing broken: SanitizeEnabled is false under quicknn_sanitize")
+	}
+	SetArenaSanitizeInterval(1)
+	pts := clusteredPoints(500, 31)
+	tree := mustBuild(t, pts, Config{BucketSize: 64}, 32)
+
+	// Injected bug: a direct write to the AoS arena that skips the
+	// shadow planes.
+	tree.arenaX[0] = tree.arenaX[0] + 1
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected arena sanitizer panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("sanitizer panicked with %T (%v), want string", r, r)
+		}
+		if !strings.Contains(msg, "arena shadow out of lockstep at slot 0") ||
+			!strings.Contains(msg, "ResetBuckets") {
+			t.Fatalf("unexpected sanitizer message: %q", msg)
+		}
+	}()
+	tree.ResetBuckets()
+}
+
+// TestArenaSanitizerCleanAcrossFrames runs the full mutation surface —
+// placement, reset, rebalance, compaction, serialization round-trip —
+// with checkpoints armed at every call, pinning zero false positives
+// from the legal write paths (all of which go through syncShadow).
+func TestArenaSanitizerCleanAcrossFrames(t *testing.T) {
+	SetArenaSanitizeInterval(1)
+	pts := clusteredPoints(2000, 33)
+	tree := mustBuild(t, pts, Config{BucketSize: 64}, 34)
+	for f := 0; f < 4; f++ {
+		shifted := make([]geom.Point, len(pts))
+		for i, p := range pts {
+			shifted[i] = geom.Point{X: p.X + float32(f), Y: p.Y, Z: p.Z}
+		}
+		tree.UpdateFrame(shifted, 0, 0)
+	}
+	tree.CompactArena()
+	var buf strings.Builder
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, err := ReadFrom(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+}
+
+// TestArenaSanitizerSampling pins the sampling contract: with interval
+// n only every n-th checkpoint verifies, so a corruption introduced
+// right after a verified checkpoint goes unreported until the counter
+// comes around again.
+func TestArenaSanitizerSampling(t *testing.T) {
+	SetArenaSanitizeInterval(1 << 30) // park the counter far from a verify point
+	defer SetArenaSanitizeInterval(1)
+	pts := clusteredPoints(300, 35)
+	tree := mustBuild(t, pts, Config{BucketSize: 64}, 36)
+	tree.arenaX[0] = tree.arenaX[0] + 1
+	// With a huge interval the corrupted checkpoint is skipped.
+	tree.ResetBuckets()
+	// Restore lockstep so later tests see a healthy tree.
+	tree.arenaX[0] = tree.arenaX[0] - 1
+}

@@ -215,5 +215,6 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("kdtree: loaded tree invalid: %v", err)
 	}
+	t.arenaCheckpoint("ReadFrom")
 	return t, nil
 }

@@ -275,6 +275,7 @@ func (t *Tree) maybeCompact() {
 // results are bit-identical across a compaction. Exposed for tests and
 // tooling; the tree compacts itself on retire paths via maybeCompact.
 func (t *Tree) CompactArena() {
+	defer t.arenaCheckpoint("CompactArena")
 	ids := make([]int32, 0, t.liveBuckets)
 	for i := range t.buckets {
 		if t.buckets[i].live {

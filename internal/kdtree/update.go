@@ -28,6 +28,7 @@ type UpdateResult struct {
 // ratchet — every merge raises the mean, which widens the bounds, which
 // triggers more merges on the next frame.)
 func (t *Tree) UpdateFrame(points []geom.Point, lower, upper int) UpdateResult {
+	defer t.arenaCheckpoint("UpdateFrame")
 	t.ResetBuckets()
 	t.Place(points)
 	if lower <= 0 {
@@ -47,6 +48,7 @@ func (t *Tree) Rebalance(lower, upper int) UpdateResult {
 	if lower <= 0 || upper <= lower {
 		panic("kdtree: Rebalance requires 0 < lower < upper")
 	}
+	defer t.arenaCheckpoint("Rebalance")
 	var res UpdateResult
 	// Merging. Collect delinquent leaves shallowest-first; rebuilding a
 	// parent subtree may consume other delinquent leaves, so each is

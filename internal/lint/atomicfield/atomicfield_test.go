@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/atomicfield"
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Run(t, atomicfield.Analyzer,
+		"testdata/src/counters", "example.com/m/counters", "example.com/m")
+}

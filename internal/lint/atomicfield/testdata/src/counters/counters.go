@@ -1,0 +1,92 @@
+// Package counters is the atomicfield fixture: mixed atomic/plain field
+// access, a misaligned 64-bit atomic field, a sanctioned suppression,
+// and clean shapes that must not be flagged.
+package counters
+
+import "sync/atomic"
+
+// hits mixes atomic and plain access to the same field.
+type hits struct {
+	n int64
+}
+
+func (h *hits) inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+func (h *hits) read() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+func (h *hits) racyRead() int64 {
+	return h.n // want "non-atomic access to field n"
+}
+
+func (h *hits) racyWrite() {
+	h.n = 0 // want "non-atomic access to field n"
+}
+
+// newHits initializes before publication — sanctioned and justified.
+func newHits(start int64) *hits {
+	h := &hits{}
+	//lint:ignore atomicfield pre-publication init, no other goroutine can hold h yet
+	h.n = start
+	return h
+}
+
+// skewed puts a 64-bit atomic field at offset 4: legal on amd64, panics
+// on 386/ARM, so the rule flags it under the strictest layout.
+type skewed struct {
+	flag  int32
+	count int64 // want "64-bit atomic field count is at offset 4"
+}
+
+func (s *skewed) bump() {
+	atomic.AddInt64(&s.count, 1)
+}
+
+// aligned is the same shape with explicit padding — clean.
+type aligned struct {
+	flag int32
+	_    int32
+	tick int64
+}
+
+func (a *aligned) bump() {
+	atomic.AddInt64(&a.tick, 1)
+}
+
+// typedAtomics use the sync/atomic wrapper types; method access is
+// always atomic, so plain-looking selectors are fine.
+type typedAtomics struct {
+	refs atomic.Int64
+}
+
+func (t *typedAtomics) acquire() int64 {
+	return t.refs.Add(1)
+}
+
+// plain is never touched atomically — unrestricted.
+type plain struct {
+	n int64
+}
+
+func (p *plain) inc() {
+	p.n++
+}
+
+// shadow declares a local named atomic: its calls are NOT sync/atomic
+// calls, so field f stays untracked.
+type fakeAtomic struct{}
+
+func (fakeAtomic) AddInt64(p *int64, d int64) int64 { *p = *p + d; return *p }
+
+type shadowed struct {
+	f int64
+}
+
+func (s *shadowed) inc() {
+	var atomic fakeAtomic
+	atomic.AddInt64(&s.f, 1)
+	s.f++ // untracked: the call above resolved to fakeAtomic, not sync/atomic
+}

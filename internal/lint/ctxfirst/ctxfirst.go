@@ -18,11 +18,16 @@ package ctxfirst
 
 import (
 	"go/ast"
+	"go/types"
 
 	"github.com/quicknn/quicknn/internal/lint"
 )
 
-// Analyzer is the context-placement rule.
+// Analyzer is the context-placement rule. Under the typed driver the
+// parameter/field type is resolved through types.Info — anything whose
+// type is the named type context.Context counts, including renamed
+// imports and aliases; type expressions the checker could not resolve
+// fall back to the `<ctxName>.Context` selector heuristic.
 var Analyzer = &lint.Analyzer{
 	Name: "ctxfirst",
 	Doc:  "context.Context must be the first parameter and never a struct field",
@@ -30,9 +35,19 @@ var Analyzer = &lint.Analyzer{
 }
 
 // isContextType reports whether the expression is the type
-// `<ctxName>.Context`, where ctxName is the file's import name for the
-// standard context package.
-func isContextType(expr ast.Expr, ctxName string) bool {
+// context.Context, resolved through type information when available and
+// through the file's import name for the context package otherwise.
+func isContextType(pass *lint.Pass, expr ast.Expr, ctxName string) bool {
+	if pass.Typed() {
+		if tv, ok := pass.TypesInfo.Types[expr]; ok {
+			named, isNamed := types.Unalias(tv.Type).(*types.Named)
+			if !isNamed {
+				return false
+			}
+			obj := named.Obj()
+			return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+		}
+	}
 	sel, ok := expr.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Context" {
 		return false
@@ -54,7 +69,7 @@ func checkParams(pass *lint.Pass, params *ast.FieldList, ctxName, what string) {
 		if n == 0 {
 			n = 1 // unnamed parameter
 		}
-		if isContextType(field.Type, ctxName) {
+		if isContextType(pass, field.Type, ctxName) {
 			if pos != 0 {
 				pass.Reportf(field.Pos(),
 					"context.Context is parameter %d of %s: a context must be the first parameter (Go convention; see docs/invariants.md)",
@@ -92,7 +107,7 @@ func run(pass *lint.Pass) error {
 				}
 			case *ast.StructType:
 				for _, field := range node.Fields.List {
-					if isContextType(field.Type, ctxName) {
+					if isContextType(pass, field.Type, ctxName) {
 						pass.Reportf(field.Pos(),
 							"context.Context stored in a struct field: contexts are call-scoped — pass ctx as the first parameter instead (see docs/invariants.md)")
 					}

@@ -19,12 +19,16 @@ package cycleint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 
 	"github.com/quicknn/quicknn/internal/lint"
 )
 
-// Analyzer is the cycle-int64 rule.
+// Analyzer is the cycle-int64 rule. Under the typed driver a float64 /
+// float32 identifier counts only when it resolves to the predeclared
+// universe type (a local declaration shadowing the builtin is exact, not
+// an Obj-nil heuristic); unresolved identifiers fall back to syntax.
 var Analyzer = &lint.Analyzer{
 	Name: "cycleint",
 	Doc:  "cycle/tCK arithmetic in timing-model packages must stay integer; mark reporting helpers with //quicknnlint:reporting",
@@ -61,7 +65,17 @@ func run(pass *lint.Pass) error {
 				if v.Name != "float64" && v.Name != "float32" {
 					return
 				}
-				if v.Obj != nil { // locally declared identifier, not the builtin type
+				if pass.Typed() {
+					if obj, ok := pass.TypesInfo.Uses[v]; ok {
+						if obj != types.Universe.Lookup(v.Name) {
+							return // resolves to a shadowing declaration
+						}
+					} else if pass.TypesInfo.Defs[v] != nil {
+						return // the shadowing declaration itself
+					} else if v.Obj != nil { // unresolved: fall back to syntax
+						return
+					}
+				} else if v.Obj != nil { // syntactic: locally declared, not the builtin
 					return
 				}
 				what = v.Name

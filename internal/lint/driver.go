@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// maxTypeErrs caps the "typecheck" diagnostics surfaced per package:
+// go/types cascades, and the first few errors are the actionable ones.
+const maxTypeErrs = 10
+
+// Options configures Analyze.
+type Options struct {
+	// Tags supplies extra build tags for file selection.
+	Tags Tags
+	// Syntactic disables type-checking entirely; analyzers run in their
+	// degraded syntactic mode and NeedsTypes analyzers are skipped.
+	Syntactic bool
+	// Analyzers is the rule set to run.
+	Analyzers []*Analyzer
+}
+
+// Result is one Analyze run.
+type Result struct {
+	// Module is the analyzed module's path.
+	Module string
+	// Packages is the number of packages loaded.
+	Packages int
+	// Diags are the merged, position-sorted findings — analyzer
+	// diagnostics plus one "typecheck" diagnostic per surfaced type
+	// error. Analysis never aborts on a broken package: its errors are
+	// reported here and every package is still analyzed with whatever
+	// (possibly partial) type information exists.
+	Diags []Diagnostic
+}
+
+// Analyze loads the module containing dir, type-checks it (unless
+// opts.Syntactic), runs the analyzers over every package, and aggregates
+// all findings. Only infrastructure failures (unreadable module, parse
+// errors) return a non-nil error; type errors and findings are data.
+func Analyze(dir string, opts Options) (*Result, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, fset, module, err := LoadModuleTags(root, opts.Tags)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Module: module, Packages: len(pkgs)}
+
+	var typed map[*Package]*Typed
+	if !opts.Syntactic {
+		typed = TypeCheckModule(fset, pkgs, module)
+		for _, p := range pkgs {
+			res.Diags = append(res.Diags, typeErrDiags(fset, p, typed[p])...)
+		}
+	}
+	diags, err := RunTyped(fset, pkgs, module, typed, opts.Analyzers)
+	if err != nil {
+		return nil, err
+	}
+	res.Diags = append(res.Diags, diags...)
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// typeErrDiags converts one package's type errors into diagnostics,
+// capped at maxTypeErrs with a summary line for the remainder.
+func typeErrDiags(fset *token.FileSet, p *Package, t *Typed) []Diagnostic {
+	if t == nil || len(t.Errs) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for i, te := range t.Errs {
+		if i == maxTypeErrs {
+			out = append(out, Diagnostic{
+				Pos:      te.Fset.Position(te.Pos),
+				Analyzer: "typecheck",
+				Message:  fmt.Sprintf("... and %d more type errors in %s", len(t.Errs)-maxTypeErrs, p.Path),
+			})
+			break
+		}
+		out = append(out, Diagnostic{
+			Pos:      te.Fset.Position(te.Pos),
+			Analyzer: "typecheck",
+			Message:  te.Msg,
+		})
+	}
+	return out
+}
+
+// sortDiags orders diagnostics by position, then analyzer name.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,106 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint"
+	"github.com/quicknn/quicknn/internal/lint/nakedrand"
+)
+
+// TestAnalyzeAggregatesBrokenPackages pins the satellite fix to
+// cmd/quicknnlint: a module with TWO packages that fail type-checking
+// plus one healthy package must yield typecheck diagnostics for both
+// broken packages AND analyzer findings for the healthy one — a single
+// aggregated run, no abort on the first error.
+func TestAnalyzeAggregatesBrokenPackages(t *testing.T) {
+	res, err := lint.Analyze(filepath.Join("testdata", "badmod"), lint.Options{
+		Analyzers: []*lint.Analyzer{nakedrand.Analyzer},
+	})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if res.Module != "example.com/badmod" {
+		t.Fatalf("module = %q, want example.com/badmod", res.Module)
+	}
+	if res.Packages != 3 {
+		t.Fatalf("loaded %d packages, want 3", res.Packages)
+	}
+	var typecheckFiles []string
+	var nakedrandHits int
+	for _, d := range res.Diags {
+		switch d.Analyzer {
+		case "typecheck":
+			typecheckFiles = append(typecheckFiles, filepath.Base(d.Pos.Filename))
+		case "nakedrand":
+			nakedrandHits++
+			if filepath.Base(d.Pos.Filename) != "c.go" {
+				t.Errorf("nakedrand diagnostic in unexpected file: %s", d)
+			}
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	joined := strings.Join(typecheckFiles, " ")
+	if !strings.Contains(joined, "a.go") || !strings.Contains(joined, "b.go") {
+		t.Errorf("typecheck diagnostics cover %v, want both a.go and b.go", typecheckFiles)
+	}
+	if nakedrandHits != 1 {
+		t.Errorf("nakedrand findings = %d, want 1 (analyzers must run on healthy packages)", nakedrandHits)
+	}
+}
+
+// TestAnalyzeSyntacticSkipsTypecheck: the degraded mode reports no
+// typecheck diagnostics but still runs syntactic analyzers everywhere.
+func TestAnalyzeSyntacticSkipsTypecheck(t *testing.T) {
+	res, err := lint.Analyze(filepath.Join("testdata", "badmod"), lint.Options{
+		Syntactic: true,
+		Analyzers: []*lint.Analyzer{nakedrand.Analyzer},
+	})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var nakedrandHits int
+	for _, d := range res.Diags {
+		if d.Analyzer == "typecheck" {
+			t.Errorf("syntactic mode produced a typecheck diagnostic: %s", d)
+		}
+		if d.Analyzer == "nakedrand" {
+			nakedrandHits++
+		}
+	}
+	if nakedrandHits != 1 {
+		t.Errorf("nakedrand findings = %d, want 1", nakedrandHits)
+	}
+}
+
+// TestTypeCheckModulePartialInfo: a broken package still yields partial
+// type information (its error list is non-empty, but the healthy
+// declarations resolve), so analyzers degrade per-node, not per-package.
+func TestTypeCheckModulePartialInfo(t *testing.T) {
+	pkgs, fset, module, err := lint.LoadModule(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	typed := lint.TypeCheckModule(fset, pkgs, module)
+	for _, p := range pkgs {
+		tr := typed[p]
+		if tr == nil || tr.Info == nil {
+			t.Fatalf("package %s: no typed result", p.Path)
+		}
+		broken := strings.Contains(p.Path, "broken")
+		if broken && len(tr.Errs) == 0 {
+			t.Errorf("package %s: expected type errors, got none", p.Path)
+		}
+		if !broken && len(tr.Errs) > 0 {
+			t.Errorf("package %s: unexpected type errors: %v", p.Path, tr.Errs)
+		}
+		if tr.Pkg == nil {
+			t.Errorf("package %s: go/types produced no (even partial) package", p.Path)
+		}
+		if len(tr.Info.Defs) == 0 {
+			t.Errorf("package %s: empty Defs — expected partial info", p.Path)
+		}
+	}
+}

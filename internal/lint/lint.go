@@ -1,18 +1,28 @@
 // Package lint is a small, dependency-free static-analysis framework in
 // the spirit of golang.org/x/tools/go/analysis, built on the standard
-// library's go/ast and go/parser only (the build environment is hermetic,
-// so x/tools cannot be vendored). It backs the quicknnlint multichecker
-// (cmd/quicknnlint) that enforces the repo-specific invariants described
-// in docs/invariants.md:
+// library only (the build environment is hermetic, so x/tools cannot be
+// vendored). It backs the quicknnlint multichecker (cmd/quicknnlint) that
+// enforces the repo-specific invariants described in docs/invariants.md
+// and docs/lint.md:
 //
-//   - nakedrand: no global math/rand state outside tests
-//   - cycleint:  cycle/tCK arithmetic stays in integer types
-//   - walltime:  no wall-clock calls in simulation packages
-//   - panicmsg:  library panics carry a "pkg: " prefix
+//   - nakedrand:   no global math/rand state outside tests
+//   - cycleint:    cycle/tCK arithmetic stays in integer types
+//   - walltime:    no wall-clock calls in simulation packages
+//   - panicmsg:    library panics carry a "pkg: " prefix
+//   - ctxfirst:    context.Context first and never stored in a struct
+//   - atomicfield: sync/atomic'd struct fields atomic everywhere + aligned
+//   - scratchleak: pooled Scratch reaches a Put on every return path
+//   - shadowsync:  arenaPts writes keep the f64 coordinate shadow in step
 //
-// Analyzers are syntactic (no type checking): every rule here is chosen so
-// that package-qualified identifiers and import tables decide the matter,
-// which keeps the checker fast, hermetic and byte-for-byte deterministic.
+// The framework has two drivers. The typed driver (TypeCheckModule +
+// RunTyped, used by cmd/quicknnlint and the repo self-test) type-checks
+// the whole module in dependency order with go/types and gives every
+// analyzer a types.Info, so rules resolve real objects instead of
+// matching import tables. The syntactic driver (Run) parses only; it
+// remains as the degraded mode for packages whose type-check fails and
+// as the behavior-preservation baseline the ported analyzers are tested
+// against (linttest runs every fixture through both drivers and requires
+// identical diagnostics).
 //
 // # Suppression
 //
@@ -28,6 +38,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -40,6 +51,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the rule to one package.
 	Run func(*Pass) error
+	// NeedsTypes marks analyzers that resolve typed objects and have no
+	// syntactic fallback: the syntactic driver skips them, and the typed
+	// driver skips them for packages whose type-check produced no
+	// information at all.
+	NeedsTypes bool
 }
 
 // File is one parsed source file of a package.
@@ -84,8 +100,50 @@ type Pass struct {
 	// use it to scope rules to package subtrees.
 	Module string
 
+	// TypesInfo holds merged type information for every file of the
+	// package (base, in-package test and external test units) when the
+	// typed driver is running. It is nil under the syntactic driver and
+	// for packages whose type-check failed outright. It may be partial
+	// when the type-check reported errors; analyzers must treat a missing
+	// map entry as "unresolved" and fall back to their syntactic
+	// heuristic for that node.
+	TypesInfo *types.Info
+	// TypesPkg is the type-checked base+test package, nil when TypesInfo
+	// is nil.
+	TypesPkg *types.Package
+
 	diags   *[]Diagnostic
 	ignores map[string]map[int][]string // filename -> line -> analyzer names
+}
+
+// Typed reports whether type information is available for this pass.
+func (p *Pass) Typed() bool { return p.TypesInfo != nil }
+
+// PkgNamePath resolves id as a reference to an imported package and
+// returns that package's import path. ok is false when no type
+// information is available, when id has no recorded use, or when it
+// resolves to anything other than a package name (e.g. a local variable
+// shadowing the import).
+func (p *Pass) PkgNamePath(id *ast.Ident) (path string, ok bool) {
+	if p.TypesInfo == nil {
+		return "", false
+	}
+	if pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+		return pn.Imported().Path(), true
+	}
+	return "", false
+}
+
+// Resolved reports whether the typed driver recorded any object for id.
+// Analyzers use it to decide between trusting type information and
+// falling back to syntax: a false result on a typed pass means the
+// type-check degraded around this identifier.
+func (p *Pass) Resolved(id *ast.Ident) bool {
+	if p.TypesInfo == nil {
+		return false
+	}
+	_, ok := p.TypesInfo.Uses[id]
+	return ok
 }
 
 // Reportf records a diagnostic at pos unless an ignore directive for this
@@ -156,20 +214,41 @@ func collectIgnores(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[
 	return out
 }
 
-// Run applies every analyzer to every package and returns the merged,
-// position-sorted diagnostics.
+// Run applies every analyzer to every package syntactically (no type
+// information) and returns the merged, position-sorted diagnostics.
 func Run(fset *token.FileSet, pkgs []*Package, module string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunTyped(fset, pkgs, module, nil, analyzers)
+}
+
+// RunTyped applies every analyzer to every package and returns the
+// merged, position-sorted diagnostics. When typed is non-nil it supplies
+// per-package type information (from TypeCheckModule); packages missing
+// from the map — or whose check produced no information — run in
+// syntactic mode, and analyzers with NeedsTypes set are skipped for
+// them.
+func RunTyped(fset *token.FileSet, pkgs []*Package, module string, typed map[*Package]*Typed, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(fset, pkg, &diags)
+		var info *types.Info
+		var tpkg *types.Package
+		if tr := typed[pkg]; tr != nil {
+			info = tr.Info
+			tpkg = tr.Pkg
+		}
 		for _, a := range analyzers {
+			if a.NeedsTypes && info == nil {
+				continue
+			}
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     fset,
-				Pkg:      pkg,
-				Module:   module,
-				diags:    &diags,
-				ignores:  ignores,
+				Analyzer:  a,
+				Fset:      fset,
+				Pkg:       pkg,
+				Module:    module,
+				TypesInfo: info,
+				TypesPkg:  tpkg,
+				diags:     &diags,
+				ignores:   ignores,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)

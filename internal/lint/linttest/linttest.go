@@ -40,6 +40,13 @@ type expectation struct {
 // Run applies analyzer a to the single fixture package in dir, which is
 // loaded under the given import path and module, and diffs the produced
 // diagnostics against the fixture's `// want` comments.
+//
+// Every fixture is run through BOTH drivers: the typed driver's
+// diagnostics are checked against the wants, and — unless the analyzer
+// is typed-only (NeedsTypes) — the syntactic driver must produce the
+// byte-identical list, proving the typed port behavior-preserving on the
+// exact cases the fixtures pin down. Fixtures must therefore type-check
+// (stdlib imports only); a fixture type error fails the test.
 func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath, module string) {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -48,9 +55,15 @@ func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath, module string) {
 		t.Fatalf("linttest: load %s: %v", dir, err)
 	}
 	wants := collectWants(t, fset, pkg)
-	diags, err := lint.Run(fset, []*lint.Package{pkg}, module, []*lint.Analyzer{a})
+
+	pkgs := []*lint.Package{pkg}
+	typed := lint.TypeCheckModule(fset, pkgs, module)
+	if errs := typed[pkg].Errs; len(errs) > 0 {
+		t.Fatalf("linttest: fixture %s does not type-check: %v (fixtures must be valid Go)", dir, errs[0])
+	}
+	diags, err := lint.RunTyped(fset, pkgs, module, typed, []*lint.Analyzer{a})
 	if err != nil {
-		t.Fatalf("linttest: run %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("linttest: typed run %s on %s: %v", a.Name, dir, err)
 	}
 	for _, d := range diags {
 		if !claim(wants, d) {
@@ -60,6 +73,22 @@ func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath, module string) {
 	for _, w := range wants {
 		if !w.matched {
 			t.Errorf("missing diagnostic: %s:%d: no report matching %q", w.file, w.line, w.pattern)
+		}
+	}
+
+	if a.NeedsTypes {
+		return
+	}
+	syntactic, err := lint.Run(fset, pkgs, module, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: syntactic run %s on %s: %v", a.Name, dir, err)
+	}
+	if len(syntactic) != len(diags) {
+		t.Errorf("driver mismatch: typed produced %d diagnostics, syntactic %d", len(diags), len(syntactic))
+	}
+	for i := 0; i < len(syntactic) && i < len(diags); i++ {
+		if got, want := syntactic[i].String(), diags[i].String(); got != want {
+			t.Errorf("driver mismatch at #%d:\n  typed:     %s\n  syntactic: %s", i, want, got)
 		}
 	}
 }

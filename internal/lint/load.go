@@ -2,10 +2,14 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
+	"go/build"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -44,10 +48,72 @@ func FindModuleRoot(dir string) (string, error) {
 	}
 }
 
-// LoadModule parses every Go package under root (the module root),
-// skipping testdata, hidden and underscore-prefixed directories. It
-// returns the packages sorted by import path plus the shared FileSet.
+// Tags is one build-tag configuration for file selection. The zero value
+// selects files with no extra tags, matching a plain `go build` on this
+// platform.
+type Tags struct {
+	// Extra are user-supplied tags (e.g. "race", "quicknn_sanitize").
+	Extra []string
+}
+
+// satisfied reports whether a single constraint tag holds under this
+// configuration: an extra tag, the host platform, the compiler, "unix"
+// on unix-y hosts, or a release tag like "go1.22".
+func (t Tags) satisfied(tag string) bool {
+	for _, e := range t.Extra {
+		if tag == e {
+			return true
+		}
+	}
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, runtime.Compiler:
+		return true
+	case "unix":
+		return runtime.GOOS != "windows" && runtime.GOOS != "plan9"
+	}
+	for _, rel := range build.Default.ReleaseTags {
+		if tag == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// fileIncluded evaluates f's //go:build constraint (if any) under the
+// tag configuration. Only the modern //go:build syntax is recognized;
+// the repo does not use legacy // +build lines.
+func (t Tags) fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the type-checker complain
+			}
+			return expr.Eval(t.satisfied)
+		}
+	}
+	return true
+}
+
+// LoadModule parses every Go package under root (the module root) with
+// no extra build tags. See LoadModuleTags.
 func LoadModule(root string) ([]*Package, *token.FileSet, string, error) {
+	return LoadModuleTags(root, Tags{})
+}
+
+// LoadModuleTags parses every Go package under root (the module root),
+// skipping testdata, hidden and underscore-prefixed directories and
+// files whose //go:build constraints are not satisfied under tags (so
+// e.g. race/!race or quicknn_sanitize/!quicknn_sanitize file pairs never
+// collide inside one type-checking unit). It returns the packages sorted
+// by import path plus the shared FileSet.
+func LoadModuleTags(root string, tags Tags) ([]*Package, *token.FileSet, string, error) {
 	module, err := ModulePath(root)
 	if err != nil {
 		return nil, nil, "", err
@@ -65,7 +131,7 @@ func LoadModule(root string) ([]*Package, *token.FileSet, string, error) {
 		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
 			return filepath.SkipDir
 		}
-		pkg, err := loadDir(fset, path)
+		pkg, err := loadDir(fset, path, tags)
 		if err != nil {
 			return err
 		}
@@ -93,7 +159,7 @@ func LoadModule(root string) ([]*Package, *token.FileSet, string, error) {
 // LoadDir parses the single package in dir (no import-path inference); the
 // fixture runner uses it with an explicit path.
 func LoadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
-	pkg, err := loadDir(fset, dir)
+	pkg, err := loadDir(fset, dir, Tags{})
 	if err != nil {
 		return nil, err
 	}
@@ -104,8 +170,9 @@ func LoadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// loadDir parses the .go files directly inside dir; nil if there are none.
-func loadDir(fset *token.FileSet, dir string) (*Package, error) {
+// loadDir parses the .go files directly inside dir; nil if there are none
+// (or none survive tag filtering).
+func loadDir(fset *token.FileSet, dir string, tags Tags) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -127,6 +194,9 @@ func loadDir(fset *token.FileSet, dir string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
+		if !tags.fileIncluded(f) {
+			continue
+		}
 		pkg.Files = append(pkg.Files, File{
 			AST:  f,
 			Name: full,
@@ -135,6 +205,9 @@ func loadDir(fset *token.FileSet, dir string) (*Package, error) {
 		if pkg.Name == "" && !strings.HasSuffix(name, "_test.go") {
 			pkg.Name = f.Name.Name
 		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
 	}
 	if pkg.Name == "" {
 		pkg.Name = strings.TrimSuffix(pkg.Files[0].AST.Name.Name, "_test")

@@ -13,7 +13,12 @@ import (
 	"github.com/quicknn/quicknn/internal/lint"
 )
 
-// Analyzer is the no-naked-rand rule.
+// Analyzer is the no-naked-rand rule. Under the typed driver the
+// receiver package is resolved through types.Info (a selector counts
+// only when its base identifier denotes the math/rand import itself, so
+// shadowing locals and injected *rand.Rand values are exact, not
+// heuristic); identifiers the type-checker could not resolve fall back
+// to the import-table heuristic.
 var Analyzer = &lint.Analyzer{
 	Name: "nakedrand",
 	Doc:  "forbid global math/rand state outside tests; inject a seeded *rand.Rand instead",
@@ -59,7 +64,16 @@ func run(pass *lint.Pass) error {
 				return true
 			}
 			id, ok := sel.X.(*ast.Ident)
-			if !ok || !names[id.Name] || !lint.PkgIdent(id, id.Name) {
+			if !ok {
+				return true
+			}
+			if pass.Resolved(id) {
+				// Typed: the identifier must denote the import itself.
+				path, isPkg := pass.PkgNamePath(id)
+				if !isPkg || (path != "math/rand" && path != "math/rand/v2") {
+					return true
+				}
+			} else if !names[id.Name] || !lint.PkgIdent(id, id.Name) {
 				return true
 			}
 			if allowed[sel.Sel.Name] {

@@ -6,18 +6,26 @@ package rules
 
 import (
 	"github.com/quicknn/quicknn/internal/lint"
+	"github.com/quicknn/quicknn/internal/lint/atomicfield"
 	"github.com/quicknn/quicknn/internal/lint/ctxfirst"
 	"github.com/quicknn/quicknn/internal/lint/cycleint"
 	"github.com/quicknn/quicknn/internal/lint/nakedrand"
 	"github.com/quicknn/quicknn/internal/lint/panicmsg"
+	"github.com/quicknn/quicknn/internal/lint/scratchleak"
+	"github.com/quicknn/quicknn/internal/lint/shadowsync"
 	"github.com/quicknn/quicknn/internal/lint/walltime"
 )
 
-// All lists every analyzer the quicknnlint multichecker runs.
+// All lists every analyzer the quicknnlint multichecker runs. The last
+// three are typed-only (NeedsTypes): they run under the typed driver and
+// are skipped in degraded syntactic mode.
 var All = []*lint.Analyzer{
+	atomicfield.Analyzer,
 	ctxfirst.Analyzer,
 	cycleint.Analyzer,
 	nakedrand.Analyzer,
 	panicmsg.Analyzer,
+	scratchleak.Analyzer,
+	shadowsync.Analyzer,
 	walltime.Analyzer,
 }

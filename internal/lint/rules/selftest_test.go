@@ -8,29 +8,36 @@ import (
 )
 
 // TestRepoIsLintClean bakes quicknnlint cleanliness into the ordinary test
-// suite: the whole module must produce zero diagnostics, so a rule
+// suite: the whole module must produce zero diagnostics under the typed
+// driver — including zero "typecheck" diagnostics, so the module
+// type-checks end to end with the stdlib-only loader — and a rule
 // violation fails `go test ./...` even where CI cannot run the binary.
 func TestRepoIsLintClean(t *testing.T) {
-	root, err := lint.FindModuleRoot(".")
+	res, err := lint.Analyze(".", lint.Options{Analyzers: rules.All})
 	if err != nil {
-		t.Fatalf("module root: %v", err)
+		t.Fatalf("analyze module: %v", err)
 	}
-	pkgs, fset, module, err := lint.LoadModule(root)
-	if err != nil {
-		t.Fatalf("load module: %v", err)
-	}
-	if len(pkgs) == 0 {
+	if res.Packages == 0 {
 		t.Fatal("no packages loaded from module root")
 	}
-	diags, err := lint.Run(fset, pkgs, module, rules.All)
-	if err != nil {
-		t.Fatalf("run analyzers: %v", err)
-	}
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		t.Errorf("%s", d)
 	}
-	if len(diags) > 0 {
-		t.Logf("%d diagnostic(s); see docs/invariants.md for each rule and its suppression syntax", len(diags))
+	if len(res.Diags) > 0 {
+		t.Logf("%d diagnostic(s); see docs/invariants.md for each rule and its suppression syntax", len(res.Diags))
+	}
+}
+
+// TestRepoIsLintCleanSyntactic keeps the degraded (parse-only) driver
+// honest too: the syntactic fallbacks of the ported analyzers must also
+// be clean on the repo.
+func TestRepoIsLintCleanSyntactic(t *testing.T) {
+	res, err := lint.Analyze(".", lint.Options{Syntactic: true, Analyzers: rules.All})
+	if err != nil {
+		t.Fatalf("analyze module: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
 	}
 }
 
@@ -38,14 +45,22 @@ func TestRepoIsLintClean(t *testing.T) {
 // drop out of the suite.
 func TestSuiteIsComplete(t *testing.T) {
 	want := map[string]bool{
-		"ctxfirst":  true,
-		"cycleint":  true,
-		"nakedrand": true,
-		"panicmsg":  true,
-		"walltime":  true,
+		"atomicfield": true,
+		"ctxfirst":    true,
+		"cycleint":    true,
+		"nakedrand":   true,
+		"panicmsg":    true,
+		"scratchleak": true,
+		"shadowsync":  true,
+		"walltime":    true,
 	}
 	if len(rules.All) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(rules.All), len(want))
+	}
+	typedOnly := map[string]bool{
+		"atomicfield": true,
+		"scratchleak": true,
+		"shadowsync":  true,
 	}
 	for _, a := range rules.All {
 		if !want[a.Name] {
@@ -56,6 +71,9 @@ func TestSuiteIsComplete(t *testing.T) {
 		}
 		if a.Run == nil {
 			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+		if a.NeedsTypes != typedOnly[a.Name] {
+			t.Errorf("analyzer %q: NeedsTypes = %v, want %v", a.Name, a.NeedsTypes, typedOnly[a.Name])
 		}
 	}
 }

@@ -1,0 +1,330 @@
+// Package scratchleak implements the pooled-scratch analyzer. The hot
+// query path's zero-allocation guarantee rests on sync.Pool'd Scratch
+// buffers (kdtree.Scratch, quicknn.Scratch, serve's per-worker scratch):
+// a Scratch that misses its Put on one return path doesn't crash — it
+// silently degrades the pool until steady-state queries allocate again,
+// which is exactly the regression class the hotpath benchmarks guard
+// and the hardest to bisect. The rule enforces, lexically per function:
+//
+//   - every function that acquires a pooled *Scratch (a call to a
+//     get-prefixed function returning *Scratch, or a direct
+//     pool.Get().(*Scratch) assertion) must release it before every
+//     return — a put-prefixed call / pool.Put taking the variable,
+//     either deferred or positioned before the return — or transfer
+//     ownership by returning the variable itself;
+//   - functions whose name ends in "Into" (the caller-owned-buffer API)
+//     must not leak arena-backed slices: returning an arena* field, or
+//     a subslice of one, or storing either through a parameter, retains
+//     memory whose lifetime belongs to the tree's arena allocator.
+//
+// The release check is an under-approximation by design (a put inside
+// one branch satisfies a later return lexically); it exists to catch
+// the common straight-line omission, with //lint:ignore scratchleak
+// <reason> for intentional ownership hand-offs it cannot see.
+package scratchleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// Analyzer is the pooled-scratch rule.
+var Analyzer = &lint.Analyzer{
+	Name:       "scratchleak",
+	Doc:        "pooled *Scratch must reach a Put on every return path; *Into results must not retain arena-backed slices",
+	Run:        run,
+	NeedsTypes: true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body, funcName(fn))
+					if strings.HasSuffix(fn.Name.Name, "Into") {
+						checkIntoRetention(pass, fn.Body, fn.Type)
+					}
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body, "function literal")
+				return false // checkBody descends; avoid double visits of nested lits
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil {
+		return "method " + fn.Name.Name
+	}
+	return "function " + fn.Name.Name
+}
+
+// acquisition is one pooled get bound to a variable.
+type acquisition struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+// checkBody runs the release check over one function body, skipping
+// nested function literals (each gets its own check: a get in a closure
+// must be released in that closure).
+func checkBody(pass *lint.Pass, body *ast.BlockStmt, what string) {
+	var acqs []acquisition
+	var deferred []*types.Var // vars put inside a defer
+	puts := make(map[*types.Var][]token.Pos)
+	var returns []*ast.ReturnStmt
+
+	inspectShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return
+			}
+			if !isPoolGet(pass, s.Rhs[0]) {
+				return
+			}
+			var v *types.Var
+			if s.Tok == token.DEFINE {
+				v, _ = pass.TypesInfo.Defs[id].(*types.Var)
+			} else {
+				v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+			}
+			if v != nil {
+				acqs = append(acqs, acquisition{v: v, pos: s.Pos()})
+			}
+		case *ast.DeferStmt:
+			if v := putTarget(pass, s.Call); v != nil {
+				deferred = append(deferred, v)
+			}
+		case *ast.CallExpr:
+			if v := putTarget(pass, s); v != nil {
+				puts[v] = append(puts[v], s.Pos())
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, s)
+		}
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	exit := func(a acquisition, at token.Pos, returned []ast.Expr) {
+		for _, d := range deferred {
+			if d == a.v {
+				return
+			}
+		}
+		for _, p := range puts[a.v] {
+			if p > a.pos && p < at {
+				return
+			}
+		}
+		for _, e := range returned {
+			if id, ok := e.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == a.v {
+				return // ownership transferred to the caller
+			}
+		}
+		pass.Reportf(at,
+			"pooled %s acquired at %s is not released on this return path of %s: call the matching put (or defer it) so the pool is replenished",
+			a.v.Name(), pass.Fset.Position(a.pos), what)
+	}
+	// The function also exits at the closing brace unless its last
+	// top-level statement is a return (already handled above).
+	implicitExit := true
+	if len(body.List) > 0 {
+		if _, isRet := body.List[len(body.List)-1].(*ast.ReturnStmt); isRet {
+			implicitExit = false
+		}
+	}
+	for _, a := range acqs {
+		for _, r := range returns {
+			if r.Pos() > a.pos {
+				exit(a, r.Pos(), r.Results)
+			}
+		}
+		if implicitExit {
+			exit(a, body.Rbrace, nil)
+		}
+	}
+}
+
+// inspectShallow walks the body without descending into nested function
+// literals.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// isPoolGet reports whether expr acquires a pooled *Scratch: a call to a
+// get-prefixed function whose static type is *Scratch, or a direct
+// pool.Get().(*Scratch) type assertion.
+func isPoolGet(pass *lint.Pass, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		var name string
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		default:
+			return false
+		}
+		if !strings.HasPrefix(name, "get") && !strings.HasPrefix(name, "Get") {
+			return false
+		}
+		return isScratchPtr(pass.TypesInfo.Types[e].Type)
+	case *ast.TypeAssertExpr:
+		call, ok := e.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Get" {
+			return false
+		}
+		return isScratchPtr(pass.TypesInfo.Types[e].Type)
+	}
+	return false
+}
+
+// putTarget returns the *Scratch variable a put-like call releases, or
+// nil: putX(v) / pool.Put(v) with v of type *Scratch.
+func putTarget(pass *lint.Pass, call *ast.CallExpr) *types.Var {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return nil
+	}
+	if !strings.HasPrefix(name, "put") && !strings.HasPrefix(name, "Put") {
+		return nil
+	}
+	for _, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && isScratchPtr(v.Type()) {
+			return v
+		}
+	}
+	return nil
+}
+
+// isScratchPtr reports whether t is a pointer to a named type "Scratch".
+func isScratchPtr(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	return ok && named.Obj().Name() == "Scratch"
+}
+
+// checkIntoRetention flags arena-backed slices escaping from an *Into
+// function: returned, or stored through a parameter.
+func checkIntoRetention(pass *lint.Pass, body *ast.BlockStmt, ftype *ast.FuncType) {
+	params := make(map[*types.Var]bool)
+	if ftype.Params != nil {
+		for _, p := range ftype.Params.List {
+			for _, name := range p.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				if fld := arenaSlice(pass, e); fld != "" {
+					pass.Reportf(e.Pos(),
+						"*Into result returns arena-backed slice %s: the arena is reused on the next frame — copy into a caller-owned buffer instead",
+						fld)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				fld := arenaSlice(pass, rhs)
+				if fld == "" || i >= len(s.Lhs) {
+					continue
+				}
+				if rootIsParam(pass, s.Lhs[i], params) {
+					pass.Reportf(rhs.Pos(),
+						"*Into result stores arena-backed slice %s through a parameter: the arena is reused on the next frame — copy instead",
+						fld)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// arenaSlice reports the field name when expr is an arena* slice field
+// or a subslice of one ("" otherwise). An element read (IndexExpr) is a
+// value copy and does not retain the arena.
+func arenaSlice(pass *lint.Pass, expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.SliceExpr:
+		return arenaSlice(pass, e.X)
+	case *ast.SelectorExpr:
+		v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() || !strings.HasPrefix(v.Name(), "arena") {
+			return ""
+		}
+		if _, isSlice := types.Unalias(v.Type()).(*types.Slice); !isSlice {
+			return ""
+		}
+		return v.Name()
+	}
+	return ""
+}
+
+// rootIsParam reports whether the assignment target is rooted at one of
+// the function's parameters (dst.Field, dst[i], *dst, ...).
+func rootIsParam(pass *lint.Pass, expr ast.Expr, params map[*types.Var]bool) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+			return ok && params[v]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

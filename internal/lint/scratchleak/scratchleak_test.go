@@ -1,0 +1,13 @@
+package scratchleak_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+	"github.com/quicknn/quicknn/internal/lint/scratchleak"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Run(t, scratchleak.Analyzer,
+		"testdata/src/pool", "example.com/m/pool", "example.com/m")
+}

@@ -1,0 +1,132 @@
+// Package pool is the scratchleak fixture: pooled-Scratch acquisition
+// shapes that leak, release correctly, transfer ownership, or are
+// sanctioned by a justified suppression — plus the *Into arena-retention
+// half of the rule.
+package pool
+
+import "sync"
+
+// Scratch mirrors kdtree.Scratch: pooled per-query workspace.
+type Scratch struct {
+	buf []float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// getScratch transfers ownership to its caller: the direct pool get is
+// returned, not bound, so the wrapper itself is clean.
+func getScratch() *Scratch {
+	return scratchPool.Get().(*Scratch)
+}
+
+func putScratch(s *Scratch) {
+	s.buf = s.buf[:0]
+	scratchPool.Put(s)
+}
+
+func use(s *Scratch) int { return len(s.buf) }
+
+// goodDefer releases via defer: covers every exit.
+func goodDefer(cond bool) int {
+	s := getScratch()
+	defer putScratch(s)
+	if cond {
+		return 1
+	}
+	return use(s)
+}
+
+// goodSequential releases before its single return.
+func goodSequential() int {
+	s := getScratch()
+	n := use(s)
+	putScratch(s)
+	return n
+}
+
+// goodTransfer returns the scratch itself: ownership moves to the caller.
+func goodTransfer() *Scratch {
+	s := getScratch()
+	s.buf = s.buf[:0]
+	return s
+}
+
+// goodDirect binds the raw pool get and defers the pool put.
+func goodDirect() int {
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return use(s)
+}
+
+// leakFallsOffEnd never releases: flagged at the implicit exit.
+func leakFallsOffEnd() {
+	s := getScratch()
+	use(s)
+} // want "pooled s acquired at .* is not released"
+
+// leakEarlyReturn releases on one path but not the early one.
+func leakEarlyReturn(cond bool) int {
+	s := getScratch()
+	if cond {
+		return 0 // want "pooled s acquired at .* is not released"
+	}
+	n := use(s)
+	putScratch(s)
+	return n
+}
+
+// handoff parks the scratch in a registry on purpose — sanctioned.
+var parked []*Scratch
+
+func handoff() {
+	s := getScratch()
+	parked = append(parked, s)
+	//lint:ignore scratchleak ownership moves to the parked registry, released by drain()
+} // the want-free closing brace: suppression on the line above covers it
+
+// closureScopes: each function literal is its own scope — the inner get
+// is released inside the closure, the outer one by defer.
+func closureScopes() {
+	s := getScratch()
+	defer putScratch(s)
+	fn := func() {
+		inner := getScratch()
+		use(inner)
+		putScratch(inner)
+	}
+	fn()
+}
+
+// Tree mirrors the kd-tree arena shape for the *Into half of the rule.
+type Tree struct {
+	arenaX   []float64
+	arenaIdx []int32
+}
+
+// Result is a caller-owned output buffer.
+type Result struct {
+	Coords []float64
+	Best   float64
+}
+
+// LeakInto aliases the arena into the caller's result.
+func (t *Tree) LeakInto(dst *Result) {
+	dst.Coords = t.arenaX[1:3] // want "arena-backed slice arenaX"
+}
+
+// ReturnInto returns the arena slice outright.
+func (t *Tree) ReturnInto() []float64 {
+	return t.arenaX // want "arena-backed slice arenaX"
+}
+
+// CopyInto copies elements out — append and scalar reads are fine.
+func (t *Tree) CopyInto(dst *Result) {
+	dst.Coords = append(dst.Coords[:0], t.arenaX...)
+	dst.Best = t.arenaX[0]
+}
+
+// localInto may hold arena slices in locals (no escape through the API).
+func (t *Tree) localInto() float64 {
+	window := t.arenaX[1:3]
+	return window[0]
+}

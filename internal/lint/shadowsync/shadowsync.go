@@ -1,0 +1,188 @@
+// Package shadowsync implements the arena-lockstep analyzer. The SoA
+// arena (internal/kdtree) stores points twice: the compact float32 AoS
+// (arenaPts) that is serialized and compacted, and the float64 X/Y/Z
+// shadow planes (arenaX/arenaY/arenaZ) the distance kernels read. A
+// write to arenaPts that skips any shadow plane produces a tree that
+// searches against stale coordinates — no crash, just quietly wrong
+// neighbors, the worst failure mode a nearest-neighbor library has.
+//
+// The rule is keyed off the typed field objects: inside any struct that
+// declares both arenaPts and the three shadow planes, every function
+// that writes arenaPts (assignment to the field or an element, or
+// copy() into it) must either write all three shadow planes the same
+// way or call a sync helper (a method whose name contains "syncShadow"
+// or "Shadow"). Whole-struct composite literals are exempt — they
+// assign every field by construction (Clone builds its copy that way).
+// Deliberate deferred syncs are suppressed with //lint:ignore
+// shadowsync <reason>.
+package shadowsync
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// Analyzer is the arena-lockstep rule.
+var Analyzer = &lint.Analyzer{
+	Name:       "shadowsync",
+	Doc:        "functions writing arenaPts must also write the arenaX/Y/Z float64 shadow (or call syncShadow)",
+	Run:        run,
+	NeedsTypes: true,
+}
+
+// shadowSet is the typed field family of one arena-bearing struct.
+type shadowSet struct {
+	pts    *types.Var
+	planes map[*types.Var]string // arenaX/arenaY/arenaZ -> name
+}
+
+// collectShadowSets finds structs declaring arenaPts plus all three
+// shadow planes, keyed by their types.Var objects.
+func collectShadowSets(pass *lint.Pass) []*shadowSet {
+	var sets []*shadowSet
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[st]
+			if !ok {
+				return true
+			}
+			s, ok := types.Unalias(tv.Type).(*types.Struct)
+			if !ok {
+				return true
+			}
+			set := &shadowSet{planes: make(map[*types.Var]string, 3)}
+			for i := 0; i < s.NumFields(); i++ {
+				v := s.Field(i)
+				switch v.Name() {
+				case "arenaPts":
+					set.pts = v
+				case "arenaX", "arenaY", "arenaZ":
+					set.planes[v] = v.Name()
+				}
+			}
+			if set.pts != nil && len(set.planes) == 3 {
+				sets = append(sets, set)
+			}
+			return true
+		})
+	}
+	return sets
+}
+
+func run(pass *lint.Pass) error {
+	sets := collectShadowSets(pass)
+	if len(sets) == 0 {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			for _, set := range sets {
+				checkFunc(pass, fn, set)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc flags fn if it writes set.pts without writing every shadow
+// plane or calling a sync helper.
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl, set *shadowSet) {
+	var ptsWrite ast.Node
+	written := make(map[string]bool, 3)
+	synced := false
+
+	fieldOf := func(expr ast.Expr) *types.Var {
+		// Unwrap element/slice addressing: t.arenaPts[i], t.arenaPts[i:j].
+		for {
+			switch e := expr.(type) {
+			case *ast.IndexExpr:
+				expr = e.X
+			case *ast.SliceExpr:
+				expr = e.X
+			case *ast.ParenExpr:
+				expr = e.X
+			default:
+				sel, ok := expr.(*ast.SelectorExpr)
+				if !ok {
+					return nil
+				}
+				v, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+				return v
+			}
+		}
+	}
+	record := func(target ast.Expr, at ast.Node) {
+		v := fieldOf(target)
+		if v == nil {
+			return
+		}
+		if v == set.pts {
+			if ptsWrite == nil {
+				ptsWrite = at
+			}
+		} else if name, ok := set.planes[v]; ok {
+			written[name] = true
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				record(lhs, s)
+			}
+		case *ast.IncDecStmt:
+			record(s.X, s)
+		case *ast.CallExpr:
+			// copy(t.arenaPts[...], src) writes the destination; any
+			// call to a *Shadow* helper counts as syncing the planes.
+			if id, ok := calleeName(s); ok {
+				if strings.Contains(id, "Shadow") || strings.Contains(id, "syncShadow") {
+					synced = true
+				}
+				if id == "copy" && len(s.Args) == 2 {
+					record(s.Args[0], s)
+				}
+			}
+		}
+		return true
+	})
+
+	if ptsWrite == nil || synced {
+		return
+	}
+	var missing []string
+	for _, name := range []string{"arenaX", "arenaY", "arenaZ"} {
+		if !written[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(ptsWrite.Pos(),
+		"%s writes arenaPts without updating shadow plane(s) %s: the float64 shadow must stay in lockstep (write them or call syncShadow; see docs/invariants.md)",
+		fn.Name.Name, strings.Join(missing, ", "))
+}
+
+// calleeName extracts the called function/method name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,13 @@
+package shadowsync_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+	"github.com/quicknn/quicknn/internal/lint/shadowsync"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Run(t, shadowsync.Analyzer,
+		"testdata/src/kdtree", "example.com/m/internal/kdtree", "example.com/m")
+}

@@ -1,0 +1,99 @@
+// Package kdtree is the shadowsync fixture: writes to the arenaPts AoS
+// that do and do not keep the float64 shadow planes in lockstep.
+package kdtree
+
+// point mirrors geom.Point.
+type point struct {
+	X, Y, Z float32
+}
+
+// Tree mirrors the SoA arena layout: compact AoS plus f64 shadow planes.
+type Tree struct {
+	arenaPts []point
+	arenaIdx []int32
+	arenaX   []float64
+	arenaY   []float64
+	arenaZ   []float64
+}
+
+// syncShadow rewrites the shadow planes from the AoS — the sanctioned
+// bulk-sync helper. It writes no arenaPts itself, so it is clean.
+func (t *Tree) syncShadow(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p := t.arenaPts[i]
+		t.arenaX[i] = float64(p.X)
+		t.arenaY[i] = float64(p.Y)
+		t.arenaZ[i] = float64(p.Z)
+	}
+}
+
+// goodStore writes the AoS and all three planes inline.
+func (t *Tree) goodStore(i int, p point) {
+	t.arenaPts[i] = p
+	t.arenaX[i] = float64(p.X)
+	t.arenaY[i] = float64(p.Y)
+	t.arenaZ[i] = float64(p.Z)
+}
+
+// goodAppend grows every plane together.
+func (t *Tree) goodAppend(p point) {
+	t.arenaPts = append(t.arenaPts, p)
+	t.arenaX = append(t.arenaX, float64(p.X))
+	t.arenaY = append(t.arenaY, float64(p.Y))
+	t.arenaZ = append(t.arenaZ, float64(p.Z))
+}
+
+// goodBulk copies into the AoS then calls the sync helper.
+func (t *Tree) goodBulk(lo, hi int, src []point) {
+	copy(t.arenaPts[lo:hi], src)
+	t.syncShadow(lo, hi)
+}
+
+// badStore forgets the shadow entirely.
+func (t *Tree) badStore(i int, p point) {
+	t.arenaPts[i] = p // want "badStore writes arenaPts without updating shadow plane\(s\) arenaX, arenaY, arenaZ"
+}
+
+// badPartial updates one plane but not the other two.
+func (t *Tree) badPartial(i int, p point) {
+	t.arenaPts[i] = p // want "badPartial writes arenaPts without updating shadow plane\(s\) arenaY, arenaZ"
+	t.arenaX[i] = float64(p.X)
+}
+
+// badCopy bulk-writes the AoS with no sync call.
+func (t *Tree) badCopy(lo, hi int, src []point) {
+	copy(t.arenaPts[lo:hi], src) // want "badCopy writes arenaPts without updating shadow plane"
+}
+
+// deferredSync batches AoS writes and syncs later from its caller — the
+// sanctioned exception, with its justification.
+func (t *Tree) deferredSync(i int, p point) {
+	//lint:ignore shadowsync caller runs syncShadow once after the batched load loop
+	t.arenaPts[i] = p
+}
+
+// Clone builds a full copy via a composite literal: every field is
+// assigned by construction, so composite literals are exempt.
+func (t *Tree) Clone() *Tree {
+	return &Tree{
+		arenaPts: append([]point(nil), t.arenaPts...),
+		arenaIdx: append([]int32(nil), t.arenaIdx...),
+		arenaX:   append([]float64(nil), t.arenaX...),
+		arenaY:   append([]float64(nil), t.arenaY...),
+		arenaZ:   append([]float64(nil), t.arenaZ...),
+	}
+}
+
+// reader only loads from the arena — clean.
+func (t *Tree) reader(i int) point {
+	return t.arenaPts[i]
+}
+
+// other structs without the full shadow family are out of scope.
+type flat struct {
+	arenaPts []point
+}
+
+func (f *flat) push(p point) {
+	f.arenaPts = append(f.arenaPts, p)
+}

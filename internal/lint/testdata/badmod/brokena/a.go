@@ -1,0 +1,7 @@
+// Package brokena fails type-checking: the driver must report its
+// errors as "typecheck" diagnostics and keep going.
+package brokena
+
+func Busted() int {
+	return undefinedName
+}

@@ -1,0 +1,8 @@
+// Package brokenb is the second broken package: aggregation must
+// surface BOTH packages' errors in one run, not abort on the first.
+package brokenb
+
+func Mismatched() string {
+	var n int = "not an int"
+	return n
+}

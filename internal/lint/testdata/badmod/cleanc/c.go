@@ -1,0 +1,9 @@
+// Package cleanc type-checks fine but violates nakedrand: analyzers
+// must still run on the healthy packages of a partly-broken module.
+package cleanc
+
+import "math/rand"
+
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// Type-checking layer. quicknnlint v2 runs analyzers over real
+// go/types objects instead of import-table heuristics, without vendoring
+// golang.org/x/tools: the loader below type-checks the whole module in
+// dependency order using only the standard library.
+//
+// Module-internal imports are resolved from the already-parsed packages
+// (a memoized "base" check per package, excluding test files, mirrors
+// how the go tool exports packages to their importers). Everything else
+// — the standard library — goes through go/importer's source importer,
+// which compiles packages from GOROOT source and therefore needs no
+// pre-built export data; the hermetic build image ships GOROOT source
+// but not necessarily a populated build cache, so this is the only
+// importer that is guaranteed to work.
+//
+// Each package is checked as up to two units, matching the go tool's
+// compilation model:
+//
+//   - base + in-package _test.go files, as one unit under the package's
+//     import path;
+//   - external test files (package p_test), as a second unit under
+//     path + "_test", importing the base package.
+//
+// Both units record into one shared types.Info (their AST nodes are
+// disjoint), so analyzers see a single merged view of the package.
+//
+// Type-checking is error-tolerant: errors are collected, not fatal, and
+// whatever partial information go/types produced is still handed to the
+// analyzers. The driver surfaces the collected errors as "typecheck"
+// diagnostics, so a broken package degrades instead of aborting the
+// whole run (see Analyze).
+
+// Typed is the type-check result for one package.
+type Typed struct {
+	// Pkg is the checked base+in-package-test unit; non-nil even when
+	// Errs is non-empty (go/types returns a partial package).
+	Pkg *types.Package
+	// Info holds merged type information for all of the package's files.
+	Info *types.Info
+	// Errs are the type errors from all of the package's units, in
+	// source order.
+	Errs []types.Error
+}
+
+// stdImporter is the process-wide source importer for standard-library
+// packages. It is shared across TypeCheckModule calls (and across test
+// runs within one binary) because compiling the stdlib from source is
+// the expensive part of a typed lint run; the importer memoizes
+// internally. It owns a private FileSet: stdlib positions are never
+// reported, so they need not be comparable with the module's.
+var (
+	stdImporterOnce sync.Once
+	stdImporterMu   sync.Mutex
+	stdImporter     types.ImporterFrom
+)
+
+func importStd(path string) (*types.Package, error) {
+	stdImporterOnce.Do(func() {
+		stdImporter = importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
+	})
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
+	return stdImporter.ImportFrom(path, "", 0)
+}
+
+// typechecker resolves imports for one module's worth of packages.
+type typechecker struct {
+	fset   *token.FileSet
+	byPath map[string]*Package
+	base   map[string]*baseResult // nil value marks "in progress" (cycle)
+}
+
+// baseResult memoizes one package's importable (non-test) check.
+type baseResult struct {
+	pkg *types.Package
+	err error
+}
+
+// Import implements types.Importer. Module-internal paths resolve to the
+// memoized base check of the pre-parsed package; everything else is
+// delegated to the standard-library source importer.
+func (tc *typechecker) Import(path string) (*types.Package, error) {
+	if p, ok := tc.byPath[path]; ok {
+		br := tc.ensureBase(p)
+		if br.err != nil {
+			return nil, br.err
+		}
+		return br.pkg, nil
+	}
+	return importStd(path)
+}
+
+// ensureBase type-checks the package's non-test files once and caches
+// the result for use by importers. Errors inside the base unit are
+// tolerated (the partial package is still usable by importers, and the
+// package's own analysis unit re-checks with full error collection);
+// only a failure to produce any package — or an import cycle — is
+// surfaced to the importer.
+func (tc *typechecker) ensureBase(p *Package) *baseResult {
+	if br, ok := tc.base[p.Path]; ok {
+		if br == nil {
+			return &baseResult{err: fmt.Errorf("import cycle through %s", p.Path)}
+		}
+		return br
+	}
+	tc.base[p.Path] = nil
+	var files []*ast.File
+	for _, f := range p.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	cfg := types.Config{
+		Importer: tc,
+		Error:    func(error) {}, // tolerate; the analysis unit reports
+	}
+	pkg, err := cfg.Check(p.Path, tc.fset, files, nil)
+	br := &baseResult{pkg: pkg}
+	if pkg == nil {
+		br.err = fmt.Errorf("type-checking %s: %v", p.Path, err)
+	}
+	tc.base[p.Path] = br
+	return br
+}
+
+// TypeCheckModule type-checks every package and returns per-package
+// results. It never fails: packages with type errors get partial
+// information plus their error list.
+func TypeCheckModule(fset *token.FileSet, pkgs []*Package, module string) map[*Package]*Typed {
+	tc := &typechecker{
+		fset:   fset,
+		byPath: make(map[string]*Package, len(pkgs)),
+		base:   make(map[string]*baseResult, len(pkgs)),
+	}
+	for _, p := range pkgs {
+		tc.byPath[p.Path] = p
+	}
+	out := make(map[*Package]*Typed, len(pkgs))
+	for _, p := range pkgs {
+		out[p] = tc.checkAnalysisUnits(p)
+	}
+	return out
+}
+
+// checkAnalysisUnits runs the full-fidelity checks (bodies, Info) whose
+// results analyzers consume.
+func (tc *typechecker) checkAnalysisUnits(p *Package) *Typed {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	t := &Typed{Info: info}
+	collect := func(err error) {
+		if te, ok := err.(types.Error); ok {
+			t.Errs = append(t.Errs, te)
+		}
+	}
+
+	var main, xtest []*ast.File
+	for _, f := range p.Files {
+		if f.Test && f.AST.Name.Name == p.Name+"_test" {
+			xtest = append(xtest, f.AST)
+		} else {
+			main = append(main, f.AST)
+		}
+	}
+	cfg := types.Config{Importer: tc, Error: collect}
+	if len(main) > 0 {
+		// Ignore the returned error: collect has the full list and a
+		// partial package is still produced.
+		pkg, _ := cfg.Check(p.Path, tc.fset, main, info)
+		t.Pkg = pkg
+	}
+	if len(xtest) > 0 {
+		// The external test unit imports the base package through the
+		// importer like any other; its nodes are disjoint from main's,
+		// so recording into the shared info is safe.
+		cfg.Check(p.Path+"_test", tc.fset, xtest, info)
+	}
+	sort.Slice(t.Errs, func(i, j int) bool { return t.Errs[i].Pos < t.Errs[j].Pos })
+	if t.Pkg == nil && len(main) > 0 && len(t.Errs) == 0 {
+		// Catastrophic, non-types.Error failure (should not happen with
+		// parseable files); synthesize one so the driver reports it.
+		t.Errs = append(t.Errs, types.Error{
+			Fset: tc.fset,
+			Pos:  p.Files[0].AST.Package,
+			Msg:  "type-checking failed",
+		})
+	}
+	return t
+}

@@ -16,7 +16,10 @@ import (
 	"github.com/quicknn/quicknn/internal/lint"
 )
 
-// Analyzer is the no-time-now rule.
+// Analyzer is the no-time-now rule. Under the typed driver the selector
+// base is resolved through types.Info (it must denote the "time" import,
+// not a shadowing local); unresolved identifiers fall back to the
+// import-table heuristic.
 var Analyzer = &lint.Analyzer{
 	Name: "walltime",
 	Doc:  "forbid wall-clock calls (time.Now, time.Sleep, tickers) in simulation packages",
@@ -74,7 +77,14 @@ func run(pass *lint.Pass) error {
 				return true
 			}
 			id, ok := sel.X.(*ast.Ident)
-			if !ok || !lint.PkgIdent(id, name) || !banned[sel.Sel.Name] {
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			if pass.Resolved(id) {
+				if path, isPkg := pass.PkgNamePath(id); !isPkg || path != "time" {
+					return true
+				}
+			} else if !lint.PkgIdent(id, name) {
 				return true
 			}
 			pass.Reportf(sel.Pos(),

@@ -172,6 +172,7 @@ func (e *Engine) runBatch(ep *epoch, items []workItem, workers int) {
 func (e *Engine) runItem(ep *epoch, it workItem, sc *quicknn.Scratch) {
 	req := it.req
 	defer req.finishOne(e.m)
+	ep.san.checkLive(ep, "query")
 	if req.failed.Load() {
 		return // sibling query already failed; skip the rest cheaply
 	}

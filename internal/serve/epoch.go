@@ -28,6 +28,10 @@ type epoch struct {
 	points int
 	// refs is the drain reference count (see type comment).
 	refs atomic.Int64
+	// san is the opt-in lifecycle sanitizer: a zero-size no-op in the
+	// default build, a use-after-retire/double-release checker under
+	// -tags quicknn_sanitize (see sanitize_enabled.go).
+	san epochSanitizer
 }
 
 // newEpoch returns an epoch holding the engine's current-reference.
@@ -45,6 +49,7 @@ func (e *epoch) tryAcquire() bool {
 			return false
 		}
 		if e.refs.CompareAndSwap(n, n+1) {
+			e.san.acquired(e)
 			return true
 		}
 	}
@@ -53,7 +58,10 @@ func (e *epoch) tryAcquire() bool {
 // release drops one reference, invoking onRetire exactly once when the
 // last reference drains.
 func (e *epoch) release(onRetire func(*epoch)) {
-	if e.refs.Add(-1) == 0 {
+	n := e.refs.Add(-1)
+	e.san.released(e, n)
+	if n == 0 {
+		e.san.retire(e)
 		onRetire(e)
 	}
 }

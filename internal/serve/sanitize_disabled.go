@@ -1,0 +1,18 @@
+//go:build !quicknn_sanitize
+
+package serve
+
+// epochSanitizer is the default-build stub of the snapshot lifecycle
+// sanitizer: an empty struct whose hooks compile to nothing. Build with
+// -tags quicknn_sanitize for the checking implementation (see
+// sanitize_enabled.go and docs/lint.md).
+type epochSanitizer struct{}
+
+// sanitizeEnabled reports whether the sanitizer is compiled in (false
+// in the default build).
+const sanitizeEnabled = false
+
+func (*epochSanitizer) acquired(*epoch)          {}
+func (*epochSanitizer) checkLive(*epoch, string) {}
+func (*epochSanitizer) released(*epoch, int64)   {}
+func (*epochSanitizer) retire(*epoch)            {}
