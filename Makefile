@@ -13,6 +13,11 @@ FUZZTIME  ?= 10s
 BENCHTIME     ?= 2s
 MIN_SPEEDUP   ?= 1.4
 MIN_ALLOC_RED ?= 0.9
+# MAX_OVERHEAD bounds what the flight recorder may cost the hot path:
+# the HotFlightRecordOn/Off pair (compared within the current run) must
+# stay at or below this ns ratio. Set MAX_OVERHEAD=0 to report without
+# gating (noisy/shared machines).
+MAX_OVERHEAD  ?= 1.05
 # Every fuzz target as name:package; each gets its own smoke run because
 # `go test -fuzz` accepts only one matching target at a time.
 FUZZ_TARGETS := FuzzReadFrameCSV:. FuzzReadFrameBinary:. FuzzLoadIndex:. \
@@ -80,16 +85,20 @@ trace-demo:
 
 ## serve-demo: end-to-end serving smoke — quicknnd binds a loopback
 ## port, ingests synthetic frames, answers batched searches in every
-## mode over real HTTP, and the /metrics scrape must carry the
-## quicknn_serve_* families (docs/serving.md).
+## mode over real HTTP, fetches /debug/quicknn/flightrecorder and
+## /debug/quicknn/slowlog (the selftest asserts both return well-formed
+## JSON with the expected records), and the /metrics scrape must carry
+## the quicknn_serve_* and quicknn_go_ families (docs/serving.md,
+## docs/observability.md).
 serve-demo:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) run ./cmd/quicknnd -selftest -metrics-out "$$dir/serve.prom" && \
-	for fam in quicknn_serve_batch_size quicknn_serve_latency_seconds; do \
+	for fam in quicknn_serve_batch_size quicknn_serve_latency_seconds \
+			quicknn_serve_tail_latency_seconds quicknn_go_heap_alloc_bytes; do \
 		grep -q "$$fam" "$$dir/serve.prom" || \
 			{ echo "serve-demo: $$fam metrics missing from scrape"; exit 1; }; \
 	done && \
-	echo "serve-demo: OK (HTTP cycle + metrics scrape verified)"
+	echo "serve-demo: OK (HTTP cycle + flight recorder + metrics scrape verified)"
 
 ## bench-hot: run the hot-path benchmarks (BenchmarkHot*), compare them
 ## against the checked-in pre-optimization baseline
@@ -104,7 +113,9 @@ bench-hot:
 		-current testdata/bench/hotpath_current.txt \
 		-out BENCH_hotpath.json \
 		-gate HotSearchAllApprox,HotQueryBatch,HotQueryBatchSerial,HotSearchAllExact \
-		-min-speedup $(MIN_SPEEDUP) -min-alloc-reduction $(MIN_ALLOC_RED)
+		-min-speedup $(MIN_SPEEDUP) -min-alloc-reduction $(MIN_ALLOC_RED) \
+		-overhead-pair HotFlightRecordOn=HotFlightRecordOff \
+		-max-overhead $(MAX_OVERHEAD)
 	@echo "bench-hot: OK (BENCH_hotpath.json written)"
 
 ## ci: everything the pipeline runs, in order.

@@ -10,7 +10,14 @@
 //	benchjson -baseline testdata/bench/hotpath_baseline.txt \
 //	          -current current.txt -out BENCH_hotpath.json \
 //	          -gate HotSearchAllApprox,HotQueryBatch \
-//	          -min-speedup 1.4 -min-alloc-reduction 0.9
+//	          -min-speedup 1.4 -min-alloc-reduction 0.9 \
+//	          -overhead-pair HotFlightRecordOn=HotFlightRecordOff \
+//	          -max-overhead 1.05
+//
+// -overhead-pair names Enabled=Disabled benchmark pairs compared WITHIN
+// the current run (the pair need not exist in the baseline); with
+// -max-overhead the enabled/disabled ns ratio is gated, bounding what a
+// feature — e.g. the flight recorder — may cost the hot path.
 package main
 
 import (
@@ -43,11 +50,24 @@ type Comparison struct {
 	AllocReduction float64     `json:"alloc_reduction"`
 }
 
+// Overhead is one enabled/disabled benchmark pair measured WITHIN the
+// current run (both halves come from -current, never the baseline, so a
+// newly added pair gates on day one). Ratio = enabled ns / disabled ns;
+// 1.0 means the feature is free.
+type Overhead struct {
+	DisabledName string      `json:"disabled_name"`
+	Enabled      Measurement `json:"enabled"`
+	Disabled     Measurement `json:"disabled"`
+	Ratio        float64     `json:"ratio"`
+}
+
 // Report is the BENCH_hotpath.json schema.
 type Report struct {
 	BaselineFile string                `json:"baseline_file"`
 	CurrentFile  string                `json:"current_file"`
 	Benchmarks   map[string]Comparison `json:"benchmarks"`
+	// Overheads is keyed by the enabled benchmark's name (see -overhead-pair).
+	Overheads map[string]Overhead `json:"overheads,omitempty"`
 }
 
 func main() {
@@ -58,6 +78,8 @@ func main() {
 		gateList     = flag.String("gate", "", "comma-separated benchmark names the thresholds apply to")
 		minSpeedup   = flag.Float64("min-speedup", 0, "gated benchmarks must be at least this much faster (0 = no gate)")
 		minAllocRed  = flag.Float64("min-alloc-reduction", 0, "gated benchmarks must cut allocs/op by at least this fraction (0 = no gate)")
+		pairList     = flag.String("overhead-pair", "", "comma-separated Enabled=Disabled benchmark pairs compared within the current run")
+		maxOverhead  = flag.Float64("max-overhead", 0, "overhead pairs must stay at or below this enabled/disabled ns ratio (0 = report only, no gate)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -98,6 +120,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark appears in both runs")
 		os.Exit(1)
 	}
+	pairFailures := addOverheads(&report, current, *pairList, *maxOverhead)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -112,13 +135,58 @@ func main() {
 		os.Exit(1)
 	}
 
-	if failed := checkGates(report, *gateList, *minSpeedup, *minAllocRed); len(failed) > 0 {
+	failed := append(checkGates(report, *gateList, *minSpeedup, *minAllocRed), pairFailures...)
+	if len(failed) > 0 {
 		sort.Strings(failed)
 		for _, msg := range failed {
 			fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", msg)
 		}
 		os.Exit(1)
 	}
+}
+
+// addOverheads resolves the -overhead-pair list against the CURRENT run,
+// records each pair in the report, and returns gate failures: a pair
+// whose ratio exceeds maxOverhead, or (when gating) a pair with a
+// missing half — a silently absent benchmark must not pass.
+func addOverheads(report *Report, current map[string]Measurement, pairList string, maxOverhead float64) []string {
+	if pairList == "" {
+		return nil
+	}
+	var failed []string
+	for _, pair := range strings.Split(pairList, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		enabledName, disabledName, ok := strings.Cut(pair, "=")
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s: malformed -overhead-pair entry (want Enabled=Disabled)", pair))
+			continue
+		}
+		enabled, okE := current[enabledName]
+		disabled, okD := current[disabledName]
+		if !okE || !okD {
+			if maxOverhead > 0 {
+				failed = append(failed, fmt.Sprintf("%s: overhead pair incomplete in current run (enabled present: %v, disabled present: %v)",
+					pair, okE, okD))
+			}
+			continue
+		}
+		o := Overhead{DisabledName: disabledName, Enabled: enabled, Disabled: disabled}
+		if disabled.NsPerOp > 0 {
+			o.Ratio = enabled.NsPerOp / disabled.NsPerOp
+		}
+		if report.Overheads == nil {
+			report.Overheads = make(map[string]Overhead)
+		}
+		report.Overheads[enabledName] = o
+		if maxOverhead > 0 && o.Ratio > maxOverhead {
+			failed = append(failed, fmt.Sprintf("%s: overhead %.3fx over %s exceeds max %.3fx",
+				enabledName, o.Ratio, disabledName, maxOverhead))
+		}
+	}
+	return failed
 }
 
 // checkGates applies the thresholds to the named benchmarks and returns

@@ -54,3 +54,43 @@ func TestCheckGates(t *testing.T) {
 		t.Fatalf("no thresholds means no gate, got %v", failed)
 	}
 }
+
+func TestAddOverheads(t *testing.T) {
+	current := map[string]Measurement{
+		"RecordOn":  {NsPerOp: 1040},
+		"RecordOff": {NsPerOp: 1000},
+		"SlowOn":    {NsPerOp: 2000},
+		"SlowOff":   {NsPerOp: 1000},
+	}
+	report := &Report{}
+	if failed := addOverheads(report, current, "RecordOn=RecordOff", 1.05); len(failed) != 0 {
+		t.Fatalf("4%% overhead should pass a 1.05 gate, got %v", failed)
+	}
+	o, ok := report.Overheads["RecordOn"]
+	if !ok || o.DisabledName != "RecordOff" || o.Ratio < 1.03 || o.Ratio > 1.05 {
+		t.Fatalf("overhead entry wrong: %+v", o)
+	}
+
+	if failed := addOverheads(&Report{}, current, "SlowOn=SlowOff", 1.05); len(failed) != 1 {
+		t.Fatalf("2x overhead must fail a 1.05 gate, got %v", failed)
+	}
+	// Report-only mode: the ratio is recorded but nothing fails.
+	rep := &Report{}
+	if failed := addOverheads(rep, current, "SlowOn=SlowOff", 0); len(failed) != 0 {
+		t.Fatalf("max-overhead 0 must not gate, got %v", failed)
+	}
+	if rep.Overheads["SlowOn"].Ratio != 2.0 {
+		t.Fatalf("report-only ratio = %v, want 2.0", rep.Overheads["SlowOn"].Ratio)
+	}
+	// A missing half fails only when gating.
+	if failed := addOverheads(&Report{}, current, "RecordOn=Gone", 1.05); len(failed) != 1 {
+		t.Fatalf("incomplete pair must fail the gate, got %v", failed)
+	}
+	if failed := addOverheads(&Report{}, current, "RecordOn=Gone", 0); len(failed) != 0 {
+		t.Fatalf("incomplete pair without a gate must not fail, got %v", failed)
+	}
+	// Malformed entries are always reported.
+	if failed := addOverheads(&Report{}, current, "NoEquals", 0); len(failed) != 1 {
+		t.Fatalf("malformed pair must be reported, got %v", failed)
+	}
+}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 		input   = flag.String("input", "", "glob of CSV frame files (x,y,z per line); overrides synthesis")
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the simulated rounds")
 		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
+		flight  = flag.String("flightrecord", "", "write a JSON dump of per-frame flight records (phase split, throughput identity)")
 	)
 	flag.Parse()
 
@@ -63,8 +65,11 @@ func main() {
 	// registry, each simulated round feeds both the registry and the
 	// tracer. A nil sink (no -trace/-metrics) keeps every hook inert.
 	var sink *obs.Sink
-	if *trace != "" || *metrics != "" {
+	if *trace != "" || *metrics != "" || *flight != "" {
 		sink = obs.NewSink("quicknn drive")
+	}
+	if *flight != "" {
+		sink.Flight = obs.NewFlightRecorder(1024)
 	}
 
 	var drive [][]quicknn.Point
@@ -141,6 +146,13 @@ func main() {
 		fmt.Printf("wrote Chrome trace (%d events) to %s — open it at ui.perfetto.dev\n",
 			sink.Tr().Len(), *trace)
 	}
+	if *flight != "" {
+		if err := writeFlight(*flight, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "quicknn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d flight records to %s\n", len(sink.Fr().Snapshot()), *flight)
+	}
 }
 
 // writeMetrics dumps the sink's registry in Prometheus text format.
@@ -165,6 +177,30 @@ func writeTrace(path string, sink *obs.Sink) error {
 		return err
 	}
 	if err := sink.Tr().WriteChrome(f, arch.CyclesPerMicrosecond); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFlight dumps the run's per-frame flight records as JSON, newest
+// first, with the ring's bookkeeping alongside — the offline analog of
+// quicknnd's /debug/quicknn/flightrecorder endpoint.
+func writeFlight(path string, sink *obs.Sink) error {
+	fr := sink.Fr()
+	dump := struct {
+		Capacity int                `json:"capacity"`
+		Total    uint64             `json:"total"`
+		Dropped  uint64             `json:"dropped"`
+		Records  []obs.FlightRecord `json:"records"`
+	}{Capacity: fr.Cap(), Total: fr.Total(), Dropped: fr.Dropped(), Records: fr.Snapshot()}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
 		f.Close()
 		return err
 	}

@@ -47,6 +47,11 @@ func main() {
 		selftest   = flag.Bool("selftest", false, "run the built-in HTTP smoke cycle and exit")
 		metricsOut = flag.String("metrics-out", "", "selftest: write the /metrics scrape to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
+
+		flightSize = flag.Int("flight", 1024, "flight-recorder ring capacity in records (0 = disabled)")
+		slowlog    = flag.Int("slowlog", 64, "slowlog ring capacity for tail-promoted requests (0 = disabled)")
+		tailQ      = flag.Float64("tail-quantile", 0.99, "latency quantile above which requests are promoted to the slowlog")
+		runSample  = flag.Duration("runtime-sample", 0, "background Go runtime stats sampling period (0 = sample at /metrics scrape only)")
 	)
 	flag.Parse()
 
@@ -56,17 +61,31 @@ func main() {
 		os.Exit(2)
 	}
 	sink := obs.NewSink("quicknnd")
+	if *flightSize > 0 {
+		sink.Flight = obs.NewFlightRecorder(*flightSize)
+	}
+	slowSize := *slowlog
+	if slowSize <= 0 {
+		slowSize = -1 // Config treats 0 as "use the default"; negative disables
+	}
 	engine := serve.NewEngine(serve.Config{
-		BucketSize:  *bucket,
-		Seed:        *seed,
-		Maintenance: maint,
-		QueueDepth:  *queue,
-		MaxBatch:    *batch,
-		MaxWindow:   *window,
-		Workers:     *workers,
-		Obs:         sink,
+		BucketSize:   *bucket,
+		Seed:         *seed,
+		Maintenance:  maint,
+		QueueDepth:   *queue,
+		MaxBatch:     *batch,
+		MaxWindow:    *window,
+		Workers:      *workers,
+		Obs:          sink,
+		SlowLogSize:  slowSize,
+		TailQuantile: *tailQ,
 	})
 	srv := &server{engine: engine, sink: sink}
+
+	if *runSample > 0 {
+		stopSampler := obs.StartRuntimeSampler(sink.Reg(), *runSample)
+		defer stopSampler()
+	}
 
 	if *pprofAddr != "" {
 		got, err := startPprof(*pprofAddr)
@@ -276,10 +295,73 @@ func runSelftest(base, metricsOut string) error {
 			return fmt.Errorf("/metrics scrape missing family %s", fam)
 		}
 	}
+	// The scrape also samples Go runtime health into the registry.
+	if !strings.Contains(string(scrape), "quicknn_go_heap_alloc_bytes") {
+		return fmt.Errorf("/metrics scrape missing the quicknn_go_ runtime family")
+	}
 	if metricsOut != "" {
 		if err := os.WriteFile(metricsOut, scrape, 0o644); err != nil {
 			return fmt.Errorf("metrics-out: %w", err)
 		}
+	}
+
+	// 7. The OpenMetrics exposition carries exemplars and the EOF marker.
+	status, om, err := get(client, base+"/metrics?exemplars=1")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/metrics?exemplars=1 = %d", status)
+	}
+	if !strings.HasSuffix(string(om), "# EOF\n") {
+		return fmt.Errorf("OpenMetrics exposition missing the # EOF terminator")
+	}
+	if !strings.Contains(string(om), `# {request_id="`) {
+		return fmt.Errorf("OpenMetrics exposition carries no exemplars")
+	}
+
+	// 8. The flight recorder saw every search request this selftest made.
+	status, body, err := get(client, base+"/debug/quicknn/flightrecorder")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/debug/quicknn/flightrecorder = %d", status)
+	}
+	var fl flightResponse
+	if err := json.Unmarshal(body, &fl); err != nil {
+		return fmt.Errorf("/debug/quicknn/flightrecorder body: %w", err)
+	}
+	if fl.Capacity == 0 || fl.Total < 4 || len(fl.Records) < 4 {
+		return fmt.Errorf("/debug/quicknn/flightrecorder = capacity %d, total %d, %d records; want >=4 records",
+			fl.Capacity, fl.Total, len(fl.Records))
+	}
+	for i, rec := range fl.Records {
+		if rec.ID == 0 || rec.Queries == 0 || rec.Epoch == 0 || rec.Total <= 0 {
+			return fmt.Errorf("/debug/quicknn/flightrecorder record %d malformed: %+v", i, rec)
+		}
+	}
+
+	// 9. The slowlog endpoint reports the tail sampler's state.
+	status, body, err = get(client, base+"/debug/quicknn/slowlog")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/debug/quicknn/slowlog = %d", status)
+	}
+	var sl slowlogResponse
+	if err := json.Unmarshal(body, &sl); err != nil {
+		return fmt.Errorf("/debug/quicknn/slowlog body: %w", err)
+	}
+	if sl.TailQuantile != 0.99 {
+		return fmt.Errorf("/debug/quicknn/slowlog tail_quantile = %v, want 0.99", sl.TailQuantile)
+	}
+	if sl.TailEstimateSeconds <= 0 {
+		return fmt.Errorf("/debug/quicknn/slowlog tail estimate never seeded")
+	}
+	if sl.Records == nil {
+		return fmt.Errorf("/debug/quicknn/slowlog records must be an array, not null")
 	}
 	return nil
 }

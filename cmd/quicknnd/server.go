@@ -18,10 +18,14 @@ import (
 //	POST /frame    ingest the next frame (epoch advance)
 //	POST /search   micro-batched kNN search against the current epoch
 //	GET  /metrics  Prometheus text exposition of the obs registry
+//	               (?exemplars=1 switches to OpenMetrics with exemplars)
 //	GET  /healthz  liveness + readiness (503 until the first frame)
+//	GET  /debug/quicknn/flightrecorder  newest-first flight-record ring
+//	GET  /debug/quicknn/slowlog         tail-sampler promotions + estimate
 //
 // See docs/serving.md for the request/response schemas and the error
-// taxonomy → status code mapping.
+// taxonomy → status code mapping, and docs/observability.md for the
+// flight-recorder record fields.
 type server struct {
 	engine *serve.Engine
 	sink   *obs.Sink
@@ -76,12 +80,32 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// flightResponse is the /debug/quicknn/flightrecorder reply: ring
+// bookkeeping plus the surviving records, newest first.
+type flightResponse struct {
+	Capacity int                `json:"capacity"`
+	Total    uint64             `json:"total"`
+	Dropped  uint64             `json:"dropped"`
+	Records  []obs.FlightRecord `json:"records"`
+}
+
+// slowlogResponse is the /debug/quicknn/slowlog reply: the tail
+// sampler's state plus the promoted records, newest first.
+type slowlogResponse struct {
+	TailQuantile        float64            `json:"tail_quantile"`
+	TailEstimateSeconds float64            `json:"tail_estimate_seconds"`
+	PromotedTotal       uint64             `json:"promoted_total"`
+	Records             []obs.FlightRecord `json:"records"`
+}
+
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/frame", s.handleFrame)
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/quicknn/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("/debug/quicknn/slowlog", s.handleSlowLog)
 	return mux
 }
 
@@ -215,8 +239,44 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the Go runtime health gauges (quicknn_go_*) at scrape time
+	// so every exposition carries current heap/GC/goroutine numbers
+	// without a background sampler.
+	obs.SampleRuntime(s.sink.Reg())
+	if r.URL.Query().Get("exemplars") == "1" {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.sink.Metrics.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.sink.Metrics.WriteText(w)
+}
+
+func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	capacity, total, dropped := s.engine.FlightStats()
+	recs := s.engine.FlightRecords()
+	if recs == nil {
+		recs = []obs.FlightRecord{} // "records": [] even when recording is off
+	}
+	writeJSON(w, http.StatusOK, flightResponse{
+		Capacity: capacity,
+		Total:    total,
+		Dropped:  dropped,
+		Records:  recs,
+	})
+}
+
+func (s *server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	recs := s.engine.SlowLog()
+	if recs == nil {
+		recs = []obs.FlightRecord{}
+	}
+	writeJSON(w, http.StatusOK, slowlogResponse{
+		TailQuantile:        s.engine.TailQuantile(),
+		TailEstimateSeconds: s.engine.TailEstimate(),
+		PromotedTotal:       s.engine.SlowPromoted(),
+		Records:             recs,
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

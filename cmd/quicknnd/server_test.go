@@ -16,6 +16,7 @@ import (
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
 	sink := obs.NewSink("quicknnd-test")
+	sink.Flight = obs.NewFlightRecorder(128)
 	engine := serve.NewEngine(serve.Config{Obs: sink})
 	t.Cleanup(func() { _ = engine.Close(context.Background()) })
 	s := &server{engine: engine, sink: sink}
@@ -194,6 +195,103 @@ func TestMetricsExposition(t *testing.T) {
 		if !bytes.Contains(buf.Bytes(), []byte(fam)) {
 			t.Errorf("/metrics scrape missing family %s", fam)
 		}
+	}
+}
+
+func TestMetricsRuntimeAndExemplars(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingestFrame(t, ts, 400, 1)
+	postJSON(t, ts.URL+"/search", searchRequest{Queries: [][3]float32{{1, 1, 1}}, K: 2})
+
+	// Plain scrape: runtime gauges sampled at scrape time.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{"quicknn_go_heap_alloc_bytes", "quicknn_go_goroutines", "quicknn_go_gc_total"} {
+		if !bytes.Contains(buf.Bytes(), []byte(fam)) {
+			t.Errorf("/metrics scrape missing runtime gauge %s", fam)
+		}
+	}
+
+	// OpenMetrics scrape: exemplars plus the EOF terminator.
+	resp, err = http.Get(ts.URL + "/metrics?exemplars=1")
+	if err != nil {
+		t.Fatalf("GET /metrics?exemplars=1: %v", err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/openmetrics-text; version=1.0.0; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want OpenMetrics", ct)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("# EOF\n")) {
+		t.Error("OpenMetrics exposition missing # EOF terminator")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`# {request_id="`)) {
+		t.Error("OpenMetrics exposition carries no exemplars")
+	}
+}
+
+func TestDebugFlightRecorderEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingestFrame(t, ts, 500, 2)
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/search", searchRequest{Queries: [][3]float32{{1, 1, 2}, {5, 5, 2}}, K: 3})
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/quicknn/flightrecorder")
+	if err != nil {
+		t.Fatalf("GET flightrecorder: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flightrecorder = %d, want 200", resp.StatusCode)
+	}
+	var fl flightResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fl); err != nil {
+		t.Fatalf("flightrecorder body: %v", err)
+	}
+	if fl.Capacity != 128 || fl.Total != 3 || fl.Dropped != 0 || len(fl.Records) != 3 {
+		t.Fatalf("flightrecorder = capacity %d, total %d, dropped %d, %d records; want (128, 3, 0, 3)",
+			fl.Capacity, fl.Total, fl.Dropped, len(fl.Records))
+	}
+	for i, rec := range fl.Records {
+		if rec.ID == 0 || rec.Epoch != 1 || rec.Queries != 2 || rec.K != 3 || rec.Total <= 0 {
+			t.Errorf("record %d malformed: %+v", i, rec)
+		}
+	}
+	// Newest first: ids descend.
+	if fl.Records[0].ID < fl.Records[2].ID {
+		t.Errorf("records not newest-first: ids %d..%d", fl.Records[0].ID, fl.Records[2].ID)
+	}
+}
+
+func TestDebugSlowLogEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingestFrame(t, ts, 300, 1)
+	postJSON(t, ts.URL+"/search", searchRequest{Queries: [][3]float32{{1, 1, 1}}, K: 2})
+
+	resp, err := http.Get(ts.URL + "/debug/quicknn/slowlog")
+	if err != nil {
+		t.Fatalf("GET slowlog: %v", err)
+	}
+	defer resp.Body.Close()
+	var sl slowlogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sl); err != nil {
+		t.Fatalf("slowlog body: %v", err)
+	}
+	if sl.TailQuantile != 0.99 {
+		t.Errorf("tail_quantile = %v, want 0.99", sl.TailQuantile)
+	}
+	if sl.TailEstimateSeconds <= 0 {
+		t.Error("tail estimate never seeded")
+	}
+	if sl.Records == nil {
+		t.Error("records must be an array, not null")
 	}
 }
 

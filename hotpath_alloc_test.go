@@ -37,17 +37,30 @@ func TestQueryIntoZeroAllocs(t *testing.T) {
 		{"exact", quicknn.QueryOptions{K: 10, Mode: quicknn.ModeExact}},
 		{"checks", quicknn.QueryOptions{K: 10, Mode: quicknn.ModeChecks, Checks: 1024}},
 	} {
+		var work int
 		fn := func() {
 			var err error
 			dst, err = ix.QueryInto(ctx, queries[qi%len(queries)], tc.opts, sc, dst[:0])
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Reading the per-query work stats is part of the recorded hot
+			// path (internal/serve accumulates them per request) and must
+			// stay inside the zero-allocation envelope.
+			st := sc.LastStats()
+			work += st.TraversalSteps + st.PointsScanned + st.BucketsVisited + st.CandInserts
 			qi++
 		}
 		fn() // warm-up
 		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
 			t.Errorf("QueryInto/%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+		st := sc.LastStats()
+		if st.TraversalSteps == 0 || st.PointsScanned == 0 || st.BucketsVisited == 0 || st.CandInserts == 0 {
+			t.Errorf("QueryInto/%s: LastStats not populated: %+v", tc.name, st)
+		}
+		if work == 0 {
+			t.Errorf("QueryInto/%s: no work accumulated", tc.name)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/obs"
 )
 
 // Root-level hot-path benchmarks: the public Query/QueryBatch surface the
@@ -80,5 +81,73 @@ func BenchmarkHotQuery(b *testing.B) {
 		if err != nil || len(res) == 0 {
 			b.Fatalf("res %d err %v", len(res), err)
 		}
+	}
+}
+
+// hotRecordLoop is the shared body of the flight-recorder overhead pair:
+// one op is an 8-query request through QueryInto with a warm scratch —
+// the serving engine's per-request unit of work.
+const hotRecordQueries = 8
+
+// BenchmarkHotFlightRecordOff is the baseline half of the overhead pair:
+// the 8-query request with recording disabled. cmd/benchjson gates
+// On/Off at MAX_OVERHEAD in `make bench-hot`.
+func BenchmarkHotFlightRecordOff(b *testing.B) {
+	ix, queries := hotIndexAndQueries(b, 20000, 2048)
+	ctx := context.Background()
+	opts := quicknn.QueryOptions{K: 8}
+	sc := quicknn.NewScratch()
+	dst := make([]quicknn.Neighbor, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := 0; q < hotRecordQueries; q++ {
+			var err error
+			dst, err = ix.QueryInto(ctx, queries[(i*hotRecordQueries+q)%len(queries)], opts, sc, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHotFlightRecordOn adds the full per-request recording work the
+// serving engine performs: a stopwatch, per-query work-stat accumulation,
+// flight-record assembly, the ring write, and the tail-sampler update.
+func BenchmarkHotFlightRecordOn(b *testing.B) {
+	ix, queries := hotIndexAndQueries(b, 20000, 2048)
+	ctx := context.Background()
+	opts := quicknn.QueryOptions{K: 8}
+	sc := quicknn.NewScratch()
+	dst := make([]quicknn.Neighbor, 0, 64)
+	fr := obs.NewFlightRecorder(1024)
+	tail := obs.NewTailSampler(0.99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw := obs.StartStopwatch()
+		var trav, buckets, scanned, inserts uint32
+		for q := 0; q < hotRecordQueries; q++ {
+			var err error
+			dst, err = ix.QueryInto(ctx, queries[(i*hotRecordQueries+q)%len(queries)], opts, sc, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := sc.LastStats()
+			trav += uint32(st.TraversalSteps)
+			buckets += uint32(st.BucketsVisited)
+			scanned += uint32(st.PointsScanned)
+			inserts += uint32(st.CandInserts)
+		}
+		total := sw.Seconds()
+		fr.Record(obs.FlightRecord{
+			ID: uint64(i + 1), Epoch: 1,
+			Queries: hotRecordQueries, Batch: hotRecordQueries,
+			K: 8, Exec: total, Total: total,
+			TraversalSteps: trav, BucketsVisited: buckets,
+			PointsScanned: scanned, CandInserts: inserts,
+			Outcome: obs.OutcomeOK,
+		})
+		tail.Observe(total)
 	}
 }

@@ -23,6 +23,13 @@ type Scratch struct {
 	stack []branch
 	heap  branchHeap
 	dist  []float64 // scanBucket's per-span distance buffer (two-pass scan)
+	// inserts counts candidate-list insertions (radius mode: in-radius
+	// appends) during the current query — the "heap churn" work counter
+	// the flight recorder reports. Reset at every search entry point,
+	// read via CandInserts. Deliberately not part of SearchStats: that
+	// struct is compared wholesale against reference implementations in
+	// the equivalence tests.
+	inserts int
 }
 
 // cand is the hot-path candidate record: a squared distance plus the
@@ -45,12 +52,19 @@ func (s *Scratch) initCands(k int) {
 		panic("kdtree: search requires k > 0")
 	}
 	s.k = k
+	s.inserts = 0
 	if cap(s.cands) < k {
 		s.cands = make([]cand, 0, k)
 		return
 	}
 	s.cands = s.cands[:0]
 }
+
+// CandInserts returns the number of candidate-list insertions the most
+// recent (or in-flight) search performed — the shift-and-insert churn of
+// the running top-k list, or the number of in-radius matches for radius
+// searches. It is valid until the next search entry on this Scratch.
+func (s *Scratch) CandInserts() int { return s.inserts }
 
 // worst returns the squared distance of the current k-th candidate record,
 // with ok=false while fewer than k are held — the pruning radius of the

@@ -91,6 +91,7 @@ func (t *Tree) scanBucket(b int32, query geom.Point, s *Scratch) int {
 	base := bk.off
 	cs := s.cands
 	k := s.k
+	ins := 0
 	i := 0
 	for ; i < len(ds) && len(cs) < k; i++ {
 		d := ds[i]
@@ -102,6 +103,7 @@ func (t *Tree) scanBucket(b int32, query geom.Point, s *Scratch) int {
 			j--
 		}
 		cs[j] = cand{d: d, pos: base + int32(i)}
+		ins++
 	}
 	if len(cs) == k {
 		w := cs[k-1].d
@@ -117,9 +119,11 @@ func (t *Tree) scanBucket(b int32, query geom.Point, s *Scratch) int {
 			}
 			cs[j] = cand{d: d, pos: base + int32(i)}
 			w = cs[k-1].d
+			ins++
 		}
 	}
 	s.cands = cs
+	s.inserts += ins
 	return len(xs)
 }
 
@@ -281,6 +285,9 @@ func (t *Tree) SearchRadiusInto(query geom.Point, radius float64, s *Scratch, ds
 func (t *Tree) searchRadiusCore(query geom.Point, radius float64, s *Scratch, dst []nn.Neighbor, stats *SearchStats, stop func() bool) ([]nn.Neighbor, bool) {
 	r2 := radius * radius
 	base := len(dst)
+	// Radius searches bypass initCands (no top-k list), so the work
+	// counter is reset here; each in-radius append counts as one insert.
+	s.inserts = 0
 	stk := append(s.stack[:0], branch{node: t.root})
 	for len(stk) > 0 {
 		idx := stk[len(stk)-1].node
@@ -297,6 +304,7 @@ func (t *Tree) searchRadiusCore(query geom.Point, radius float64, s *Scratch, ds
 			for i, p := range pts {
 				if d := query.DistSq(p); d <= r2 {
 					dst = append(dst, nn.Neighbor{Index: int(ids[i]), Point: p, DistSq: d})
+					s.inserts++
 				}
 			}
 			stats.PointsScanned += len(pts)

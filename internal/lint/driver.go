@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"sync"
 )
 
 // maxTypeErrs caps the "typecheck" diagnostics surfaced per package:
@@ -12,7 +13,9 @@ const maxTypeErrs = 10
 
 // Options configures Analyze.
 type Options struct {
-	// Tags supplies extra build tags for file selection.
+	// Tags supplies extra build tags for file selection. Ignored by
+	// (*Loaded).Analyze — tag selection happens at parse time, so a
+	// Loaded module is fixed to the tags it was loaded under.
 	Tags Tags
 	// Syntactic disables type-checking entirely; analyzers run in their
 	// degraded syntactic mode and NeedsTypes analyzers are skipped.
@@ -35,35 +38,85 @@ type Result struct {
 	Diags []Diagnostic
 }
 
-// Analyze loads the module containing dir, type-checks it (unless
-// opts.Syntactic), runs the analyzers over every package, and aggregates
-// all findings. Only infrastructure failures (unreadable module, parse
-// errors) return a non-nil error; type errors and findings are data.
-func Analyze(dir string, opts Options) (*Result, error) {
+// Loaded is a parsed module ready for analysis. Both drivers — typed and
+// syntactic — run over the same parse, and the type-check is memoized,
+// so analyzing a module in both modes (the repo self-test, the fixture
+// runner's driver-equivalence check) parses and type-checks exactly
+// once.
+type Loaded struct {
+	// Root is the module root directory.
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+	// Fset is the FileSet shared by every parsed file.
+	Fset *token.FileSet
+	// Pkgs are the module's packages, sorted by import path.
+	Pkgs []*Package
+
+	typeOnce sync.Once
+	typed    map[*Package]*Typed
+}
+
+// Load parses the module containing dir under the given build-tag
+// configuration. The result can be analyzed any number of times, in
+// either mode, without re-parsing.
+func Load(dir string, tags Tags) (*Loaded, error) {
 	root, err := FindModuleRoot(dir)
 	if err != nil {
 		return nil, err
 	}
-	pkgs, fset, module, err := LoadModuleTags(root, opts.Tags)
+	pkgs, fset, module, err := LoadModuleTags(root, tags)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Module: module, Packages: len(pkgs)}
+	return &Loaded{Root: root, Module: module, Fset: fset, Pkgs: pkgs}, nil
+}
+
+// TypeCheck type-checks the module, memoized: the first call does the
+// work, every later call (from any goroutine) returns the same result
+// map.
+func (l *Loaded) TypeCheck() map[*Package]*Typed {
+	l.typeOnce.Do(func() {
+		l.typed = TypeCheckModule(l.Fset, l.Pkgs, l.Module)
+	})
+	return l.typed
+}
+
+// Analyze runs the analyzers over the already-parsed module. opts.Tags
+// is ignored (tags were fixed at Load time); opts.Syntactic selects the
+// degraded parse-only driver, otherwise the memoized type-check is
+// (re)used.
+func (l *Loaded) Analyze(opts Options) (*Result, error) {
+	res := &Result{Module: l.Module, Packages: len(l.Pkgs)}
 
 	var typed map[*Package]*Typed
 	if !opts.Syntactic {
-		typed = TypeCheckModule(fset, pkgs, module)
-		for _, p := range pkgs {
-			res.Diags = append(res.Diags, typeErrDiags(fset, p, typed[p])...)
+		typed = l.TypeCheck()
+		for _, p := range l.Pkgs {
+			res.Diags = append(res.Diags, typeErrDiags(l.Fset, p, typed[p])...)
 		}
 	}
-	diags, err := RunTyped(fset, pkgs, module, typed, opts.Analyzers)
+	diags, err := RunTyped(l.Fset, l.Pkgs, l.Module, typed, opts.Analyzers)
 	if err != nil {
 		return nil, err
 	}
 	res.Diags = append(res.Diags, diags...)
 	sortDiags(res.Diags)
 	return res, nil
+}
+
+// Analyze loads the module containing dir, type-checks it (unless
+// opts.Syntactic), runs the analyzers over every package, and aggregates
+// all findings. Only infrastructure failures (unreadable module, parse
+// errors) return a non-nil error; type errors and findings are data.
+// Callers that analyze the same module repeatedly should Load once and
+// call (*Loaded).Analyze instead.
+func Analyze(dir string, opts Options) (*Result, error) {
+	l, err := Load(dir, opts.Tags)
+	if err != nil {
+		return nil, err
+	}
+	return l.Analyze(opts)
 }
 
 // typeErrDiags converts one package's type errors into diagnostics,

@@ -104,3 +104,55 @@ func TestTypeCheckModulePartialInfo(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadedSharesParseAcrossDrivers pins the shared-parse contract: one
+// Load serves both drivers, and the type-check is memoized — the typed
+// run after a syntactic run (and a repeat typed run) reuses the same
+// type information instead of re-checking the module.
+func TestLoadedSharesParseAcrossDrivers(t *testing.T) {
+	l, err := lint.Load(filepath.Join("testdata", "badmod"), lint.Tags{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if l.Module != "example.com/badmod" || len(l.Pkgs) != 3 {
+		t.Fatalf("loaded %q with %d packages, want example.com/badmod with 3", l.Module, len(l.Pkgs))
+	}
+
+	syn, err := l.Analyze(lint.Options{Syntactic: true, Analyzers: []*lint.Analyzer{nakedrand.Analyzer}})
+	if err != nil {
+		t.Fatalf("syntactic Analyze: %v", err)
+	}
+	for _, d := range syn.Diags {
+		if d.Analyzer == "typecheck" {
+			t.Errorf("syntactic mode type-checked: %s", d)
+		}
+	}
+
+	typed1 := l.TypeCheck()
+	typed2 := l.TypeCheck()
+	if len(typed1) != len(l.Pkgs) {
+		t.Fatalf("TypeCheck covered %d packages, want %d", len(typed1), len(l.Pkgs))
+	}
+	for p, tr := range typed1 {
+		if typed2[p] != tr {
+			t.Fatalf("TypeCheck not memoized: package %s re-checked", p.Path)
+		}
+	}
+
+	res, err := l.Analyze(lint.Options{Analyzers: []*lint.Analyzer{nakedrand.Analyzer}})
+	if err != nil {
+		t.Fatalf("typed Analyze: %v", err)
+	}
+	var typecheck, finds int
+	for _, d := range res.Diags {
+		switch d.Analyzer {
+		case "typecheck":
+			typecheck++
+		case "nakedrand":
+			finds++
+		}
+	}
+	if typecheck == 0 || finds != 1 {
+		t.Errorf("typed run over shared parse: %d typecheck + %d nakedrand diags, want >0 and 1", typecheck, finds)
+	}
+}

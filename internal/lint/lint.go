@@ -13,6 +13,7 @@
 //   - atomicfield: sync/atomic'd struct fields atomic everywhere + aligned
 //   - scratchleak: pooled Scratch reaches a Put on every return path
 //   - shadowsync:  arenaPts writes keep the f64 coordinate shadow in step
+//   - recordpath:  flight-recorder record paths stay allocation-free and flat
 //
 // The framework has two drivers. The typed driver (TypeCheckModule +
 // RunTyped, used by cmd/quicknnlint and the repo self-test) type-checks

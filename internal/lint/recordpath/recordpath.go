@@ -1,0 +1,179 @@
+// Package recordpath implements the recordpath analyzer: functions and
+// structs marked as flight-recorder record paths must stay
+// allocation-free and flat. The flight recorder's contract
+// (docs/observability.md) is that recording a request costs a few atomic
+// stores on the serving hot path — guarded at runtime by AllocsPerRun
+// tests, and statically by this rule:
+//
+//   - A function marked //quicknnlint:recordpath must not allocate:
+//     make/new/append, &composite literals, slice or map literals,
+//     function literals, and go/defer statements are flagged.
+//   - A struct marked //quicknnlint:recordpath must hold only flat
+//     fixed-size values: slice, map, chan, func, interface, pointer and
+//     string fields are flagged — a record that retains an arena-backed
+//     slice would pin epochs alive and tear under concurrent ring reuse.
+//
+// The directive goes in the doc comment of the function or type
+// declaration. Suppress an individual finding with
+//
+//	//lint:ignore recordpath <reason>
+package recordpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/quicknn/quicknn/internal/lint"
+)
+
+// Analyzer is the recordpath rule. It is directive-driven rather than
+// package-scoped: only declarations marked //quicknnlint:recordpath are
+// examined, wherever they live. Under the typed driver the allocating
+// builtins are resolved through types.Info (a local declaration shadowing
+// make/new/append is not the builtin); unresolved identifiers fall back
+// to the parser's file-scope resolution.
+var Analyzer = &lint.Analyzer{
+	Name: "recordpath",
+	Doc:  "flight-recorder record paths must not allocate; record structs must be flat fixed-size values",
+	Run:  run,
+}
+
+// Directive marks a function or struct type as a record path.
+const Directive = "quicknnlint:recordpath"
+
+// allocBuiltins are the builtins whose calls allocate (new always, make
+// for every supported type, append when it grows).
+var allocBuiltins = map[string]bool{
+	"make":   true,
+	"new":    true,
+	"append": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if lint.HasDirective(Directive, d.Doc) && d.Body != nil {
+					checkFunc(pass, d)
+				}
+			case *ast.GenDecl:
+				marked := lint.HasDirective(Directive, d.Doc)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok && (marked || lint.HasDirective(Directive, ts.Doc, ts.Comment)) {
+						checkStruct(pass, ts.Name.Name, st)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc flags every allocating construct in a marked function body.
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && allocBuiltins[id.Name] && isBuiltin(pass, id) {
+				pass.Reportf(v.Pos(),
+					"%s in record path %s: marked //%s functions must not allocate",
+					id.Name, name, Directive)
+			}
+		case *ast.UnaryExpr:
+			if _, ok := v.X.(*ast.CompositeLit); ok {
+				pass.Reportf(v.Pos(),
+					"&composite literal in record path %s escapes to the heap", name)
+			}
+		case *ast.CompositeLit:
+			switch v.Type.(type) {
+			case *ast.ArrayType:
+				if v.Type.(*ast.ArrayType).Len == nil {
+					pass.Reportf(v.Pos(),
+						"slice literal in record path %s allocates", name)
+				}
+			case *ast.MapType:
+				pass.Reportf(v.Pos(),
+					"map literal in record path %s allocates", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(),
+				"function literal in record path %s may allocate a closure", name)
+			return false // its body is the closure's problem, not this path's
+		case *ast.GoStmt:
+			pass.Reportf(v.Pos(),
+				"go statement in record path %s allocates a goroutine", name)
+		case *ast.DeferStmt:
+			pass.Reportf(v.Pos(),
+				"defer in record path %s is not free; call directly", name)
+		}
+		return true
+	})
+}
+
+// checkStruct flags variable-size fields of a marked record struct.
+func checkStruct(pass *lint.Pass, name string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if what := variableSize(field.Type); what != "" {
+			pass.Reportf(field.Pos(),
+				"%s field in record struct %s retains heap memory; records must be flat fixed-size values",
+				what, name)
+		}
+	}
+}
+
+// variableSize classifies a field type that can reference heap memory;
+// empty for flat fixed-size types (basic non-string idents, named types,
+// qualified types, fixed arrays, nested structs of the same).
+func variableSize(t ast.Expr) string {
+	switch v := t.(type) {
+	case *ast.ArrayType:
+		if v.Len == nil {
+			return "slice"
+		}
+		return variableSize(v.Elt)
+	case *ast.MapType:
+		return "map"
+	case *ast.ChanType:
+		return "chan"
+	case *ast.FuncType:
+		return "func"
+	case *ast.InterfaceType:
+		return "interface"
+	case *ast.StarExpr:
+		return "pointer"
+	case *ast.Ident:
+		if v.Name == "string" {
+			return "string"
+		}
+	case *ast.StructType:
+		for _, f := range v.Fields.List {
+			if what := variableSize(f.Type); what != "" {
+				return what
+			}
+		}
+	}
+	return ""
+}
+
+// isBuiltin reports whether the identifier denotes the predeclared
+// builtin of that name rather than a shadowing local declaration.
+func isBuiltin(pass *lint.Pass, id *ast.Ident) bool {
+	if pass.Typed() {
+		if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			return obj == types.Universe.Lookup(id.Name)
+		}
+		if pass.TypesInfo.Defs[id] != nil {
+			return false
+		}
+	}
+	return id.Obj == nil // parser file-scope resolution: unresolved = builtin
+}

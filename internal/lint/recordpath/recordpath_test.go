@@ -1,0 +1,13 @@
+package recordpath_test
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/lint/linttest"
+	"github.com/quicknn/quicknn/internal/lint/recordpath"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, recordpath.Analyzer,
+		"testdata/src/rp", "example.com/m/rp", "example.com/m")
+}

@@ -1,0 +1,81 @@
+// Package rp is the recordpath fixture: marked record paths must not
+// allocate and marked record structs must stay flat.
+package rp
+
+import "sync/atomic"
+
+// Record is a flight-record-like struct: flat fields pass, everything
+// that can reference heap memory is flagged.
+//
+//quicknnlint:recordpath
+type Record struct {
+	ID    uint64
+	Seq   atomic.Uint64
+	Words [4]uint64
+	Name  string                 // want "string field in record struct Record"
+	Tags  []byte                 // want "slice field in record struct Record"
+	Meta  map[string]int         // want "map field in record struct Record"
+	Done  chan int               // want "chan field in record struct Record"
+	Fn    func()                 // want "func field in record struct Record"
+	Any   interface{}            // want "interface field in record struct Record"
+	Next  *Record                // want "pointer field in record struct Record"
+	Inner struct{ Buf []uint64 } // want "slice field in record struct Record"
+}
+
+// Loose is unmarked: variable-size fields are fine here.
+type Loose struct {
+	Buf  []byte
+	Meta map[string]int
+}
+
+func helper() {}
+
+// record is a marked path exercising every flagged construct.
+//
+//quicknnlint:recordpath
+func record(r *Record) {
+	buf := make([]byte, 8) // want "make in record path record"
+	buf = append(buf, 1)   // want "append in record path record"
+	_ = buf
+	p := new(uint64) // want "new in record path record"
+	_ = p
+	q := &Loose{} // want "&composite literal in record path record"
+	_ = q
+	s := []int{1} // want "slice literal in record path record"
+	_ = s
+	m := map[int]int{} // want "map literal in record path record"
+	_ = m
+	f := func() {} // want "function literal in record path record"
+	f()
+	go helper()    // want "go statement in record path record"
+	defer helper() // want "defer in record path record"
+}
+
+// flat is a marked path using only allowed constructs: value composite
+// literals, fixed arrays, atomics, calls of locals shadowing builtins.
+//
+//quicknnlint:recordpath
+func flat(r *Record) {
+	var w [4]uint64
+	for i := range w {
+		w[i] = r.ID
+	}
+	r.Seq.Store(w[0])
+	x := Loose{}
+	_ = x
+	make := helper // shadows the builtin: calling it is not an allocation
+	make()
+}
+
+// sanctioned shows the per-line suppression for a deliberate slow path.
+//
+//quicknnlint:recordpath
+func sanctioned() {
+	//lint:ignore recordpath fixture-sanctioned slow path
+	_ = make([]int, 1)
+}
+
+// loose is unmarked: allocations are unconstrained.
+func loose() []int {
+	return append(make([]int, 0, 4), 1, 2)
+}

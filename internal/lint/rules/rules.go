@@ -11,6 +11,7 @@ import (
 	"github.com/quicknn/quicknn/internal/lint/cycleint"
 	"github.com/quicknn/quicknn/internal/lint/nakedrand"
 	"github.com/quicknn/quicknn/internal/lint/panicmsg"
+	"github.com/quicknn/quicknn/internal/lint/recordpath"
 	"github.com/quicknn/quicknn/internal/lint/scratchleak"
 	"github.com/quicknn/quicknn/internal/lint/shadowsync"
 	"github.com/quicknn/quicknn/internal/lint/walltime"
@@ -25,6 +26,7 @@ var All = []*lint.Analyzer{
 	cycleint.Analyzer,
 	nakedrand.Analyzer,
 	panicmsg.Analyzer,
+	recordpath.Analyzer,
 	scratchleak.Analyzer,
 	shadowsync.Analyzer,
 	walltime.Analyzer,

@@ -1,11 +1,19 @@
 package rules_test
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/quicknn/quicknn/internal/lint"
 	"github.com/quicknn/quicknn/internal/lint/rules"
 )
+
+// loadRepo parses the enclosing module once for the whole test binary:
+// the typed and syntactic cleanliness tests analyze the same lint.Loaded
+// (same parse, memoized type-check) instead of loading the module twice.
+var loadRepo = sync.OnceValues(func() (*lint.Loaded, error) {
+	return lint.Load(".", lint.Tags{})
+})
 
 // TestRepoIsLintClean bakes quicknnlint cleanliness into the ordinary test
 // suite: the whole module must produce zero diagnostics under the typed
@@ -13,7 +21,11 @@ import (
 // type-checks end to end with the stdlib-only loader — and a rule
 // violation fails `go test ./...` even where CI cannot run the binary.
 func TestRepoIsLintClean(t *testing.T) {
-	res, err := lint.Analyze(".", lint.Options{Analyzers: rules.All})
+	l, err := loadRepo()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	res, err := l.Analyze(lint.Options{Analyzers: rules.All})
 	if err != nil {
 		t.Fatalf("analyze module: %v", err)
 	}
@@ -30,9 +42,13 @@ func TestRepoIsLintClean(t *testing.T) {
 
 // TestRepoIsLintCleanSyntactic keeps the degraded (parse-only) driver
 // honest too: the syntactic fallbacks of the ported analyzers must also
-// be clean on the repo.
+// be clean on the repo, over the same parse the typed test used.
 func TestRepoIsLintCleanSyntactic(t *testing.T) {
-	res, err := lint.Analyze(".", lint.Options{Syntactic: true, Analyzers: rules.All})
+	l, err := loadRepo()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	res, err := l.Analyze(lint.Options{Syntactic: true, Analyzers: rules.All})
 	if err != nil {
 		t.Fatalf("analyze module: %v", err)
 	}
@@ -50,6 +66,7 @@ func TestSuiteIsComplete(t *testing.T) {
 		"cycleint":    true,
 		"nakedrand":   true,
 		"panicmsg":    true,
+		"recordpath":  true,
 		"scratchleak": true,
 		"shadowsync":  true,
 		"walltime":    true,

@@ -24,6 +24,14 @@ func MonotonicSeconds() float64 {
 	return time.Since(processEpoch).Seconds()
 }
 
+// newSamplerTicker creates the periodic ticker behind
+// StartRuntimeSampler (runtime.go). Runtime-health sampling measures
+// the host, so a host ticker is the point.
+func newSamplerTicker(period time.Duration) *time.Ticker {
+	//lint:ignore walltime sanctioned host ticker for runtime-health sampling (docs/observability.md)
+	return time.NewTicker(period)
+}
+
 // Stopwatch measures one host-side interval on the monotonic clock.
 //
 //quicknnlint:reporting host wall seconds are report output, not simulated cycle state

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveWithExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1}).With()
+	h.ObserveWithExemplar(0.005, 41) // bucket 0
+	h.ObserveWithExemplar(0.007, 42) // bucket 0: overwrites
+	h.ObserveWithExemplar(0.5, 43)   // +Inf bucket
+	h.Observe(0.05)                  // bucket 1: no exemplar
+
+	fam, ok := r.Snapshot().Find("lat_seconds")
+	if !ok {
+		t.Fatal("family missing from snapshot")
+	}
+	ser := fam.Series[0]
+	if len(ser.Exemplars) != 3 {
+		t.Fatalf("Exemplars len = %d, want 3 (buckets incl. +Inf)", len(ser.Exemplars))
+	}
+	if ex := ser.Exemplars[0]; !ex.Set || ex.ID != 42 || ex.Value != 0.007 {
+		t.Fatalf("bucket 0 exemplar = %+v, want id 42 value 0.007", ex)
+	}
+	if ser.Exemplars[1].Set {
+		t.Fatalf("bucket 1 has unexpected exemplar %+v", ser.Exemplars[1])
+	}
+	if ex := ser.Exemplars[2]; !ex.Set || ex.ID != 43 {
+		t.Fatalf("+Inf exemplar = %+v, want id 43", ex)
+	}
+	if ser.Count != 4 {
+		t.Fatalf("Count = %d, want 4 (exemplar observes count as samples)", ser.Count)
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "Requests.").With().Inc()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1}).With()
+	h.ObserveWithExemplar(0.005, 7)
+
+	var text, om strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	// WriteText stays exemplar-free and EOF-free: its golden-file
+	// contract is byte-exact.
+	if strings.Contains(text.String(), "request_id") || strings.Contains(text.String(), "# EOF") {
+		t.Fatalf("WriteText leaked OpenMetrics syntax:\n%s", text.String())
+	}
+	got := om.String()
+	if !strings.HasSuffix(got, "# EOF\n") {
+		t.Fatalf("WriteOpenMetrics missing # EOF terminator:\n%s", got)
+	}
+	want := `lat_seconds_bucket{le="0.01"} 1 # {request_id="7"} 0.005 `
+	if !strings.Contains(got, want) {
+		t.Fatalf("WriteOpenMetrics missing exemplar line %q:\n%s", want, got)
+	}
+	// Buckets without exemplars keep plain lines.
+	if !strings.Contains(got, `lat_seconds_bucket{le="0.1"} 1
+`) {
+		t.Fatalf("exemplar-free bucket line malformed:\n%s", got)
+	}
+	// Stripping the exemplar suffixes and EOF yields exactly WriteText.
+	var stripped strings.Builder
+	for _, line := range strings.SplitAfter(got, "\n") {
+		if line == "# EOF\n" || line == "" {
+			continue
+		}
+		if i := strings.Index(line, " # {"); i >= 0 {
+			stripped.WriteString(line[:i] + "\n")
+		} else {
+			stripped.WriteString(line)
+		}
+	}
+	if stripped.String() != text.String() {
+		t.Fatalf("WriteOpenMetrics is not WriteText + exemplars:\n--- stripped ---\n%s--- text ---\n%s",
+			stripped.String(), text.String())
+	}
+}
+
+func TestObserveWithExemplarZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", TimeBuckets()).With()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveWithExemplar(0.0003, 9)
+	}); allocs != 0 {
+		t.Fatalf("ObserveWithExemplar allocates %v allocs/op, want 0", allocs)
+	}
+	var nilH *Histogram
+	nilH.ObserveWithExemplar(1, 1) // nil-safe
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// This file is the request-scoped half of the observability layer: a
+// lock-free, fixed-size flight recorder in the spirit of an aircraft's —
+// a ring of the last N requests' phase-timing breakdowns and search work
+// counters, cheap enough to stay on for every query the serving engine
+// answers. Aggregate histograms say *that* p99 spiked; the flight
+// recorder says *which* request, *which phase* (queue wait, batch
+// window, worker pickup, execution) and *which epoch snapshot* was
+// responsible. See docs/observability.md, "Flight recorder, tail
+// sampling, and exemplars".
+//
+// The record path is the design constraint. It runs inside the serving
+// engine's request-completion path, which PR 4 made allocation-free, so
+// Record must be lock-free and zero-alloc (guarded by AllocsPerRun in
+// flight_test.go): records are packed into a fixed array of uint64
+// words, a slot is claimed with one atomic cursor increment, and the
+// slot's sequence word is a per-slot seqlock — the writer CASes it odd,
+// stores the words atomically, and bumps it even. A writer that loses
+// the CAS (the ring lapped itself under extreme load) drops its record
+// and counts it instead of spinning; a reader that observes a changed or
+// odd sequence around its copy discards the slot. Readers never block
+// writers and vice versa.
+
+// Request outcomes recorded in FlightRecord.Outcome.
+const (
+	// OutcomeOK marks a fully answered request.
+	OutcomeOK = 0
+	// OutcomeError marks a request that failed with a non-context error.
+	OutcomeError = 1
+	// OutcomeCanceled marks a request abandoned by cancellation/deadline.
+	OutcomeCanceled = 2
+)
+
+// FlightRecord is one request's flight-data record: identity, phase
+// timings and search-work counters. Every field is fixed-size — no
+// slices, strings or pointers — so the ring can copy records word-by-
+// word through atomic stores; the recordpath lint rule enforces this
+// shape. Producers map their phases onto the four phase fields: the
+// serving engine records queue → window → pickup → exec (enqueue to
+// completion), the software pipeline records index build as Window and
+// the frame search as Exec.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting phase timings are host wall seconds, report output by definition
+type FlightRecord struct {
+	// ID is the producer-scoped request id (monotone per engine).
+	ID uint64 `json:"id"`
+	// Epoch is the epoch-snapshot generation that answered the request.
+	Epoch uint64 `json:"epoch"`
+	// Queries is the number of query points in the request.
+	Queries uint32 `json:"queries"`
+	// Batch is the size (in query points) of the coalesced micro-batch
+	// the request rode in.
+	Batch uint32 `json:"batch"`
+	// Mode is the query mode ordinal (quicknn.QueryMode).
+	Mode uint8 `json:"mode"`
+	// Outcome is one of the Outcome* constants.
+	Outcome uint8 `json:"outcome"`
+	// K is the per-query neighbor bound.
+	K uint16 `json:"k"`
+	// Submit is the submission timestamp (MonotonicSeconds).
+	Submit float64 `json:"submit_seconds"`
+	// Queue is the time from submission to batcher pickup.
+	Queue float64 `json:"queue_seconds"`
+	// Window is the time spent waiting inside the batch-gather window.
+	Window float64 `json:"window_seconds"`
+	// Pickup is the time from dispatch to the first worker executing.
+	Pickup float64 `json:"pickup_seconds"`
+	// Exec is the time from first execution to the last query finishing.
+	Exec float64 `json:"exec_seconds"`
+	// Total is the end-to-end latency (submission to completion).
+	Total float64 `json:"total_seconds"`
+	// TraversalSteps counts internal tree nodes visited.
+	TraversalSteps uint32 `json:"traversal_steps"`
+	// BucketsVisited counts buckets scanned.
+	BucketsVisited uint32 `json:"buckets_visited"`
+	// PointsScanned counts reference points distance-tested.
+	PointsScanned uint32 `json:"points_scanned"`
+	// CandInserts counts candidate-list insertions (heap churn).
+	CandInserts uint32 `json:"cand_inserts"`
+}
+
+// recWords is the packed size of a FlightRecord in uint64 words.
+const recWords = 12
+
+// pack serializes the record into w. The layout is private to the ring;
+// unpack is its exact inverse.
+//
+//quicknnlint:recordpath
+func (r *FlightRecord) pack(w *[recWords]uint64) {
+	w[0] = r.ID
+	w[1] = r.Epoch
+	w[2] = uint64(r.Queries)<<32 | uint64(r.Batch)
+	w[3] = uint64(r.K)<<16 | uint64(r.Mode)<<8 | uint64(r.Outcome)
+	w[4] = math.Float64bits(r.Submit)
+	w[5] = math.Float64bits(r.Queue)
+	w[6] = math.Float64bits(r.Window)
+	w[7] = math.Float64bits(r.Pickup)
+	w[8] = math.Float64bits(r.Exec)
+	w[9] = math.Float64bits(r.Total)
+	w[10] = uint64(r.TraversalSteps)<<32 | uint64(r.BucketsVisited)
+	w[11] = uint64(r.PointsScanned)<<32 | uint64(r.CandInserts)
+}
+
+// unpack deserializes w into the record.
+func (r *FlightRecord) unpack(w *[recWords]uint64) {
+	r.ID = w[0]
+	r.Epoch = w[1]
+	r.Queries = uint32(w[2] >> 32)
+	r.Batch = uint32(w[2])
+	r.K = uint16(w[3] >> 16)
+	r.Mode = uint8(w[3] >> 8)
+	r.Outcome = uint8(w[3])
+	r.Submit = math.Float64frombits(w[4])
+	r.Queue = math.Float64frombits(w[5])
+	r.Window = math.Float64frombits(w[6])
+	r.Pickup = math.Float64frombits(w[7])
+	r.Exec = math.Float64frombits(w[8])
+	r.Total = math.Float64frombits(w[9])
+	r.TraversalSteps = uint32(w[10] >> 32)
+	r.BucketsVisited = uint32(w[10])
+	r.PointsScanned = uint32(w[11] >> 32)
+	r.CandInserts = uint32(w[11])
+}
+
+// flightSlot is one ring slot: a per-slot seqlock sequence word plus the
+// packed record. seq is even when the slot is stable (0 = never written),
+// odd while a writer owns it.
+//
+//quicknnlint:recordpath
+type flightSlot struct {
+	seq   atomic.Uint64
+	words [recWords]atomic.Uint64
+}
+
+// FlightRecorder is the lock-free ring of the last Cap() FlightRecords.
+// A nil *FlightRecorder is a valid no-op sink (Record tolerates it), so
+// producers thread one unconditionally. Safe for concurrent use by any
+// number of writers and readers.
+type FlightRecorder struct {
+	mask    uint64
+	cursor  atomic.Uint64
+	dropped atomic.Uint64
+	slots   []flightSlot
+}
+
+// NewFlightRecorder returns a ring holding the last `size` records,
+// rounded up to a power of two (minimum 8); size <= 0 selects the
+// default of 1024. All slots are preallocated here — the record path
+// never allocates.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = 1024
+	}
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]flightSlot, n)}
+}
+
+// Record stores one flight record, overwriting the oldest. It is
+// lock-free and allocation-free (the AllocsPerRun guard in
+// flight_test.go). Under pathological contention — the ring lapping
+// itself while a slot's writer is still mid-store — the record is
+// dropped and counted rather than anyone spinning or blocking.
+//
+//quicknnlint:recordpath
+func (fr *FlightRecorder) Record(rec FlightRecord) {
+	if fr == nil {
+		return
+	}
+	i := fr.cursor.Add(1) - 1
+	slot := &fr.slots[i&fr.mask]
+	seq := slot.seq.Load()
+	if seq&1 != 0 || !slot.seq.CompareAndSwap(seq, seq+1) {
+		fr.dropped.Add(1)
+		return
+	}
+	var w [recWords]uint64
+	rec.pack(&w)
+	for j := range w {
+		slot.words[j].Store(w[j])
+	}
+	slot.seq.Add(1)
+}
+
+// Snapshot copies the ring's stable records, newest first. Slots caught
+// mid-write (odd or changed sequence) are skipped, so every returned
+// record is internally consistent. Snapshot allocates; it is meant for
+// debug endpoints and dump flags, not the record path.
+func (fr *FlightRecorder) Snapshot() []FlightRecord {
+	if fr == nil {
+		return nil
+	}
+	cur := fr.cursor.Load()
+	n := uint64(len(fr.slots))
+	if cur < n {
+		n = cur
+	}
+	out := make([]FlightRecord, 0, n)
+	var w [recWords]uint64
+	for k := uint64(0); k < n; k++ {
+		slot := &fr.slots[(cur-1-k)&fr.mask]
+		seq := slot.seq.Load()
+		if seq == 0 || seq&1 != 0 {
+			continue
+		}
+		for j := range w {
+			w[j] = slot.words[j].Load()
+		}
+		if slot.seq.Load() != seq {
+			continue // torn: a writer landed during the copy
+		}
+		var rec FlightRecord
+		rec.unpack(&w)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Cap returns the ring capacity (a power of two).
+func (fr *FlightRecorder) Cap() int {
+	if fr == nil {
+		return 0
+	}
+	return len(fr.slots)
+}
+
+// Total returns the number of records ever submitted (including dropped).
+func (fr *FlightRecorder) Total() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.cursor.Load()
+}
+
+// Dropped returns the number of records dropped on slot contention.
+func (fr *FlightRecorder) Dropped() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.dropped.Load()
+}

@@ -74,11 +74,27 @@ type series struct {
 	counter atomic.Int64
 	// gaugeBits holds math.Float64bits of the gauge value.
 	gaugeBits atomic.Uint64
-	// histogram state, guarded by mu.
-	mu     sync.Mutex
-	counts []int64
-	sum    float64
-	count  int64
+	// histogram state, guarded by mu. exemplars has one slot per bucket
+	// (including +Inf) and is preallocated at series creation so the
+	// record path never allocates.
+	mu        sync.Mutex
+	counts    []int64
+	sum       float64
+	count     int64
+	exemplars []exemplar
+}
+
+// exemplar is one bucket's most recent exemplar: the request that last
+// landed in the bucket, when, and with what value. Fixed-size so
+// exemplar slots can live inline in preallocated series storage.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting exemplar values and timestamps are report values
+type exemplar struct {
+	set   bool
+	id    uint64
+	value float64
+	ts    float64
 }
 
 // seriesKey joins label values with an unprintable separator.
@@ -125,6 +141,10 @@ func (f *family) with(values []string) *series {
 		s = &series{labels: append([]string(nil), values...)}
 		if f.kind == KindHistogram {
 			s.counts = make([]int64, len(f.buckets)+1)
+			// Eager: lazily allocating exemplar slots would put an
+			// allocation on the first ObserveWithExemplar, which runs on
+			// the zero-alloc record path.
+			s.exemplars = make([]exemplar, len(f.buckets)+1)
 		}
 		f.series[key] = s
 		f.order = append(f.order, key)
@@ -275,6 +295,29 @@ func (h *Histogram) Observe(v float64) {
 	h.s.mu.Unlock()
 }
 
+// ObserveWithExemplar records one sample and stamps the bucket it lands
+// in with an exemplar carrying the given request id, so an operator can
+// walk from a suspicious histogram bucket to concrete recent request IDs
+// (and from there to the flight recorder). Exemplars surface only in
+// WriteOpenMetrics; WriteText output is unchanged. Allocation-free: the
+// exemplar slots are preallocated with the series.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting histogram samples and exemplar timestamps are report values
+func (h *Histogram) ObserveWithExemplar(v float64, id uint64) {
+	if h == nil {
+		return
+	}
+	ts := MonotonicSeconds()
+	i := sort.SearchFloat64s(h.f.buckets, v)
+	h.s.mu.Lock()
+	h.s.counts[i]++
+	h.s.sum += v
+	h.s.count++
+	h.s.exemplars[i] = exemplar{set: true, id: id, value: v, ts: ts}
+	h.s.mu.Unlock()
+}
+
 // ObserveInt records an integer sample (cycle latencies enter the report
 // domain here).
 //
@@ -335,6 +378,22 @@ type SeriesSnapshot struct {
 	BucketCounts []int64
 	Sum          float64
 	Count        int64
+	// Exemplars[i] is bucket i's most recent exemplar (parallel to
+	// BucketCounts); nil unless some bucket has one.
+	Exemplars []ExemplarSnapshot
+}
+
+// ExemplarSnapshot is one bucket exemplar: the id of the most recent
+// request that landed in the bucket, its sample value, and the
+// MonotonicSeconds timestamp of the observation. Set distinguishes an
+// empty slot from a genuine zero.
+//
+//quicknnlint:reporting exemplar values and timestamps are report values
+type ExemplarSnapshot struct {
+	Set   bool
+	ID    uint64
+	Value float64
+	Ts    float64
 }
 
 // Find returns the series with the given label values, if present.
@@ -398,6 +457,15 @@ func (r *Registry) Snapshot() Snapshot {
 				ss.BucketCounts = append([]int64(nil), s.counts...)
 				ss.Sum = s.sum
 				ss.Count = s.count
+				for i, ex := range s.exemplars {
+					if !ex.set {
+						continue
+					}
+					if ss.Exemplars == nil {
+						ss.Exemplars = make([]ExemplarSnapshot, len(s.exemplars))
+					}
+					ss.Exemplars[i] = ExemplarSnapshot{Set: true, ID: ex.id, Value: ex.value, Ts: ex.ts}
+				}
 				s.mu.Unlock()
 			}
 			fs.Series = append(fs.Series, ss)
@@ -418,10 +486,36 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return r.Snapshot().WriteText(w)
 }
 
+// WriteOpenMetrics writes the registry in an OpenMetrics-style text
+// format: the same families, lines and ordering as WriteText, plus
+// per-bucket exemplars (` # {request_id="N"} value timestamp` suffixes
+// on histogram _bucket lines) and a terminating `# EOF` marker. Use it
+// when the scraper understands exemplars; WriteText stays byte-stable
+// for the rest.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.Snapshot().WriteOpenMetrics(w)
+}
+
 // WriteText writes the snapshot in the Prometheus text format.
+func (s Snapshot) WriteText(w io.Writer) error {
+	return s.write(w, false)
+}
+
+// WriteOpenMetrics writes the snapshot with exemplar suffixes and a
+// final `# EOF` marker (see Registry.WriteOpenMetrics).
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	if err := s.write(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// write is the shared exposition body behind WriteText (exemplars=false)
+// and WriteOpenMetrics (exemplars=true).
 //
 //quicknnlint:reporting formats report values for exposition
-func (s Snapshot) WriteText(w io.Writer) error {
+func (s Snapshot) write(w io.Writer, exemplars bool) error {
 	for _, f := range s.Families {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
 			f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
@@ -431,12 +525,12 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			switch f.Kind {
 			case KindCounter:
 				if err := writeSample(w, f.Name, f.LabelNames, ser.LabelValues, "", "",
-					strconv.FormatInt(ser.Counter, 10)); err != nil {
+					strconv.FormatInt(ser.Counter, 10), ""); err != nil {
 					return err
 				}
 			case KindGauge:
 				if err := writeSample(w, f.Name, f.LabelNames, ser.LabelValues, "", "",
-					formatFloat(ser.Gauge)); err != nil {
+					formatFloat(ser.Gauge), ""); err != nil {
 					return err
 				}
 			case KindHistogram:
@@ -444,21 +538,23 @@ func (s Snapshot) WriteText(w io.Writer) error {
 				for i, bound := range f.Buckets {
 					cum += ser.BucketCounts[i]
 					if err := writeSample(w, f.Name+"_bucket", f.LabelNames, ser.LabelValues,
-						"le", formatFloat(bound), strconv.FormatInt(cum, 10)); err != nil {
+						"le", formatFloat(bound), strconv.FormatInt(cum, 10),
+						exemplarSuffix(ser, i, exemplars)); err != nil {
 						return err
 					}
 				}
 				cum += ser.BucketCounts[len(f.Buckets)]
 				if err := writeSample(w, f.Name+"_bucket", f.LabelNames, ser.LabelValues,
-					"le", "+Inf", strconv.FormatInt(cum, 10)); err != nil {
+					"le", "+Inf", strconv.FormatInt(cum, 10),
+					exemplarSuffix(ser, len(f.Buckets), exemplars)); err != nil {
 					return err
 				}
 				if err := writeSample(w, f.Name+"_sum", f.LabelNames, ser.LabelValues, "", "",
-					formatFloat(ser.Sum)); err != nil {
+					formatFloat(ser.Sum), ""); err != nil {
 					return err
 				}
 				if err := writeSample(w, f.Name+"_count", f.LabelNames, ser.LabelValues, "", "",
-					strconv.FormatInt(ser.Count, 10)); err != nil {
+					strconv.FormatInt(ser.Count, 10), ""); err != nil {
 					return err
 				}
 			}
@@ -467,9 +563,23 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	return nil
 }
 
+// exemplarSuffix renders bucket i's exemplar suffix for OpenMetrics
+// output, or "" when exemplars are off or the bucket has none.
+//
+//quicknnlint:reporting formats exemplar report values for exposition
+func exemplarSuffix(ser SeriesSnapshot, i int, exemplars bool) string {
+	if !exemplars || i >= len(ser.Exemplars) || !ser.Exemplars[i].Set {
+		return ""
+	}
+	ex := ser.Exemplars[i]
+	return fmt.Sprintf(` # {request_id="%d"} %s %s`,
+		ex.ID, formatFloat(ex.Value), formatFloat(ex.Ts))
+}
+
 // writeSample emits one exposition line, appending an extra label (le for
-// histogram buckets) when extraName is non-empty.
-func writeSample(w io.Writer, name string, labelNames, labelValues []string, extraName, extraValue, value string) error {
+// histogram buckets) when extraName is non-empty and a pre-rendered
+// exemplar suffix when suffix is non-empty.
+func writeSample(w io.Writer, name string, labelNames, labelValues []string, extraName, extraValue, value, suffix string) error {
 	var sb strings.Builder
 	sb.WriteString(name)
 	if len(labelNames) > 0 || extraName != "" {
@@ -496,6 +606,7 @@ func writeSample(w io.Writer, name string, labelNames, labelValues []string, ext
 	}
 	sb.WriteByte(' ')
 	sb.WriteString(value)
+	sb.WriteString(suffix)
 	sb.WriteByte('\n')
 	_, err := io.WriteString(w, sb.String())
 	return err

@@ -36,6 +36,11 @@ type Sink struct {
 	Metrics *Registry
 	// Trace is the span tracer (may be nil).
 	Trace *Tracer
+	// Flight is the request/frame flight recorder ring (may be nil). The
+	// serving engine and the software pipeline record into it when
+	// present; NewSink leaves it nil because its capacity is a deployment
+	// decision (quicknnd -flight, quicknn -flightrecord).
+	Flight *FlightRecorder
 }
 
 // NewSink returns a Sink with a fresh registry and a tracer labeled with
@@ -58,4 +63,13 @@ func (s *Sink) Tr() *Tracer {
 		return nil
 	}
 	return s.Trace
+}
+
+// Fr returns the sink's flight recorder, nil when the sink is nil or
+// carries none (a nil *FlightRecorder is itself a no-op sink).
+func (s *Sink) Fr() *FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.Flight
 }

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"quicknn_go_heap_alloc_bytes",
+		"quicknn_go_heap_objects",
+		"quicknn_go_next_gc_bytes",
+		"quicknn_go_gc_total",
+		"quicknn_go_gc_pause_total_seconds",
+		"quicknn_go_goroutines",
+	} {
+		fam, ok := snap.Find(name)
+		if !ok {
+			t.Fatalf("gauge %s missing after SampleRuntime", name)
+		}
+		ser, ok := fam.Find()
+		if !ok {
+			t.Fatalf("gauge %s has no unlabeled series", name)
+		}
+		if ser.Gauge < 0 {
+			t.Fatalf("gauge %s = %v, want >= 0", name, ser.Gauge)
+		}
+	}
+	if fam, _ := snap.Find("quicknn_go_heap_alloc_bytes"); fam.Series[0].Gauge == 0 {
+		t.Fatal("heap_alloc_bytes = 0; a running Go process always has a heap")
+	}
+	SampleRuntime(nil) // nil-safe
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Millisecond) // clamped to 100ms
+	defer stop()
+	// The sampler is periodic; don't wait for a tick (clamped to 100ms),
+	// just prove start/stop are clean and the clamp holds.
+	stop2 := StartRuntimeSampler(nil, time.Second)
+	stop2()
+}

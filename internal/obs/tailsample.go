@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// TailSampler decides, per observation, whether a request is "slow" —
+// slower than a decaying estimate of a high quantile of recent latency —
+// and therefore worth promoting to a full span trace. It is the
+// admission filter between the always-on flight recorder (every
+// request, fixed cost) and the expensive slow path (per-phase Perfetto
+// spans, slowlog retention), keeping the latter to roughly the top
+// (1-q) fraction of traffic without any configuration of absolute
+// thresholds.
+//
+// The estimate is maintained by stochastic gradient descent on the
+// pinball (quantile) loss: an observation above the estimate pulls it
+// up by gamma*q, one below pushes it down by gamma*(1-q), so the
+// estimate converges to the point where a q-fraction of observations
+// fall below it. The step gamma is relative (a fraction of the current
+// estimate), which makes the estimator scale-free across microsecond
+// and millisecond workloads and lets it decay when the workload gets
+// faster. State is a single float64 carried in an atomic word with a
+// CAS loop — Observe is lock-free and allocation-free, safe on the
+// zero-alloc record path.
+//
+//quicknnlint:reporting quantile estimation is latency reporting arithmetic
+type TailSampler struct {
+	quantile float64
+	gain     float64
+	estBits  atomic.Uint64
+}
+
+// tailGain is the relative SGD step: each observation moves the
+// estimate by at most 5% of its current value.
+//
+//quicknnlint:reporting estimator tuning constant
+const tailGain = 0.05
+
+// NewTailSampler returns a sampler tracking the given latency quantile.
+// Out-of-range quantiles (outside (0,1)) select the default 0.99.
+//
+//quicknnlint:reporting quantile parameter is reporting configuration
+func NewTailSampler(quantile float64) *TailSampler {
+	if !(quantile > 0 && quantile < 1) {
+		quantile = 0.99
+	}
+	return &TailSampler{quantile: quantile, gain: tailGain}
+}
+
+// Observe feeds one latency sample and reports whether it should be
+// promoted to a full trace: true when v exceeds the quantile estimate
+// as of just before this observation. The first sample seeds the
+// estimate and is never promoted. Nil-safe, lock-free, zero-alloc.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting pinball-loss update on host-seconds samples
+func (t *TailSampler) Observe(v float64) bool {
+	if t == nil || math.IsNaN(v) {
+		return false
+	}
+	for {
+		oldBits := t.estBits.Load()
+		if oldBits == 0 {
+			// Unseeded (or a prior exact-zero estimate, which reseeds
+			// identically): adopt the sample as the initial estimate.
+			if t.estBits.CompareAndSwap(0, math.Float64bits(v)) {
+				return false
+			}
+			continue
+		}
+		est := math.Float64frombits(oldBits)
+		step := t.gain * est
+		var next float64
+		if v > est {
+			next = est + step*t.quantile
+		} else {
+			next = est - step*(1-t.quantile)
+		}
+		if t.estBits.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return v > est
+		}
+	}
+}
+
+// Estimate returns the current quantile estimate (0 until seeded).
+//
+//quicknnlint:reporting exposes the latency estimate for gauges
+func (t *TailSampler) Estimate() float64 {
+	if t == nil {
+		return 0
+	}
+	return math.Float64frombits(t.estBits.Load())
+}
+
+// Quantile returns the quantile the sampler tracks.
+//
+//quicknnlint:reporting exposes reporting configuration
+func (t *TailSampler) Quantile() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.quantile
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTailSamplerSeedAndPromote(t *testing.T) {
+	ts := NewTailSampler(0.99)
+	if ts.Quantile() != 0.99 {
+		t.Fatalf("Quantile = %v, want 0.99", ts.Quantile())
+	}
+	if ts.Estimate() != 0 {
+		t.Fatalf("unseeded Estimate = %v, want 0", ts.Estimate())
+	}
+	if ts.Observe(0.010) {
+		t.Fatal("first sample must seed, not promote")
+	}
+	if got := ts.Estimate(); got != 0.010 {
+		t.Fatalf("seeded Estimate = %v, want 0.010", got)
+	}
+	// A sample well above the estimate promotes and pulls it up.
+	if !ts.Observe(0.100) {
+		t.Fatal("10x-the-estimate sample must promote")
+	}
+	if got := ts.Estimate(); got <= 0.010 {
+		t.Fatalf("estimate did not move up: %v", got)
+	}
+	// A sample below the estimate never promotes and nudges it down.
+	before := ts.Estimate()
+	if ts.Observe(before / 2) {
+		t.Fatal("below-estimate sample must not promote")
+	}
+	if got := ts.Estimate(); got >= before {
+		t.Fatalf("estimate did not move down: %v >= %v", got, before)
+	}
+}
+
+// TestTailSamplerConverges checks the SGD pinball update tracks a high
+// quantile: feeding a deterministic stream that is fast 99 times out of
+// 100 and 10x slower once, the estimate must settle between the two
+// populations (most slow samples promote, almost no fast ones do).
+func TestTailSamplerConverges(t *testing.T) {
+	ts := NewTailSampler(0.99)
+	const fast, slow = 0.001, 0.010
+	var fastPromoted, fastTotal, slowPromoted, slowTotal int
+	for i := 0; i < 20000; i++ {
+		v := fast
+		if i%100 == 99 {
+			v = slow
+		}
+		promoted := ts.Observe(v)
+		if v == slow {
+			slowTotal++
+			if promoted {
+				slowPromoted++
+			}
+		} else {
+			fastTotal++
+			if promoted {
+				fastPromoted++
+			}
+		}
+	}
+	// With exactly 1% of traffic slow, every value in [fast, slow) is a
+	// valid 0.99 quantile; the estimate must land in that band (it hovers
+	// just above fast, where down-pressure balances up-pressure).
+	est := ts.Estimate()
+	if est < fast || est >= slow {
+		t.Fatalf("estimate %v did not settle within [%v, %v)", est, fast, slow)
+	}
+	// The promotion rate is the contract: nearly all slow samples trace,
+	// almost no fast ones do (a few boundary promotions are inherent to
+	// the SGD hovering at the quantile).
+	if fastPromoted > fastTotal/100 {
+		t.Fatalf("%d/%d fast samples promoted; the common case must not trace", fastPromoted, fastTotal)
+	}
+	if slowPromoted < slowTotal/2 {
+		t.Fatalf("only %d/%d slow samples promoted", slowPromoted, slowTotal)
+	}
+}
+
+func TestTailSamplerDefaultsAndNil(t *testing.T) {
+	for _, q := range []float64{0, 1, -3, 2, math.NaN()} {
+		if got := NewTailSampler(q).Quantile(); got != 0.99 {
+			t.Fatalf("NewTailSampler(%v).Quantile() = %v, want default 0.99", q, got)
+		}
+	}
+	var ts *TailSampler
+	if ts.Observe(1) || ts.Estimate() != 0 || ts.Quantile() != 0 {
+		t.Fatal("nil sampler must be a no-op")
+	}
+	if NewTailSampler(0.99).Observe(math.NaN()) {
+		t.Fatal("NaN sample must be ignored")
+	}
+}
+
+func TestTailSamplerConcurrent(t *testing.T) {
+	ts := NewTailSampler(0.95)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				ts.Observe(0.001 * float64(1+(w+i)%10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	est := ts.Estimate()
+	if !(est > 0 && est < 1) {
+		t.Fatalf("estimate %v left the sample range under concurrency", est)
+	}
+}
+
+func TestTailSamplerObserveZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	ts := NewTailSampler(0.99)
+	ts.Observe(0.001)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		ts.Observe(0.002)
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -40,6 +41,23 @@ type request struct {
 	done chan struct{}
 	// submitted is the obs.MonotonicSeconds submission timestamp.
 	submitted float64
+
+	// Flight-recorder state. id is the engine-scoped request id stamped
+	// into flight records and exemplars. pickedUp (batcher receive) and
+	// dispatched (batch handoff) are plain fields written by the single
+	// batcher goroutine before the batch goroutine is spawned, so the
+	// worker that assembles the record observes them through the
+	// goroutine-creation happens-before edge. batchPoints is the size of
+	// the coalesced batch the request rode in.
+	id          uint64
+	pickedUp    float64
+	dispatched  float64
+	batchPoints int32
+	// execStart holds math.Float64bits of the first worker's execution
+	// start (first-wins CAS); 0 until a worker reaches the request.
+	execStart atomic.Uint64
+	// Work counters accumulated across workers when recording is on.
+	trav, buckets, scanned, inserts atomic.Uint64
 }
 
 func newRequest(ctx context.Context, queries []quicknn.Point, opts quicknn.QueryOptions) *request {
@@ -86,16 +104,34 @@ func (r *request) failure() error {
 	return nil
 }
 
-// finishOne marks one query finished; the last one completes the request.
-func (r *request) finishOne(m *metrics) {
+// markExecStart stamps the request's execution start the first time any
+// worker reaches one of its queries. The common case (already stamped)
+// is one atomic load; only the first worker pays a clock read.
+//
+//quicknnlint:recordpath
+func (r *request) markExecStart() {
+	if r.execStart.Load() != 0 {
+		return
+	}
+	r.execStart.CompareAndSwap(0, math.Float64bits(obs.MonotonicSeconds()))
+}
+
+// finishOne marks one query finished; the last one completes the
+// request: flight record, latency exemplar, outcome counter, done.
+func (r *request) finishOne(e *Engine) {
 	if r.pending.Add(-1) != 0 {
 		return
 	}
-	m.latency.Observe(obs.MonotonicSeconds() - r.submitted)
+	now := obs.MonotonicSeconds()
+	total := now - r.submitted
+	if e.rec {
+		e.recordFlight(r, now, total)
+	}
+	e.m.latency.ObserveWithExemplar(total, r.id)
 	if r.failure() != nil {
-		m.requests.With("error").Inc()
+		e.m.requests.With("error").Inc()
 	} else {
-		m.requests.With("ok").Inc()
+		e.m.requests.With("ok").Inc()
 	}
 	close(r.done)
 }
@@ -171,7 +207,7 @@ func (e *Engine) runBatch(ep *epoch, items []workItem, workers int) {
 // warm steady state performs no per-query allocations.
 func (e *Engine) runItem(ep *epoch, it workItem, sc *quicknn.Scratch) {
 	req := it.req
-	defer req.finishOne(e.m)
+	defer req.finishOne(e)
 	ep.san.checkLive(ep, "query")
 	if req.failed.Load() {
 		return // sibling query already failed; skip the rest cheaply
@@ -180,12 +216,22 @@ func (e *Engine) runItem(ep *epoch, it workItem, sc *quicknn.Scratch) {
 		req.fail(err)
 		return
 	}
+	if e.rec {
+		req.markExecStart()
+	}
 	res, err := ep.index.QueryInto(req.ctx, req.queries[it.qi], req.opts, sc, req.region(it.qi))
 	if err != nil {
 		req.fail(err)
 		return
 	}
 	req.results[it.qi] = res
+	if e.rec {
+		st := sc.LastStats()
+		req.trav.Add(uint64(st.TraversalSteps))
+		req.buckets.Add(uint64(st.BucketsVisited))
+		req.scanned.Add(uint64(st.PointsScanned))
+		req.inserts.Add(uint64(st.CandInserts))
+	}
 	e.m.queries.Inc()
 }
 

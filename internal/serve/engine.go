@@ -49,8 +49,18 @@ type Config struct {
 	// goroutines across all in-flight batches (default GOMAXPROCS).
 	Workers int
 	// Obs attaches the observability sink publishing the quicknn_serve_*
-	// families; nil disables instrumentation.
+	// families; nil disables instrumentation. When Obs carries a flight
+	// recorder (Obs.Flight), the engine records every request's phase
+	// breakdown into it (docs/observability.md).
 	Obs *obs.Sink
+	// SlowLogSize is the capacity of the slowlog ring holding requests
+	// the tail sampler promoted (default 64; negative disables). Only
+	// meaningful with a non-nil Obs.
+	SlowLogSize int
+	// TailQuantile is the latency quantile the adaptive tail sampler
+	// tracks; requests slower than its decaying estimate are promoted to
+	// full traces (default 0.99; valid range (0,1)).
+	TailQuantile float64
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SlowLogSize == 0 {
+		c.SlowLogSize = 64
+	}
+	if !(c.TailQuantile > 0 && c.TailQuantile < 1) {
+		c.TailQuantile = 0.99
 	}
 	return c
 }
@@ -134,6 +150,17 @@ type Engine struct {
 	// bits of obs.MonotonicSeconds). Both are report-domain host values.
 	ewmaArrival atomic.Uint64
 	lastArrival atomic.Uint64
+
+	// Flight-recorder state (docs/observability.md). flight is the
+	// sink-owned ring every request is recorded into; slow retains only
+	// the requests the tail sampler promoted; rec caches "any recording
+	// is on" so the per-query hot path pays one immutable bool check
+	// when observability is detached.
+	flight *obs.FlightRecorder
+	slow   *obs.FlightRecorder
+	tail   *obs.TailSampler
+	rec    bool
+	reqID  atomic.Uint64
 }
 
 // NewEngine starts an engine: the batcher runs immediately, queries
@@ -149,6 +176,14 @@ func NewEngine(cfg Config) *Engine {
 		batcherDone: make(chan struct{}),
 		live:        make(map[uint64]struct{}),
 	}
+	e.flight = cfg.Obs.Fr()
+	if cfg.Obs != nil {
+		e.tail = obs.NewTailSampler(cfg.TailQuantile)
+		if cfg.SlowLogSize > 0 {
+			e.slow = obs.NewFlightRecorder(cfg.SlowLogSize)
+		}
+	}
+	e.rec = e.flight != nil || e.tail != nil
 	e.m.window.Set(cfg.MinWindow.Seconds())
 	go e.batcher()
 	return e
@@ -313,6 +348,7 @@ func (e *Engine) QueryBatch(ctx context.Context, queries []quicknn.Point, opts q
 		return nil, ErrNoIndex
 	}
 	req := newRequest(ctx, queries, opts)
+	req.id = e.reqID.Add(1)
 	if err := e.submit(req); err != nil {
 		return nil, err
 	}
@@ -406,6 +442,7 @@ func (e *Engine) batcher() {
 		if !ok {
 			return
 		}
+		req.pickedUp = obs.MonotonicSeconds()
 		batch := []*request{req}
 		points := len(req.queries)
 		timer := newWindowTimer(e.windowFor())
@@ -413,6 +450,7 @@ func (e *Engine) batcher() {
 		for points < e.cfg.MaxBatch {
 			select {
 			case r2 := <-e.queue:
+				r2.pickedUp = obs.MonotonicSeconds()
 				batch = append(batch, r2)
 				points += len(r2.queries)
 			case <-timer.C:
@@ -447,7 +485,12 @@ func (e *Engine) nextRequest() (*request, bool) {
 // worker pool asynchronously, so the batcher can keep coalescing.
 func (e *Engine) dispatch(batch []*request, points int) {
 	e.m.batches.Inc()
-	e.m.batchSize.Observe(float64(points))
+	e.m.batchSize.ObserveWithExemplar(float64(points), batch[0].id)
+	now := obs.MonotonicSeconds()
+	for _, req := range batch {
+		req.dispatched = now
+		req.batchPoints = int32(points)
+	}
 	ep := e.acquireCurrent()
 	if ep == nil {
 		// No index (first frame raced a query past the submit check):
@@ -455,7 +498,7 @@ func (e *Engine) dispatch(batch []*request, points int) {
 		for _, req := range batch {
 			req.fail(ErrNoIndex)
 			for range req.queries {
-				req.finishOne(e.m)
+				req.finishOne(e)
 			}
 		}
 		return

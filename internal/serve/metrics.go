@@ -22,6 +22,11 @@ type metrics struct {
 	latency     *obs.Histogram
 	frameBuild  *obs.Histogram
 	epochsTotal *obs.Counter
+
+	// Flight-recorder companions: requests the tail sampler promoted to
+	// full traces, and its decaying latency-quantile estimate.
+	slowPromoted *obs.Counter
+	tailEstimate *obs.Gauge
 }
 
 // newMetrics registers the serve metric families on the sink's registry
@@ -62,5 +67,9 @@ func newMetrics(sink *obs.Sink) *metrics {
 		obs.TimeBuckets()).With()
 	m.epochsTotal = reg.Counter("quicknn_serve_epochs_total",
 		"Epochs created since engine start.").With()
+	m.slowPromoted = reg.Counter("quicknn_serve_slow_total",
+		"Requests promoted to full traces by the adaptive tail sampler.").With()
+	m.tailEstimate = reg.Gauge("quicknn_serve_tail_latency_seconds",
+		"Decaying tail-quantile latency estimate driving slow-trace promotion.").With()
 	return m
 }

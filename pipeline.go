@@ -176,6 +176,23 @@ func (p *Pipeline) record(frame []Point, buildSec, searchSec float64) {
 		"Mean bucket occupancy of the software index.").With().Set(st.Mean)
 	reg.Gauge("quicknn_pipeline_bucket_max",
 		"Largest bucket of the software index.").With().Set(float64(st.Max))
+
+	// One flight record per frame when the sink carries a recorder
+	// (quicknn -flightrecord): the pipeline's phase split maps build/advance
+	// onto the window slot and search onto the exec slot. ID and Epoch are
+	// the 1-based frame count — the pipeline's epoch analog.
+	sink.Fr().Record(obs.FlightRecord{
+		ID:      uint64(p.count),
+		Epoch:   uint64(p.count),
+		Queries: uint32(len(frame)),
+		Batch:   uint32(len(frame)),
+		Mode:    uint8(ModeApprox),
+		K:       uint16(p.cfg.K),
+		Window:  buildSec,
+		Exec:    searchSec,
+		Total:   buildSec + searchSec,
+		Outcome: obs.OutcomeOK,
+	})
 }
 
 // advance moves the index to the new frame per the maintenance mode.

@@ -81,3 +81,37 @@ func TestIndexDepth(t *testing.T) {
 		t.Fatalf("Depth = %d, want > 0 for %d points with bucket 64", d, len(pts))
 	}
 }
+
+// TestPipelineFlightRecords checks the per-frame flight records: one per
+// processed frame, identified by the 1-based frame count, with the
+// build/search phase split in the window/exec slots.
+func TestPipelineFlightRecords(t *testing.T) {
+	frames := SyntheticFrames(1200, 3, 7)
+	sink := obs.NewSink("pipeline")
+	sink.Flight = obs.NewFlightRecorder(64)
+	p := NewPipeline(PipelineConfig{K: 4, BucketSize: 128, Obs: sink})
+	for _, f := range frames {
+		p.Process(f)
+	}
+
+	recs := sink.Fr().Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("flight ring has %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		wantFrame := uint64(3 - i) // newest first
+		if rec.ID != wantFrame || rec.Epoch != wantFrame {
+			t.Errorf("record %d: ID/Epoch = %d/%d, want %d", i, rec.ID, rec.Epoch, wantFrame)
+		}
+		if rec.Queries != 1200 || rec.K != 4 || rec.Outcome != obs.OutcomeOK {
+			t.Errorf("record %d identity wrong: %+v", i, rec)
+		}
+		if rec.Window <= 0 || rec.Total < rec.Window+rec.Exec {
+			t.Errorf("record %d phase split wrong: %+v", i, rec)
+		}
+		// Only the first frame (index build, no search) has zero exec.
+		if wantFrame > 1 && rec.Exec <= 0 {
+			t.Errorf("record %d (frame %d) has no search time: %+v", i, wantFrame, rec)
+		}
+	}
+}

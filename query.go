@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/quicknn/quicknn/internal/kdtree"
 )
 
 // QueryMode selects which of the paper's search algorithms a Query runs.
@@ -126,17 +128,24 @@ func (ix *Index) QueryInto(ctx context.Context, q Point, opts QueryOptions, sc *
 	}
 	var (
 		res     []Neighbor
+		st      kdtree.SearchStats
 		stopped bool
 	)
 	switch opts.Mode {
 	case ModeApprox:
-		res, _ = ix.tree.SearchApproxInto(q, opts.K, sc.s, dst)
+		res, st = ix.tree.SearchApproxInto(q, opts.K, sc.s, dst)
 	case ModeExact:
-		res, _, stopped = ix.tree.SearchExactStopInto(q, opts.K, sc.s, dst, stop)
+		res, st, stopped = ix.tree.SearchExactStopInto(q, opts.K, sc.s, dst, stop)
 	case ModeChecks:
-		res, _, stopped = ix.tree.SearchChecksStopInto(q, opts.K, opts.Checks, sc.s, dst, stop)
+		res, st, stopped = ix.tree.SearchChecksStopInto(q, opts.K, opts.Checks, sc.s, dst, stop)
 	case ModeRadius:
-		res, _, stopped = ix.tree.SearchRadiusStopInto(q, opts.Radius, sc.s, dst, stop)
+		res, st, stopped = ix.tree.SearchRadiusStopInto(q, opts.Radius, sc.s, dst, stop)
+	}
+	sc.last = QueryStats{
+		TraversalSteps: st.TraversalSteps,
+		PointsScanned:  st.PointsScanned,
+		BucketsVisited: st.BucketsVisited,
+		CandInserts:    sc.s.CandInserts(),
 	}
 	if stopped {
 		return res, ctx.Err()

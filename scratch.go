@@ -18,7 +18,30 @@ import (
 // not ready; use NewScratch.
 type Scratch struct {
 	s *kdtree.Scratch
+	// last is the work breakdown of the most recent QueryInto through
+	// this scratch; see LastStats.
+	last QueryStats
 }
+
+// QueryStats is the work one query performed: how many internal nodes
+// the traversal visited, how many buckets and reference points the scan
+// examined, and how many candidate-list insertions ("heap churn") the
+// running top-k list absorbed. The flight recorder aggregates these per
+// request so a slow query can be attributed to tree shape (traversal),
+// bucket occupancy (scan) or contention for the candidate list (churn).
+type QueryStats struct {
+	TraversalSteps int
+	PointsScanned  int
+	BucketsVisited int
+	CandInserts    int
+}
+
+// LastStats returns the work breakdown of the most recent QueryInto that
+// used this Scratch (zero until the first query). It is captured on
+// success and on in-flight cancellation alike; callers on the zero-alloc
+// path read it immediately after QueryInto returns, before the scratch
+// is reused.
+func (s *Scratch) LastStats() QueryStats { return s.last }
 
 // NewScratch returns an empty Scratch. Capacity grows on first use and is
 // retained for the lifetime of the value; after one warm-up query at a
