@@ -23,7 +23,7 @@ MAX_OVERHEAD  ?= 1.05
 FUZZ_TARGETS := FuzzReadFrameCSV:. FuzzReadFrameBinary:. FuzzLoadIndex:. \
 	FuzzConfigCheck:./internal/dram
 
-.PHONY: all build vet lint lint-syntactic test race fuzz sanitize trace-demo serve-demo bench-hot ci clean
+.PHONY: all build vet lint lint-syntactic test race fuzz sanitize trace-demo serve-demo chaos-demo bench-hot ci clean
 
 all: build
 
@@ -48,9 +48,12 @@ lint-syntactic:
 test:
 	$(GO) test ./...
 
-## race: run the suite under the race detector (parallel search paths).
+## race: run the suite under the race detector (parallel search paths),
+## then re-run the fault-adjacent packages with the injection hooks
+## armed — the chaos test (cmd/quicknnd) only exists in that build.
 race:
 	$(GO) test -race ./...
+	$(GO) test -tags quicknn_faults -race ./internal/faults/... ./internal/serve/... ./cmd/quicknnd/...
 
 ## fuzz: short fuzzing smoke over every fuzz target.
 fuzz:
@@ -66,7 +69,9 @@ fuzz:
 ## tag-gated sources the default build excludes (docs/lint.md).
 sanitize:
 	$(GO) test -tags quicknn_sanitize -race ./internal/serve/... ./internal/kdtree/...
+	$(GO) test -tags "quicknn_sanitize quicknn_faults" -race ./internal/serve/...
 	$(GO) run ./cmd/quicknnlint -tags quicknn_sanitize ./...
+	$(GO) run ./cmd/quicknnlint -tags quicknn_faults ./...
 
 ## trace-demo: end-to-end observability smoke — run a small simulated
 ## drive, validate the Perfetto trace it emits, and check that the
@@ -100,6 +105,20 @@ serve-demo:
 	done && \
 	echo "serve-demo: OK (HTTP cycle + flight recorder + metrics scrape verified)"
 
+## chaos-demo: degradation-under-fault smoke — an armed (-tags
+## quicknn_faults) quicknnd drives itself through corrupted frame
+## ingest, then an overload burst against a deliberately tiny queue and
+## worker budget, asserting the degradation contract over real HTTP:
+## every reply is a 200 (possibly degraded) or a typed 503 envelope
+## with a live retry_after_ms, the ladder is visible in the
+## quicknn_degrade_* families and the flight-record stamps, and after
+## the burst the ladder recovers to level 0 and a strict full-fidelity
+## search succeeds again (docs/robustness.md).
+chaos-demo:
+	$(GO) run -tags quicknn_faults ./cmd/quicknnd -chaos \
+		-queue 8 -batch 8 -workers 1 -tail-budget 50ms \
+		-faults 'stall:p=0.6,delay=8ms;build:every=2,delay=5ms;retire:every=3,delay=1ms;submit:p=0.1,delay=500us;corrupt:every=4'
+
 ## bench-hot: run the hot-path benchmarks (BenchmarkHot*), compare them
 ## against the checked-in pre-optimization baseline
 ## (testdata/bench/hotpath_baseline.txt), and write BENCH_hotpath.json.
@@ -119,7 +138,7 @@ bench-hot:
 	@echo "bench-hot: OK (BENCH_hotpath.json written)"
 
 ## ci: everything the pipeline runs, in order.
-ci: build vet lint test race sanitize fuzz trace-demo serve-demo
+ci: build vet lint test race sanitize fuzz trace-demo serve-demo chaos-demo
 
 clean:
 	$(GO) clean ./...

@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/degrade"
+	"github.com/quicknn/quicknn/internal/faults"
 	"github.com/quicknn/quicknn/internal/obs"
 	"github.com/quicknn/quicknn/internal/serve"
 )
@@ -52,6 +54,12 @@ func main() {
 		slowlog    = flag.Int("slowlog", 64, "slowlog ring capacity for tail-promoted requests (0 = disabled)")
 		tailQ      = flag.Float64("tail-quantile", 0.99, "latency quantile above which requests are promoted to the slowlog")
 		runSample  = flag.Duration("runtime-sample", 0, "background Go runtime stats sampling period (0 = sample at /metrics scrape only)")
+
+		degradeOn  = flag.Bool("degrade", true, "adaptive degrade ladder: serve cheaper answers under pressure before shedding")
+		tailBudget = flag.Duration("tail-budget", 0, "tail-latency SLO driving the degrade ladder (0 = queue/window signals only)")
+		faultSpec  = flag.String("faults", "", "fault-injection spec, e.g. 'stall:p=0.2,delay=2ms;corrupt:every=4' (requires a -tags quicknn_faults build)")
+		faultSeed  = flag.Uint64("faults-seed", 1, "fault-injection schedule seed (deterministic per seed)")
+		chaos      = flag.Bool("chaos", false, "selftest variant: overload burst + fault injection, asserting degrade/shed/recovery")
 	)
 	flag.Parse()
 
@@ -59,6 +67,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "quicknnd:", err)
 		os.Exit(2)
+	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		if !faults.Enabled {
+			fmt.Fprintln(os.Stderr, "quicknnd: -faults requires a binary built with -tags quicknn_faults")
+			os.Exit(2)
+		}
+		plan, err = faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicknnd: -faults:", err)
+			os.Exit(2)
+		}
 	}
 	sink := obs.NewSink("quicknnd")
 	if *flightSize > 0 {
@@ -79,6 +99,11 @@ func main() {
 		Obs:          sink,
 		SlowLogSize:  slowSize,
 		TailQuantile: *tailQ,
+		Degrade: degrade.Config{
+			Disabled:   !*degradeOn,
+			TailBudget: tailBudget.Seconds(),
+		},
+		Faults: plan,
 	})
 	srv := &server{engine: engine, sink: sink}
 
@@ -97,7 +122,7 @@ func main() {
 	}
 
 	listenAddr := *addr
-	if *selftest {
+	if *selftest || *chaos {
 		listenAddr = "127.0.0.1:0" // never collide with a real deployment
 	}
 	ln, err := net.Listen("tcp", listenAddr)
@@ -117,6 +142,16 @@ func main() {
 		}
 	}
 
+	if *chaos {
+		err := runChaos(base)
+		shutdown(httpSrv, engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicknnd: chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Println("quicknnd: chaos OK (" + base + ")")
+		return
+	}
 	if *selftest {
 		err := runSelftest(base, *metricsOut)
 		shutdown(httpSrv, engine)
@@ -191,17 +226,38 @@ func shutdown(httpSrv *http.Server, engine *serve.Engine) {
 func runSelftest(base, metricsOut string) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 
-	// 1. Before the first frame the daemon must report not-ready.
+	// 1. Before the first frame: liveness is green, readiness refuses
+	// with the no_index envelope (retry hint included), and the legacy
+	// combined /healthz keeps its deprecated 503-until-ready behavior.
+	if status, _, err := get(client, base+"/v1/healthz"); err != nil {
+		return err
+	} else if status != http.StatusOK {
+		return fmt.Errorf("/v1/healthz = %d, want 200 (liveness never gates on the index)", status)
+	}
+	rzStatus, rzBody, err := get(client, base+"/v1/readyz")
+	if err != nil {
+		return err
+	}
+	if rzStatus != http.StatusServiceUnavailable {
+		return fmt.Errorf("/v1/readyz before first frame = %d, want 503", rzStatus)
+	}
+	var env errorResponse
+	if err := json.Unmarshal(rzBody, &env); err != nil {
+		return fmt.Errorf("/v1/readyz envelope: %w", err)
+	}
+	if env.Code != "no_index" || env.RetryAfterMS <= 0 {
+		return fmt.Errorf("/v1/readyz envelope = %+v, want code no_index with retry_after_ms > 0", env)
+	}
 	if status, _, err := get(client, base+"/healthz"); err != nil {
 		return err
 	} else if status != http.StatusServiceUnavailable {
-		return fmt.Errorf("/healthz before first frame = %d, want 503", status)
+		return fmt.Errorf("legacy /healthz before first frame = %d, want 503", status)
 	}
-	// ... and /search must shed with the no-index taxonomy (503).
-	if status, _, err := post(client, base+"/search", searchRequest{Queries: [][3]float32{{1, 2, 3}}}); err != nil {
+	// ... and /v1/search must refuse with the no-index taxonomy (503).
+	if status, _, err := post(client, base+"/v1/search", searchRequest{Queries: [][3]float32{{1, 2, 3}}}); err != nil {
 		return err
 	} else if status != http.StatusServiceUnavailable {
-		return fmt.Errorf("/search before first frame = %d, want 503", status)
+		return fmt.Errorf("/v1/search before first frame = %d, want 503", status)
 	}
 
 	// 2. Ingest two synthetic frames (epoch advances).
@@ -262,14 +318,51 @@ func runSelftest(base, metricsOut string) error {
 		}
 	}
 
-	// 4. Error taxonomy: a bad mode must map to 400, not 500.
-	if status, _, err := post(client, base+"/search", searchRequest{Queries: queries, Mode: "psychic"}); err != nil {
+	// 4a. The legacy unversioned alias answers byte-identical success
+	// bodies to /v1 (the alias is the same handler; this pins it).
+	compatReq := searchRequest{Queries: queries[:4], K: 3}
+	_, legacyBody, err := post(client, base+"/search", compatReq)
+	if err != nil {
 		return err
-	} else if status != http.StatusBadRequest {
-		return fmt.Errorf("/search bad mode = %d, want 400", status)
+	}
+	_, v1Body, err := post(client, base+"/v1/search", compatReq)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(legacyBody, v1Body) {
+		return fmt.Errorf("legacy /search body diverged from /v1/search:\n%s\nvs\n%s", legacyBody, v1Body)
 	}
 
-	// 5. Readiness flipped after the first frame.
+	// 4b. Error taxonomy: a bad mode must map to 400 with the envelope
+	// code, not 500.
+	badStatus, badBody, err := post(client, base+"/v1/search", searchRequest{Queries: queries, Mode: "psychic"})
+	if err != nil {
+		return err
+	}
+	if badStatus != http.StatusBadRequest {
+		return fmt.Errorf("/v1/search bad mode = %d, want 400", badStatus)
+	}
+	var badEnv errorResponse
+	if err := json.Unmarshal(badBody, &badEnv); err != nil || badEnv.Code != "bad_request" {
+		return fmt.Errorf("/v1/search bad mode envelope = %s, want code bad_request", badBody)
+	}
+
+	// 5. Readiness flipped after the first frame, on both /v1/readyz
+	// (reporting the ladder level) and the deprecated combined /healthz.
+	rzStatus2, rzBody2, err := get(client, base+"/v1/readyz")
+	if err != nil {
+		return err
+	}
+	if rzStatus2 != http.StatusOK {
+		return fmt.Errorf("/v1/readyz after frames = %d: %s, want 200", rzStatus2, rzBody2)
+	}
+	var rz readyzResponse
+	if err := json.Unmarshal(rzBody2, &rz); err != nil {
+		return fmt.Errorf("/v1/readyz body: %w", err)
+	}
+	if rz.Status != "ok" || rz.Epoch != uint64(len(frames)) || rz.QueueCapacity == 0 {
+		return fmt.Errorf("/v1/readyz = %+v, want ok at epoch %d", rz, len(frames))
+	}
 	if status, _, err := get(client, base+"/healthz"); err != nil {
 		return err
 	} else if status != http.StatusOK {

@@ -5,39 +5,54 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/degrade"
 	"github.com/quicknn/quicknn/internal/obs"
 	"github.com/quicknn/quicknn/internal/serve"
 )
 
-// server is the HTTP facade over the serving engine. Endpoints:
+// server is the HTTP facade over the serving engine. The wire API is
+// versioned under /v1 (docs/serving.md):
 //
-//	POST /frame    ingest the next frame (epoch advance)
-//	POST /search   micro-batched kNN search against the current epoch
-//	GET  /metrics  Prometheus text exposition of the obs registry
-//	               (?exemplars=1 switches to OpenMetrics with exemplars)
-//	GET  /healthz  liveness + readiness (503 until the first frame)
-//	GET  /debug/quicknn/flightrecorder  newest-first flight-record ring
-//	GET  /debug/quicknn/slowlog         tail-sampler promotions + estimate
+//	POST /v1/frame    ingest the next frame (epoch advance)
+//	POST /v1/search   micro-batched kNN search against the current epoch
+//	GET  /v1/metrics  Prometheus text exposition of the obs registry
+//	                  (?exemplars=1 switches to OpenMetrics with exemplars)
+//	GET  /v1/healthz  liveness: 200 whenever the process can answer HTTP
+//	GET  /v1/readyz   readiness: 503 with a reason code on no-index,
+//	                  draining, or a shed-level degrade ladder
+//	GET  /v1/debug/quicknn/flightrecorder  newest-first flight-record ring
+//	GET  /v1/debug/quicknn/slowlog         tail-sampler promotions + estimate
+//
+// Every non-2xx reply is the structured error envelope (errorResponse):
+// a machine-branchable code, the live retry hint on 503s, and the
+// current epoch. The legacy unversioned paths (/frame, /search,
+// /metrics, /debug/quicknn/*) are thin aliases of the same handlers and
+// answer byte-compatible success bodies; legacy /healthz keeps its
+// pre-/v1 combined liveness+readiness behavior. All legacy paths are
+// deprecated (docs/serving.md).
 //
 // See docs/serving.md for the request/response schemas and the error
-// taxonomy → status code mapping, and docs/observability.md for the
-// flight-recorder record fields.
+// taxonomy → (status, code) mapping, docs/robustness.md for the degrade
+// ladder surfaced in search replies and readiness, and
+// docs/observability.md for the flight-recorder record fields.
 type server struct {
 	engine *serve.Engine
 	sink   *obs.Sink
 }
 
-// frameRequest is the /frame body.
+// frameRequest is the /v1/frame body.
 type frameRequest struct {
 	// Points is the frame as [x,y,z] triples.
 	Points [][3]float32 `json:"points"`
 }
 
-// frameResponse is the /frame reply.
+// frameResponse is the /v1/frame reply.
 type frameResponse struct {
 	Epoch        uint64  `json:"epoch"`
 	Points       int     `json:"points"`
@@ -46,7 +61,7 @@ type frameResponse struct {
 	BucketMean   float64 `json:"bucket_mean"`
 }
 
-// searchRequest is the /search body.
+// searchRequest is the /v1/search body.
 type searchRequest struct {
 	// Queries is the query batch as [x,y,z] triples.
 	Queries [][3]float32 `json:"queries"`
@@ -60,6 +75,10 @@ type searchRequest struct {
 	Radius float64 `json:"radius"`
 	// TimeoutMillis bounds the request's time in the engine (0 = none).
 	TimeoutMillis int `json:"timeout_ms"`
+	// Strict refuses degraded answers: when the degrade ladder is
+	// engaged the request fails with code "degraded" instead of being
+	// served with clamped budgets (docs/robustness.md).
+	Strict bool `json:"strict"`
 }
 
 // neighborJSON is one search result.
@@ -69,18 +88,35 @@ type neighborJSON struct {
 	DistSq float64    `json:"dist_sq"`
 }
 
-// searchResponse is the /search reply.
+// searchResponse is the /v1/search reply. The degrade fields appear only
+// when the admission controller stamped a non-zero ladder level on the
+// request, so full-fidelity replies stay byte-compatible with the legacy
+// body shape.
 type searchResponse struct {
 	Epoch   uint64           `json:"epoch"`
 	Results [][]neighborJSON `json:"results"`
+	// DegradeLevel is the ladder rung the request was admitted at
+	// (1..3; shed requests never produce a reply).
+	DegradeLevel int `json:"degrade_level,omitempty"`
+	// Degrade names the rung ("clamp-checks", "force-checks", "clamp-k").
+	Degrade string `json:"degrade,omitempty"`
 }
 
-// errorResponse is every non-2xx JSON body.
+// errorResponse is the /v1 error envelope: every non-2xx JSON body.
+// Code is the machine-branchable taxonomy key (see codeFor);
+// retry_after_ms is present on every 503 and mirrors the Retry-After
+// header with millisecond precision; epoch is the current epoch id
+// (omitted before the first frame). The bare-`error` legacy shape is
+// deprecated — this envelope is a superset, so legacy clients parsing
+// only `error` keep working.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Epoch        uint64 `json:"epoch,omitempty"`
 }
 
-// flightResponse is the /debug/quicknn/flightrecorder reply: ring
+// flightResponse is the /v1/debug/quicknn/flightrecorder reply: ring
 // bookkeeping plus the surviving records, newest first.
 type flightResponse struct {
 	Capacity int                `json:"capacity"`
@@ -89,7 +125,7 @@ type flightResponse struct {
 	Records  []obs.FlightRecord `json:"records"`
 }
 
-// slowlogResponse is the /debug/quicknn/slowlog reply: the tail
+// slowlogResponse is the /v1/debug/quicknn/slowlog reply: the tail
 // sampler's state plus the promoted records, newest first.
 type slowlogResponse struct {
 	TailQuantile        float64            `json:"tail_quantile"`
@@ -98,14 +134,40 @@ type slowlogResponse struct {
 	Records             []obs.FlightRecord `json:"records"`
 }
 
+// healthzResponse is the /v1/healthz liveness reply: 200 whenever the
+// process is up, no matter the index or ladder state.
+type healthzResponse struct {
+	Status string `json:"status"`
+}
+
+// readyzResponse is the /v1/readyz 200 reply; refusals (no_index,
+// draining, shed) use the standard error envelope instead.
+type readyzResponse struct {
+	Status        string `json:"status"`
+	Epoch         uint64 `json:"epoch"`
+	DegradeLevel  int    `json:"degrade_level"`
+	Degrade       string `json:"degrade"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/frame", s.handleFrame)
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/debug/quicknn/flightrecorder", s.handleFlightRecorder)
-	mux.HandleFunc("/debug/quicknn/slowlog", s.handleSlowLog)
+	// /v1 is the versioned wire API; the unversioned paths are thin
+	// aliases of the same handlers, kept for legacy clients (deprecated,
+	// docs/serving.md).
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc(prefix+"/frame", s.handleFrame)
+		mux.HandleFunc(prefix+"/search", s.handleSearch)
+		mux.HandleFunc(prefix+"/metrics", s.handleMetrics)
+		mux.HandleFunc(prefix+"/debug/quicknn/flightrecorder", s.handleFlightRecorder)
+		mux.HandleFunc(prefix+"/debug/quicknn/slowlog", s.handleSlowLog)
+	}
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
+	// Legacy /healthz predates the liveness/readiness split and keeps
+	// its combined behavior (503 until the first frame) byte-for-byte.
+	mux.HandleFunc("/healthz", s.handleLegacyHealthz)
 	return mux
 }
 
@@ -116,31 +178,62 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// statusFor maps the engine/root error taxonomy onto HTTP status codes.
-func statusFor(err error) int {
+// codeFor maps the engine/root error taxonomy onto the wire contract:
+// every typed error maps to exactly one (HTTP status, code) pair — the
+// /v1 contract test enumerates this table exhaustively. Ordering
+// matters only for readability; the sentinels are disjoint.
+func codeFor(err error) (int, string) {
 	switch {
-	case errors.Is(err, serve.ErrOverloaded),
-		errors.Is(err, serve.ErrClosed),
-		errors.Is(err, serve.ErrNoIndex):
-		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrShed):
+		return http.StatusServiceUnavailable, "shed"
+	case errors.Is(err, serve.ErrDegraded):
+		return http.StatusServiceUnavailable, "degraded"
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, serve.ErrNoIndex):
+		return http.StatusServiceUnavailable, "no_index"
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
-		return 499 // client closed request (nginx convention)
-	case errors.Is(err, quicknn.ErrEmptyInput),
-		errors.Is(err, quicknn.ErrInvalidOptions):
-		return http.StatusBadRequest
+		return 499, "canceled" // client closed request (nginx convention)
+	case errors.Is(err, quicknn.ErrEmptyInput):
+		return http.StatusBadRequest, "empty_input"
+	case errors.Is(err, quicknn.ErrInvalidOptions):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, quicknn.ErrCorruptIndex):
+		return http.StatusInternalServerError, "corrupt_index"
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, "internal"
 	}
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := statusFor(err)
+// statusFor maps the error taxonomy onto HTTP status codes alone.
+func statusFor(err error) int {
+	status, _ := codeFor(err)
+	return status
+}
+
+// writeError renders a taxonomy error as the /v1 envelope.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	status, code := codeFor(err)
+	s.writeEnvelope(w, status, code, err.Error())
+}
+
+// writeEnvelope writes the structured error envelope. Every 503 carries
+// the live retry hint — derived from the submission-queue depth and the
+// tail-latency estimate (serve.RetryAfterHint) — both as the
+// second-granularity Retry-After header (rounded up, so clients honoring
+// the header never retry early) and as retry_after_ms in the body.
+func (s *server) writeEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	resp := errorResponse{Error: msg, Code: code, Epoch: s.engine.Epoch()}
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		hint := s.engine.RetryAfterHint()
+		resp.RetryAfterMS = hint.Milliseconds()
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(hint.Seconds())), 10))
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, resp)
 }
 
 func toPoints(triples [][3]float32) []quicknn.Point {
@@ -153,17 +246,17 @@ func toPoints(triples [][3]float32) []quicknn.Point {
 
 func (s *server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		s.writeEnvelope(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var req frameRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad frame body: " + err.Error()})
+		s.writeEnvelope(w, http.StatusBadRequest, "bad_request", "bad frame body: "+err.Error())
 		return
 	}
 	info, err := s.engine.Advance(r.Context(), toPoints(req.Points))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, frameResponse{
@@ -199,17 +292,17 @@ func parseMode(req searchRequest) (quicknn.QueryOptions, error) {
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		s.writeEnvelope(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad search body: " + err.Error()})
+		s.writeEnvelope(w, http.StatusBadRequest, "bad_request", "bad search body: "+err.Error())
 		return
 	}
 	opts, err := parseMode(req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	ctx := r.Context()
@@ -218,13 +311,20 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
-	results, err := s.engine.QueryBatch(ctx, toPoints(req.Queries), opts)
+	res, err := s.engine.QueryBatchEx(ctx, toPoints(req.Queries), opts, req.Strict)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	resp := searchResponse{Epoch: s.engine.Epoch(), Results: make([][]neighborJSON, len(results))}
-	for qi, nbrs := range results {
+	resp := searchResponse{Epoch: res.Epoch, Results: make([][]neighborJSON, len(res.Results))}
+	if res.Epoch == 0 { // zero-query requests skip the engine
+		resp.Epoch = s.engine.Epoch()
+	}
+	if res.Level > degrade.LevelNone {
+		resp.DegradeLevel = int(res.Level)
+		resp.Degrade = res.Level.String()
+	}
+	for qi, nbrs := range res.Results {
 		out := make([]neighborJSON, len(nbrs))
 		for i, nb := range nbrs {
 			out[i] = neighborJSON{
@@ -241,7 +341,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Refresh the Go runtime health gauges (quicknn_go_*) at scrape time
 	// so every exposition carries current heap/GC/goroutine numbers
-	// without a background sampler.
+	// without a background sampler; polling the degrade level here also
+	// drives the ladder's idle-time recovery (docs/robustness.md).
+	s.engine.DegradeLevel()
 	obs.SampleRuntime(s.sink.Reg())
 	if r.URL.Query().Get("exemplars") == "1" {
 		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
@@ -279,7 +381,49 @@ func (s *server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is /v1 liveness: 200 whenever the process can answer
+// HTTP at all. Index presence, draining, and ladder state belong to
+// readiness — a load-balancer must not restart a healthy process that
+// is merely waiting for its first frame.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok"})
+}
+
+// handleReadyz is /v1 readiness: whether this replica should receive
+// traffic right now. Refusals use the standard envelope so the reason
+// is machine-branchable: no_index (nothing to search yet), draining
+// (Close began), shed (degrade ladder at its top rung). The 200 body
+// reports the live ladder level and queue occupancy; polling it drives
+// the ladder's idle-time recovery.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.engine.Draining() {
+		s.writeEnvelope(w, http.StatusServiceUnavailable, "draining", serve.ErrClosed.Error())
+		return
+	}
+	epoch := s.engine.Epoch()
+	if epoch == 0 {
+		s.writeEnvelope(w, http.StatusServiceUnavailable, "no_index", serve.ErrNoIndex.Error())
+		return
+	}
+	level := s.engine.DegradeLevel()
+	if level >= degrade.LevelShed {
+		s.writeEnvelope(w, http.StatusServiceUnavailable, "shed", serve.ErrShed.Error())
+		return
+	}
+	depth, capacity := s.engine.QueueStats()
+	writeJSON(w, http.StatusOK, readyzResponse{
+		Status:        "ok",
+		Epoch:         epoch,
+		DegradeLevel:  int(level),
+		Degrade:       level.String(),
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+	})
+}
+
+// handleLegacyHealthz preserves the deprecated pre-/v1 combined check:
+// 503 until the first frame, then 200 with the epoch.
+func (s *server) handleLegacyHealthz(w http.ResponseWriter, r *http.Request) {
 	if epoch := s.engine.Epoch(); epoch > 0 {
 		writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "epoch": epoch})
 		return

@@ -1,0 +1,359 @@
+// Package degrade is the serving engine's adaptive admission
+// controller: it watches live pressure signals the engine already
+// publishes (submission-queue occupancy, the adaptive batch window, the
+// tail sampler's latency estimate) and walks a deterministic
+// quality-for-latency degrade ladder *before* the engine has to hard
+// shed. The ladder's rungs are exactly the approximate-search knobs the
+// paper exposes — bounded Checks budgets and clamped K — so under
+// overload clients keep getting answers, just cheaper ones, and only the
+// top rung refuses work outright.
+//
+// The ladder (docs/robustness.md):
+//
+//	level 0  LevelNone         full fidelity
+//	level 1  LevelClampChecks  ModeChecks budgets clamped to MaxChecks
+//	level 2  LevelForceChecks  ModeExact forced to ModeChecks(ForceChecks)
+//	level 3  LevelClampK       K clamped to MaxK (plus levels 1-2)
+//	level 4  LevelShed         admission refused (serve.ErrShed)
+//
+// Transitions are hysteretic: the controller steps *up* one level at a
+// time when any signal crosses its enter threshold (rate-limited by
+// StepUp), and steps *down* one level per StepDown seconds elapsed since
+// the last observation that found pressure — so a load spike walks the
+// ladder promptly, a borderline load holds its level without flapping,
+// and an idle or calm service provably returns to level 0 within
+// MaxLevel×StepDown seconds of the last pressure signal.
+//
+// The shed rung is special: stepping onto it requires genuine queue
+// backlog (QueueFrac at or above its enter threshold), not just a hot
+// window or tail signal. The tail estimate is fed only by completing
+// requests, so a shed it caused could never be disproven — quality
+// signals may cheapen answers, but only real backlog may refuse them.
+//
+// The controller is clock-free by construction: every method takes `now`
+// (host seconds, the engine passes obs.MonotonicSeconds) so tests drive
+// it deterministically, and the walltime lint rule stays satisfied.
+package degrade
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/quicknn/quicknn"
+)
+
+// Level is a rung of the degrade ladder.
+type Level int32
+
+const (
+	// LevelNone serves every request at full fidelity.
+	LevelNone Level = iota
+	// LevelClampChecks clamps explicit ModeChecks budgets to MaxChecks.
+	LevelClampChecks
+	// LevelForceChecks additionally converts ModeExact searches into
+	// budgeted ModeChecks searches (bounded backtracking).
+	LevelForceChecks
+	// LevelClampK additionally clamps the neighbor count K to MaxK.
+	LevelClampK
+	// LevelShed admits nothing: the engine refuses new requests with the
+	// typed serve.ErrShed until pressure subsides.
+	LevelShed
+
+	// MaxLevel is the top rung (admission refusal).
+	MaxLevel = LevelShed
+)
+
+// String names the level for logs, metrics and the readiness endpoint.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelClampChecks:
+		return "clamp-checks"
+	case LevelForceChecks:
+		return "force-checks"
+	case LevelClampK:
+		return "clamp-k"
+	case LevelShed:
+		return "shed"
+	default:
+		return "invalid"
+	}
+}
+
+// Signals is one observation of the engine's live pressure inputs.
+// Fractions are normalized to [0, 1]; TailSeconds is the tail sampler's
+// decaying latency-quantile estimate (0 until seeded).
+type Signals struct {
+	// QueueFrac is backlog occupancy in [0, 1]: admitted-but-unanswered
+	// requests relative to the submission queue's bound (the engine
+	// counts work parked behind the worker semaphore too, since async
+	// dispatch keeps the queue channel itself near-empty under load).
+	QueueFrac float64
+	// WindowFrac is the batching-pressure signal in [0, 1]: how hard
+	// arrivals are driving the adaptive batch window toward its floor
+	// while a backlog actually exists. The engine computes it as the
+	// window's floor saturation, (max-window)/(max-min), gated to zero
+	// unless at least one full batch is queued — a floored window with
+	// no backlog is just a responsive idle engine, not pressure.
+	WindowFrac float64
+	// TailSeconds is the tail-latency estimate driving the SLO signal;
+	// compared against Config.TailBudget (ignored when either is zero).
+	TailSeconds float64
+}
+
+// Actions is the bitmask of ladder actions Apply took on one request.
+type Actions uint8
+
+const (
+	// ActClampChecks marks a ModeChecks budget clamped to MaxChecks.
+	ActClampChecks Actions = 1 << iota
+	// ActForceChecks marks a ModeExact search converted to ModeChecks.
+	ActForceChecks
+	// ActClampK marks a neighbor count clamped to MaxK.
+	ActClampK
+)
+
+// Has reports whether the mask contains the given action.
+func (a Actions) Has(act Actions) bool { return a&act != 0 }
+
+// Config parameterizes the controller. The zero value is usable: every
+// field has a serving-grade default applied by WithDefaults.
+type Config struct {
+	// Disabled turns the controller off entirely: the level is pinned at
+	// LevelNone and Apply is the identity.
+	Disabled bool
+
+	// EnterQueueFrac is the queue occupancy above which an observation
+	// counts as pressure (default 0.75). ExitQueueFrac is the occupancy
+	// below which it counts as calm (default 0.25); between the two the
+	// ladder holds its level (hysteresis band).
+	EnterQueueFrac float64
+	ExitQueueFrac  float64
+
+	// EnterWindowFrac / ExitWindowFrac are the same thresholds for the
+	// adaptive batch window's position in [MinWindow, MaxWindow]
+	// (defaults 0.9 / 0.5): a window pinned at its ceiling means the
+	// batcher cannot keep up with arrivals.
+	EnterWindowFrac float64
+	ExitWindowFrac  float64
+
+	// TailBudget is the tail-latency SLO in seconds: a tail estimate
+	// above it is pressure, below TailExitFrac×TailBudget is calm.
+	// 0 (the default) disables the tail signal.
+	TailBudget   float64
+	TailExitFrac float64
+
+	// StepUp is the minimum interval in seconds between consecutive
+	// up-steps (default 0.025): a pressure spike walks the ladder one
+	// rung per StepUp, not straight to shed.
+	StepUp float64
+	// StepDown is the calm interval in seconds per down-step (default
+	// 0.25): the ladder recovers one rung per StepDown seconds elapsed
+	// since the last observation that found pressure or sat in the
+	// hysteresis band.
+	StepDown float64
+
+	// MaxChecks is the Checks budget cap of LevelClampChecks+
+	// (default 2048).
+	MaxChecks int
+	// ForceChecks is the budget given to ModeExact searches converted
+	// to ModeChecks at LevelForceChecks+ (default 1024).
+	ForceChecks int
+	// MaxK is the neighbor-count cap of LevelClampK+ (default 4).
+	MaxK int
+}
+
+// WithDefaults fills unset fields with the serving defaults.
+func (c Config) WithDefaults() Config {
+	if c.EnterQueueFrac <= 0 {
+		c.EnterQueueFrac = 0.75
+	}
+	if c.ExitQueueFrac <= 0 {
+		c.ExitQueueFrac = 0.25
+	}
+	if c.EnterWindowFrac <= 0 {
+		c.EnterWindowFrac = 0.9
+	}
+	if c.ExitWindowFrac <= 0 {
+		c.ExitWindowFrac = 0.5
+	}
+	if c.TailExitFrac <= 0 {
+		c.TailExitFrac = 0.5
+	}
+	if c.StepUp <= 0 {
+		c.StepUp = 0.025
+	}
+	if c.StepDown <= 0 {
+		c.StepDown = 0.25
+	}
+	if c.MaxChecks <= 0 {
+		c.MaxChecks = 2048
+	}
+	if c.ForceChecks <= 0 {
+		c.ForceChecks = 1024
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 4
+	}
+	return c
+}
+
+// hot reports whether any signal is above its enter threshold.
+func (c Config) hot(s Signals) bool {
+	if s.QueueFrac >= c.EnterQueueFrac {
+		return true
+	}
+	if s.WindowFrac >= c.EnterWindowFrac {
+		return true
+	}
+	if c.TailBudget > 0 && s.TailSeconds > c.TailBudget {
+		return true
+	}
+	return false
+}
+
+// calm reports whether every signal is below its exit threshold.
+func (c Config) calm(s Signals) bool {
+	if s.QueueFrac > c.ExitQueueFrac {
+		return false
+	}
+	if s.WindowFrac > c.ExitWindowFrac {
+		return false
+	}
+	if c.TailBudget > 0 && s.TailSeconds > c.TailExitFrac*c.TailBudget {
+		return false
+	}
+	return true
+}
+
+// Apply transforms one request's query options for the given ladder
+// level, returning the (possibly degraded) options and the actions
+// taken. Pure: same inputs, same outputs — the deterministic half of the
+// ladder. LevelShed requests never reach Apply (admission refused them).
+func (c Config) Apply(opts quicknn.QueryOptions, l Level) (quicknn.QueryOptions, Actions) {
+	var acts Actions
+	if c.Disabled || l <= LevelNone {
+		return opts, acts
+	}
+	if l >= LevelClampChecks && opts.Mode == quicknn.ModeChecks && opts.Checks > c.MaxChecks {
+		opts.Checks = c.MaxChecks
+		acts |= ActClampChecks
+	}
+	if l >= LevelForceChecks && opts.Mode == quicknn.ModeExact {
+		opts.Mode = quicknn.ModeChecks
+		opts.Checks = c.ForceChecks
+		acts |= ActForceChecks
+	}
+	if l >= LevelClampK && opts.Mode != quicknn.ModeRadius && opts.K > c.MaxK {
+		opts.K = c.MaxK
+		acts |= ActClampK
+	}
+	return opts, acts
+}
+
+// Controller walks the ladder from observed signals. Safe for concurrent
+// use: the no-pressure fast path (level 0, signals calm or banded) is a
+// single atomic load; transitions serialize on a mutex they hold only
+// while actually stepping.
+type Controller struct {
+	cfg Config
+
+	// fast mirrors mu-guarded level for lock-free reads on the hot path.
+	fast atomic.Int32
+
+	mu sync.Mutex
+	// level is the current rung.
+	level Level
+	// lastUp is the time of the last up-step (-inf before the first),
+	// rate-limiting ladder ascent to one rung per StepUp.
+	lastUp float64
+	// lastHold is the last time an observation found pressure or sat in
+	// the hysteresis band; decay steps down one rung per StepDown
+	// seconds elapsed past it.
+	lastHold float64
+}
+
+// NewController returns a controller at LevelNone.
+func NewController(cfg Config) *Controller {
+	return &Controller{cfg: cfg.WithDefaults(), lastUp: negInf(), lastHold: negInf()}
+}
+
+// negInf avoids importing math for one constant.
+func negInf() float64 { return -1e308 }
+
+// Config returns the controller's effective (default-filled) config.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Observe feeds one observation at host time now, returning the level
+// that admission should use for the observed request and the net ladder
+// movement this observation caused (+1 for an up-step, -n for n decay
+// steps, 0 otherwise) so the caller can count transitions.
+func (c *Controller) Observe(now float64, sig Signals) (Level, int) {
+	if c == nil || c.cfg.Disabled {
+		return LevelNone, 0
+	}
+	hot := c.cfg.hot(sig)
+	if !hot && Level(c.fast.Load()) == LevelNone {
+		return LevelNone, 0 // steady state: one atomic load
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delta := 0
+	switch {
+	case hot:
+		c.lastHold = now
+		// The shed rung (admission refusal) additionally requires genuine
+		// queue backlog. Lagging signals — the tail estimate is fed only by
+		// *completing* requests — may cheapen answers but must never close
+		// admission outright: a tail-driven shed would starve the sampler
+		// of the fresh samples that let the estimate fall, wedging the
+		// ladder shut. Requiring backlog makes recovery live by
+		// construction — shed only holds while the queue is actually full,
+		// and a full queue drains.
+		canStep := c.level+1 < MaxLevel || sig.QueueFrac >= c.cfg.EnterQueueFrac
+		if c.level < MaxLevel && canStep && now-c.lastUp >= c.cfg.StepUp {
+			c.level++
+			c.lastUp = now
+			delta = 1
+		}
+	case c.cfg.calm(sig):
+		delta = -c.decayLocked(now)
+	default:
+		// Hysteresis band: hold the level and restart the calm clock.
+		c.lastHold = now
+	}
+	c.fast.Store(int32(c.level))
+	return c.level, delta
+}
+
+// Current returns the ladder level as of host time now, applying any
+// decay the elapsed calm has earned; the second result counts decay
+// steps taken. Reading the level advances recovery, so an idle engine
+// (no submissions to Observe) still walks back to LevelNone when its
+// health endpoints or metrics are polled.
+func (c *Controller) Current(now float64) (Level, int) {
+	if c == nil || c.cfg.Disabled {
+		return LevelNone, 0
+	}
+	if Level(c.fast.Load()) == LevelNone {
+		return LevelNone, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	down := c.decayLocked(now)
+	c.fast.Store(int32(c.level))
+	return c.level, -down
+}
+
+// decayLocked steps the ladder down one rung per StepDown seconds
+// elapsed since lastHold, returning the number of steps taken. mu held.
+func (c *Controller) decayLocked(now float64) int {
+	steps := 0
+	for c.level > LevelNone && now-c.lastHold >= c.cfg.StepDown {
+		c.level--
+		c.lastHold += c.cfg.StepDown
+		steps++
+	}
+	return steps
+}

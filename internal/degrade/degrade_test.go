@@ -1,0 +1,221 @@
+package degrade
+
+import (
+	"testing"
+
+	"github.com/quicknn/quicknn"
+)
+
+// hotSig is an observation with the submission queue saturated.
+func hotSig() Signals { return Signals{QueueFrac: 1} }
+
+// calmSig is an observation with every signal quiet.
+func calmSig() Signals { return Signals{} }
+
+// bandSig sits between the exit and enter thresholds of the queue signal
+// under the default config (0.25 < 0.5 < 0.75).
+func bandSig() Signals { return Signals{QueueFrac: 0.5} }
+
+// TestLadderWalksUpOneRungPerStep checks ascent is rate-limited: a
+// saturated queue walks the ladder one rung per StepUp interval, never
+// jumping straight to shed.
+func TestLadderWalksUpOneRungPerStep(t *testing.T) {
+	c := NewController(Config{StepUp: 1, StepDown: 10})
+	now := 100.0
+	lvl, delta := c.Observe(now, hotSig())
+	if lvl != LevelClampChecks || delta != 1 {
+		t.Fatalf("first hot observation = (%v, %d), want (clamp-checks, +1)", lvl, delta)
+	}
+	// Within the StepUp interval further pressure holds the level.
+	lvl, delta = c.Observe(now+0.5, hotSig())
+	if lvl != LevelClampChecks || delta != 0 {
+		t.Fatalf("hot inside StepUp = (%v, %d), want (clamp-checks, 0)", lvl, delta)
+	}
+	// One rung per elapsed StepUp until the top, never past it.
+	for i, want := range []Level{LevelForceChecks, LevelClampK, LevelShed, LevelShed} {
+		now += 1
+		lvl, _ = c.Observe(now, hotSig())
+		if lvl != want {
+			t.Fatalf("step %d = %v, want %v", i, lvl, want)
+		}
+	}
+}
+
+// TestShedRequiresBacklog checks the liveness guard on the top rung:
+// tail- or window-driven pressure climbs to LevelClampK and holds there;
+// only an observation with real queue backlog steps onto LevelShed.
+func TestShedRequiresBacklog(t *testing.T) {
+	c := NewController(Config{TailBudget: 0.001, StepUp: 0.001, StepDown: 1e9})
+	now := 50.0
+	slowTail := Signals{TailSeconds: 1} // far over budget, queue empty
+	for i := 0; i < 10; i++ {
+		now += 0.01
+		lvl, _ := c.Observe(now, slowTail)
+		if lvl > LevelClampK {
+			t.Fatalf("observation %d: tail-only pressure reached %v, want <= clamp-k", i, lvl)
+		}
+	}
+	if lvl, _ := c.Current(now); lvl != LevelClampK {
+		t.Fatalf("tail-only plateau = %v, want clamp-k", lvl)
+	}
+	// One observation with genuine backlog unlocks the shed rung.
+	now += 0.01
+	if lvl, delta := c.Observe(now, hotSig()); lvl != LevelShed || delta != 1 {
+		t.Fatalf("backlog observation = (%v, %d), want (shed, +1)", lvl, delta)
+	}
+}
+
+// TestHysteresisBandHoldsLevel checks observations between exit and
+// enter thresholds neither raise nor lower the ladder, and that they
+// keep postponing decay (the calm clock restarts).
+func TestHysteresisBandHoldsLevel(t *testing.T) {
+	c := NewController(Config{StepUp: 0.001, StepDown: 1})
+	now := 10.0
+	c.Observe(now, hotSig()) // level 1
+	for i := 0; i < 50; i++ {
+		now += 0.5 // each band observation lands inside StepDown of the last
+		lvl, delta := c.Observe(now, bandSig())
+		if lvl != LevelClampChecks || delta != 0 {
+			t.Fatalf("band observation %d = (%v, %d), want (clamp-checks, 0)", i, lvl, delta)
+		}
+	}
+	// Once the band clears, calm recovers one rung per StepDown.
+	lvl, delta := c.Observe(now+1, calmSig())
+	if lvl != LevelNone || delta != -1 {
+		t.Fatalf("calm after band = (%v, %d), want (none, -1)", lvl, delta)
+	}
+}
+
+// TestRecoveryIsBounded checks the ladder returns to LevelNone within
+// MaxLevel×StepDown seconds of the last pressure signal, through Current
+// alone — the idle-engine path where no submissions drive Observe.
+func TestRecoveryIsBounded(t *testing.T) {
+	c := NewController(Config{StepUp: 0.001, StepDown: 1})
+	now := 5.0
+	for i := 0; i < int(MaxLevel); i++ {
+		now += 0.01
+		c.Observe(now, hotSig())
+	}
+	if lvl, _ := c.Current(now); lvl != LevelShed {
+		t.Fatalf("level after saturation = %v, want shed", lvl)
+	}
+	// Partial recovery: 2 StepDowns elapsed → exactly 2 rungs down.
+	lvl, delta := c.Current(now + 2)
+	if lvl != LevelForceChecks || delta != -2 {
+		t.Fatalf("Current after 2 StepDowns = (%v, %d), want (force-checks, -2)", lvl, delta)
+	}
+	// Full recovery strictly within MaxLevel×StepDown of the last hold.
+	if lvl, _ := c.Current(now + float64(MaxLevel)); lvl != LevelNone {
+		t.Fatalf("level after %v StepDowns = %v, want none", MaxLevel, lvl)
+	}
+	// Recovered state is the steady state: more reads stay at none.
+	if lvl, delta := c.Current(now + 100); lvl != LevelNone || delta != 0 {
+		t.Fatalf("steady state = (%v, %d), want (none, 0)", lvl, delta)
+	}
+}
+
+// TestSignalThresholds checks each signal's enter/exit classification,
+// including the disabled tail signal.
+func TestSignalThresholds(t *testing.T) {
+	cfg := Config{TailBudget: 0.1}.WithDefaults()
+	for _, tc := range []struct {
+		name      string
+		sig       Signals
+		hot, calm bool
+	}{
+		{"idle", Signals{}, false, true},
+		{"queue enter", Signals{QueueFrac: 0.8}, true, false},
+		{"queue band", Signals{QueueFrac: 0.5}, false, false},
+		{"queue exit", Signals{QueueFrac: 0.2}, false, true},
+		{"window enter", Signals{WindowFrac: 0.95}, true, false},
+		{"window band", Signals{WindowFrac: 0.7}, false, false},
+		{"tail enter", Signals{TailSeconds: 0.2}, true, false},
+		{"tail band", Signals{TailSeconds: 0.07}, false, false},
+		{"tail exit", Signals{TailSeconds: 0.04}, false, true},
+	} {
+		if got := cfg.hot(tc.sig); got != tc.hot {
+			t.Errorf("%s: hot = %v, want %v", tc.name, got, tc.hot)
+		}
+		if got := cfg.calm(tc.sig); got != tc.calm {
+			t.Errorf("%s: calm = %v, want %v", tc.name, got, tc.calm)
+		}
+	}
+	// With TailBudget zero the tail signal must be inert.
+	noTail := Config{}.WithDefaults()
+	if noTail.hot(Signals{TailSeconds: 1e9}) {
+		t.Error("tail signal fired with TailBudget disabled")
+	}
+}
+
+// TestApplyLadder is the deterministic half: each rung transforms query
+// options exactly as documented, and lower rungs never borrow higher
+// rungs' actions.
+func TestApplyLadder(t *testing.T) {
+	cfg := Config{MaxChecks: 100, ForceChecks: 50, MaxK: 4}.WithDefaults()
+	exact := quicknn.QueryOptions{Mode: quicknn.ModeExact, K: 8}
+	checksBig := quicknn.QueryOptions{Mode: quicknn.ModeChecks, K: 8, Checks: 500}
+	checksSmall := quicknn.QueryOptions{Mode: quicknn.ModeChecks, K: 8, Checks: 60}
+	radius := quicknn.QueryOptions{Mode: quicknn.ModeRadius, Radius: 2}
+
+	for _, tc := range []struct {
+		name  string
+		in    quicknn.QueryOptions
+		level Level
+		want  quicknn.QueryOptions
+		acts  Actions
+	}{
+		{"level0 identity", exact, LevelNone, exact, 0},
+		{"L1 clamps big checks", checksBig, LevelClampChecks,
+			quicknn.QueryOptions{Mode: quicknn.ModeChecks, K: 8, Checks: 100}, ActClampChecks},
+		{"L1 keeps small checks", checksSmall, LevelClampChecks, checksSmall, 0},
+		{"L1 keeps exact", exact, LevelClampChecks, exact, 0},
+		{"L2 forces exact to checks", exact, LevelForceChecks,
+			quicknn.QueryOptions{Mode: quicknn.ModeChecks, K: 8, Checks: 50}, ActForceChecks},
+		{"L3 clamps K and forces checks", exact, LevelClampK,
+			quicknn.QueryOptions{Mode: quicknn.ModeChecks, K: 4, Checks: 50}, ActForceChecks | ActClampK},
+		{"L3 keeps small K", quicknn.QueryOptions{Mode: quicknn.ModeApprox, K: 3}, LevelClampK,
+			quicknn.QueryOptions{Mode: quicknn.ModeApprox, K: 3}, 0},
+		{"L3 leaves radius alone", radius, LevelClampK, radius, 0},
+	} {
+		got, acts := cfg.Apply(tc.in, tc.level)
+		if got != tc.want || acts != tc.acts {
+			t.Errorf("%s: Apply = (%+v, %b), want (%+v, %b)", tc.name, got, acts, tc.want, tc.acts)
+		}
+	}
+
+	disabled := Config{Disabled: true}.WithDefaults()
+	if got, acts := disabled.Apply(exact, LevelClampK); got != exact || acts != 0 {
+		t.Errorf("disabled Apply = (%+v, %b), want identity", got, acts)
+	}
+}
+
+// TestDisabledControllerIsInert checks the Disabled escape hatch and
+// nil-safety.
+func TestDisabledControllerIsInert(t *testing.T) {
+	c := NewController(Config{Disabled: true})
+	for i := 0; i < 10; i++ {
+		if lvl, delta := c.Observe(float64(i), hotSig()); lvl != LevelNone || delta != 0 {
+			t.Fatalf("disabled Observe = (%v, %d), want (none, 0)", lvl, delta)
+		}
+	}
+	var nilC *Controller
+	if lvl, _ := nilC.Observe(0, hotSig()); lvl != LevelNone {
+		t.Fatal("nil controller must observe as none")
+	}
+	if lvl, _ := nilC.Current(0); lvl != LevelNone {
+		t.Fatal("nil controller must read as none")
+	}
+}
+
+// TestLevelStrings pins the names used in metrics and readiness bodies.
+func TestLevelStrings(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		LevelNone: "none", LevelClampChecks: "clamp-checks",
+		LevelForceChecks: "force-checks", LevelClampK: "clamp-k",
+		LevelShed: "shed", Level(99): "invalid",
+	} {
+		if got := lvl.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", lvl, got, want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseSpec covers the quicknnd -faults syntax: valid clauses land
+// in the right rules, invalid clauses fail with a description.
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("submit:p=0.25,delay=1ms; stall:every=3,delay=5ms;corrupt:p=1", 7)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if got := plan.Rule(SubmitDelay); got.Prob != 0.25 || got.Delay != time.Millisecond || got.Every != 0 {
+		t.Errorf("submit rule = %+v", got)
+	}
+	if got := plan.Rule(WorkerStall); got.Every != 3 || got.Delay != 5*time.Millisecond {
+		t.Errorf("stall rule = %+v", got)
+	}
+	if got := plan.Rule(FrameCorrupt); got.Prob != 1 {
+		t.Errorf("corrupt rule = %+v", got)
+	}
+	if got := plan.Rule(BuildSlow); got.active() {
+		t.Errorf("build rule should be inert, got %+v", got)
+	}
+	if plan.Seed() != 7 {
+		t.Errorf("Seed = %d, want 7", plan.Seed())
+	}
+
+	for _, bad := range []string{
+		"psychic:p=1",      // unknown point
+		"submit",           // no colon
+		"submit:p",         // no value
+		"submit:p=2",       // probability out of range
+		"submit:every=0",   // zero period
+		"submit:delay=-1s", // negative delay
+		"submit:x=1",       // unknown key
+		"submit:delay=1ms", // never fires
+	} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestSpecRoundTrip checks String renders a parseable canonical form.
+func TestSpecRoundTrip(t *testing.T) {
+	spec := "submit:p=0.5,delay=2ms;build:every=4;corrupt:p=0.1"
+	plan, err := ParseSpec(spec, 3)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	rendered := plan.String()
+	again, err := ParseSpec(rendered, 3)
+	if err != nil {
+		t.Fatalf("ParseSpec(String()=%q): %v", rendered, err)
+	}
+	for pt := Point(0); pt < numPoints; pt++ {
+		if plan.Rule(pt) != again.Rule(pt) {
+			t.Errorf("point %v: %+v != %+v after round trip", pt, plan.Rule(pt), again.Rule(pt))
+		}
+	}
+	if (&Plan{}).String() != "" || (*Plan)(nil).String() != "" {
+		t.Error("inert plans must render empty specs")
+	}
+}
+
+// TestDecideDeterministicBySeed checks the firing schedule is a pure
+// function of (seed, point, visit): same seed, same schedule; different
+// seed, (almost surely) different schedule; Every=N fires exactly each
+// Nth visit; and the empirical rate of a p=0.3 rule lands near 0.3.
+func TestDecideDeterministicBySeed(t *testing.T) {
+	const visits = 4000
+	rule := Rule{Prob: 0.3}
+	schedule := func(seed uint64) []bool {
+		p := New(seed)
+		out := make([]bool, visits)
+		for v := uint64(1); v <= visits; v++ {
+			out[v-1] = p.decide(SubmitDelay, rule, v)
+		}
+		return out
+	}
+	a, b, c := schedule(42), schedule(42), schedule(43)
+	fires, differs := 0, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d: same seed disagreed", i+1)
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+	if rate := float64(fires) / visits; rate < 0.25 || rate > 0.35 {
+		t.Errorf("p=0.3 fired at rate %.3f over %d visits", rate, visits)
+	}
+
+	every := Rule{Every: 5}
+	p := New(1)
+	for v := uint64(1); v <= 20; v++ {
+		if got, want := p.decide(WorkerStall, every, v), v%5 == 0; got != want {
+			t.Errorf("every=5 visit %d fired=%v, want %v", v, got, want)
+		}
+	}
+	// Points decorrelate: the same seed and visit stream must not fire
+	// identically across all points (they hash the point ordinal).
+	pa, pb := schedule(9), func() []bool {
+		pl := New(9)
+		out := make([]bool, visits)
+		for v := uint64(1); v <= visits; v++ {
+			out[v-1] = pl.decide(BuildSlow, rule, v)
+		}
+		return out
+	}()
+	same := true
+	for i := range pa {
+		if pa[i] != pb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("submit and build points share a firing schedule")
+	}
+}
+
+// TestPointNames pins the spec vocabulary.
+func TestPointNames(t *testing.T) {
+	for name, pt := range map[string]Point{
+		"submit": SubmitDelay, "stall": WorkerStall, "build": BuildSlow,
+		"retire": RetireDelay, "corrupt": FrameCorrupt,
+	} {
+		if pt.String() != name {
+			t.Errorf("%v.String() = %q, want %q", pt, pt.String(), name)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !quicknn_faults
+
+package faults
+
+// Default-build hooks: every injection point compiles to an immediate
+// return, so the engine's seams cost one inlinable call and production
+// binaries carry no fault machinery. Build with -tags quicknn_faults for
+// the armed implementation (inject_enabled.go).
+
+// Enabled reports whether the injection harness is compiled in (false
+// in the default build). quicknnd refuses -faults/-chaos without it.
+const Enabled = false
+
+// Inject evaluates the point's rule; in the default build it never
+// fires, sleeps, or counts.
+func (p *Plan) Inject(pt Point) bool { return false }
+
+// CorruptLen returns the ingested frame length to keep; the default
+// build never truncates.
+func (p *Plan) CorruptLen(n int) int { return n }

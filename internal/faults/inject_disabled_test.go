@@ -1,0 +1,30 @@
+//go:build !quicknn_faults
+
+package faults
+
+import "testing"
+
+// TestDefaultBuildHooksAreInert checks the production build's hooks
+// never fire, never sleep, and never count — even with rules that would
+// always fire when armed.
+func TestDefaultBuildHooksAreInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false in the default build")
+	}
+	p := New(1).Set(SubmitDelay, Rule{Every: 1}).Set(FrameCorrupt, Rule{Prob: 1})
+	for i := 0; i < 10; i++ {
+		if p.Inject(SubmitDelay) {
+			t.Fatal("default-build Inject fired")
+		}
+		if got := p.CorruptLen(100); got != 100 {
+			t.Fatalf("default-build CorruptLen = %d, want 100", got)
+		}
+	}
+	if p.Visits(SubmitDelay) != 0 || p.Fired(SubmitDelay) != 0 || p.Fired(FrameCorrupt) != 0 {
+		t.Error("default-build hooks must not count visits or fires")
+	}
+	var nilPlan *Plan
+	if nilPlan.Inject(WorkerStall) || nilPlan.CorruptLen(5) != 5 {
+		t.Error("nil plan must be a no-op")
+	}
+}

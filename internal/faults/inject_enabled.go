@@ -1,0 +1,68 @@
+//go:build quicknn_faults
+
+package faults
+
+import "time"
+
+// Armed hooks (quicknn_faults build): injection points evaluate their
+// rules deterministically and fire by sleeping (the delay points) or
+// truncating (FrameCorrupt). Sleeps here are the whole point — this
+// package simulates a misbehaving host, so it sits on the walltime
+// analyzer's exemption list next to internal/hostperf (docs/lint.md).
+
+// Enabled reports whether the injection harness is compiled in (true in
+// this build); quicknnd's -faults/-chaos flags require it.
+const Enabled = true
+
+// Inject evaluates the point's rule for this visit: a firing visit
+// sleeps the rule's Delay and returns true. Nil-safe and lock-free; the
+// visit ordinal is claimed with one atomic increment, so the firing
+// schedule is a deterministic function of (seed, point, visit order).
+func (p *Plan) Inject(pt Point) bool {
+	if p == nil {
+		return false
+	}
+	r := p.rules[pt]
+	if !r.active() {
+		return false
+	}
+	visit := p.visits[pt].Add(1)
+	if !p.decide(pt, r, visit) {
+		return false
+	}
+	p.fired[pt].Add(1)
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	return true
+}
+
+// CorruptLen decides how much of an n-point ingested frame survives: a
+// firing visit keeps a deterministic prefix in [0, n] (an empty prefix
+// must surface as the typed quicknn.ErrEmptyInput downstream); a quiet
+// visit keeps everything.
+func (p *Plan) CorruptLen(n int) int {
+	if p == nil || n <= 0 {
+		return n
+	}
+	r := p.rules[FrameCorrupt]
+	if !r.active() {
+		return n
+	}
+	visit := p.visits[FrameCorrupt].Add(1)
+	if !p.decide(FrameCorrupt, r, visit) {
+		return n
+	}
+	p.fired[FrameCorrupt].Add(1)
+	// A second splitmix64 round over the visit picks the surviving
+	// prefix length; reusing decide's variate would correlate length
+	// with the firing threshold.
+	ordinal := uint64(FrameCorrupt) + 1 // variable: the product wraps instead of overflowing constant arithmetic
+	x := p.seed ^ ordinal*0x94d049bb133111eb ^ (visit+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n+1))
+}

@@ -1,0 +1,86 @@
+//go:build quicknn_faults
+
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestArmedHooksFireDeterministically checks the armed build's hooks:
+// Every=N fires each Nth visit, counters track visits and fires, and
+// the same seed reproduces the same corruption lengths.
+func TestArmedHooksFireDeterministically(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under -tags quicknn_faults")
+	}
+	p := New(11).Set(WorkerStall, Rule{Every: 3})
+	pattern := make([]bool, 9)
+	for i := range pattern {
+		pattern[i] = p.Inject(WorkerStall)
+	}
+	for i, fired := range pattern {
+		if want := (i+1)%3 == 0; fired != want {
+			t.Errorf("visit %d fired=%v, want %v", i+1, fired, want)
+		}
+	}
+	if p.Visits(WorkerStall) != 9 || p.Fired(WorkerStall) != 3 {
+		t.Errorf("counters = (%d visits, %d fired), want (9, 3)",
+			p.Visits(WorkerStall), p.Fired(WorkerStall))
+	}
+
+	lengths := func(seed uint64) []int {
+		pl := New(seed).Set(FrameCorrupt, Rule{Prob: 1})
+		out := make([]int, 16)
+		for i := range out {
+			out[i] = pl.CorruptLen(1000)
+		}
+		return out
+	}
+	a, b := lengths(5), lengths(5)
+	sawTruncation := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d: same seed produced lengths %d and %d", i+1, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] > 1000 {
+			t.Fatalf("visit %d: length %d out of [0, 1000]", i+1, a[i])
+		}
+		if a[i] < 1000 {
+			sawTruncation = true
+		}
+	}
+	if !sawTruncation {
+		t.Error("p=1 corruption never truncated anything over 16 visits")
+	}
+}
+
+// TestArmedDelayActuallySleeps checks a firing delay rule blocks for at
+// least its configured duration.
+func TestArmedDelayActuallySleeps(t *testing.T) {
+	p := New(1).Set(BuildSlow, Rule{Every: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if !p.Inject(BuildSlow) {
+		t.Fatal("every=1 rule did not fire")
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("firing visit slept %v, want >= 20ms", elapsed)
+	}
+}
+
+// TestArmedInertRuleCountsNothing checks unconfigured points stay free:
+// no visits are recorded, so the hot path pays only the rule check.
+func TestArmedInertRuleCountsNothing(t *testing.T) {
+	p := New(2)
+	for i := 0; i < 5; i++ {
+		if p.Inject(RetireDelay) {
+			t.Fatal("inert rule fired")
+		}
+	}
+	if p.Visits(RetireDelay) != 0 {
+		t.Error("inert rule recorded visits")
+	}
+	if got := p.CorruptLen(7); got != 7 {
+		t.Errorf("inert CorruptLen = %d, want 7", got)
+	}
+}

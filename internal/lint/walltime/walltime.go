@@ -49,6 +49,7 @@ func exempt(pass *lint.Pass) bool {
 		"internal/hostperf", // measures the host by definition
 		"internal/bench",    // host-side benchmark harness
 		"internal/lint",     // tooling, not simulation
+		"internal/faults",   // fault injection sleeps on purpose (quicknn_faults builds)
 		"cmd",               // operator-facing binaries
 		"examples",          // operator-facing demos
 	} {

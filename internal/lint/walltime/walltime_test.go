@@ -24,3 +24,11 @@ func TestExemptCmd(t *testing.T) {
 	linttest.Run(t, walltime.Analyzer,
 		"testdata/src/hostperf", "example.com/m/cmd/quicknn", "example.com/m")
 }
+
+// TestExemptFaults verifies the fault-injection harness is exempt: its
+// whole purpose is to sleep at the engine's seams, so armed
+// (-tags quicknn_faults) builds must pass the lint too.
+func TestExemptFaults(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer,
+		"testdata/src/hostperf", "example.com/m/internal/faults", "example.com/m")
+}

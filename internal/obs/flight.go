@@ -62,6 +62,10 @@ type FlightRecord struct {
 	Mode uint8 `json:"mode"`
 	// Outcome is one of the Outcome* constants.
 	Outcome uint8 `json:"outcome"`
+	// Degrade is the degrade-ladder level the admission controller
+	// stamped on the request at submit (0 = full fidelity); see
+	// docs/robustness.md.
+	Degrade uint8 `json:"degrade_level"`
 	// K is the per-query neighbor bound.
 	K uint16 `json:"k"`
 	// Submit is the submission timestamp (MonotonicSeconds).
@@ -97,7 +101,7 @@ func (r *FlightRecord) pack(w *[recWords]uint64) {
 	w[0] = r.ID
 	w[1] = r.Epoch
 	w[2] = uint64(r.Queries)<<32 | uint64(r.Batch)
-	w[3] = uint64(r.K)<<16 | uint64(r.Mode)<<8 | uint64(r.Outcome)
+	w[3] = uint64(r.Degrade)<<32 | uint64(r.K)<<16 | uint64(r.Mode)<<8 | uint64(r.Outcome)
 	w[4] = math.Float64bits(r.Submit)
 	w[5] = math.Float64bits(r.Queue)
 	w[6] = math.Float64bits(r.Window)
@@ -114,6 +118,7 @@ func (r *FlightRecord) unpack(w *[recWords]uint64) {
 	r.Epoch = w[1]
 	r.Queries = uint32(w[2] >> 32)
 	r.Batch = uint32(w[2])
+	r.Degrade = uint8(w[3] >> 32)
 	r.K = uint16(w[3] >> 16)
 	r.Mode = uint8(w[3] >> 8)
 	r.Outcome = uint8(w[3])

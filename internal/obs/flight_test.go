@@ -16,6 +16,7 @@ func fullRecord(id uint64) FlightRecord {
 		Batch:          uint32(id%200 + 1),
 		Mode:           uint8(id % 4),
 		Outcome:        uint8(id % 3),
+		Degrade:        uint8(id % 5),
 		K:              uint16(id%32 + 1),
 		Submit:         float64(id) * 0.001,
 		Queue:          float64(id) * 0.002,

@@ -1,0 +1,96 @@
+package obs
+
+import "sync"
+
+// WindowedMax tracks the maximum value observed during the current and
+// previous fixed-length time windows, forgetting everything older. It
+// complements the TailSampler for pressure decisions: the sampler's
+// pinball estimator moves at most tailGain (5%) per sample, so after a
+// latency episode its estimate stays high for thousands of samples even
+// when live traffic is fast again. A windowed max answers the question
+// the admission controller actually asks — "is the service slow *right
+// now*?" — and forgets within two window lengths by construction, with
+// or without traffic.
+//
+// Clock-free like the rest of the package: every method takes `now` in
+// host seconds (callers pass MonotonicSeconds), so tests drive rotation
+// deterministically. Nil-safe; safe for concurrent use.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting windows and samples are host wall seconds, report output by definition
+type WindowedMax struct {
+	mu sync.Mutex
+	// win is the window length in seconds.
+	win float64
+	// epoch is floor(now/win) of the window cur accumulates into.
+	epoch int64
+	// cur and prev are the running maxima of the current and previous
+	// windows.
+	cur, prev float64
+}
+
+// NewWindowedMax returns a tracker with the given window length in
+// seconds (non-positive lengths default to 1s).
+//
+//quicknnlint:reporting window length is host wall seconds
+func NewWindowedMax(win float64) *WindowedMax {
+	if win <= 0 {
+		win = 1
+	}
+	return &WindowedMax{win: win}
+}
+
+// Observe folds one sample into the current window as of host time now.
+// Allocation-free: called from the request-completion path.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting samples are host wall seconds
+func (w *WindowedMax) Observe(now, v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.rotateLocked(now)
+	if v > w.cur {
+		w.cur = v
+	}
+	w.mu.Unlock()
+}
+
+// Max returns the largest sample in the current and previous windows as
+// of host time now — zero once both windows have expired sample-free.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting reads host-wall-second maxima
+func (w *WindowedMax) Max(now float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	w.rotateLocked(now)
+	m := w.cur
+	if w.prev > m {
+		m = w.prev
+	}
+	w.mu.Unlock()
+	return m
+}
+
+// rotateLocked advances the window pair to the one containing now.
+// Time moving backwards (it cannot: callers pass monotonic seconds)
+// leaves the windows untouched rather than resurrecting old maxima.
+//
+//quicknnlint:recordpath
+//quicknnlint:reporting rotates host-wall-second windows
+func (w *WindowedMax) rotateLocked(now float64) {
+	e := int64(now / w.win)
+	switch {
+	case e <= w.epoch:
+	case e == w.epoch+1:
+		w.prev, w.cur = w.cur, 0
+		w.epoch = e
+	default:
+		w.prev, w.cur = 0, 0
+		w.epoch = e
+	}
+}

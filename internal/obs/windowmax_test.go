@@ -1,0 +1,63 @@
+package obs
+
+import "testing"
+
+// TestWindowedMaxRotation drives the two-window pair through samples and
+// silence: the max survives exactly into the following window and is
+// forgotten after two window lengths, with or without new samples.
+func TestWindowedMaxRotation(t *testing.T) {
+	w := NewWindowedMax(1)
+	if got := w.Max(0.5); got != 0 {
+		t.Fatalf("empty tracker Max = %v, want 0", got)
+	}
+	w.Observe(0.2, 3)
+	w.Observe(0.7, 5)
+	w.Observe(0.8, 4)
+	if got := w.Max(0.9); got != 5 {
+		t.Fatalf("same-window Max = %v, want 5", got)
+	}
+	// Next window: the old max is still visible (prev window).
+	if got := w.Max(1.5); got != 5 {
+		t.Fatalf("next-window Max = %v, want 5", got)
+	}
+	// A smaller fresh sample does not hide the previous window's max.
+	w.Observe(1.6, 2)
+	if got := w.Max(1.9); got != 5 {
+		t.Fatalf("next-window Max with fresh sample = %v, want 5", got)
+	}
+	// Two windows on, only the fresh sample remains.
+	if got := w.Max(2.5); got != 2 {
+		t.Fatalf("Max after expiry = %v, want 2", got)
+	}
+	// A long silent gap forgets everything at once.
+	if got := w.Max(100); got != 0 {
+		t.Fatalf("Max after silence = %v, want 0", got)
+	}
+}
+
+// TestWindowedMaxMonotonicGuard checks that a stale `now` (impossible
+// with monotonic callers, but cheap to pin) neither rotates backwards
+// nor resurrects forgotten maxima.
+func TestWindowedMaxMonotonicGuard(t *testing.T) {
+	w := NewWindowedMax(1)
+	w.Observe(5.0, 9)
+	if got := w.Max(4.0); got != 9 {
+		t.Fatalf("stale read Max = %v, want 9 (no backwards rotation)", got)
+	}
+	w.Observe(3.0, 50) // stale sample folds into the current window
+	if got := w.Max(5.5); got != 50 {
+		t.Fatalf("Max after stale observe = %v, want 50", got)
+	}
+}
+
+// TestWindowedMaxNilAndDefaults pins nil-safety and the default window.
+func TestWindowedMaxNilAndDefaults(t *testing.T) {
+	var nilW *WindowedMax
+	nilW.Observe(1, 2) // must not panic
+	if got := nilW.Max(1); got != 0 {
+		t.Fatalf("nil Max = %v, want 0", got)
+	}
+	if w := NewWindowedMax(-3); w.win != 1 {
+		t.Fatalf("default window = %v, want 1", w.win)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/faults"
 	"github.com/quicknn/quicknn/internal/obs"
 )
 
@@ -53,6 +54,10 @@ type request struct {
 	pickedUp    float64
 	dispatched  float64
 	batchPoints int32
+	// degradeLevel is the ladder level admission stamped on the request
+	// (written before submit, read by the completing worker through the
+	// same happens-before edges as pickedUp/dispatched).
+	degradeLevel uint8
 	// execStart holds math.Float64bits of the first worker's execution
 	// start (first-wins CAS); 0 until a worker reaches the request.
 	execStart atomic.Uint64
@@ -133,6 +138,7 @@ func (r *request) finishOne(e *Engine) {
 	} else {
 		e.m.requests.With("ok").Inc()
 	}
+	e.inflight.Add(-1)
 	close(r.done)
 }
 
@@ -208,6 +214,7 @@ func (e *Engine) runBatch(ep *epoch, items []workItem, workers int) {
 func (e *Engine) runItem(ep *epoch, it workItem, sc *quicknn.Scratch) {
 	req := it.req
 	defer req.finishOne(e)
+	e.flt.Inject(faults.WorkerStall)
 	ep.san.checkLive(ep, "query")
 	if req.failed.Load() {
 		return // sibling query already failed; skip the rest cheaply

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/degrade"
+	"github.com/quicknn/quicknn/internal/faults"
 	"github.com/quicknn/quicknn/internal/obs"
 )
 
@@ -61,6 +63,15 @@ type Config struct {
 	// tracks; requests slower than its decaying estimate are promoted to
 	// full traces (default 0.99; valid range (0,1)).
 	TailQuantile float64
+	// Degrade parameterizes the adaptive admission controller walking
+	// the quality-for-latency ladder (docs/robustness.md). The zero
+	// value enables it with serving defaults; set Degrade.Disabled to
+	// pin the engine at full fidelity.
+	Degrade degrade.Config
+	// Faults attaches a fault-injection plan to the engine's seams
+	// (submit, worker, build, retire, frame ingest). Inert unless the
+	// binary was built with -tags quicknn_faults; nil injects nothing.
+	Faults *faults.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +161,16 @@ type Engine struct {
 	// bits of obs.MonotonicSeconds). Both are report-domain host values.
 	ewmaArrival atomic.Uint64
 	lastArrival atomic.Uint64
+	// curWindow mirrors the batcher's last adaptive window (float64 bits
+	// of seconds) so the admission controller can read the window
+	// pressure signal without touching the batcher.
+	curWindow atomic.Uint64
+
+	// deg is the degrade-ladder admission controller (nil only in
+	// white-box tests that build an Engine literal); flt is the fault-
+	// injection plan threaded through the engine's seams (nil-safe).
+	deg *degrade.Controller
+	flt *faults.Plan
 
 	// Flight-recorder state (docs/observability.md). flight is the
 	// sink-owned ring every request is recorded into; slow retains only
@@ -159,8 +180,23 @@ type Engine struct {
 	flight *obs.FlightRecorder
 	slow   *obs.FlightRecorder
 	tail   *obs.TailSampler
+	// tailWin corroborates the tail estimate for admission: the degrade
+	// signal is min(estimate, recent-window max), so tail pressure
+	// forgets within two window lengths once live traffic runs fast —
+	// the slow-moving quantile estimator alone cannot (see signals).
+	tailWin *obs.WindowedMax
 	rec    bool
 	reqID  atomic.Uint64
+
+	// inflight counts admitted-but-unanswered requests. It, not the
+	// channel's instantaneous length, is the engine's backlog measure:
+	// dispatch hands batches to the worker pool asynchronously, so the
+	// submission channel drains the moment the batcher looks at it and
+	// its length stays near zero even when slow workers have unbounded
+	// work parked behind the semaphore. Incremented before enqueue
+	// (compensated on a refused submit), decremented by the completing
+	// finishOne.
+	inflight atomic.Int64
 }
 
 // NewEngine starts an engine: the batcher runs immediately, queries
@@ -179,11 +215,15 @@ func NewEngine(cfg Config) *Engine {
 	e.flight = cfg.Obs.Fr()
 	if cfg.Obs != nil {
 		e.tail = obs.NewTailSampler(cfg.TailQuantile)
+		e.tailWin = obs.NewWindowedMax(tailRecentWindow)
 		if cfg.SlowLogSize > 0 {
 			e.slow = obs.NewFlightRecorder(cfg.SlowLogSize)
 		}
 	}
 	e.rec = e.flight != nil || e.tail != nil
+	e.deg = degrade.NewController(cfg.Degrade)
+	e.flt = cfg.Faults
+	e.curWindow.Store(math.Float64bits(cfg.MinWindow.Seconds()))
 	e.m.window.Set(cfg.MinWindow.Seconds())
 	go e.batcher()
 	return e
@@ -216,6 +256,10 @@ func (e *Engine) Index() *quicknn.Index {
 // once its last in-flight query drains. Advances are serialized with each
 // other but never block queries.
 func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo, error) {
+	// Fault seam: a firing FrameCorrupt rule truncates the frame to a
+	// deterministic prefix; an empty prefix surfaces as the typed
+	// ErrEmptyInput below, never as a crash deeper in the build.
+	frame = frame[:e.flt.CorruptLen(len(frame))]
 	if len(frame) == 0 {
 		return FrameInfo{}, fmt.Errorf("%w (Advance requires a non-empty frame)", quicknn.ErrEmptyInput)
 	}
@@ -232,6 +276,7 @@ func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo,
 	defer e.frameMu.Unlock()
 
 	cur := e.current.Load()
+	e.flt.Inject(faults.BuildSlow)
 	sw := obs.StartStopwatch()
 	var (
 		ix  *quicknn.Index
@@ -278,6 +323,7 @@ func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo,
 // retire is the epoch drain callback: the last reference release lands
 // here exactly once per epoch.
 func (e *Engine) retire(ep *epoch) {
+	e.flt.Inject(faults.RetireDelay)
 	e.epochMu.Lock()
 	delete(e.live, ep.id)
 	e.epochMu.Unlock()
@@ -334,52 +380,258 @@ func (e *Engine) Query(ctx context.Context, q quicknn.Point, opts quicknn.QueryO
 // QueryBatch submits the queries as one request to the micro-batching
 // engine and waits for the answer. All queries are answered against one
 // epoch snapshot. Failure modes: ErrOverloaded (queue full at submit),
-// ErrClosed (engine draining), ErrNoIndex (no frame yet), or the ctx
-// error when the deadline expires first — in-flight work for an expired
-// request is skipped, not executed.
+// ErrShed (degrade ladder at its top rung), ErrClosed (engine draining),
+// ErrNoIndex (no frame yet), or the ctx error when the deadline expires
+// first — in-flight work for an expired request is skipped, not
+// executed. Under pressure the answer may be degraded (clamped budgets,
+// exact forced to bounded backtracking); use QueryBatchEx to see what
+// the ladder did, or to refuse degraded answers outright.
 func (e *Engine) QueryBatch(ctx context.Context, queries []quicknn.Point, opts quicknn.QueryOptions) ([][]quicknn.Neighbor, error) {
+	res, err := e.QueryBatchEx(ctx, queries, opts, false)
+	return res.Results, err
+}
+
+// QueryResult is QueryBatchEx's answer: the per-query neighbor lists
+// plus the serving metadata the /v1 wire API surfaces — which epoch
+// snapshot answered, and what the degrade ladder did to the request.
+type QueryResult struct {
+	// Results holds one neighbor list per query point.
+	Results [][]quicknn.Neighbor
+	// Epoch is the epoch-snapshot generation that answered.
+	Epoch uint64
+	// Level is the degrade-ladder level admission stamped on the
+	// request (LevelNone = full fidelity).
+	Level degrade.Level
+	// Actions is the bitmask of option rewrites the ladder applied.
+	Actions degrade.Actions
+}
+
+// QueryBatchEx is QueryBatch plus the degrade contract: admission runs
+// the adaptive controller, rewrites the request's options for the
+// current ladder level, and reports what it did. A strict request
+// refuses degradation — it fails with ErrDegraded whenever the ladder
+// is engaged instead of accepting a clamped answer. At LevelShed every
+// request fails with ErrShed before touching the queue.
+func (e *Engine) QueryBatchEx(ctx context.Context, queries []quicknn.Point, opts quicknn.QueryOptions, strict bool) (QueryResult, error) {
 	if len(queries) == 0 {
-		return [][]quicknn.Neighbor{}, nil
+		return QueryResult{Results: [][]quicknn.Neighbor{}, Epoch: e.Epoch()}, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return QueryResult{}, err
 	}
 	if e.current.Load() == nil {
-		return nil, ErrNoIndex
+		return QueryResult{}, ErrNoIndex
+	}
+	level, acts, err := e.admit(&opts, strict)
+	if err != nil {
+		return QueryResult{}, err
 	}
 	req := newRequest(ctx, queries, opts)
 	req.id = e.reqID.Add(1)
+	req.degradeLevel = uint8(level)
 	if err := e.submit(req); err != nil {
-		return nil, err
+		return QueryResult{}, err
 	}
 	select {
 	case <-req.done:
 		if err := req.failure(); err != nil {
-			return nil, err
+			return QueryResult{}, err
 		}
-		return req.results, nil
+		return QueryResult{Results: req.results, Epoch: req.epochID, Level: level, Actions: acts}, nil
 	case <-ctx.Done():
 		// The request keeps draining in the background (workers skip its
 		// remaining queries); the caller gets the deadline verdict now.
 		req.fail(ctx.Err())
-		return nil, ctx.Err()
+		return QueryResult{}, ctx.Err()
 	}
+}
+
+// admit runs the degrade controller for one request: it feeds the
+// controller the live pressure signals, refuses at the shed rung
+// (ErrShed) or on a strict request meeting an engaged ladder
+// (ErrDegraded), and otherwise rewrites the options for the level.
+// Counts every ladder movement and action in the quicknn_degrade_*
+// families. Nil-safe: white-box tests build Engine literals without a
+// controller and get full-fidelity admission.
+func (e *Engine) admit(opts *quicknn.QueryOptions, strict bool) (degrade.Level, degrade.Actions, error) {
+	if e.deg == nil {
+		return degrade.LevelNone, 0, nil
+	}
+	now := obs.MonotonicSeconds()
+	level, delta := e.deg.Observe(now, e.signals(now))
+	e.noteLadder(level, delta)
+	if level == degrade.LevelShed {
+		e.m.degShed.Inc()
+		e.m.requests.With("shed").Inc()
+		return level, 0, ErrShed
+	}
+	if strict && level > degrade.LevelNone {
+		e.m.degStrict.Inc()
+		e.m.requests.With("degraded").Inc()
+		return level, 0, ErrDegraded
+	}
+	var acts degrade.Actions
+	*opts, acts = e.deg.Config().Apply(*opts, level)
+	if acts.Has(degrade.ActClampChecks) {
+		e.m.degActions.With("clamp_checks").Inc()
+	}
+	if acts.Has(degrade.ActForceChecks) {
+		e.m.degActions.With("force_checks").Inc()
+	}
+	if acts.Has(degrade.ActClampK) {
+		e.m.degActions.With("clamp_k").Inc()
+	}
+	return level, acts, nil
+}
+
+// tailRecentWindow is the length in seconds of the corroboration
+// windows behind the tail pressure signal (two are kept, so tail
+// pressure outlives its last slow completion by at most twice this).
+const tailRecentWindow = 1.0
+
+// signals samples the engine's live pressure inputs for the controller.
+// The window signal is the adaptive window's floor saturation — arrivals
+// fast enough that windowFor pinned the window at MinWindow — gated on a
+// backlog of at least one full batch: a floored window with an empty
+// queue is a responsive idle engine, while a floored window behind a
+// batch-deep backlog means the batcher is coalescing flat out and still
+// falling behind.
+//
+// The tail signal is the sampler's quantile estimate corroborated by
+// recent completions: min(estimate, max latency completed in the last
+// two tailRecentWindow-second windows). The pinball estimator moves at
+// most 5% per sample, so after an overload episode it stays over budget
+// for thousands of requests; the windowed max makes tail pressure
+// testify about the service *now* and forget on a wall-clock bound.
+// The backlog signal is admitted-but-unanswered requests (see the
+// inflight field) against the queue bound, clamped to [0, 1] — async
+// dispatch keeps the channel itself near-empty under the exact loads
+// the ladder exists for.
+func (e *Engine) signals(now float64) degrade.Signals {
+	depth := e.backlog()
+	var wf float64
+	if span := (e.cfg.MaxWindow - e.cfg.MinWindow).Seconds(); span > 0 && depth >= e.cfg.MaxBatch {
+		w := math.Float64frombits(e.curWindow.Load())
+		wf = (e.cfg.MaxWindow.Seconds() - w) / span
+		if wf < 0 {
+			wf = 0
+		}
+		if wf > 1 {
+			wf = 1
+		}
+	}
+	tail := e.tail.Estimate()
+	if e.tailWin != nil {
+		if recent := e.tailWin.Max(now); recent < tail {
+			tail = recent
+		}
+	}
+	qf := float64(depth) / float64(cap(e.queue))
+	if qf > 1 {
+		qf = 1
+	}
+	return degrade.Signals{
+		QueueFrac:   qf,
+		WindowFrac:  wf,
+		TailSeconds: tail,
+	}
+}
+
+// backlog is the engine's pressure-facing queue depth: the larger of
+// the submission channel's instantaneous length and the in-flight
+// count. In a live engine in-flight dominates (a queued request is in
+// flight); the channel length keeps white-box tests that stuff the
+// queue directly honest.
+func (e *Engine) backlog() int {
+	depth := len(e.queue)
+	if inf := int(e.inflight.Load()); inf > depth {
+		depth = inf
+	}
+	return depth
+}
+
+// noteLadder publishes one controller verdict: the level gauge, and the
+// up/down transition counters when the observation moved the ladder.
+func (e *Engine) noteLadder(level degrade.Level, delta int) {
+	e.m.degLevel.Set(float64(level))
+	switch {
+	case delta > 0:
+		e.m.degTransitions.With("up").Add(int64(delta))
+	case delta < 0:
+		e.m.degTransitions.With("down").Add(int64(-delta))
+	}
+}
+
+// DegradeLevel returns the ladder level as of now. Reading it advances
+// calm-time decay, so polling health or metrics endpoints walks an idle
+// engine back to full fidelity even with zero traffic.
+func (e *Engine) DegradeLevel() degrade.Level {
+	if e.deg == nil {
+		return degrade.LevelNone
+	}
+	level, delta := e.deg.Current(obs.MonotonicSeconds())
+	e.noteLadder(level, delta)
+	return level
+}
+
+// Draining reports whether Close has begun: the engine answers what it
+// already accepted but admits nothing new.
+func (e *Engine) Draining() bool {
+	e.subMu.RLock()
+	defer e.subMu.RUnlock()
+	return e.closed
+}
+
+// QueueStats reports the engine's backlog — admitted-but-unanswered
+// requests, the degrade controller's queue-pressure signal — and the
+// queue bound it is measured against.
+func (e *Engine) QueueStats() (depth, capacity int) {
+	return e.backlog(), cap(e.queue)
+}
+
+// RetryAfterHint estimates how long a refused caller (overloaded, shed,
+// degraded) should wait before retrying: the time to drain the current
+// submission queue at the observed service rate, approximating one
+// batch's service time by the tail-latency estimate (falling back to
+// the adaptive window when unseeded). Clamped to [100ms, 5s] so the
+// hint is always actionable; quicknnd derives Retry-After and
+// retry_after_ms from it.
+func (e *Engine) RetryAfterHint() time.Duration {
+	per := e.tail.Estimate()
+	if per <= 0 {
+		per = math.Float64frombits(e.curWindow.Load())
+	}
+	batches := e.backlog()/e.cfg.MaxBatch + 1
+	d := time.Duration(float64(batches) * per * float64(time.Second))
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }
 
 // submit enqueues a request, shedding instead of blocking.
 func (e *Engine) submit(req *request) error {
+	e.flt.Inject(faults.SubmitDelay)
 	e.subMu.RLock()
 	defer e.subMu.RUnlock()
 	if e.closed {
 		e.m.requests.With("closed").Inc()
 		return ErrClosed
 	}
+	// Count the request in-flight before the enqueue can succeed: the
+	// batcher may pick it up and finish it (decrementing) the instant it
+	// lands in the channel.
+	e.inflight.Add(1)
 	select {
 	case e.queue <- req:
 		e.noteArrival(req.submitted)
 		e.m.queueDepth.Set(float64(len(e.queue)))
 		return nil
 	default:
+		e.inflight.Add(-1)
 		e.m.shed.Inc()
 		e.m.requests.With("shed").Inc()
 		return ErrOverloaded
@@ -425,6 +677,7 @@ func (e *Engine) windowFor() time.Duration {
 	if w > e.cfg.MaxWindow {
 		w = e.cfg.MaxWindow
 	}
+	e.curWindow.Store(math.Float64bits(w.Seconds()))
 	e.m.window.Set(w.Seconds())
 	return w
 }

@@ -19,4 +19,19 @@ var (
 	// ErrNoIndex reports a query before the first frame was ingested:
 	// there is no epoch to search yet.
 	ErrNoIndex = errors.New("serve: no index: no frame ingested yet")
+
+	// ErrShed reports that the degrade ladder reached its top rung
+	// (degrade.LevelShed) and the admission controller refused the
+	// request outright rather than queue it into a collapsing engine.
+	// Distinct from ErrOverloaded: the queue may not be full yet, but
+	// the controller has concluded the engine cannot answer within
+	// budget. Callers should back off and retry, or surface 503.
+	ErrShed = errors.New("serve: shed: degrade ladder at shed level")
+
+	// ErrDegraded reports that a caller demanded full fidelity (strict
+	// admission) while the degrade ladder was engaged: the engine would
+	// have answered, but only with clamped budgets, so it refuses
+	// instead. Callers that can tolerate degraded answers should retry
+	// without strict admission.
+	ErrDegraded = errors.New("serve: degraded: full-fidelity answer unavailable")
 )

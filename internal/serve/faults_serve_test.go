@@ -1,0 +1,68 @@
+//go:build quicknn_faults
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/quicknn/quicknn"
+	"github.com/quicknn/quicknn/internal/faults"
+)
+
+// TestFrameCorruptSeamTruncatesDeterministically checks the FrameCorrupt
+// seam in Advance: the ingested point count is exactly the deterministic
+// prefix the plan's seed dictates, and an empty prefix surfaces as the
+// typed quicknn.ErrEmptyInput — never a crash deeper in the build.
+func TestFrameCorruptSeamTruncatesDeterministically(t *testing.T) {
+	const seed, n = 21, 400
+	// A twin plan with the same seed predicts the engine plan's firing
+	// schedule visit by visit.
+	oracle := faults.New(seed).Set(faults.FrameCorrupt, faults.Rule{Every: 1})
+	e := NewEngine(Config{
+		Faults: faults.New(seed).Set(faults.FrameCorrupt, faults.Rule{Every: 1}),
+	})
+	defer e.Close(context.Background())
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 8; i++ {
+		want := oracle.CorruptLen(n)
+		info, err := e.Advance(context.Background(), taggedFrame(1, n, rng))
+		if want == 0 {
+			if !errors.Is(err, quicknn.ErrEmptyInput) {
+				t.Fatalf("frame %d: fully corrupted frame = %v, want ErrEmptyInput", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("frame %d: Advance: %v", i, err)
+		}
+		if info.Points != want {
+			t.Fatalf("frame %d: ingested %d points, want deterministic prefix %d", i, info.Points, want)
+		}
+	}
+}
+
+// TestWorkerStallSeamDelaysQueries checks the WorkerStall seam in
+// runItem: a firing stall rule blocks the query's worker for the
+// configured delay, visible as end-to-end latency.
+func TestWorkerStallSeamDelaysQueries(t *testing.T) {
+	plan := faults.New(3).Set(faults.WorkerStall, faults.Rule{Every: 1, Delay: 30 * time.Millisecond})
+	e := NewEngine(Config{Workers: 1, Faults: plan})
+	defer e.Close(context.Background())
+	rng := rand.New(rand.NewSource(17))
+	mustAdvance(t, e, 1, 200, rng)
+
+	start := time.Now()
+	if _, err := e.Query(context.Background(), quicknn.Point{X: 1}, quicknn.QueryOptions{K: 1}); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("stalled query finished in %v, want >= 30ms", elapsed)
+	}
+	if plan.Fired(faults.WorkerStall) == 0 {
+		t.Fatal("stall rule never fired")
+	}
+}

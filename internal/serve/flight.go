@@ -35,6 +35,7 @@ func (e *Engine) recordFlight(r *request, now, total float64) {
 		Queries:        uint32(len(r.queries)),
 		Batch:          uint32(r.batchPoints),
 		Mode:           uint8(r.opts.Mode),
+		Degrade:        r.degradeLevel,
 		K:              uint16(r.opts.K),
 		Submit:         r.submitted,
 		Queue:          clampSec(r.pickedUp - r.submitted),
@@ -62,6 +63,7 @@ func (e *Engine) recordFlight(r *request, now, total float64) {
 		if e.tail.Observe(total) {
 			e.promoteSlow(rec)
 		}
+		e.tailWin.Observe(now, total)
 		e.m.tailEstimate.Set(e.tail.Estimate())
 	}
 }

@@ -27,6 +27,15 @@ type metrics struct {
 	// full traces, and its decaying latency-quantile estimate.
 	slowPromoted *obs.Counter
 	tailEstimate *obs.Gauge
+
+	// Degrade-ladder families (docs/robustness.md): the current rung,
+	// every transition by direction, every option rewrite by action, and
+	// the two typed refusals the ladder produces.
+	degLevel       *obs.Gauge
+	degTransitions *obs.CounterVec // label direction: up | down
+	degActions     *obs.CounterVec // label action: clamp_checks | force_checks | clamp_k
+	degShed        *obs.Counter
+	degStrict      *obs.Counter
 }
 
 // newMetrics registers the serve metric families on the sink's registry
@@ -71,5 +80,15 @@ func newMetrics(sink *obs.Sink) *metrics {
 		"Requests promoted to full traces by the adaptive tail sampler.").With()
 	m.tailEstimate = reg.Gauge("quicknn_serve_tail_latency_seconds",
 		"Decaying tail-quantile latency estimate driving slow-trace promotion.").With()
+	m.degLevel = reg.Gauge("quicknn_degrade_level",
+		"Current degrade-ladder rung (0 none .. 4 shed).").With()
+	m.degTransitions = reg.Counter("quicknn_degrade_transitions_total",
+		"Degrade-ladder rung movements by direction.", "direction")
+	m.degActions = reg.Counter("quicknn_degrade_actions_total",
+		"Requests rewritten by the degrade ladder, by action taken.", "action")
+	m.degShed = reg.Counter("quicknn_degrade_shed_total",
+		"Requests refused at the shed rung (typed ErrShed).").With()
+	m.degStrict = reg.Counter("quicknn_degrade_strict_rejects_total",
+		"Strict (full-fidelity) requests refused while the ladder was engaged (typed ErrDegraded).").With()
 	return m
 }
