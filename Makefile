@@ -18,12 +18,19 @@ MIN_ALLOC_RED ?= 0.9
 # stay at or below this ns ratio. Set MAX_OVERHEAD=0 to report without
 # gating (noisy/shared machines).
 MAX_OVERHEAD  ?= 1.05
+# bench-ingest gate: the parallel ingest benchmarks must beat the
+# checked-in serial (-cpu 1) baseline by this factor. The speedup only
+# exists with real cores, so the gate arms itself at 1.8 on hosts with
+# >= 4 CPUs and disarms (0 = report only) below that — single-CPU
+# runners measure an honest ~1.0x and must not fail on it.
+INGEST_MIN_SPEEDUP ?= $(shell n=$$(nproc 2>/dev/null || echo 1); \
+	if [ "$$n" -ge 4 ]; then echo 1.8; else echo 0; fi)
 # Every fuzz target as name:package; each gets its own smoke run because
 # `go test -fuzz` accepts only one matching target at a time.
 FUZZ_TARGETS := FuzzReadFrameCSV:. FuzzReadFrameBinary:. FuzzLoadIndex:. \
 	FuzzConfigCheck:./internal/dram
 
-.PHONY: all build vet lint lint-syntactic test race fuzz sanitize trace-demo serve-demo chaos-demo bench-hot ci clean
+.PHONY: all build vet lint lint-syntactic test race fuzz sanitize trace-demo serve-demo chaos-demo bench-hot bench-ingest bench-ingest-baseline ci clean
 
 all: build
 
@@ -136,6 +143,33 @@ bench-hot:
 		-overhead-pair HotFlightRecordOn=HotFlightRecordOff \
 		-max-overhead $(MAX_OVERHEAD)
 	@echo "bench-hot: OK (BENCH_hotpath.json written)"
+
+## bench-ingest: run the frame-ingest benchmarks (BenchmarkIngest*) at
+## the host's full core count, compare them against the checked-in
+## serial baseline (testdata/bench/ingest_baseline.txt, produced by
+## bench-ingest-baseline with -cpu 1), and write BENCH_ingest.json.
+## The parallel build/place/rebalance/frame benchmarks are gated on
+## INGEST_MIN_SPEEDUP, which self-disarms on hosts with < 4 CPUs
+## (docs/performance.md).
+bench-ingest:
+	$(GO) test -run '^$$' -bench '^BenchmarkIngest' -benchmem -benchtime $(BENCHTIME) \
+		./internal/kdtree | tee testdata/bench/ingest_current.txt
+	$(GO) run ./cmd/benchjson \
+		-baseline testdata/bench/ingest_baseline.txt \
+		-current testdata/bench/ingest_current.txt \
+		-out BENCH_ingest.json \
+		-gate IngestBuild,IngestPlace,IngestRebalance,IngestFrame \
+		-min-speedup $(INGEST_MIN_SPEEDUP)
+	@echo "bench-ingest: OK (BENCH_ingest.json written)"
+
+## bench-ingest-baseline: regenerate the serial ingest baseline by
+## pinning the whole benchmark process to one CPU (-cpu 1 makes
+## Parallelism 0 resolve to a single worker, i.e. the exact serial
+## path).
+bench-ingest-baseline:
+	$(GO) test -run '^$$' -bench '^BenchmarkIngest' -benchmem -benchtime $(BENCHTIME) \
+		-cpu 1 ./internal/kdtree | tee testdata/bench/ingest_baseline.txt
+	@echo "bench-ingest-baseline: OK (testdata/bench/ingest_baseline.txt written)"
 
 ## ci: everything the pipeline runs, in order.
 ci: build vet lint test race sanitize fuzz trace-demo serve-demo chaos-demo

@@ -43,6 +43,7 @@ func main() {
 		batch      = flag.Int("batch", 64, "max queries coalesced into one batch")
 		window     = flag.Duration("window", 2*time.Millisecond, "max micro-batch gather window")
 		workers    = flag.Int("workers", 0, "batch worker budget (0 = GOMAXPROCS)")
+		ingestW    = flag.Int("ingest-workers", 0, "frame-ingest worker budget (0 = GOMAXPROCS, 1 = serial)")
 		seed       = flag.Int64("seed", 1, "subsample RNG seed")
 		mode       = flag.String("maintenance", "rebuild", "frame maintenance: rebuild|static|incremental")
 		readyFile  = flag.String("ready-file", "", "write the base URL here once listening")
@@ -89,16 +90,17 @@ func main() {
 		slowSize = -1 // Config treats 0 as "use the default"; negative disables
 	}
 	engine := serve.NewEngine(serve.Config{
-		BucketSize:   *bucket,
-		Seed:         *seed,
-		Maintenance:  maint,
-		QueueDepth:   *queue,
-		MaxBatch:     *batch,
-		MaxWindow:    *window,
-		Workers:      *workers,
-		Obs:          sink,
-		SlowLogSize:  slowSize,
-		TailQuantile: *tailQ,
+		BucketSize:    *bucket,
+		Seed:          *seed,
+		Maintenance:   maint,
+		QueueDepth:    *queue,
+		MaxBatch:      *batch,
+		MaxWindow:     *window,
+		Workers:       *workers,
+		IngestWorkers: *ingestW,
+		Obs:           sink,
+		SlowLogSize:   slowSize,
+		TailQuantile:  *tailQ,
 		Degrade: degrade.Config{
 			Disabled:   !*degradeOn,
 			TailBudget: tailBudget.Seconds(),
@@ -289,10 +291,10 @@ func runSelftest(base, metricsOut string) error {
 		queries[i] = [3]float32{p.X, p.Y, p.Z}
 	}
 	for _, req := range []searchRequest{
-		{Queries: queries, K: 4},                           // approx (default)
-		{Queries: queries, K: 4, Mode: "exact"},            // exact
+		{Queries: queries, K: 4},                             // approx (default)
+		{Queries: queries, K: 4, Mode: "exact"},              // exact
 		{Queries: queries, K: 4, Mode: "checks", Checks: 64}, // bounded checks
-		{Queries: queries, Mode: "radius", Radius: 5},      // radius
+		{Queries: queries, Mode: "radius", Radius: 5},        // radius
 	} {
 		status, body, err := post(client, base+"/search", req)
 		if err != nil {

@@ -26,9 +26,10 @@ type Neighbor = nn.Neighbor
 type Option func(*indexOptions)
 
 type indexOptions struct {
-	bucketSize int
-	sampleSize int
-	seed       int64
+	bucketSize  int
+	sampleSize  int
+	seed        int64
+	parallelism int
 }
 
 // WithBucketSize sets the k-d tree bucket target B_N (default 256, the
@@ -42,6 +43,14 @@ func WithSampleSize(n int) Option { return func(o *indexOptions) { o.sampleSize 
 
 // WithSeed seeds construction sampling for reproducible trees (default 1).
 func WithSeed(seed int64) Option { return func(o *indexOptions) { o.seed = seed } }
+
+// WithParallelism bounds the ingest worker count used by Build, Update and
+// UpdateStatic: 0 (the default) resolves to GOMAXPROCS at use time, 1 pins
+// the exact serial path, and n > 1 caps the fan-out at n goroutines. Every
+// setting produces a byte-identical index — same arena layout, same query
+// answers — so the knob trades only wall time, never results. Negative
+// values are rejected with ErrInvalidOptions.
+func WithParallelism(n int) Option { return func(o *indexOptions) { o.parallelism = n } }
 
 // Index is a bucketed k-d tree over a reference point cloud, the data
 // structure at the heart of QuickNN. It is not safe for concurrent
@@ -69,7 +78,10 @@ func BuildIndex(points []Point, opts ...Option) (*Index, error) {
 	if o.sampleSize < 0 {
 		return nil, fmt.Errorf("%w: sample size %d must be >= 0 (0 selects automatic)", ErrInvalidOptions, o.sampleSize)
 	}
-	cfg := kdtree.Config{BucketSize: o.bucketSize, SampleSize: o.sampleSize}
+	if o.parallelism < 0 {
+		return nil, fmt.Errorf("%w: parallelism %d must be >= 0 (0 selects GOMAXPROCS)", ErrInvalidOptions, o.parallelism)
+	}
+	cfg := kdtree.Config{BucketSize: o.bucketSize, SampleSize: o.sampleSize, Parallelism: o.parallelism}
 	ref := append([]Point(nil), points...)
 	tree := kdtree.Build(ref, cfg, rand.New(rand.NewSource(o.seed)))
 	return &Index{tree: tree, ref: ref}, nil
@@ -185,6 +197,20 @@ func (ix *Index) UpdateStatic(points []Point) {
 	ix.tree.ResetBuckets()
 	ix.tree.Place(ix.ref)
 }
+
+// SetParallelism adjusts the ingest worker budget after construction,
+// snapshotting, or loading: 0 restores the GOMAXPROCS default, 1 pins the
+// serial path, negative values are treated as 0. Parallelism is not
+// persisted by WriteTo, so loaded indexes start at the default.
+func (ix *Index) SetParallelism(n int) { ix.tree.SetParallelism(n) }
+
+// IngestTiming is the per-phase wall-time breakdown of the most recent
+// ingest operation (build, update, or placement).
+type IngestTiming = kdtree.IngestTiming
+
+// IngestTiming reports the phase timings of the last Build/Update/
+// UpdateStatic on this index, including how many workers ran.
+func (ix *Index) IngestTiming() IngestTiming { return ix.tree.LastIngest() }
 
 // Stats describes the index's bucket occupancy.
 type Stats = kdtree.BucketStats

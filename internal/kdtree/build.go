@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/quicknn/quicknn/internal/geom"
+	"github.com/quicknn/quicknn/internal/obs"
 )
 
 // Build constructs a tree from points using the paper's two-phase method
@@ -16,37 +17,35 @@ import (
 // panics if points is empty.
 func Build(points []geom.Point, cfg Config, rng *rand.Rand) *Tree {
 	t := BuildStructure(points, cfg, rng)
-	t.Place(points)
+	t.placeInto(points)
 	return t
 }
 
 // BuildStructure runs only the first construction phase — sampling and
 // split creation — leaving every bucket empty. The architecture simulator
 // uses it so that point placement can be driven (and timed) explicitly.
+// With Config.Parallelism != 1 the split recursion fans out across
+// subtrees (ingest.go); the resulting structure is byte-identical to the
+// serial build for any worker count.
 func BuildStructure(points []geom.Point, cfg Config, rng *rand.Rand) *Tree {
 	if len(points) == 0 {
 		panic("kdtree: Build requires at least one point")
 	}
 	cfg = cfg.withDefaults(len(points))
 	t := &Tree{cfg: cfg, root: nilIdx}
-	sample := samplePoints(points, cfg.SampleSize, rng)
-	t.root = t.buildSplits(sample, geom.AxisX, 0, nilIdx)
+	workers := t.ingestWorkers()
+	sw := obs.StartStopwatch()
+	sc := getSampleScratch()
+	sample := samplePointsInto(sc, points, cfg.SampleSize, rng)
+	if workers > 1 && len(sample) >= parallelBuildMin {
+		t.root = t.buildSplitsParallel(sample, workers)
+	} else {
+		workers = 1
+		t.root = t.buildSplits(sample, geom.AxisX, 0, nilIdx)
+	}
+	putSampleScratch(sc)
+	t.lastIngest = IngestTiming{SplitsSeconds: sw.Seconds(), Workers: workers}
 	return t
-}
-
-// samplePoints selects n points without replacement (all points if
-// n >= len(points)).
-func samplePoints(points []geom.Point, n int, rng *rand.Rand) []geom.Point {
-	out := make([]geom.Point, len(points))
-	copy(out, points)
-	if n >= len(points) {
-		return out
-	}
-	for i := 0; i < n; i++ {
-		j := i + rng.Intn(len(out)-i)
-		out[i], out[j] = out[j], out[i]
-	}
-	return out[:n]
 }
 
 // buildSplits recursively creates the split structure over the sample and
@@ -224,11 +223,41 @@ func (t *Tree) Insert(p geom.Point, index int) int32 {
 // mode). Indices are positions within the given slice. Bucket spans grown
 // during placement retire their old arena slots; Place compacts the arena
 // afterwards if the holes came to dominate.
+// With Config.Parallelism != 1 and a large enough frame, Place runs as
+// a two-phase plan/scatter (ingest.go) — a parallel read-only
+// leaf-assignment pass plus concurrent leaf-disjoint arena fills — that
+// reproduces this loop's arena layout byte for byte.
 func (t *Tree) Place(points []geom.Point) {
+	t.lastIngest = IngestTiming{}
+	t.placeInto(points)
+}
+
+// placeInto is Place without the timing reset, so composite operations
+// (Build, UpdateFrame) accumulate placement timings next to their other
+// phases.
+func (t *Tree) placeInto(points []geom.Point) {
 	defer t.arenaCheckpoint("Place")
-	for i, p := range points {
-		t.Insert(p, i)
+	workers := t.ingestWorkers()
+	sw := obs.StartStopwatch()
+	if workers <= 1 || len(points) < parallelPlaceMin {
+		t.lastIngest.Workers = 1
+		for i, p := range points {
+			t.Insert(p, i)
+		}
+		t.lastIngest.PlaceSeconds = sw.Seconds()
+		t.maybeCompact()
+		return
 	}
+	t.lastIngest.Workers = workers
+	pl := getPlacePlan()
+	vlen, holes := t.planPlace(points, pl, workers)
+	plan := sw.Seconds()
+	t.scatterPlace(points, pl, vlen, holes, workers)
+	putPlacePlan(pl)
+	total := sw.Seconds()
+	t.lastIngest.PlanSeconds = plan
+	t.lastIngest.ScatterSeconds = total - plan
+	t.lastIngest.PlaceSeconds = total
 	t.maybeCompact()
 }
 

@@ -76,6 +76,17 @@ type Config struct {
 	// MinSamplePoints stops splitting when a sample group gets this
 	// small ("a minimum occupancy of points"). Zero defaults to 4.
 	MinSamplePoints int
+	// Parallelism is the ingest worker budget for construction, point
+	// placement, and rebalancing. Zero resolves to GOMAXPROCS at use
+	// time; 1 pins the serial algorithms. The resulting tree is
+	// byte-identical for every setting (docs/performance.md), so the
+	// knob trades only latency for cores. Not persisted by Save:
+	// loaded trees default to 0 (auto).
+	Parallelism int
+	// FanDepth is the tree depth at which the parallel structure build
+	// fans subtrees out to workers. Zero derives it from the worker
+	// count (≥4 subtrees per worker).
+	FanDepth int
 }
 
 // DefaultConfig returns the paper's main operating point: 256-point buckets
@@ -144,6 +155,13 @@ type Tree struct {
 	arenaX []float64
 	arenaY []float64
 	arenaZ []float64
+
+	// lastIngest is the phase-timing breakdown of the most recent
+	// mutation operation (LastIngest); reb is the rebalance pass's
+	// reusable scratch (update.go). Neither is part of the tree's
+	// logical state: Clone starts both at zero.
+	lastIngest IngestTiming
+	reb        rebScratch
 }
 
 // syncShadow recomputes the widened coordinate shadow for arena slots
@@ -178,8 +196,18 @@ func (t *Tree) BucketIndices(id int32) []int32 {
 func (t *Tree) arenaReserve(n int32) int32 {
 	off := int32(len(t.arenaPts))
 	need := len(t.arenaPts) + int(n)
-	if need > cap(t.arenaPts) {
-		newCap := 2 * cap(t.arenaPts)
+	// The planes can carry different spare capacities when materialized
+	// independently — Clone's per-plane appends round to the allocator's
+	// size classes, which differ across the element widths — so the
+	// in-place reslice is only safe when every plane has room.
+	capAll := cap(t.arenaPts)
+	for _, c := range [4]int{cap(t.arenaIdx), cap(t.arenaX), cap(t.arenaY), cap(t.arenaZ)} {
+		if c < capAll {
+			capAll = c
+		}
+	}
+	if need > capAll {
+		newCap := 2 * capAll
 		if newCap < need {
 			newCap = need
 		}
@@ -380,16 +408,26 @@ func (t *Tree) freeBucket(idx int32) {
 	t.liveBuckets--
 }
 
+// leafItem is one frame of the explicit leaf-walk stack.
+type leafItem struct {
+	n     int32
+	depth int
+}
+
 // walkLeaves visits every live leaf with its depth.
 func (t *Tree) walkLeaves(fn func(leaf int32, depth int)) {
+	t.walkLeavesStack(nil, fn)
+}
+
+// walkLeavesStack is walkLeaves over a caller-supplied stack buffer,
+// returned (possibly grown) so mutation-path callers can reuse it
+// across frames. Depth and other read paths may run on concurrent
+// snapshots, so they pass nil and take a fresh stack.
+func (t *Tree) walkLeavesStack(stack []leafItem, fn func(leaf int32, depth int)) []leafItem {
 	if t.root == nilIdx {
-		return
+		return stack
 	}
-	type item struct {
-		n     int32
-		depth int
-	}
-	stack := []item{{t.root, 0}}
+	stack = append(stack[:0], leafItem{t.root, 0})
 	for len(stack) > 0 {
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -398,8 +436,9 @@ func (t *Tree) walkLeaves(fn func(leaf int32, depth int)) {
 			fn(it.n, it.depth)
 			continue
 		}
-		stack = append(stack, item{nd.Left, it.depth + 1}, item{nd.Right, it.depth + 1})
+		stack = append(stack, leafItem{nd.Left, it.depth + 1}, leafItem{nd.Right, it.depth + 1})
 	}
+	return stack
 }
 
 // Buckets calls fn for every live bucket.

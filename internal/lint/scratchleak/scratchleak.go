@@ -1,17 +1,19 @@
 // Package scratchleak implements the pooled-scratch analyzer. The hot
-// query path's zero-allocation guarantee rests on sync.Pool'd Scratch
-// buffers (kdtree.Scratch, quicknn.Scratch, serve's per-worker scratch):
-// a Scratch that misses its Put on one return path doesn't crash — it
-// silently degrades the pool until steady-state queries allocate again,
-// which is exactly the regression class the hotpath benchmarks guard
-// and the hardest to bisect. The rule enforces, lexically per function:
+// paths' zero-allocation guarantees rest on sync.Pool'd buffers — the
+// query path's Scratch (kdtree.Scratch, quicknn.Scratch, serve's
+// per-worker scratch), the batch fan-out's batchPlan, and the parallel
+// ingest's placePlan and sampleScratch: a pooled buffer that misses its
+// Put on one return path doesn't crash — it silently degrades the pool
+// until the steady state allocates again, which is exactly the
+// regression class the benchmarks guard and the hardest to bisect. The
+// rule enforces, lexically per function:
 //
-//   - every function that acquires a pooled *Scratch (a call to a
-//     get-prefixed function returning *Scratch, or a direct
-//     pool.Get().(*Scratch) assertion) must release it before every
-//     return — a put-prefixed call / pool.Put taking the variable,
-//     either deferred or positioned before the return — or transfer
-//     ownership by returning the variable itself;
+//   - every function that acquires a pooled buffer (a call to a
+//     get-prefixed function returning a pointer to a roster type, or a
+//     direct pool.Get().(*T) assertion on one) must release it before
+//     every return — a put-prefixed call / pool.Put taking the
+//     variable, either deferred or positioned before the return — or
+//     transfer ownership by returning the variable itself;
 //   - functions whose name ends in "Into" (the caller-owned-buffer API)
 //     must not leak arena-backed slices: returning an arena* field, or
 //     a subslice of one, or storing either through a parameter, retains
@@ -35,7 +37,7 @@ import (
 // Analyzer is the pooled-scratch rule.
 var Analyzer = &lint.Analyzer{
 	Name:       "scratchleak",
-	Doc:        "pooled *Scratch must reach a Put on every return path; *Into results must not retain arena-backed slices",
+	Doc:        "pooled scratch buffers must reach a Put on every return path; *Into results must not retain arena-backed slices",
 	Run:        run,
 	NeedsTypes: true,
 }
@@ -175,9 +177,9 @@ func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
 	})
 }
 
-// isPoolGet reports whether expr acquires a pooled *Scratch: a call to a
-// get-prefixed function whose static type is *Scratch, or a direct
-// pool.Get().(*Scratch) type assertion.
+// isPoolGet reports whether expr acquires a pooled buffer: a call to a
+// get-prefixed function whose static type is a pointer to a roster
+// type, or a direct pool.Get().(*T) type assertion on one.
 func isPoolGet(pass *lint.Pass, expr ast.Expr) bool {
 	switch e := expr.(type) {
 	case *ast.CallExpr:
@@ -193,7 +195,7 @@ func isPoolGet(pass *lint.Pass, expr ast.Expr) bool {
 		if !strings.HasPrefix(name, "get") && !strings.HasPrefix(name, "Get") {
 			return false
 		}
-		return isScratchPtr(pass.TypesInfo.Types[e].Type)
+		return isPooledPtr(pass.TypesInfo.Types[e].Type)
 	case *ast.TypeAssertExpr:
 		call, ok := e.X.(*ast.CallExpr)
 		if !ok {
@@ -203,13 +205,13 @@ func isPoolGet(pass *lint.Pass, expr ast.Expr) bool {
 		if !ok || sel.Sel.Name != "Get" {
 			return false
 		}
-		return isScratchPtr(pass.TypesInfo.Types[e].Type)
+		return isPooledPtr(pass.TypesInfo.Types[e].Type)
 	}
 	return false
 }
 
-// putTarget returns the *Scratch variable a put-like call releases, or
-// nil: putX(v) / pool.Put(v) with v of type *Scratch.
+// putTarget returns the pooled-buffer variable a put-like call releases,
+// or nil: putX(v) / pool.Put(v) with v a pointer to a roster type.
 func putTarget(pass *lint.Pass, call *ast.CallExpr) *types.Var {
 	var name string
 	switch fun := call.Fun.(type) {
@@ -228,21 +230,32 @@ func putTarget(pass *lint.Pass, call *ast.CallExpr) *types.Var {
 		if !ok {
 			continue
 		}
-		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && isScratchPtr(v.Type()) {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && isPooledPtr(v.Type()) {
 			return v
 		}
 	}
 	return nil
 }
 
-// isScratchPtr reports whether t is a pointer to a named type "Scratch".
-func isScratchPtr(t types.Type) bool {
+// pooledTypes is the roster of sync.Pool'd buffer types the release
+// check tracks, by type name. Extend it when a new pooled scratch shape
+// enters a hot path (and add a fixture case to testdata/src/pool).
+var pooledTypes = map[string]bool{
+	"Scratch":       true, // query-path scratch (kdtree, quicknn, serve)
+	"batchPlan":     true, // batch fan-out chunk plan (quicknn)
+	"placePlan":     true, // parallel-ingest placement plan (kdtree)
+	"sampleScratch": true, // build-time sampling buffers (kdtree)
+}
+
+// isPooledPtr reports whether t is a pointer to one of the pooled
+// roster types.
+func isPooledPtr(t types.Type) bool {
 	ptr, ok := types.Unalias(t).(*types.Pointer)
 	if !ok {
 		return false
 	}
 	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
-	return ok && named.Obj().Name() == "Scratch"
+	return ok && pooledTypes[named.Obj().Name()]
 }
 
 // checkIntoRetention flags arena-backed slices escaping from an *Into

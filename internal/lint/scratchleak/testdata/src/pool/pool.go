@@ -97,6 +97,64 @@ func closureScopes() {
 	fn()
 }
 
+// placePlan and sampleScratch mirror the parallel-ingest pooled plan
+// buffers (kdtree/ingest.go): the roster covers them exactly like
+// Scratch, so a plan that misses its put on one path is flagged.
+type placePlan struct {
+	leaf []int32
+}
+
+type sampleScratch struct {
+	perm []int32
+}
+
+var (
+	planPool   = sync.Pool{New: func() interface{} { return new(placePlan) }}
+	samplePool = sync.Pool{New: func() interface{} { return new(sampleScratch) }}
+)
+
+func getPlacePlan() *placePlan { return planPool.Get().(*placePlan) }
+
+func putPlacePlan(pl *placePlan) {
+	pl.leaf = pl.leaf[:0]
+	planPool.Put(pl)
+}
+
+// goodPlanSequential releases the plan before its return.
+func goodPlanSequential() int {
+	pl := getPlacePlan()
+	n := len(pl.leaf)
+	putPlacePlan(pl)
+	return n
+}
+
+// leakPlanEarlyReturn drops the plan on the early path.
+func leakPlanEarlyReturn(cond bool) int {
+	pl := getPlacePlan()
+	if cond {
+		return 0 // want "pooled pl acquired at .* is not released"
+	}
+	n := len(pl.leaf)
+	putPlacePlan(pl)
+	return n
+}
+
+// leakSampleFallsOffEnd never releases the direct pool get.
+func leakSampleFallsOffEnd() {
+	sc := samplePool.Get().(*sampleScratch)
+	_ = len(sc.perm)
+} // want "pooled sc acquired at .* is not released"
+
+// goodSampleDefer covers every exit with a deferred pool put.
+func goodSampleDefer(cond bool) int {
+	sc := samplePool.Get().(*sampleScratch)
+	defer samplePool.Put(sc)
+	if cond {
+		return 1
+	}
+	return len(sc.perm)
+}
+
 // Tree mirrors the kd-tree arena shape for the *Into half of the rule.
 type Tree struct {
 	arenaX   []float64

@@ -50,6 +50,13 @@ type Config struct {
 	// Workers bounds the total number of concurrently searching
 	// goroutines across all in-flight batches (default GOMAXPROCS).
 	Workers int
+	// IngestWorkers bounds the ingest fan-out Advance uses to build or
+	// update a frame's index snapshot: 0 (the default) resolves to
+	// GOMAXPROCS at use time, 1 pins the exact serial ingest path,
+	// negative values are treated as 0. Every setting produces a
+	// byte-identical snapshot (docs/performance.md), so the knob trades
+	// only ingest wall time against CPU available to the query path.
+	IngestWorkers int
 	// Obs attaches the observability sink publishing the quicknn_serve_*
 	// families; nil disables instrumentation. When Obs carries a flight
 	// recorder (Obs.Flight), the engine records every request's phase
@@ -99,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.IngestWorkers < 0 {
+		c.IngestWorkers = 0
+	}
 	if c.SlowLogSize == 0 {
 		c.SlowLogSize = 64
 	}
@@ -118,6 +128,19 @@ type FrameInfo struct {
 	Stats quicknn.Stats
 	// BuildSeconds is the host wall time spent building the snapshot.
 	BuildSeconds float64
+	// The remaining fields break BuildSeconds into the ingest phases
+	// that ran (docs/performance.md); a phase that did not run is zero.
+	// SplitsSeconds covers sampling and split construction (rebuild mode
+	// only); PlanSeconds and ScatterSeconds split the parallel two-phase
+	// placement, PlaceSeconds is total placement wall time either way;
+	// RebalanceSeconds covers incremental merge/split rebalancing.
+	SplitsSeconds    float64
+	PlanSeconds      float64
+	ScatterSeconds   float64
+	PlaceSeconds     float64
+	RebalanceSeconds float64
+	// IngestWorkers is the worker count the ingest actually ran with.
+	IngestWorkers int
 }
 
 // Engine is the concurrent serving core: epoch-snapshot reads plus a
@@ -185,8 +208,8 @@ type Engine struct {
 	// forgets within two window lengths once live traffic runs fast —
 	// the slow-moving quantile estimator alone cannot (see signals).
 	tailWin *obs.WindowedMax
-	rec    bool
-	reqID  atomic.Uint64
+	rec     bool
+	reqID   atomic.Uint64
 
 	// inflight counts admitted-but-unanswered requests. It, not the
 	// channel's instantaneous length, is the engine's backlog measure:
@@ -277,6 +300,7 @@ func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo,
 
 	cur := e.current.Load()
 	e.flt.Inject(faults.BuildSlow)
+	start := obs.MonotonicSeconds()
 	sw := obs.StartStopwatch()
 	var (
 		ix  *quicknn.Index
@@ -284,12 +308,14 @@ func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo,
 	)
 	if cur == nil || e.cfg.Maintenance == MaintRebuild {
 		ix, err = quicknn.BuildIndex(frame,
-			quicknn.WithBucketSize(e.cfg.BucketSize), quicknn.WithSeed(e.cfg.Seed))
+			quicknn.WithBucketSize(e.cfg.BucketSize), quicknn.WithSeed(e.cfg.Seed),
+			quicknn.WithParallelism(e.cfg.IngestWorkers))
 		if err != nil {
 			return FrameInfo{}, err
 		}
 	} else {
 		ix = cur.index.Snapshot()
+		ix.SetParallelism(e.cfg.IngestWorkers)
 		switch e.cfg.Maintenance {
 		case MaintStatic:
 			ix.UpdateStatic(frame)
@@ -298,6 +324,7 @@ func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo,
 		}
 	}
 	buildSec := sw.Seconds()
+	ing := ix.IngestTiming()
 
 	var id uint64 = 1
 	if cur != nil {
@@ -316,8 +343,80 @@ func (e *Engine) Advance(ctx context.Context, frame []quicknn.Point) (FrameInfo,
 	e.m.frames.Inc()
 	e.m.epochsTotal.Inc()
 	e.m.frameBuild.Observe(buildSec)
+	e.observeIngest(ing)
+	e.traceIngest(id, len(frame), start, buildSec, ing)
 	e.publishEpochGauges(id)
-	return FrameInfo{Epoch: id, Points: len(frame), Stats: ix.Stats(), BuildSeconds: buildSec}, nil
+	return FrameInfo{
+		Epoch: id, Points: len(frame), Stats: ix.Stats(), BuildSeconds: buildSec,
+		SplitsSeconds:    ing.SplitsSeconds,
+		PlanSeconds:      ing.PlanSeconds,
+		ScatterSeconds:   ing.ScatterSeconds,
+		PlaceSeconds:     ing.PlaceSeconds,
+		RebalanceSeconds: ing.RebalanceSeconds,
+		IngestWorkers:    ing.Workers,
+	}, nil
+}
+
+// observeIngest publishes the frame advance's per-phase ingest breakdown.
+// Only phases that actually ran are observed, keeping the histograms free
+// of structural zeros (Splits never runs on incremental updates,
+// Plan/Scatter never run on the serial placement path).
+func (e *Engine) observeIngest(ing quicknn.IngestTiming) {
+	if ing.SplitsSeconds > 0 {
+		e.m.ingestSplits.Observe(ing.SplitsSeconds)
+	}
+	if ing.PlanSeconds > 0 {
+		e.m.ingestPlan.Observe(ing.PlanSeconds)
+	}
+	if ing.ScatterSeconds > 0 {
+		e.m.ingestScatter.Observe(ing.ScatterSeconds)
+	}
+	if ing.PlaceSeconds > 0 {
+		e.m.ingestPlace.Observe(ing.PlaceSeconds)
+	}
+	if ing.RebalanceSeconds > 0 {
+		e.m.ingestRebalance.Observe(ing.RebalanceSeconds)
+	}
+	if ing.Workers > 0 {
+		e.m.ingestWorkers.Set(float64(ing.Workers))
+	}
+}
+
+// traceIngest emits the frame advance as spans on the serve/ingest tracks
+// when a tracer is attached: one covering span plus one child per phase
+// that ran, laid out sequentially from the advance's start (phases do run
+// back to back; each phase's internal fan-out is not traced). Microsecond
+// ticks, same time domain as the serve/slow tracks.
+func (e *Engine) traceIngest(epoch uint64, points int, start, buildSec float64, ing quicknn.IngestTiming) {
+	tr := e.cfg.Obs.Tr()
+	if tr == nil {
+		return
+	}
+	name := fmt.Sprintf("frame %d", epoch)
+	t0 := usTick(start)
+	tr.Span("serve/ingest", name, t0, t0+usTick(buildSec), map[string]int64{
+		"epoch":   int64(epoch),
+		"points":  int64(points),
+		"workers": int64(ing.Workers),
+	})
+	t := t0
+	if ing.SplitsSeconds > 0 {
+		tr.Span("serve/ingest/splits", name, t, t+usTick(ing.SplitsSeconds), nil)
+		t += usTick(ing.SplitsSeconds)
+	}
+	if ing.PlanSeconds > 0 || ing.ScatterSeconds > 0 {
+		// Parallel placement: the plan/scatter split is meaningful.
+		tr.Span("serve/ingest/plan", name, t, t+usTick(ing.PlanSeconds), nil)
+		t += usTick(ing.PlanSeconds)
+		tr.Span("serve/ingest/scatter", name, t, t+usTick(ing.ScatterSeconds), nil)
+		t += usTick(ing.ScatterSeconds)
+	} else if ing.PlaceSeconds > 0 {
+		tr.Span("serve/ingest/place", name, t, t+usTick(ing.PlaceSeconds), nil)
+		t += usTick(ing.PlaceSeconds)
+	}
+	if ing.RebalanceSeconds > 0 {
+		tr.Span("serve/ingest/rebalance", name, t, t+usTick(ing.RebalanceSeconds), nil)
+	}
 }
 
 // retire is the epoch drain callback: the last reference release lands

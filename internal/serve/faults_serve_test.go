@@ -66,3 +66,35 @@ func TestWorkerStallSeamDelaysQueries(t *testing.T) {
 		t.Fatal("stall rule never fired")
 	}
 }
+
+// TestBuildSlowSeamDelaysParallelIngest checks the BuildSlow seam in
+// Advance with the parallel ingest engaged: a firing rule delays the
+// frame advance by the configured amount before the multi-worker
+// build/update runs, and the advance still produces a correct,
+// fully-reported snapshot (phase timings do not absorb the injected
+// delay — BuildSlow fires before the ingest stopwatch starts).
+func TestBuildSlowSeamDelaysParallelIngest(t *testing.T) {
+	const delay = 25 * time.Millisecond
+	plan := faults.New(7).Set(faults.BuildSlow, faults.Rule{Every: 1, Delay: delay})
+	e := NewEngine(Config{Maintenance: MaintIncremental, IngestWorkers: 4, Faults: plan})
+	defer e.Close(context.Background())
+	rng := rand.New(rand.NewSource(19))
+
+	for f := 1; f <= 3; f++ {
+		start := time.Now()
+		info := mustAdvance(t, e, f, 4000, rng)
+		if elapsed := time.Since(start); elapsed < delay {
+			t.Fatalf("frame %d: advance finished in %v, want >= %v", f, elapsed, delay)
+		}
+		if info.IngestWorkers != 4 {
+			t.Fatalf("frame %d ran with %d ingest workers, want 4", f, info.IngestWorkers)
+		}
+		if info.BuildSeconds >= delay.Seconds() {
+			t.Fatalf("frame %d: BuildSeconds %v absorbed the injected %v delay",
+				f, info.BuildSeconds, delay)
+		}
+	}
+	if plan.Fired(faults.BuildSlow) == 0 {
+		t.Fatal("BuildSlow rule never fired")
+	}
+}

@@ -23,6 +23,16 @@ type metrics struct {
 	frameBuild  *obs.Histogram
 	epochsTotal *obs.Counter
 
+	// Parallel-ingest families (docs/performance.md): the per-phase wall
+	// time of the latest frame advance and the worker count it ran with.
+	// Phase handles are pre-resolved so Advance pays no label lookup.
+	ingestSplits    *obs.Histogram
+	ingestPlan      *obs.Histogram
+	ingestScatter   *obs.Histogram
+	ingestPlace     *obs.Histogram
+	ingestRebalance *obs.Histogram
+	ingestWorkers   *obs.Gauge
+
 	// Flight-recorder companions: requests the tail sampler promoted to
 	// full traces, and its decaying latency-quantile estimate.
 	slowPromoted *obs.Counter
@@ -76,6 +86,16 @@ func newMetrics(sink *obs.Sink) *metrics {
 		obs.TimeBuckets()).With()
 	m.epochsTotal = reg.Counter("quicknn_serve_epochs_total",
 		"Epochs created since engine start.").With()
+	ingPhase := reg.Histogram("quicknn_ingest_phase_seconds",
+		"Host wall seconds per ingest phase of the latest frame advance.",
+		obs.TimeBuckets(), "phase")
+	m.ingestSplits = ingPhase.With("splits")
+	m.ingestPlan = ingPhase.With("plan")
+	m.ingestScatter = ingPhase.With("scatter")
+	m.ingestPlace = ingPhase.With("place")
+	m.ingestRebalance = ingPhase.With("rebalance")
+	m.ingestWorkers = reg.Gauge("quicknn_ingest_workers",
+		"Ingest worker count used by the latest frame advance.").With()
 	m.slowPromoted = reg.Counter("quicknn_serve_slow_total",
 		"Requests promoted to full traces by the adaptive tail sampler.").With()
 	m.tailEstimate = reg.Gauge("quicknn_serve_tail_latency_seconds",

@@ -26,6 +26,11 @@ type PipelineConfig struct {
 	ICP ICPConfig
 	// Workers parallelizes the per-frame search (≤0 = GOMAXPROCS).
 	Workers int
+	// IngestWorkers parallelizes the per-frame index advance (build,
+	// placement, rebalance): 0 resolves to GOMAXPROCS at use time, 1 pins
+	// the exact serial ingest path. Any setting yields a byte-identical
+	// index (docs/performance.md).
+	IngestWorkers int
 	// Seed drives index construction sampling.
 	Seed int64
 	// Obs attaches an observability sink: each Process call records
@@ -112,7 +117,8 @@ func (p *Pipeline) ProcessCtx(ctx context.Context, frame []Point) (FrameResult, 
 	if p.index == nil {
 		sw := obs.StartStopwatch()
 		ix, err := BuildIndex(frame,
-			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed))
+			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed),
+			WithParallelism(p.cfg.IngestWorkers))
 		if err != nil {
 			return FrameResult{}, err
 		}
@@ -169,6 +175,33 @@ func (p *Pipeline) record(frame []Point, buildSec, searchSec float64) {
 			"Software search throughput of the latest frame.").With().
 			Set(float64(len(frame)) / searchSec)
 	}
+	// Per-phase ingest breakdown of the frame advance (parallel ingest,
+	// docs/performance.md). Only phases that actually ran are observed so
+	// the histograms stay free of structural zeros (e.g. Splits is zero
+	// for every incremental update, Plan/Scatter for serial placement).
+	ing := p.index.IngestTiming()
+	for _, ph := range [...]struct {
+		name string
+		sec  float64
+	}{
+		{"splits", ing.SplitsSeconds},
+		{"plan", ing.PlanSeconds},
+		{"scatter", ing.ScatterSeconds},
+		{"place", ing.PlaceSeconds},
+		{"rebalance", ing.RebalanceSeconds},
+	} {
+		if ph.sec > 0 {
+			reg.Histogram("quicknn_ingest_phase_seconds",
+				"Host wall seconds per ingest phase of the latest frame advance.",
+				obs.TimeBuckets(), "phase").With(ph.name).Observe(ph.sec)
+		}
+	}
+	if ing.Workers > 0 {
+		reg.Gauge("quicknn_ingest_workers",
+			"Ingest worker count used by the latest frame advance.").With().
+			Set(float64(ing.Workers))
+	}
+
 	st := p.index.Stats()
 	reg.Gauge("quicknn_pipeline_tree_depth",
 		"Depth of the software index after advancing.").With().Set(float64(p.index.Depth()))
@@ -204,6 +237,7 @@ func (p *Pipeline) advance(frame []Point) {
 		p.index.Update(frame)
 	default:
 		p.index = NewIndex(frame,
-			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed))
+			WithBucketSize(p.cfg.BucketSize), WithSeed(p.cfg.Seed),
+			WithParallelism(p.cfg.IngestWorkers))
 	}
 }
