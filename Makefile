@@ -30,7 +30,7 @@ INGEST_MIN_SPEEDUP ?= $(shell n=$$(nproc 2>/dev/null || echo 1); \
 FUZZ_TARGETS := FuzzReadFrameCSV:. FuzzReadFrameBinary:. FuzzLoadIndex:. \
 	FuzzConfigCheck:./internal/dram
 
-.PHONY: all build vet lint lint-syntactic test race fuzz sanitize trace-demo serve-demo chaos-demo bench-hot bench-ingest bench-ingest-baseline ci clean
+.PHONY: all build vet lint lint-syntactic test race fuzz sanitize trace-demo serve-demo chaos-demo slo-demo bench-hot bench-ingest bench-ingest-baseline ci clean
 
 all: build
 
@@ -99,18 +99,24 @@ trace-demo:
 ## port, ingests synthetic frames, answers batched searches in every
 ## mode over real HTTP, fetches /debug/quicknn/flightrecorder and
 ## /debug/quicknn/slowlog (the selftest asserts both return well-formed
-## JSON with the expected records), and the /metrics scrape must carry
-## the quicknn_serve_* and quicknn_go_ families (docs/serving.md,
-## docs/observability.md).
+## JSON with the expected records), round-trips a W3C traceparent into
+## the flight recorder and exemplars, polls /v1/status and /v1/alerts,
+## captures a profiling cycle, and the /metrics scrape must carry the
+## quicknn_serve_*, quicknn_slo_* and quicknn_go_ families
+## (docs/serving.md, docs/observability.md).
 serve-demo:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
-	$(GO) run ./cmd/quicknnd -selftest -metrics-out "$$dir/serve.prom" && \
+	$(GO) run ./cmd/quicknnd -selftest -metrics-out "$$dir/serve.prom" \
+		-slo 'latency:target=5ms,ratio=0.99;errors:ratio=0.999' -slo-interval 100ms \
+		-profile-dir "$$dir/prof" && \
 	for fam in quicknn_serve_batch_size quicknn_serve_latency_seconds \
-			quicknn_serve_tail_latency_seconds quicknn_go_heap_alloc_bytes; do \
+			quicknn_serve_tail_latency_seconds quicknn_slo_burn_rate \
+			quicknn_slo_error_budget_remaining quicknn_prof_captures_total \
+			quicknn_go_heap_alloc_bytes; do \
 		grep -q "$$fam" "$$dir/serve.prom" || \
 			{ echo "serve-demo: $$fam metrics missing from scrape"; exit 1; }; \
 	done && \
-	echo "serve-demo: OK (HTTP cycle + flight recorder + metrics scrape verified)"
+	echo "serve-demo: OK (HTTP cycle + trace correlation + SLO + profiling + metrics scrape verified)"
 
 ## chaos-demo: degradation-under-fault smoke — an armed (-tags
 ## quicknn_faults) quicknnd drives itself through corrupted frame
@@ -125,6 +131,22 @@ chaos-demo:
 	$(GO) run -tags quicknn_faults ./cmd/quicknnd -chaos \
 		-queue 8 -batch 8 -workers 1 -tail-budget 50ms \
 		-faults 'stall:p=0.6,delay=8ms;build:every=2,delay=5ms;retire:every=3,delay=1ms;submit:p=0.1,delay=500us;corrupt:every=4'
+
+## slo-demo: burn-rate alerting smoke — quicknnd drives its own chaos
+## harness with an in-process SLO engine armed on a deliberately
+## aggressive latency objective (1ms p-target at 99.9%, sub-second
+## windows). The overload burst sends heavy exact-mode batches whose
+## queue waits violate the objective, so the fast-burn rule must walk
+## pending -> firing while the burst is in flight, corroborate the
+## degrade ladder's StepUp, and resolve during the post-burst silence
+## before recovery is asserted (docs/observability.md). Runs without
+## fault injection: injected stalls would keep recovery traffic above
+## the target and the alert could never resolve.
+slo-demo:
+	$(GO) run ./cmd/quicknnd -chaos \
+		-queue 8 -batch 8 -workers 1 -window 200us -tail-budget 50ms \
+		-slo 'latency:target=1ms,ratio=0.999,fast=1s/4s,slow=5s/20s,for_fast=200ms,for_slow=1s' \
+		-slo-interval 50ms
 
 ## bench-hot: run the hot-path benchmarks (BenchmarkHot*), compare them
 ## against the checked-in pre-optimization baseline
@@ -172,7 +194,7 @@ bench-ingest-baseline:
 	@echo "bench-ingest-baseline: OK (testdata/bench/ingest_baseline.txt written)"
 
 ## ci: everything the pipeline runs, in order.
-ci: build vet lint test race sanitize fuzz trace-demo serve-demo chaos-demo
+ci: build vet lint test race sanitize fuzz trace-demo serve-demo chaos-demo slo-demo
 
 clean:
 	$(GO) clean ./...

@@ -27,7 +27,18 @@ import (
 //     quicknn_degrade_* metric families and the flight-record stamps;
 //  4. after the burst stops the ladder recovers to level 0 within
 //     bounded time and full-fidelity service resumes.
-func runChaos(base string) error {
+//
+// With sloOn (`make slo-demo`: -chaos plus a tight -slo latency
+// objective) it additionally asserts the burn-rate alerting contract:
+// the overload burst (heavier requests, so queue waits deterministically
+// violate the target) must drive the latency objective's fast rule
+// through pending → firing (visible in the
+// quicknn_slo_alert_transitions_total counters), then resolve once the
+// trailing windows quiet down — and the degrade controller, which
+// consumed the firing signal as pressure throughout the burst, must
+// still walk back to level 0 and admit a strict full-fidelity request
+// (no deadlock between the alert feedback and recovery).
+func runChaos(base string, sloOn bool) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	// 1. Ingest frames until one lands. Armed corruption faults may
@@ -68,15 +79,27 @@ func runChaos(base string) error {
 		burstPerConn = 60
 	)
 	var (
-		ok200, degraded200          atomic.Int64
-		shed503                     atomic.Int64
-		badStatus, badEnvelope      atomic.Int64
-		firstViolation atomic.Value // string
+		ok200, degraded200     atomic.Int64
+		shed503                atomic.Int64
+		badStatus, badEnvelope atomic.Int64
+		firstViolation         atomic.Value // string
 	)
 	violation := func(format string, args ...interface{}) {
 		firstViolation.CompareAndSwap(nil, fmt.Sprintf(format, args...))
 	}
 	queries := [][3]float32{{1, 2, 3}, {40, 50, 60}, {7, 7, 7}, {90, 10, 30}}
+	// The SLO run needs burst latencies to violate the objective
+	// deterministically, not just when scheduling is unlucky: heavy
+	// requests (many exact queries each) make every queued request's
+	// wait dwarf a millisecond-scale target even after the ladder clamps
+	// budgets.
+	burstQueries := queries
+	if sloOn {
+		burstQueries = make([][3]float32, 0, 64)
+		for len(burstQueries) < 64 {
+			burstQueries = append(burstQueries, queries...)
+		}
+	}
 	var wg sync.WaitGroup
 	stopFrames := make(chan struct{})
 	framesDone := make(chan struct{})
@@ -98,7 +121,7 @@ func runChaos(base string) error {
 			defer wg.Done()
 			c := &http.Client{Timeout: 30 * time.Second}
 			for i := 0; i < burstPerConn; i++ {
-				req := searchRequest{Queries: queries, K: 16, Mode: "exact"}
+				req := searchRequest{Queries: burstQueries, K: 16, Mode: "exact"}
 				status, body, err := post(c, base+"/v1/search", req)
 				if err != nil {
 					badStatus.Add(1)
@@ -209,6 +232,78 @@ func runChaos(base string) error {
 	}
 	if !stamped {
 		return fmt.Errorf("no flight record carries a degrade stamp > 0 (%d records)", len(fl.Records))
+	}
+
+	// 3b. SLO burn-rate alerting engaged and resolved: the burst's queue
+	// waits blew the latency objective's budget, so the fast rule must
+	// have walked pending → firing (the transition counters are
+	// cumulative, so this holds even if the alert already resolved).
+	// Then, with the burst gone and the windows quiet — no traffic reads
+	// as burn 0 — the alert must resolve deterministically, clearing the
+	// SLOFastBurn pressure before the ladder-recovery assertions below.
+	if sloOn {
+		sloDeadline := time.Now().Add(15 * time.Second)
+		for {
+			status, scrape, err := get(client, base+"/v1/metrics")
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("/v1/metrics = %d", status)
+			}
+			pending, err1 := scrapeCounter(string(scrape),
+				`quicknn_slo_alert_transitions_total{objective="latency",rule="fast",to="pending"}`)
+			firing, err2 := scrapeCounter(string(scrape),
+				`quicknn_slo_alert_transitions_total{objective="latency",rule="fast",to="firing"}`)
+			if err1 == nil && err2 == nil && pending >= 1 && firing >= 1 {
+				fmt.Printf("quicknnd: chaos slo: fast rule fired (pending=%g firing=%g)\n", pending, firing)
+				break
+			}
+			if time.Now().After(sloDeadline) {
+				return fmt.Errorf("latency fast-burn alert never fired (pending err %v, firing err %v): is the -slo target tight enough?", err1, err2)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		resolveDeadline := time.Now().Add(30 * time.Second)
+		for {
+			status, body, err := get(client, base+"/v1/alerts")
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("/v1/alerts = %d: %s", status, body)
+			}
+			var al alertsResponse
+			if err := json.Unmarshal(body, &al); err != nil {
+				return fmt.Errorf("/v1/alerts body: %w", err)
+			}
+			if !al.Enabled {
+				return fmt.Errorf("/v1/alerts reports SLOs disabled in an -slo run")
+			}
+			if !al.Firing {
+				break
+			}
+			if time.Now().After(resolveDeadline) {
+				return fmt.Errorf("SLO alerts never resolved after the burst: %s", body)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		status, scrape, err = get(client, base+"/v1/metrics")
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("/v1/metrics = %d", status)
+		}
+		resolved, err := scrapeCounter(string(scrape),
+			`quicknn_slo_alert_transitions_total{objective="latency",rule="fast",to="resolved"}`)
+		if err != nil {
+			return err
+		}
+		if resolved < 1 {
+			return fmt.Errorf("fast rule resolved %g times, want >= 1", resolved)
+		}
+		fmt.Println("quicknnd: chaos slo: fast rule resolved")
 	}
 
 	// 4. Bounded recovery: with the burst stopped, polling readiness

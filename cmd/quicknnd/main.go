@@ -32,6 +32,8 @@ import (
 	"github.com/quicknn/quicknn/internal/degrade"
 	"github.com/quicknn/quicknn/internal/faults"
 	"github.com/quicknn/quicknn/internal/obs"
+	"github.com/quicknn/quicknn/internal/obs/prof"
+	"github.com/quicknn/quicknn/internal/obs/slo"
 	"github.com/quicknn/quicknn/internal/serve"
 )
 
@@ -55,6 +57,12 @@ func main() {
 		slowlog    = flag.Int("slowlog", 64, "slowlog ring capacity for tail-promoted requests (0 = disabled)")
 		tailQ      = flag.Float64("tail-quantile", 0.99, "latency quantile above which requests are promoted to the slowlog")
 		runSample  = flag.Duration("runtime-sample", 0, "background Go runtime stats sampling period (0 = sample at /metrics scrape only)")
+
+		sloSpec     = flag.String("slo", "", "SLO objectives evaluated in-process, e.g. 'latency:target=5ms,ratio=0.99;errors:ratio=0.999' (docs/observability.md)")
+		sloInterval = flag.Duration("slo-interval", time.Second, "SLO evaluation tick period")
+		profDir     = flag.String("profile-dir", "", "continuous profiling: write periodic cpu/heap/mutex pprof snapshots into this directory (empty = disabled)")
+		profEvery   = flag.Duration("profile-interval", time.Minute, "continuous profiling capture period")
+		profKeep    = flag.Int("profile-keep", 8, "continuous profiling: snapshots kept per profile kind")
 
 		degradeOn  = flag.Bool("degrade", true, "adaptive degrade ladder: serve cheaper answers under pressure before shedding")
 		tailBudget = flag.Duration("tail-budget", 0, "tail-latency SLO driving the degrade ladder (0 = queue/window signals only)")
@@ -85,6 +93,14 @@ func main() {
 	if *flightSize > 0 {
 		sink.Flight = obs.NewFlightRecorder(*flightSize)
 	}
+	var sloEngine *slo.Engine
+	if *sloSpec != "" {
+		sloEngine, err = buildSLO(*sloSpec, sink.Reg())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicknnd: -slo:", err)
+			os.Exit(2)
+		}
+	}
 	slowSize := *slowlog
 	if slowSize <= 0 {
 		slowSize = -1 // Config treats 0 as "use the default"; negative disables
@@ -106,8 +122,43 @@ func main() {
 			TailBudget: tailBudget.Seconds(),
 		},
 		Faults: plan,
+		// FastBurnFiring is nil-safe and lock-free, so the admission path
+		// consumes it directly (a disabled -slo reads as never burning).
+		SLOBurning: sloEngine.FastBurnFiring,
 	})
-	srv := &server{engine: engine, sink: sink}
+	var profiler *prof.Snapshotter
+	if *profDir != "" {
+		profiler, err = prof.Start(prof.Config{
+			Dir:           *profDir,
+			Interval:      *profEvery,
+			Keep:          *profKeep,
+			MutexFraction: 5,
+			Reg:           sink.Reg(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicknnd: -profile-dir:", err)
+			os.Exit(2)
+		}
+		defer profiler.Stop()
+	}
+	srv := &server{engine: engine, sink: sink, slo: sloEngine, prof: profiler}
+
+	if sloEngine != nil {
+		stopSLO := make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(*sloInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopSLO:
+					return
+				case <-ticker.C:
+					sloEngine.Tick(obs.MonotonicSeconds())
+				}
+			}
+		}()
+		defer close(stopSLO)
+	}
 
 	if *runSample > 0 {
 		stopSampler := obs.StartRuntimeSampler(sink.Reg(), *runSample)
@@ -145,7 +196,7 @@ func main() {
 	}
 
 	if *chaos {
-		err := runChaos(base)
+		err := runChaos(base, sloEngine != nil)
 		shutdown(httpSrv, engine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "quicknnd: chaos:", err)
@@ -155,7 +206,7 @@ func main() {
 		return
 	}
 	if *selftest {
-		err := runSelftest(base, *metricsOut)
+		err := runSelftest(base, *metricsOut, sloEngine != nil, profiler)
 		shutdown(httpSrv, engine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "quicknnd: selftest:", err)
@@ -177,6 +228,55 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// buildSLO parses the -slo flag and binds each objective's probe to the
+// serve metric families on the daemon's registry. Re-registering a
+// family with an identical shape returns the engine's own instruments
+// (obs.Registry semantics), so the probes read exactly what the engine
+// records and /v1/metrics exports — there is no second bookkeeping
+// path to drift.
+func buildSLO(specStr string, reg *obs.Registry) (*slo.Engine, error) {
+	specs, err := slo.ParseSpec(specStr)
+	if err != nil {
+		return nil, err
+	}
+	latency := reg.Histogram("quicknn_serve_latency_seconds",
+		"Request latency from submission to completion.",
+		obs.TimeBuckets()).With()
+	requests := reg.Counter("quicknn_serve_requests_total",
+		"Search requests by outcome.", "result")
+	// good = served at full fidelity or degraded-but-answered ("ok");
+	// everything else (error, shed, closed, degraded-refusal) spends
+	// error budget.
+	okC := requests.With("ok")
+	badC := []*obs.Counter{
+		requests.With("error"), requests.With("shed"),
+		requests.With("closed"), requests.With("degraded"),
+	}
+	objs := make([]slo.Objective, 0, len(specs))
+	for _, spec := range specs {
+		obj := slo.Objective{Name: spec.Kind, Ratio: spec.Ratio, Target: spec.Target, Rules: spec.Rules}
+		switch spec.Kind {
+		case "latency":
+			target := spec.Target
+			obj.Probe = func() (float64, float64) {
+				good, total := latency.CountAtMost(target)
+				return float64(good), float64(total)
+			}
+		case "errors":
+			obj.Probe = func() (float64, float64) {
+				good := float64(okC.Value())
+				total := good
+				for _, c := range badC {
+					total += float64(c.Value())
+				}
+				return good, total
+			}
+		}
+		objs = append(objs, obj)
+	}
+	return slo.New(slo.Config{Objectives: objs, Reg: reg})
 }
 
 func parseMaintenance(s string) (serve.Maintenance, error) {
@@ -223,9 +323,11 @@ func shutdown(httpSrv *http.Server, engine *serve.Engine) {
 
 // runSelftest drives the running daemon through the full serving cycle
 // with real HTTP requests: readiness gating, frame ingest, batched
-// search in several modes, error taxonomy checks, and a /metrics scrape
-// asserting the quicknn_serve_* families.
-func runSelftest(base, metricsOut string) error {
+// search in several modes, error taxonomy checks, a /metrics scrape
+// asserting the quicknn_serve_* families, the traceparent round trip
+// into the flight recorder, and — when the subsystems are enabled —
+// the /v1/status + /v1/alerts shapes and a continuous-profiling cycle.
+func runSelftest(base, metricsOut string, sloOn bool, profiler *prof.Snapshotter) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	// 1. Before the first frame: liveness is green, readiness refuses
@@ -394,6 +496,18 @@ func runSelftest(base, metricsOut string) error {
 	if !strings.Contains(string(scrape), "quicknn_go_heap_alloc_bytes") {
 		return fmt.Errorf("/metrics scrape missing the quicknn_go_ runtime family")
 	}
+	if sloOn {
+		for _, fam := range []string{
+			"quicknn_slo_burn_rate",
+			"quicknn_slo_alert_state",
+			"quicknn_slo_alert_transitions_total",
+			"quicknn_slo_error_budget_remaining",
+		} {
+			if !strings.Contains(string(scrape), fam) {
+				return fmt.Errorf("/metrics scrape missing SLO family %s", fam)
+			}
+		}
+	}
 	if metricsOut != "" {
 		if err := os.WriteFile(metricsOut, scrape, 0o644); err != nil {
 			return fmt.Errorf("metrics-out: %w", err)
@@ -458,6 +572,163 @@ func runSelftest(base, metricsOut string) error {
 	if sl.Records == nil {
 		return fmt.Errorf("/debug/quicknn/slowlog records must be an array, not null")
 	}
+
+	// 10. Traceparent round trip: a traced search must echo the caller's
+	// trace id with the engine request id as the span id, and the request
+	// must be findable by trace id in the flight-recorder dump and in its
+	// latency exemplar (the derived 64-bit low half).
+	const parentTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	parent := "00-" + parentTrace + "-00f067aa0ba902b7-01"
+	status, hdr, body, err := postHdr(client, base+"/v1/search",
+		map[string]string{"traceparent": parent},
+		searchRequest{Queries: queries[:2], K: 3})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("traced /v1/search = %d: %s", status, body)
+	}
+	echo := hdr.Get("traceparent")
+	echoTrace, echoSpan, ok := obs.ParseTraceParent(echo)
+	if !ok || echoTrace.String() != parentTrace {
+		return fmt.Errorf("traced /v1/search echoed traceparent %q, want trace id %s", echo, parentTrace)
+	}
+	if echo == parent {
+		return fmt.Errorf("traced /v1/search must answer with its own span id, got the parent back: %q", echo)
+	}
+	status, body, err = get(client, base+"/v1/debug/quicknn/flightrecorder?trace="+parentTrace)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/v1/debug/quicknn/flightrecorder?trace= = %d: %s", status, body)
+	}
+	var tfl flightResponse
+	if err := json.Unmarshal(body, &tfl); err != nil {
+		return fmt.Errorf("trace-filtered flightrecorder body: %w", err)
+	}
+	if len(tfl.Records) != 1 {
+		return fmt.Errorf("trace filter surfaced %d records, want exactly the traced request", len(tfl.Records))
+	}
+	if tfl.Records[0].Trace != parentTrace {
+		return fmt.Errorf("trace-filtered record carries trace %q, want %s", tfl.Records[0].Trace, parentTrace)
+	}
+	if tfl.Records[0].ID != echoSpan {
+		return fmt.Errorf("record id %d != echoed span id %d (the response span must be the engine request id)",
+			tfl.Records[0].ID, echoSpan)
+	}
+	status, om, err = get(client, base+"/metrics?exemplars=1")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/metrics?exemplars=1 = %d", status)
+	}
+	if !strings.Contains(string(om), `trace_id="a3ce929d0e0e4736"`) {
+		return fmt.Errorf("no latency exemplar carries the traced request's trace_id")
+	}
+
+	// 11. /v1/status: the operational snapshot, with the SLO block
+	// present (and its ticker live) exactly when -slo is set.
+	var st statusResponse
+	statusDeadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body, err = get(client, base+"/v1/status")
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("/v1/status = %d: %s", status, body)
+		}
+		st = statusResponse{}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("/v1/status body: %w", err)
+		}
+		if !sloOn || (st.SLO != nil && st.SLO.Ticks >= 1) {
+			break
+		}
+		if time.Now().After(statusDeadline) {
+			return fmt.Errorf("/v1/status SLO ticker never ticked: %s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.Status != "ok" || st.UptimeSeconds <= 0 || st.Epoch != uint64(len(frames)) || st.QueueCapacity == 0 {
+		return fmt.Errorf("/v1/status = %+v, want ok at epoch %d with uptime and queue capacity", st, len(frames))
+	}
+	if sloOn {
+		if st.SLO == nil || len(st.SLO.Objectives) == 0 {
+			return fmt.Errorf("/v1/status missing the SLO table with -slo set: %s", body)
+		}
+		for _, obj := range st.SLO.Objectives {
+			if obj.Name == "" || len(obj.Alerts) == 0 {
+				return fmt.Errorf("/v1/status SLO objective malformed: %+v", obj)
+			}
+		}
+	} else if st.SLO != nil {
+		return fmt.Errorf("/v1/status carries an SLO block without -slo")
+	}
+
+	// 12. /v1/alerts: enabled tracks -slo, alerts is always an array.
+	status, body, err = get(client, base+"/v1/alerts")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/v1/alerts = %d: %s", status, body)
+	}
+	var al alertsResponse
+	if err := json.Unmarshal(body, &al); err != nil {
+		return fmt.Errorf("/v1/alerts body: %w", err)
+	}
+	if al.Enabled != sloOn {
+		return fmt.Errorf("/v1/alerts enabled = %v, want %v", al.Enabled, sloOn)
+	}
+	if !bytes.Contains(body, []byte(`"alerts":[`)) {
+		return fmt.Errorf("/v1/alerts alerts must be an array, not null: %s", body)
+	}
+
+	// 13. Continuous profiling (when enabled): force one capture cycle
+	// and assert /v1/status points at on-disk cpu/heap/mutex snapshots.
+	if profiler != nil {
+		profiler.CaptureCycle()
+		status, body, err = get(client, base+"/v1/status")
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("/v1/status after capture = %d", status)
+		}
+		st = statusResponse{}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("/v1/status body after capture: %w", err)
+		}
+		for _, kind := range prof.Kinds() {
+			path, ok := st.Profiles[kind]
+			if !ok || path == "" {
+				return fmt.Errorf("/v1/status profiles missing kind %s: %+v", kind, st.Profiles)
+			}
+			if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+				return fmt.Errorf("profile %s at %s missing or empty (stat: %v)", kind, path, err)
+			}
+		}
+		// Refresh the metrics-out artifact so it carries the
+		// quicknn_prof_* capture counters the cycle just bumped.
+		if metricsOut != "" {
+			status, scrape, err := get(client, base+"/metrics")
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("/metrics after capture = %d", status)
+			}
+			if !strings.Contains(string(scrape), "quicknn_prof_captures_total") {
+				return fmt.Errorf("/metrics scrape missing family quicknn_prof_captures_total")
+			}
+			if err := os.WriteFile(metricsOut, scrape, 0o644); err != nil {
+				return fmt.Errorf("metrics-out: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -472,6 +743,33 @@ func get(client *http.Client, url string) (int, []byte, error) {
 		return 0, nil, fmt.Errorf("GET %s: read: %w", url, err)
 	}
 	return resp.StatusCode, buf.Bytes(), nil
+}
+
+// postHdr is post with request headers, also returning the response
+// headers (the traceparent round-trip check needs both sides).
+func postHdr(client *http.Client, url string, hdr map[string]string, body interface{}) (int, http.Header, []byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("POST %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, nil, nil, fmt.Errorf("POST %s: read: %w", url, err)
+	}
+	return resp.StatusCode, resp.Header, buf.Bytes(), nil
 }
 
 func post(client *http.Client, url string, body interface{}) (int, []byte, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +15,8 @@ import (
 	"github.com/quicknn/quicknn"
 	"github.com/quicknn/quicknn/internal/degrade"
 	"github.com/quicknn/quicknn/internal/obs"
+	"github.com/quicknn/quicknn/internal/obs/prof"
+	"github.com/quicknn/quicknn/internal/obs/slo"
 	"github.com/quicknn/quicknn/internal/serve"
 )
 
@@ -26,8 +30,20 @@ import (
 //	GET  /v1/healthz  liveness: 200 whenever the process can answer HTTP
 //	GET  /v1/readyz   readiness: 503 with a reason code on no-index,
 //	                  draining, or a shed-level degrade ladder
+//	GET  /v1/status   one-stop operational snapshot: uptime, epoch,
+//	                  degrade rung, queue, SLO table, active alerts,
+//	                  last continuous-profiling captures
+//	GET  /v1/alerts   the SLO engine's non-inactive alerts as JSON
 //	GET  /v1/debug/quicknn/flightrecorder  newest-first flight-record ring
+//	                  (?trace=<32-hex id> filters to one distributed trace)
 //	GET  /v1/debug/quicknn/slowlog         tail-sampler promotions + estimate
+//
+// Correlation: /v1/search accepts a W3C traceparent header (one is
+// generated when absent) and echoes the response's traceparent with the
+// engine request id as the span id, so a caller can find the request's
+// flight record (?trace= filter), latency exemplar, and promoted
+// Perfetto span from its own distributed trace (docs/observability.md,
+// "Correlation ids").
 //
 // Every non-2xx reply is the structured error envelope (errorResponse):
 // a machine-branchable code, the live retry hint on 503s, and the
@@ -44,6 +60,11 @@ import (
 type server struct {
 	engine *serve.Engine
 	sink   *obs.Sink
+	// slo is the in-process SLO/burn-rate engine (-slo; nil = disabled).
+	slo *slo.Engine
+	// prof is the continuous-profiling snapshotter (-profile-dir; nil =
+	// disabled).
+	prof *prof.Snapshotter
 }
 
 // frameRequest is the /v1/frame body.
@@ -116,13 +137,34 @@ type errorResponse struct {
 	Epoch        uint64 `json:"epoch,omitempty"`
 }
 
+// flightRecordJSON is one flight record on the wire: the raw record
+// plus the derived 32-hex W3C trace id (omitted for untraced requests),
+// so operators can grep a dump for the id their tracing system shows.
+type flightRecordJSON struct {
+	obs.FlightRecord
+	Trace string `json:"trace,omitempty"`
+}
+
+// wrapRecords derives the wire form of a record snapshot.
+func wrapRecords(recs []obs.FlightRecord) []flightRecordJSON {
+	out := make([]flightRecordJSON, 0, len(recs))
+	for _, rec := range recs {
+		rj := flightRecordJSON{FlightRecord: rec}
+		if rec.TraceHi != 0 || rec.TraceLo != 0 {
+			rj.Trace = obs.TraceID{Hi: rec.TraceHi, Lo: rec.TraceLo}.String()
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
 // flightResponse is the /v1/debug/quicknn/flightrecorder reply: ring
 // bookkeeping plus the surviving records, newest first.
 type flightResponse struct {
 	Capacity int                `json:"capacity"`
 	Total    uint64             `json:"total"`
 	Dropped  uint64             `json:"dropped"`
-	Records  []obs.FlightRecord `json:"records"`
+	Records  []flightRecordJSON `json:"records"`
 }
 
 // slowlogResponse is the /v1/debug/quicknn/slowlog reply: the tail
@@ -131,7 +173,43 @@ type slowlogResponse struct {
 	TailQuantile        float64            `json:"tail_quantile"`
 	TailEstimateSeconds float64            `json:"tail_estimate_seconds"`
 	PromotedTotal       uint64             `json:"promoted_total"`
-	Records             []obs.FlightRecord `json:"records"`
+	Records             []flightRecordJSON `json:"records"`
+}
+
+// sloStatusJSON is the SLO block of /v1/status: the engine's tick count
+// (liveness of the evaluation loop), every objective's table row, and
+// the currently non-inactive alerts.
+type sloStatusJSON struct {
+	Ticks      uint64                `json:"ticks"`
+	Objectives []slo.ObjectiveStatus `json:"objectives"`
+	Alerts     []slo.AlertStatus     `json:"alerts"`
+}
+
+// statusResponse is the /v1/status reply: the one-stop operational
+// snapshot (docs/observability.md). SLO and profile blocks appear only
+// when the corresponding subsystem is enabled.
+type statusResponse struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Epoch         uint64         `json:"epoch"`
+	Draining      bool           `json:"draining"`
+	DegradeLevel  int            `json:"degrade_level"`
+	Degrade       string         `json:"degrade"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	SLO           *sloStatusJSON `json:"slo,omitempty"`
+	// Profiles maps profile kind (cpu|heap|mutex) to the newest capture's
+	// file path in -profile-dir.
+	Profiles map[string]string `json:"profiles,omitempty"`
+}
+
+// alertsResponse is the /v1/alerts reply. Enabled distinguishes "no SLO
+// engine configured" from "engine healthy, nothing alerting"; alerts is
+// always an array, never null.
+type alertsResponse struct {
+	Enabled bool              `json:"enabled"`
+	Firing  bool              `json:"firing"`
+	Alerts  []slo.AlertStatus `json:"alerts"`
 }
 
 // healthzResponse is the /v1/healthz liveness reply: 200 whenever the
@@ -165,6 +243,8 @@ func (s *server) routes() *http.ServeMux {
 	}
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	// Legacy /healthz predates the liveness/readiness split and keeps
 	// its combined behavior (503 until the first frame) byte-for-byte.
 	mux.HandleFunc("/healthz", s.handleLegacyHealthz)
@@ -305,17 +385,36 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	// Wire-level correlation: accept the caller's W3C traceparent, or
+	// mint one so every request is findable; the trace id threads through
+	// the engine into the flight record, latency exemplar, and promoted
+	// span without allocating on the hot path.
+	trace, span, traced := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	if !traced {
+		trace, span = newTrace()
+	}
 	ctx := r.Context()
 	if req.TimeoutMillis > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := s.engine.QueryBatchEx(ctx, toPoints(req.Queries), opts, req.Strict)
+	res, err := s.engine.Do(ctx, serve.Submission{
+		Queries: toPoints(req.Queries),
+		Opts:    opts,
+		Strict:  req.Strict,
+		Trace:   trace,
+	})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	// Echo the trace with this engine's request id as the span id, so
+	// the caller's tracing system links straight to our evidence.
+	if res.ID != 0 {
+		span = res.ID
+	}
+	w.Header().Set("traceparent", obs.FormatTraceParent(trace, span))
 	resp := searchResponse{Epoch: res.Epoch, Results: make([][]neighborJSON, len(res.Results))}
 	if res.Epoch == 0 { // zero-query requests skip the engine
 		resp.Epoch = s.engine.Epoch()
@@ -354,31 +453,100 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.sink.Metrics.WriteText(w)
 }
 
+// newTrace mints a random trace id and span id for requests arriving
+// without a traceparent header. Zero ids are invalid on the wire, so a
+// (vanishingly unlikely) all-zero draw is nudged to 1.
+func newTrace() (obs.TraceID, uint64) {
+	var b [24]byte
+	_, _ = cryptorand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	t := obs.TraceID{Hi: binary.BigEndian.Uint64(b[0:8]), Lo: binary.BigEndian.Uint64(b[8:16])}
+	span := binary.BigEndian.Uint64(b[16:24])
+	if t.IsZero() {
+		t.Lo = 1
+	}
+	if span == 0 {
+		span = 1
+	}
+	return t, span
+}
+
 func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 	capacity, total, dropped := s.engine.FlightStats()
 	recs := s.engine.FlightRecords()
-	if recs == nil {
-		recs = []obs.FlightRecord{} // "records": [] even when recording is off
+	if q := r.URL.Query().Get("trace"); q != "" {
+		filter, ok := obs.ParseTraceID(q)
+		if !ok {
+			s.writeEnvelope(w, http.StatusBadRequest, "bad_request",
+				"trace filter is not a 32-hex-digit W3C trace id")
+			return
+		}
+		kept := recs[:0]
+		for _, rec := range recs {
+			if rec.TraceHi == filter.Hi && rec.TraceLo == filter.Lo {
+				kept = append(kept, rec)
+			}
+		}
+		recs = kept
 	}
 	writeJSON(w, http.StatusOK, flightResponse{
 		Capacity: capacity,
 		Total:    total,
 		Dropped:  dropped,
-		Records:  recs,
+		Records:  wrapRecords(recs), // "records": [] even when recording is off
 	})
 }
 
 func (s *server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
-	recs := s.engine.SlowLog()
-	if recs == nil {
-		recs = []obs.FlightRecord{}
-	}
 	writeJSON(w, http.StatusOK, slowlogResponse{
 		TailQuantile:        s.engine.TailQuantile(),
 		TailEstimateSeconds: s.engine.TailEstimate(),
 		PromotedTotal:       s.engine.SlowPromoted(),
-		Records:             recs,
+		Records:             wrapRecords(s.engine.SlowLog()),
 	})
+}
+
+// handleStatus is the one-stop operational snapshot: process uptime,
+// epoch, degrade rung, queue occupancy, the SLO table with active
+// alerts, and the newest continuous-profiling captures. Always 200 —
+// it reports state, readiness verdicts belong to /v1/readyz.
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.engine.QueueStats()
+	level := s.engine.DegradeLevel()
+	resp := statusResponse{
+		Status:        "ok",
+		UptimeSeconds: obs.MonotonicSeconds(),
+		Epoch:         s.engine.Epoch(),
+		Draining:      s.engine.Draining(),
+		DegradeLevel:  int(level),
+		Degrade:       level.String(),
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+	}
+	if s.slo != nil {
+		block := &sloStatusJSON{Ticks: s.slo.Ticks(), Objectives: s.slo.Status()}
+		block.Alerts = s.slo.ActiveAlerts()
+		if block.Alerts == nil {
+			block.Alerts = []slo.AlertStatus{}
+		}
+		resp.SLO = block
+	}
+	if s.prof != nil {
+		resp.Profiles = s.prof.Last()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAlerts reports the SLO engine's non-inactive alerts.
+func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	resp := alertsResponse{
+		Enabled: s.slo != nil,
+		Firing:  s.slo.Firing(),
+		Alerts:  s.slo.ActiveAlerts(),
+	}
+	if resp.Alerts == nil {
+		resp.Alerts = []slo.AlertStatus{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is /v1 liveness: 200 whenever the process can answer

@@ -100,6 +100,13 @@ type Signals struct {
 	// TailSeconds is the tail-latency estimate driving the SLO signal;
 	// compared against Config.TailBudget (ignored when either is zero).
 	TailSeconds float64
+	// SLOFastBurn reports that a fast-burn SLO alert is firing
+	// (slo.Engine.FastBurnFiring via the engine's Config.SLOBurning
+	// hook): the service is provably spending error budget right now.
+	// It counts as pressure on its own and vetoes calm while it holds,
+	// but like the tail signal it may only cheapen answers — stepping
+	// onto the shed rung still requires genuine queue backlog.
+	SLOFastBurn bool
 }
 
 // Actions is the bitmask of ladder actions Apply took on one request.
@@ -210,6 +217,9 @@ func (c Config) hot(s Signals) bool {
 	if c.TailBudget > 0 && s.TailSeconds > c.TailBudget {
 		return true
 	}
+	if s.SLOFastBurn {
+		return true
+	}
 	return false
 }
 
@@ -222,6 +232,9 @@ func (c Config) calm(s Signals) bool {
 		return false
 	}
 	if c.TailBudget > 0 && s.TailSeconds > c.TailExitFrac*c.TailBudget {
+		return false
+	}
+	if s.SLOFastBurn {
 		return false
 	}
 	return true

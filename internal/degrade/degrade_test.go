@@ -219,3 +219,40 @@ func TestLevelStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestSLOFastBurnSignal checks the SLO corroboration contract with a
+// fake clock: a firing fast-burn alert counts as pressure on its own
+// (walking the ladder up), vetoes calm (holding the level), but — like
+// the tail signal — never steps onto the shed rung without genuine
+// queue backlog.
+func TestSLOFastBurnSignal(t *testing.T) {
+	c := NewController(Config{StepUp: 0.001, StepDown: 1e9})
+	now := 10.0
+	burning := Signals{SLOFastBurn: true}
+	for i := 0; i < 10; i++ {
+		now += 0.01
+		if lvl, _ := c.Observe(now, burning); lvl > LevelClampK {
+			t.Fatalf("observation %d: SLO-only pressure reached %v, want <= clamp-k", i, lvl)
+		}
+	}
+	if lvl, _ := c.Current(now); lvl != LevelClampK {
+		t.Fatalf("SLO-only plateau = %v, want clamp-k", lvl)
+	}
+	// Burning plus real backlog may shed.
+	now += 0.01
+	if lvl, _ := c.Observe(now, Signals{SLOFastBurn: true, QueueFrac: 1}); lvl != LevelShed {
+		t.Fatalf("SLO + backlog = %v, want shed", lvl)
+	}
+	// A still-firing alert vetoes calm: otherwise-quiet signals hold the
+	// level instead of decaying.
+	c2 := NewController(Config{StepUp: 0.001, StepDown: 0.1})
+	now = 20.0
+	c2.Observe(now, burning)
+	if lvl, delta := c2.Observe(now+10, burning); lvl == LevelNone || delta < 0 {
+		t.Fatalf("firing alert decayed the ladder: (%v, %d)", lvl, delta)
+	}
+	// Resolution releases the veto and calm decay resumes.
+	if lvl, _ := c2.Observe(now+30, Signals{}); lvl != LevelNone {
+		t.Fatalf("post-resolution level = %v, want none", lvl)
+	}
+}

@@ -9,17 +9,19 @@ import "sync/atomic"
 //
 //quicknnlint:recordpath
 type Record struct {
-	ID    uint64
-	Seq   atomic.Uint64
-	Words [4]uint64
-	Name  string                 // want "string field in record struct Record"
-	Tags  []byte                 // want "slice field in record struct Record"
-	Meta  map[string]int         // want "map field in record struct Record"
-	Done  chan int               // want "chan field in record struct Record"
-	Fn    func()                 // want "func field in record struct Record"
-	Any   interface{}            // want "interface field in record struct Record"
-	Next  *Record                // want "pointer field in record struct Record"
-	Inner struct{ Buf []uint64 } // want "slice field in record struct Record"
+	ID      uint64
+	TraceHi uint64 // correlation ids ride along as flat fixed-size halves
+	TraceLo uint64
+	Seq     atomic.Uint64
+	Words   [4]uint64
+	Name    string                 // want "string field in record struct Record"
+	Tags    []byte                 // want "slice field in record struct Record"
+	Meta    map[string]int         // want "map field in record struct Record"
+	Done    chan int               // want "chan field in record struct Record"
+	Fn      func()                 // want "func field in record struct Record"
+	Any     interface{}            // want "interface field in record struct Record"
+	Next    *Record                // want "pointer field in record struct Record"
+	Inner   struct{ Buf []uint64 } // want "slice field in record struct Record"
 }
 
 // Loose is unmarked: variable-size fields are fine here.
@@ -61,6 +63,7 @@ func flat(r *Record) {
 		w[i] = r.ID
 	}
 	r.Seq.Store(w[0])
+	r.TraceHi, r.TraceLo = w[1], w[2] // stamping a trace id is two stores
 	x := Loose{}
 	_ = x
 	make := helper // shadows the builtin: calling it is not an allocation

@@ -1,0 +1,22 @@
+// Package prof is a walltime fixture loaded under the exempt import
+// path <module>/internal/obs/prof: continuous profiling schedules host
+// CPU-profile windows and capture intervals, so its tickers and timers
+// must not be flagged.
+package prof
+
+import "time"
+
+// loop is shaped like the snapshotter's capture loop: a host ticker
+// paces captures and a timer bounds the CPU-profile window.
+func loop(stop <-chan struct{}) {
+	ticker := time.NewTicker(time.Minute)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			<-time.After(time.Second)
+		}
+	}
+}

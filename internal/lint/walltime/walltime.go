@@ -50,6 +50,7 @@ func exempt(pass *lint.Pass) bool {
 		"internal/bench",    // host-side benchmark harness
 		"internal/lint",     // tooling, not simulation
 		"internal/faults",   // fault injection sleeps on purpose (quicknn_faults builds)
+		"internal/obs/prof", // continuous profiling schedules host CPU-profile windows
 		"cmd",               // operator-facing binaries
 		"examples",          // operator-facing demos
 	} {

@@ -32,3 +32,19 @@ func TestExemptFaults(t *testing.T) {
 	linttest.Run(t, walltime.Analyzer,
 		"testdata/src/hostperf", "example.com/m/internal/faults", "example.com/m")
 }
+
+// TestExemptProf verifies the continuous-profiling snapshotter is
+// exempt: it paces pprof captures with host tickers and bounds the CPU
+// window with a host timer, so its wall-clock use is legitimate.
+func TestExemptProf(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer,
+		"testdata/src/prof", "example.com/m/internal/obs/prof", "example.com/m")
+}
+
+// TestObsParentNotExempt pins the prof exemption to the leaf package:
+// the parent internal/obs tree stays under the rule, so the same
+// flagged fixture must still report when loaded there.
+func TestObsParentNotExempt(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer,
+		"testdata/src/sim", "example.com/m/internal/obs", "example.com/m")
+}

@@ -8,10 +8,10 @@ import (
 func TestObserveWithExemplar(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1}).With()
-	h.ObserveWithExemplar(0.005, 41) // bucket 0
-	h.ObserveWithExemplar(0.007, 42) // bucket 0: overwrites
-	h.ObserveWithExemplar(0.5, 43)   // +Inf bucket
-	h.Observe(0.05)                  // bucket 1: no exemplar
+	h.ObserveWithExemplar(0.005, 41, 0)     // bucket 0
+	h.ObserveWithExemplar(0.007, 42, 0xabc) // bucket 0: overwrites
+	h.ObserveWithExemplar(0.5, 43, 0)       // +Inf bucket
+	h.Observe(0.05)                         // bucket 1: no exemplar
 
 	fam, ok := r.Snapshot().Find("lat_seconds")
 	if !ok {
@@ -21,8 +21,8 @@ func TestObserveWithExemplar(t *testing.T) {
 	if len(ser.Exemplars) != 3 {
 		t.Fatalf("Exemplars len = %d, want 3 (buckets incl. +Inf)", len(ser.Exemplars))
 	}
-	if ex := ser.Exemplars[0]; !ex.Set || ex.ID != 42 || ex.Value != 0.007 {
-		t.Fatalf("bucket 0 exemplar = %+v, want id 42 value 0.007", ex)
+	if ex := ser.Exemplars[0]; !ex.Set || ex.ID != 42 || ex.Value != 0.007 || ex.Trace != 0xabc {
+		t.Fatalf("bucket 0 exemplar = %+v, want id 42 value 0.007 trace 0xabc", ex)
 	}
 	if ser.Exemplars[1].Set {
 		t.Fatalf("bucket 1 has unexpected exemplar %+v", ser.Exemplars[1])
@@ -39,7 +39,7 @@ func TestWriteOpenMetricsExemplars(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("reqs_total", "Requests.").With().Inc()
 	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1}).With()
-	h.ObserveWithExemplar(0.005, 7)
+	h.ObserveWithExemplar(0.005, 7, 0)
 
 	var text, om strings.Builder
 	if err := r.WriteText(&text); err != nil {
@@ -84,6 +84,53 @@ func TestWriteOpenMetricsExemplars(t *testing.T) {
 	}
 }
 
+// TestExemplarTraceSuffix checks the OpenMetrics rendering of a traced
+// exemplar: the derived 64-bit trace id joins request_id in the label
+// set, zero-padded to 16 hex digits so it greps against traceparent
+// headers; untraced exemplars keep the historical single-label shape.
+func TestExemplarTraceSuffix(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1}).With()
+	h.ObserveWithExemplar(0.005, 7, 0x1f)
+	h.ObserveWithExemplar(0.05, 8, 0)
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	got := om.String()
+	want := `lat_seconds_bucket{le="0.01"} 1 # {request_id="7",trace_id="000000000000001f"} 0.005 `
+	if !strings.Contains(got, want) {
+		t.Fatalf("WriteOpenMetrics missing traced exemplar %q:\n%s", want, got)
+	}
+	want = `lat_seconds_bucket{le="0.1"} 2 # {request_id="8"} 0.05 `
+	if !strings.Contains(got, want) {
+		t.Fatalf("WriteOpenMetrics untraced exemplar malformed, want %q:\n%s", want, got)
+	}
+}
+
+func TestHistogramCountAtMost(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1}).With()
+	for _, v := range []float64{0.005, 0.02, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if good, total := h.CountAtMost(0.1); good != 3 || total != 5 {
+		t.Fatalf("CountAtMost(0.1) = %d, %d, want 3, 5", good, total)
+	}
+	// A target between bounds snaps up to the next bucket bound.
+	if good, total := h.CountAtMost(0.03); good != 3 || total != 5 {
+		t.Fatalf("CountAtMost(0.03) = %d, %d, want 3, 5", good, total)
+	}
+	// A target past the last bound counts everything.
+	if good, total := h.CountAtMost(10); good != 5 || total != 5 {
+		t.Fatalf("CountAtMost(10) = %d, %d, want 5, 5", good, total)
+	}
+	var nilH *Histogram
+	if good, total := nilH.CountAtMost(1); good != 0 || total != 0 {
+		t.Fatal("nil CountAtMost must read zero")
+	}
+}
+
 func TestObserveWithExemplarZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed by the race detector")
@@ -91,10 +138,10 @@ func TestObserveWithExemplarZeroAlloc(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", "Latency.", TimeBuckets()).With()
 	if allocs := testing.AllocsPerRun(1000, func() {
-		h.ObserveWithExemplar(0.0003, 9)
+		h.ObserveWithExemplar(0.0003, 9, 0x1234)
 	}); allocs != 0 {
 		t.Fatalf("ObserveWithExemplar allocates %v allocs/op, want 0", allocs)
 	}
 	var nilH *Histogram
-	nilH.ObserveWithExemplar(1, 1) // nil-safe
+	nilH.ObserveWithExemplar(1, 1, 1) // nil-safe
 }

@@ -88,10 +88,16 @@ type FlightRecord struct {
 	PointsScanned uint32 `json:"points_scanned"`
 	// CandInserts counts candidate-list insertions (heap churn).
 	CandInserts uint32 `json:"cand_inserts"`
+	// TraceHi/TraceLo are the halves of the W3C trace id the caller sent
+	// (or the server generated) on the request, zero when none. Kept as
+	// two flat uint64s so the record stays recordpath-shaped; render with
+	// TraceID{Hi: TraceHi, Lo: TraceLo}.String() at the boundary.
+	TraceHi uint64 `json:"trace_hi"`
+	TraceLo uint64 `json:"trace_lo"`
 }
 
 // recWords is the packed size of a FlightRecord in uint64 words.
-const recWords = 12
+const recWords = 14
 
 // pack serializes the record into w. The layout is private to the ring;
 // unpack is its exact inverse.
@@ -110,6 +116,8 @@ func (r *FlightRecord) pack(w *[recWords]uint64) {
 	w[9] = math.Float64bits(r.Total)
 	w[10] = uint64(r.TraversalSteps)<<32 | uint64(r.BucketsVisited)
 	w[11] = uint64(r.PointsScanned)<<32 | uint64(r.CandInserts)
+	w[12] = r.TraceHi
+	w[13] = r.TraceLo
 }
 
 // unpack deserializes w into the record.
@@ -132,6 +140,8 @@ func (r *FlightRecord) unpack(w *[recWords]uint64) {
 	r.BucketsVisited = uint32(w[10])
 	r.PointsScanned = uint32(w[11] >> 32)
 	r.CandInserts = uint32(w[11])
+	r.TraceHi = w[12]
+	r.TraceLo = w[13]
 }
 
 // flightSlot is one ring slot: a per-slot seqlock sequence word plus the

@@ -93,6 +93,7 @@ type series struct {
 type exemplar struct {
 	set   bool
 	id    uint64
+	trace uint64
 	value float64
 	ts    float64
 }
@@ -296,15 +297,16 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveWithExemplar records one sample and stamps the bucket it lands
-// in with an exemplar carrying the given request id, so an operator can
-// walk from a suspicious histogram bucket to concrete recent request IDs
-// (and from there to the flight recorder). Exemplars surface only in
-// WriteOpenMetrics; WriteText output is unchanged. Allocation-free: the
-// exemplar slots are preallocated with the series.
+// in with an exemplar carrying the given request id and (when nonzero) a
+// 64-bit trace id, so an operator can walk from a suspicious histogram
+// bucket to concrete recent request IDs (and from there to the flight
+// recorder, or across process boundaries via the trace id). Exemplars
+// surface only in WriteOpenMetrics; WriteText output is unchanged.
+// Allocation-free: the exemplar slots are preallocated with the series.
 //
 //quicknnlint:recordpath
 //quicknnlint:reporting histogram samples and exemplar timestamps are report values
-func (h *Histogram) ObserveWithExemplar(v float64, id uint64) {
+func (h *Histogram) ObserveWithExemplar(v float64, id, trace uint64) {
 	if h == nil {
 		return
 	}
@@ -314,7 +316,7 @@ func (h *Histogram) ObserveWithExemplar(v float64, id uint64) {
 	h.s.counts[i]++
 	h.s.sum += v
 	h.s.count++
-	h.s.exemplars[i] = exemplar{set: true, id: id, value: v, ts: ts}
+	h.s.exemplars[i] = exemplar{set: true, id: id, trace: trace, value: v, ts: ts}
 	h.s.mu.Unlock()
 }
 
@@ -323,6 +325,28 @@ func (h *Histogram) ObserveWithExemplar(v float64, id uint64) {
 //
 //quicknnlint:reporting converts an integer sample to a report value at the boundary
 func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
+
+// CountAtMost returns the cumulative number of samples that landed at or
+// below the first bucket bound ≥ target, plus the total sample count —
+// the good/total pair an SLO latency probe needs. Because histograms are
+// bucketed, the effective threshold snaps up to a bucket bound; callers
+// that need an exact threshold should pick targets on bucket bounds (the
+// slo package documents this). Nil-safe: a nil handle reads 0, 0.
+//
+//quicknnlint:reporting reads cumulative report counts against a report-value bound
+func (h *Histogram) CountAtMost(target float64) (good, total int64) {
+	if h == nil {
+		return 0, 0
+	}
+	i := sort.SearchFloat64s(h.f.buckets, target)
+	h.s.mu.Lock()
+	for j := 0; j <= i && j < len(h.s.counts); j++ {
+		good += h.s.counts[j]
+	}
+	total = h.s.count
+	h.s.mu.Unlock()
+	return good, total
+}
 
 // ExpBuckets returns n exponentially growing bucket bounds starting at
 // start with the given factor — the shape used for cycle latencies.
@@ -384,7 +408,8 @@ type SeriesSnapshot struct {
 }
 
 // ExemplarSnapshot is one bucket exemplar: the id of the most recent
-// request that landed in the bucket, its sample value, and the
+// request that landed in the bucket, its derived 64-bit trace id (zero
+// when the request carried no traceparent), its sample value, and the
 // MonotonicSeconds timestamp of the observation. Set distinguishes an
 // empty slot from a genuine zero.
 //
@@ -392,6 +417,7 @@ type SeriesSnapshot struct {
 type ExemplarSnapshot struct {
 	Set   bool
 	ID    uint64
+	Trace uint64
 	Value float64
 	Ts    float64
 }
@@ -464,7 +490,7 @@ func (r *Registry) Snapshot() Snapshot {
 					if ss.Exemplars == nil {
 						ss.Exemplars = make([]ExemplarSnapshot, len(s.exemplars))
 					}
-					ss.Exemplars[i] = ExemplarSnapshot{Set: true, ID: ex.id, Value: ex.value, Ts: ex.ts}
+					ss.Exemplars[i] = ExemplarSnapshot{Set: true, ID: ex.id, Trace: ex.trace, Value: ex.value, Ts: ex.ts}
 				}
 				s.mu.Unlock()
 			}
@@ -572,6 +598,10 @@ func exemplarSuffix(ser SeriesSnapshot, i int, exemplars bool) string {
 		return ""
 	}
 	ex := ser.Exemplars[i]
+	if ex.Trace != 0 {
+		return fmt.Sprintf(` # {request_id="%d",trace_id="%016x"} %s %s`,
+			ex.ID, ex.Trace, formatFloat(ex.Value), formatFloat(ex.Ts))
+	}
 	return fmt.Sprintf(` # {request_id="%d"} %s %s`,
 		ex.ID, formatFloat(ex.Value), formatFloat(ex.Ts))
 }

@@ -1,0 +1,257 @@
+// Package prof is the continuous-profiling snapshotter: a background
+// sampler that periodically captures CPU, heap and mutex pprof profiles
+// into a bounded on-disk ring, so a latency investigation started from a
+// flight record or a firing SLO alert can reach for the profile that
+// covers the incident window without anyone having had the foresight to
+// run `go tool pprof` at the time. Capture metadata is exported as
+// quicknn_prof_* families and the newest file per kind is surfaced on
+// /v1/status. The package reads the wall clock on purpose — profiling
+// windows are host time by definition — and is exempted in the walltime
+// lint roster like internal/faults. See docs/observability.md,
+// "Continuous profiling".
+package prof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// Kinds captured per cycle, in capture order.
+var kinds = []string{"cpu", "heap", "mutex"}
+
+// Config configures a Snapshotter.
+type Config struct {
+	// Dir receives the profile files. Created if missing.
+	Dir string
+	// Interval between capture cycles; 0 selects 60s. Clamped up to
+	// CPUWindow + 1s so cycles never overlap their own CPU window.
+	Interval time.Duration
+	// CPUWindow is how long each CPU profile records; 0 selects 1s.
+	CPUWindow time.Duration
+	// Keep bounds the on-disk ring: how many files of each kind are
+	// retained; 0 selects 8.
+	Keep int
+	// MutexFraction is passed to runtime.SetMutexProfileFraction at
+	// Start (0 leaves the process setting alone; mutex profiles are
+	// empty unless something sets it).
+	MutexFraction int
+	// Reg receives the quicknn_prof_* families (nil: no metrics).
+	Reg *obs.Registry
+}
+
+// Snapshotter owns the background capture goroutine and the on-disk
+// ring. Create with Start, stop with Stop.
+type Snapshotter struct {
+	cfg    Config
+	seq    uint64
+	done   chan struct{}
+	exited chan struct{}
+
+	captures *obs.CounterVec
+	errors   *obs.CounterVec
+	lastTs   *obs.GaugeVec
+	lastSize *obs.GaugeVec
+	files    *obs.Gauge
+
+	mu   sync.Mutex
+	last map[string]string // kind -> newest file path
+}
+
+// Start creates the profile directory, applies the mutex fraction, and
+// launches the capture loop. The first cycle runs one interval after
+// Start, not immediately — startup is the least interesting window and
+// the most expensive time to add profiling overhead.
+func Start(cfg Config) (*Snapshotter, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("prof: empty profile dir")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 60 * time.Second
+	}
+	if cfg.CPUWindow <= 0 {
+		cfg.CPUWindow = time.Second
+	}
+	if cfg.Interval < cfg.CPUWindow+time.Second {
+		cfg.Interval = cfg.CPUWindow + time.Second
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = 8
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	s := &Snapshotter{
+		cfg:    cfg,
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+		last:   make(map[string]string),
+		captures: cfg.Reg.Counter("quicknn_prof_captures_total",
+			"Profiles captured by the continuous-profiling snapshotter.", "kind"),
+		errors: cfg.Reg.Counter("quicknn_prof_errors_total",
+			"Profile captures that failed.", "kind"),
+		lastTs: cfg.Reg.Gauge("quicknn_prof_last_capture_seconds",
+			"MonotonicSeconds timestamp of the newest capture per kind.", "kind"),
+		lastSize: cfg.Reg.Gauge("quicknn_prof_last_capture_bytes",
+			"Size of the newest capture per kind.", "kind"),
+		files: cfg.Reg.Gauge("quicknn_prof_files",
+			"Profile files currently retained on disk.").With(),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Stop halts the capture loop and blocks until it has exited. Safe to
+// call once; files are left on disk.
+func (s *Snapshotter) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.done)
+	<-s.exited
+}
+
+// Last returns the newest on-disk profile path per kind (the /v1/status
+// "profiles" block). Kinds with no capture yet are absent.
+func (s *Snapshotter) Last() map[string]string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.last))
+	for k, v := range s.last {
+		out[k] = v
+	}
+	return out
+}
+
+// loop is the capture goroutine: one capture cycle per interval tick.
+func (s *Snapshotter) loop() {
+	defer close(s.exited)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.CaptureCycle()
+		}
+	}
+}
+
+// CaptureCycle captures one profile of every kind and prunes the ring.
+// Exported so quicknnd's selftest (and operators via tests) can force a
+// capture without waiting out the interval.
+func (s *Snapshotter) CaptureCycle() {
+	if s == nil {
+		return
+	}
+	s.seq++
+	for _, kind := range kinds {
+		if err := s.captureOne(kind); err != nil {
+			s.errors.With(kind).Inc()
+			continue
+		}
+		s.captures.With(kind).Inc()
+		s.lastTs.With(kind).Set(obs.MonotonicSeconds())
+	}
+	s.prune()
+}
+
+// captureOne writes one profile of the given kind into the ring.
+//
+//quicknnlint:reporting file sizes become gauge report values at the boundary
+func (s *Snapshotter) captureOne(kind string) (err error) {
+	path := filepath.Join(s.cfg.Dir, fmt.Sprintf("%s-%08d.pprof", kind, s.seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(path)
+			return
+		}
+		if fi, statErr := os.Stat(path); statErr == nil {
+			s.lastSize.With(kind).Set(float64(fi.Size()))
+		}
+		s.mu.Lock()
+		s.last[kind] = path
+		s.mu.Unlock()
+	}()
+	switch kind {
+	case "cpu":
+		// The CPU profile is a window, not a snapshot: record for
+		// CPUWindow (or until Stop) and the file holds exactly that
+		// interval's samples.
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		select {
+		case <-s.done:
+		case <-time.After(s.cfg.CPUWindow):
+		}
+		pprof.StopCPUProfile()
+		return nil
+	default:
+		// Heap and mutex profiles are cumulative snapshots; consumers
+		// diff consecutive ring entries for a window view.
+		p := pprof.Lookup(kind)
+		if p == nil {
+			return fmt.Errorf("prof: no %s profile", kind)
+		}
+		return p.WriteTo(f, 0)
+	}
+}
+
+// prune deletes the oldest files beyond Keep per kind and refreshes the
+// retained-file gauge. Sequence numbers are zero-padded so the
+// lexicographic sort is chronological.
+//
+//quicknnlint:reporting file counts become gauge report values at the boundary
+func (s *Snapshotter) prune() {
+	total := 0
+	for _, kind := range kinds {
+		paths, err := filepath.Glob(filepath.Join(s.cfg.Dir, kind+"-*.pprof"))
+		if err != nil {
+			continue
+		}
+		sort.Strings(paths)
+		for len(paths) > s.cfg.Keep {
+			os.Remove(paths[0])
+			paths = paths[1:]
+		}
+		total += len(paths)
+	}
+	s.files.Set(float64(total))
+}
+
+// Kinds returns the capture kinds, for status payloads and tests.
+func Kinds() []string { return append([]string(nil), kinds...) }
+
+// IsProfilePath reports whether base looks like one of our ring files
+// (defensive check for status handlers exposing paths).
+func IsProfilePath(base string) bool {
+	for _, kind := range kinds {
+		if strings.HasPrefix(base, kind+"-") && strings.HasSuffix(base, ".pprof") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// TestCaptureCycle forces capture cycles and checks the on-disk ring:
+// every kind produces a non-empty pprof file, the ring is pruned to
+// Keep per kind, and the metadata metrics agree.
+func TestCaptureCycle(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := Start(Config{
+		Dir:           dir,
+		Interval:      time.Hour, // the test drives cycles by hand
+		CPUWindow:     10 * time.Millisecond,
+		Keep:          2,
+		MutexFraction: 5,
+		Reg:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	for i := 0; i < 3; i++ {
+		s.CaptureCycle()
+	}
+
+	last := s.Last()
+	for _, kind := range Kinds() {
+		paths, err := filepath.Glob(filepath.Join(dir, kind+"-*.pprof"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != 2 {
+			t.Fatalf("%s: %d files retained, want Keep=2: %v", kind, len(paths), paths)
+		}
+		newest := paths[len(paths)-1]
+		if last[kind] != newest {
+			t.Fatalf("%s: Last = %q, want %q", kind, last[kind], newest)
+		}
+		fi, err := os.Stat(newest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s: newest profile is empty", kind)
+		}
+		if !IsProfilePath(filepath.Base(newest)) {
+			t.Fatalf("%s: %q fails IsProfilePath", kind, filepath.Base(newest))
+		}
+	}
+
+	snap := reg.Snapshot()
+	fam, ok := snap.Find("quicknn_prof_captures_total")
+	if !ok {
+		t.Fatal("quicknn_prof_captures_total missing")
+	}
+	for _, kind := range Kinds() {
+		ser, ok := fam.Find(kind)
+		if !ok || ser.Counter != 3 {
+			t.Fatalf("captures{kind=%q} = %+v (ok=%v), want 3", kind, ser, ok)
+		}
+	}
+	if fam, ok := snap.Find("quicknn_prof_files"); !ok {
+		t.Fatal("quicknn_prof_files missing")
+	} else if g := fam.Series[0].Gauge; g != float64(2*len(Kinds())) {
+		t.Fatalf("quicknn_prof_files = %v, want %d", g, 2*len(Kinds()))
+	}
+	if fam, ok := snap.Find("quicknn_prof_errors_total"); ok {
+		for _, ser := range fam.Series {
+			if ser.Counter != 0 {
+				t.Fatalf("capture errors: %+v", ser)
+			}
+		}
+	}
+}
+
+// TestStartValidation covers config defaults and failure modes.
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("Start accepted an empty dir")
+	}
+	// A file where the dir should be makes MkdirAll fail.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(Config{Dir: f}); err == nil {
+		t.Fatal("Start accepted a non-directory path")
+	}
+	// Nil snapshotter accessors are safe.
+	var nilS *Snapshotter
+	nilS.Stop()
+	nilS.CaptureCycle()
+	if nilS.Last() != nil {
+		t.Fatal("nil Last must be nil")
+	}
+}
+
+// TestStopHaltsLoop: Stop returns promptly and the loop goroutine exits
+// even with a pending ticker.
+func TestStopHaltsLoop(t *testing.T) {
+	s, err := Start(Config{Dir: t.TempDir(), Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneCh := make(chan struct{})
+	go func() { s.Stop(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+}

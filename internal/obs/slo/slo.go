@@ -1,0 +1,440 @@
+// Package slo evaluates declarative service-level objectives in-process,
+// over the same obs metric families the process already exports. Each
+// objective is a good/total ratio target (p99-style latency ≤ bound,
+// error rate ≤ bound) probed from a histogram or counter family;
+// the engine samples the cumulative pair on every Tick, computes
+// burn rates over multiple trailing windows (the Prometheus-SRE
+// fast 5m/1h + slow 6h/3d multi-window multi-burn-rate recipe), and
+// drives a typed alert state machine (inactive → pending → firing →
+// resolved). Everything is clock-free: Tick takes the current
+// obs.MonotonicSeconds value from the caller, so unit tests drive the
+// machine with a fake clock and the walltime lint rule has nothing to
+// flag. See docs/observability.md, "SLOs and burn-rate alerts".
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// Probe reads an objective's cumulative good/total pair. Probes must be
+// monotone (cumulative counts, not rates); the engine differences them
+// over windows itself. Called under the engine mutex on every Tick.
+//
+//quicknnlint:reporting probes read cumulative report counts
+type Probe func() (good, total float64)
+
+// Rule is one burn-rate alerting rule: the alert conditions when the
+// burn rate exceeds Burn over BOTH the short and long trailing windows
+// (the short window makes the alert reset quickly, the long one keeps
+// it from flapping on blips), and fires after the condition has held
+// For seconds.
+//
+//quicknnlint:reporting window lengths and burn thresholds are report-domain seconds/ratios
+type Rule struct {
+	// Name labels the rule in metrics and alerts ("fast", "slow").
+	Name string
+	// Short and Long are the trailing window lengths in seconds.
+	Short float64
+	Long  float64
+	// Burn is the burn-rate threshold (1 = consuming budget exactly at
+	// the sustainable rate).
+	Burn float64
+	// For is how long (seconds) the condition must hold before the
+	// alert transitions pending → firing.
+	For float64
+}
+
+// DefaultRules returns the canonical Prometheus-SRE page-tier pair:
+// fast 5m/1h at 14.4x burn (2m for), slow 6h/3d at 6x burn (15m for).
+//
+//quicknnlint:reporting canonical SRE window lengths and burn thresholds
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "fast", Short: 300, Long: 3600, Burn: 14.4, For: 120},
+		{Name: "slow", Short: 21600, Long: 259200, Burn: 6, For: 900},
+	}
+}
+
+// Objective is one declarative SLO: a named good/total ratio target with
+// burn-rate rules. Ratio is the target good fraction (0.99 = "99% of
+// requests are good"); the error budget is 1 − Ratio, and the burn rate
+// is the observed bad fraction divided by that budget.
+//
+//quicknnlint:reporting ratio targets and latency bounds are report values
+type Objective struct {
+	// Name labels the objective in metrics and alerts.
+	Name string
+	// Ratio is the target good fraction, in (0, 1).
+	Ratio float64
+	// Target is the latency bound in seconds for latency objectives
+	// (informational: the probe already encodes it), 0 otherwise.
+	Target float64
+	// Probe reads the cumulative good/total pair.
+	Probe Probe
+	// Rules are the burn-rate rules; nil selects DefaultRules.
+	Rules []Rule
+}
+
+// Alert states.
+const (
+	// StateInactive: condition false, nothing pending.
+	StateInactive = 0
+	// StatePending: condition true, waiting out the For duration.
+	StatePending = 1
+	// StateFiring: condition has held for the rule's For duration.
+	StateFiring = 2
+)
+
+// StateName renders an alert state for JSON/metrics consumers.
+func StateName(s int) string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	default:
+		return "inactive"
+	}
+}
+
+// sample is one Tick's cumulative probe reading.
+//
+//quicknnlint:reporting cumulative report counts at a monotonic timestamp
+type sample struct {
+	ts          float64
+	good, total float64
+}
+
+// ruleState is one rule's alert state machine.
+//
+//quicknnlint:reporting alert timing and burn readings are report values
+type ruleState struct {
+	rule  Rule
+	state int
+	// since is when the current state was entered.
+	since float64
+	// burnShort/burnLong are the last Tick's readings, cached for Status.
+	burnShort, burnLong float64
+
+	stateGauge *obs.Gauge
+	toPending  *obs.Counter
+	toFiring   *obs.Counter
+	toResolved *obs.Counter
+	gaugeShort *obs.Gauge
+	gaugeLong  *obs.Gauge
+}
+
+// objectiveState is one objective's evaluation state: a bounded ring of
+// cumulative samples plus per-rule alert machines.
+//
+//quicknnlint:reporting budget arithmetic operates on report ratios
+type objectiveState struct {
+	obj   Objective
+	ring  []sample
+	head  int // next write position
+	n     int // live samples
+	rules []*ruleState
+
+	budgetGauge *obs.Gauge
+	// cached for Status
+	lastGood, lastTotal, lastRemaining float64
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Objectives to evaluate. Each must have a Probe and 0 < Ratio < 1.
+	Objectives []Objective
+	// Reg receives the quicknn_slo_* families (nil: no metrics).
+	Reg *obs.Registry
+	// History bounds the per-objective sample ring; 0 selects 4096.
+	// Windows longer than History×(tick interval) degrade gracefully to
+	// "since oldest retained sample".
+	History int
+}
+
+// Engine evaluates objectives on Tick and exposes alert state. Safe for
+// concurrent use: Tick and Status serialize on a mutex; FastBurnFiring
+// and Firing are lock-free reads safe from latency-sensitive callers
+// (the degrade controller consumes FastBurnFiring on the admission
+// path).
+type Engine struct {
+	mu       sync.Mutex
+	objs     []*objectiveState
+	fastBurn atomic.Bool
+	anyFire  atomic.Bool
+	ticks    atomic.Uint64
+}
+
+// New validates the config and builds an engine. Objectives without
+// rules get DefaultRules.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Objectives) == 0 {
+		return nil, fmt.Errorf("slo: no objectives")
+	}
+	history := cfg.History
+	if history <= 0 {
+		history = 4096
+	}
+	stateG := cfg.Reg.Gauge("quicknn_slo_alert_state",
+		"Alert state per objective and rule (0 inactive, 1 pending, 2 firing).",
+		"objective", "rule")
+	transC := cfg.Reg.Counter("quicknn_slo_alert_transitions_total",
+		"Alert state-machine transitions by destination state.",
+		"objective", "rule", "to")
+	burnG := cfg.Reg.Gauge("quicknn_slo_burn_rate",
+		"Error-budget burn rate over the trailing window (1 = sustainable).",
+		"objective", "window")
+	budgetG := cfg.Reg.Gauge("quicknn_slo_error_budget_remaining",
+		"Fraction of the objective's error budget left, cumulative since start (negative = overspent).",
+		"objective")
+	e := &Engine{}
+	for _, obj := range cfg.Objectives {
+		if obj.Name == "" || obj.Probe == nil {
+			return nil, fmt.Errorf("slo: objective needs a name and a probe")
+		}
+		if !(obj.Ratio > 0 && obj.Ratio < 1) {
+			return nil, fmt.Errorf("slo: objective %q ratio %v outside (0, 1)", obj.Name, obj.Ratio)
+		}
+		if obj.Rules == nil {
+			obj.Rules = DefaultRules()
+		}
+		os := &objectiveState{
+			obj:           obj,
+			ring:          make([]sample, history),
+			budgetGauge:   budgetG.With(obj.Name),
+			lastRemaining: 1,
+		}
+		for _, r := range obj.Rules {
+			if r.Name == "" || r.Short <= 0 || r.Long <= r.Short || r.Burn <= 0 || r.For < 0 {
+				return nil, fmt.Errorf("slo: objective %q rule %+v invalid (want name, 0 < short < long, burn > 0, for >= 0)", obj.Name, r)
+			}
+			os.rules = append(os.rules, &ruleState{
+				rule:       r,
+				stateGauge: stateG.With(obj.Name, r.Name),
+				toPending:  transC.With(obj.Name, r.Name, "pending"),
+				toFiring:   transC.With(obj.Name, r.Name, "firing"),
+				toResolved: transC.With(obj.Name, r.Name, "resolved"),
+				gaugeShort: burnG.With(obj.Name, r.Name+"_short"),
+				gaugeLong:  burnG.With(obj.Name, r.Name+"_long"),
+			})
+		}
+		e.objs = append(e.objs, os)
+	}
+	return e, nil
+}
+
+// push appends a sample to the objective's ring, evicting the oldest
+// when full.
+func (os *objectiveState) push(s sample) {
+	os.ring[os.head] = s
+	os.head = (os.head + 1) % len(os.ring)
+	if os.n < len(os.ring) {
+		os.n++
+	}
+}
+
+// at returns the i-th newest retained sample (0 = newest).
+func (os *objectiveState) at(i int) sample {
+	return os.ring[((os.head-1-i)%len(os.ring)+len(os.ring))%len(os.ring)]
+}
+
+// burnOver computes the burn rate over the trailing window ending at the
+// newest sample: the bad fraction of the good/total delta across the
+// window, divided by the error budget. When the ring does not yet span
+// the window, the oldest retained sample anchors it (a partial window —
+// strictly more sensitive, which errs toward alerting during startup
+// bursts). No traffic in the window reads as burn 0.
+//
+//quicknnlint:reporting burn-rate arithmetic on report ratios
+func (os *objectiveState) burnOver(window float64) float64 {
+	if os.n < 2 {
+		return 0
+	}
+	newest := os.at(0)
+	cut := newest.ts - window
+	// Oldest-to-newest scan for the newest sample at or before the cut;
+	// fall back to the oldest retained sample.
+	anchor := os.at(os.n - 1)
+	for i := os.n - 1; i >= 1; i-- {
+		if s := os.at(i); s.ts <= cut {
+			anchor = s
+		} else {
+			break
+		}
+	}
+	dTotal := newest.total - anchor.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dGood := newest.good - anchor.good
+	badFrac := 1 - dGood/dTotal
+	if badFrac < 0 {
+		badFrac = 0
+	}
+	return badFrac / (1 - os.obj.Ratio)
+}
+
+// Tick reads every objective's probe, updates burn rates and alert
+// state machines, and refreshes the quicknn_slo_* families. now is the
+// caller's obs.MonotonicSeconds reading (or a fake clock in tests) and
+// must be non-decreasing across calls.
+//
+//quicknnlint:reporting evaluates report-domain ratios against report-time windows
+func (e *Engine) Tick(now float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fast, any := false, false
+	for _, os := range e.objs {
+		good, total := os.obj.Probe()
+		os.push(sample{ts: now, good: good, total: total})
+		os.lastGood, os.lastTotal = good, total
+		remaining := 1.0
+		if total > 0 {
+			remaining = 1 - (1-good/total)/(1-os.obj.Ratio)
+		}
+		os.lastRemaining = remaining
+		os.budgetGauge.Set(remaining)
+		for _, rs := range os.rules {
+			rs.burnShort = os.burnOver(rs.rule.Short)
+			rs.burnLong = os.burnOver(rs.rule.Long)
+			rs.gaugeShort.Set(rs.burnShort)
+			rs.gaugeLong.Set(rs.burnLong)
+			cond := rs.burnShort >= rs.rule.Burn && rs.burnLong >= rs.rule.Burn
+			switch {
+			case cond && rs.state == StateInactive:
+				rs.state, rs.since = StatePending, now
+				rs.toPending.Inc()
+			case !cond && rs.state != StateInactive:
+				if rs.state == StateFiring {
+					rs.toResolved.Inc()
+				}
+				rs.state, rs.since = StateInactive, now
+			}
+			if rs.state == StatePending && now-rs.since >= rs.rule.For {
+				rs.state = StateFiring
+				rs.since = now
+				rs.toFiring.Inc()
+			}
+			rs.stateGauge.Set(float64(rs.state))
+			if rs.state == StateFiring {
+				any = true
+				if rs.rule.Name == "fast" {
+					fast = true
+				}
+			}
+		}
+	}
+	e.fastBurn.Store(fast)
+	e.anyFire.Store(any)
+	e.ticks.Add(1)
+}
+
+// FastBurnFiring reports whether any objective's "fast" rule is firing.
+// Lock-free; the degrade controller consumes it as corroborating
+// pressure evidence without risking a lock-order cycle with Tick.
+func (e *Engine) FastBurnFiring() bool {
+	if e == nil {
+		return false
+	}
+	return e.fastBurn.Load()
+}
+
+// Firing reports whether any rule of any objective is firing. Lock-free.
+func (e *Engine) Firing() bool {
+	if e == nil {
+		return false
+	}
+	return e.anyFire.Load()
+}
+
+// Ticks returns the number of Tick calls (selftest liveness probe).
+func (e *Engine) Ticks() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.ticks.Load()
+}
+
+// AlertStatus is one rule's externally visible alert state.
+//
+//quicknnlint:reporting alert status carries report values
+type AlertStatus struct {
+	Objective string  `json:"objective"`
+	Rule      string  `json:"rule"`
+	State     string  `json:"state"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Threshold float64 `json:"threshold"`
+	// SinceSeconds is when the current state was entered
+	// (obs.MonotonicSeconds timebase).
+	SinceSeconds float64 `json:"since_seconds"`
+	ForSeconds   float64 `json:"for_seconds"`
+}
+
+// ObjectiveStatus is one objective's externally visible state.
+//
+//quicknnlint:reporting objective status carries report values
+type ObjectiveStatus struct {
+	Name  string  `json:"name"`
+	Ratio float64 `json:"ratio"`
+	// TargetSeconds is the latency bound for latency objectives, 0 else.
+	TargetSeconds float64 `json:"target_seconds,omitempty"`
+	Good          float64 `json:"good"`
+	Total         float64 `json:"total"`
+	// BudgetRemaining is the cumulative error-budget fraction left
+	// (negative = overspent).
+	BudgetRemaining float64       `json:"budget_remaining"`
+	Alerts          []AlertStatus `json:"alerts"`
+}
+
+// Status returns every objective's state as of the last Tick.
+func (e *Engine) Status() []ObjectiveStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ObjectiveStatus, 0, len(e.objs))
+	for _, os := range e.objs {
+		st := ObjectiveStatus{
+			Name:            os.obj.Name,
+			Ratio:           os.obj.Ratio,
+			TargetSeconds:   os.obj.Target,
+			Good:            os.lastGood,
+			Total:           os.lastTotal,
+			BudgetRemaining: os.lastRemaining,
+		}
+		for _, rs := range os.rules {
+			st.Alerts = append(st.Alerts, AlertStatus{
+				Objective:    os.obj.Name,
+				Rule:         rs.rule.Name,
+				State:        StateName(rs.state),
+				BurnShort:    rs.burnShort,
+				BurnLong:     rs.burnLong,
+				Threshold:    rs.rule.Burn,
+				SinceSeconds: rs.since,
+				ForSeconds:   rs.rule.For,
+			})
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ActiveAlerts returns only the alerts not in the inactive state,
+// the /v1/alerts payload.
+func (e *Engine) ActiveAlerts() []AlertStatus {
+	var out []AlertStatus
+	for _, obj := range e.Status() {
+		for _, a := range obj.Alerts {
+			if a.State != "inactive" {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

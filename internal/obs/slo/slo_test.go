@@ -1,0 +1,295 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quicknn/quicknn/internal/obs"
+)
+
+// fakeProbe is a hand-cranked cumulative good/total source.
+type fakeProbe struct{ good, total float64 }
+
+func (p *fakeProbe) read() (float64, float64) { return p.good, p.total }
+
+// add records n requests of which bad are bad.
+func (p *fakeProbe) add(n, bad float64) {
+	p.total += n
+	p.good += n - bad
+}
+
+// newTestEngine builds a single-objective engine with tight fake-clock
+// windows: fast 10s/40s burn 10 for 5s, slow 60s/240s burn 5 for 20s.
+// ratio 0.99 → budget 0.01, so a 20% bad fraction burns at 20x.
+func newTestEngine(t *testing.T, p *fakeProbe, reg *obs.Registry) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Reg: reg,
+		Objectives: []Objective{{
+			Name:  "latency",
+			Ratio: 0.99,
+			Probe: p.read,
+			Rules: []Rule{
+				{Name: "fast", Short: 10, Long: 40, Burn: 10, For: 5},
+				{Name: "slow", Short: 60, Long: 240, Burn: 5, For: 20},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// stateOf extracts one rule's alert state string.
+func stateOf(t *testing.T, e *Engine, rule string) string {
+	t.Helper()
+	for _, obj := range e.Status() {
+		for _, a := range obj.Alerts {
+			if a.Rule == rule {
+				return a.State
+			}
+		}
+	}
+	t.Fatalf("rule %q not in status", rule)
+	return ""
+}
+
+// TestAlertLifecycle drives the fast rule deterministically through
+// inactive → pending → firing → resolved with a fake clock.
+func TestAlertLifecycle(t *testing.T) {
+	p := &fakeProbe{}
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, p, reg)
+
+	// Healthy traffic: 100 requests, none bad.
+	now := 0.0
+	for i := 0; i < 5; i++ {
+		p.add(20, 0)
+		e.Tick(now)
+		now++
+	}
+	if got := stateOf(t, e, "fast"); got != "inactive" {
+		t.Fatalf("healthy state = %q, want inactive", got)
+	}
+
+	// Incident: 30% bad → burn 30 over both windows (threshold 10).
+	p.add(100, 30)
+	e.Tick(now) // condition true → pending
+	if got := stateOf(t, e, "fast"); got != "pending" {
+		t.Fatalf("incident state = %q, want pending", got)
+	}
+	if e.FastBurnFiring() {
+		t.Fatal("FastBurnFiring during pending, want false")
+	}
+
+	// Condition holds past For (5s) → firing.
+	for i := 0; i < 6; i++ {
+		now++
+		p.add(10, 3)
+		e.Tick(now)
+	}
+	if got := stateOf(t, e, "fast"); got != "firing" {
+		t.Fatalf("post-For state = %q, want firing", got)
+	}
+	if !e.FastBurnFiring() || !e.Firing() {
+		t.Fatal("FastBurnFiring/Firing = false while fast rule fires")
+	}
+	if len(e.ActiveAlerts()) == 0 {
+		t.Fatal("ActiveAlerts empty while firing")
+	}
+
+	// Recovery: clean traffic pushes the short window's bad fraction to
+	// zero once the incident samples age out (short window is 10s).
+	for i := 0; i < 15; i++ {
+		now++
+		p.add(50, 0)
+		e.Tick(now)
+	}
+	if got := stateOf(t, e, "fast"); got != "inactive" {
+		t.Fatalf("recovered state = %q, want inactive", got)
+	}
+	if e.FastBurnFiring() {
+		t.Fatal("FastBurnFiring after recovery, want false")
+	}
+
+	// The transition counters tell the whole story: one pending, one
+	// firing, one resolved.
+	snap := reg.Snapshot()
+	fam, ok := snap.Find("quicknn_slo_alert_transitions_total")
+	if !ok {
+		t.Fatal("transitions family missing")
+	}
+	for _, to := range []string{"pending", "firing", "resolved"} {
+		ser, ok := fam.Find("latency", "fast", to)
+		if !ok || ser.Counter != 1 {
+			t.Fatalf("transitions{to=%q} = %+v (ok=%v), want counter 1", to, ser, ok)
+		}
+	}
+	// Burn-rate and state gauges exist and read sane values.
+	if fam, ok := snap.Find("quicknn_slo_burn_rate"); !ok || len(fam.Series) == 0 {
+		t.Fatal("quicknn_slo_burn_rate family missing")
+	}
+	if fam, ok := snap.Find("quicknn_slo_error_budget_remaining"); !ok || len(fam.Series) == 0 {
+		t.Fatal("quicknn_slo_error_budget_remaining family missing")
+	}
+}
+
+// TestPendingResetsWithoutFiring: a blip shorter than For never fires.
+func TestPendingResetsWithoutFiring(t *testing.T) {
+	p := &fakeProbe{}
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, p, reg)
+	p.add(100, 0)
+	e.Tick(0)
+	p.add(100, 50) // burn 50
+	e.Tick(1)
+	if got := stateOf(t, e, "fast"); got != "pending" {
+		t.Fatalf("blip state = %q, want pending", got)
+	}
+	// Clean traffic within For: the 50 bad of 200 total still dominates
+	// a partial window, so flood enough good traffic to dilute below
+	// burn 10 (bad fraction < 10%): 50/600 ≈ 8.3%.
+	p.add(400, 0)
+	e.Tick(2)
+	if got := stateOf(t, e, "fast"); got != "inactive" {
+		t.Fatalf("post-blip state = %q, want inactive", got)
+	}
+	fam, _ := reg.Snapshot().Find("quicknn_slo_alert_transitions_total")
+	if ser, ok := fam.Find("latency", "fast", "firing"); ok && ser.Counter != 0 {
+		t.Fatalf("blip fired: %+v", ser)
+	}
+}
+
+// TestMultiWindowVeto: the long window must corroborate. A burst that
+// saturates the short window but not the long one stays inactive.
+func TestMultiWindowVeto(t *testing.T) {
+	p := &fakeProbe{}
+	e := newTestEngine(t, p, nil)
+
+	// A long healthy history fills the 40s long window with good
+	// traffic, then a single bad tick saturates only the short window.
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		p.add(1000, 0)
+		e.Tick(now)
+		now++
+	}
+	p.add(10, 5) // short-window burn huge; long window diluted by 50k good
+	e.Tick(now)
+	if got := stateOf(t, e, "fast"); got != "inactive" {
+		t.Fatalf("short-only burst state = %q, want inactive (long window must veto)", got)
+	}
+}
+
+// TestBurnZeroWithoutTraffic: idle windows read burn 0, not NaN.
+func TestBurnZeroWithoutTraffic(t *testing.T) {
+	p := &fakeProbe{}
+	e := newTestEngine(t, p, nil)
+	for now := 0.0; now < 5; now++ {
+		e.Tick(now)
+	}
+	for _, obj := range e.Status() {
+		for _, a := range obj.Alerts {
+			if a.BurnShort != 0 || a.BurnLong != 0 || a.State != "inactive" {
+				t.Fatalf("idle alert = %+v, want zero burn inactive", a)
+			}
+		}
+	}
+}
+
+// TestHistoryBound: the ring caps retained samples; windows longer than
+// the retained span degrade to since-oldest rather than growing memory.
+func TestHistoryBound(t *testing.T) {
+	p := &fakeProbe{}
+	e, err := New(Config{
+		History: 8,
+		Objectives: []Objective{{
+			Name: "latency", Ratio: 0.99, Probe: p.read,
+			Rules: []Rule{{Name: "fast", Short: 1000, Long: 2000, Burn: 1, For: 0}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := 0.0; now < 100; now++ {
+		p.add(10, 5)
+		e.Tick(now)
+	}
+	// Burn over the retained span: 50% bad / 1% budget = 50.
+	for _, obj := range e.Status() {
+		for _, a := range obj.Alerts {
+			if a.BurnShort < 49 || a.BurnShort > 51 {
+				t.Fatalf("bounded-history burn = %v, want ~50", a.BurnShort)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	probe := func() (float64, float64) { return 0, 0 }
+	cases := []Config{
+		{},
+		{Objectives: []Objective{{Name: "x", Ratio: 1, Probe: probe}}},
+		{Objectives: []Objective{{Name: "x", Ratio: 0, Probe: probe}}},
+		{Objectives: []Objective{{Name: "", Ratio: 0.5, Probe: probe}}},
+		{Objectives: []Objective{{Name: "x", Ratio: 0.5}}},
+		{Objectives: []Objective{{Name: "x", Ratio: 0.5, Probe: probe,
+			Rules: []Rule{{Name: "fast", Short: 10, Long: 5, Burn: 1}}}}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: New accepted invalid config", i)
+		}
+	}
+	// Nil engine accessors are safe.
+	var nilE *Engine
+	if nilE.FastBurnFiring() || nilE.Firing() || nilE.Status() != nil || nilE.Ticks() != 0 {
+		t.Fatal("nil engine accessors must read zero values")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	specs, err := ParseSpec("latency:target=5ms,ratio=0.99,fast=1s/4s,slow=5s/20s,for_fast=200ms,for_slow=1s,burn_fast=12;errors:ratio=0.999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs, want 2", len(specs))
+	}
+	lat := specs[0]
+	if lat.Kind != "latency" || lat.Target != 0.005 || lat.Ratio != 0.99 {
+		t.Fatalf("latency spec = %+v", lat)
+	}
+	fast := *lat.Rules[0].clone()
+	if fast.Short != 1 || fast.Long != 4 || fast.For != 0.2 || fast.Burn != 12 {
+		t.Fatalf("fast rule = %+v", fast)
+	}
+	if slow := lat.Rules[1]; slow.Short != 5 || slow.Long != 20 || slow.For != 1 || slow.Burn != 6 {
+		t.Fatalf("slow rule = %+v", slow)
+	}
+	if errs := specs[1]; errs.Kind != "errors" || errs.Ratio != 0.999 || errs.Rules[0].Short != 300 {
+		t.Fatalf("errors spec = %+v", errs)
+	}
+	if !strings.Contains(lat.String(), "latency:ratio=0.99") {
+		t.Fatalf("String = %q", lat.String())
+	}
+	for _, bad := range []string{
+		"",
+		"latency", // no target
+		"latency:target=abc",
+		"latency:target=5ms,ratio=2",
+		"latency:target=5ms,nope=1",
+		"latency:target=5ms,fast=4s/1s", // short >= long
+		"errors:target=5ms",             // target on errors
+		"widgets:ratio=0.9",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec accepted %q", bad)
+		}
+	}
+}
+
+// clone keeps the test honest about value vs pointer semantics of the
+// parsed rules slice.
+func (r *Rule) clone() *Rule { c := *r; return &c }

@@ -1,0 +1,172 @@
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is one parsed objective clause from a -slo flag: the kind and
+// numbers, without a bound probe (the caller binds probes because they
+// need live metric handles). See ParseSpec for the grammar.
+//
+//quicknnlint:reporting parsed targets and ratios are report values
+type Spec struct {
+	// Kind is "latency" (good = requests at or under Target seconds) or
+	// "errors" (good = requests that did not fail).
+	Kind string
+	// Target is the latency bound in seconds (latency kind only).
+	Target float64
+	// Ratio is the target good fraction.
+	Ratio float64
+	// Rules are the burn-rate rules (DefaultRules unless overridden).
+	Rules []Rule
+}
+
+// ParseSpec parses a -slo flag value: semicolon-separated objective
+// clauses of the form
+//
+//	kind:key=value,key=value,...
+//
+// where kind is "latency" or "errors" and the keys are
+//
+//	target    latency bound, a Go duration (latency kind; required)
+//	ratio     target good fraction in (0, 1); default 0.99 (latency),
+//	          0.999 (errors)
+//	fast      fast rule windows as short/long durations (default 5m/1h)
+//	slow      slow rule windows as short/long durations (default 6h/72h)
+//	burn_fast fast rule burn threshold (default 14.4)
+//	burn_slow slow rule burn threshold (default 6)
+//	for_fast  fast rule hold duration (default 2m)
+//	for_slow  slow rule hold duration (default 15m)
+//
+// Example:
+//
+//	latency:target=5ms,ratio=0.99,fast=1s/4s,for_fast=200ms;errors:ratio=0.999
+//
+//quicknnlint:reporting parses report-domain durations and ratios
+func ParseSpec(s string) ([]Spec, error) {
+	var out []Spec
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(clause, ":")
+		kind = strings.TrimSpace(kind)
+		if kind != "latency" && kind != "errors" {
+			return nil, fmt.Errorf("slo: unknown objective kind %q (want latency or errors)", kind)
+		}
+		spec := Spec{Kind: kind, Ratio: 0.99, Rules: DefaultRules()}
+		if kind == "errors" {
+			spec.Ratio = 0.999
+		}
+		if rest != "" {
+			for _, kv := range strings.Split(rest, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("slo: %s: %q is not key=value", kind, kv)
+				}
+				if err := spec.apply(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if spec.Kind == "latency" && spec.Target <= 0 {
+			return nil, fmt.Errorf("slo: latency objective needs target=<duration>")
+		}
+		if !(spec.Ratio > 0 && spec.Ratio < 1) {
+			return nil, fmt.Errorf("slo: %s: ratio %v outside (0, 1)", kind, spec.Ratio)
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("slo: empty spec")
+	}
+	return out, nil
+}
+
+// apply sets one key=value pair on the spec.
+//
+//quicknnlint:reporting parses report-domain durations and ratios
+func (spec *Spec) apply(key, val string) error {
+	seconds := func() (float64, error) {
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("slo: %s: %s=%q is not a positive duration", spec.Kind, key, val)
+		}
+		return d.Seconds(), nil
+	}
+	windows := func() (float64, float64, error) {
+		shortS, longS, ok := strings.Cut(val, "/")
+		ds, err1 := time.ParseDuration(shortS)
+		dl, err2 := time.ParseDuration(longS)
+		if !ok || err1 != nil || err2 != nil || ds <= 0 || dl <= ds {
+			return 0, 0, fmt.Errorf("slo: %s: %s=%q is not short/long with 0 < short < long", spec.Kind, key, val)
+		}
+		return ds.Seconds(), dl.Seconds(), nil
+	}
+	switch key {
+	case "target":
+		if spec.Kind != "latency" {
+			return fmt.Errorf("slo: target= only applies to latency objectives")
+		}
+		v, err := seconds()
+		if err != nil {
+			return err
+		}
+		spec.Target = v
+	case "ratio":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("slo: %s: ratio=%q is not a number", spec.Kind, val)
+		}
+		spec.Ratio = v
+	case "fast", "slow":
+		short, long, err := windows()
+		if err != nil {
+			return err
+		}
+		r := spec.ruleNamed(key)
+		r.Short, r.Long = short, long
+	case "burn_fast", "burn_slow":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("slo: %s: %s=%q is not a positive number", spec.Kind, key, val)
+		}
+		spec.ruleNamed(strings.TrimPrefix(key, "burn_")).Burn = v
+	case "for_fast", "for_slow":
+		v, err := seconds()
+		if err != nil {
+			return err
+		}
+		spec.ruleNamed(strings.TrimPrefix(key, "for_")).For = v
+	default:
+		return fmt.Errorf("slo: %s: unknown key %q", spec.Kind, key)
+	}
+	return nil
+}
+
+// ruleNamed returns a pointer to the spec's rule with the given name.
+func (spec *Spec) ruleNamed(name string) *Rule {
+	for i := range spec.Rules {
+		if spec.Rules[i].Name == name {
+			return &spec.Rules[i]
+		}
+	}
+	panic(fmt.Sprintf("slo: no rule named %q", name))
+}
+
+// String renders the spec back in flag grammar (logs, /v1/status).
+//
+//quicknnlint:reporting renders seconds as a duration for log output
+func (spec Spec) String() string {
+	var sb strings.Builder
+	sb.WriteString(spec.Kind)
+	sb.WriteString(fmt.Sprintf(":ratio=%g", spec.Ratio))
+	if spec.Kind == "latency" {
+		sb.WriteString(fmt.Sprintf(",target=%s", time.Duration(spec.Target*float64(time.Second))))
+	}
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package obs
+
+// W3C Trace Context (traceparent) support: the 128-bit trace id that
+// correlates a caller's distributed trace with this process's flight
+// records, latency exemplars and promoted Perfetto spans. The id is kept
+// as two uint64 halves so it can ride the zero-alloc record path — flat
+// fields, no slices or strings — and the wire form is rendered only at
+// the HTTP boundary. See docs/observability.md, "Correlation ids".
+
+// TraceID is a 128-bit W3C trace id split into big-endian halves: Hi is
+// the first 8 bytes of the 16-byte id, Lo the last 8. The zero value
+// means "no trace" (the W3C spec reserves the all-zero id as invalid).
+type TraceID struct {
+	Hi uint64
+	Lo uint64
+}
+
+// IsZero reports whether the id is the invalid all-zero trace id.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the id as 32 lowercase hex digits (the traceparent
+// trace-id field). Allocates; boundary use only, never the record path.
+func (t TraceID) String() string {
+	var b [32]byte
+	putHex(b[:16], t.Hi)
+	putHex(b[16:], t.Lo)
+	return string(b[:])
+}
+
+const hexDigits = "0123456789abcdef"
+
+// putHex writes v as 16 lowercase hex digits into dst.
+func putHex(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// parseHex64 parses exactly 16 lowercase/uppercase hex digits.
+func parseHex64(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// ParseTraceID parses 32 hex digits into a TraceID. The all-zero id is
+// rejected (ok=false), matching the W3C spec's invalid-id rule.
+func ParseTraceID(s string) (TraceID, bool) {
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	hi, ok1 := parseHex64(s[:16])
+	lo, ok2 := parseHex64(s[16:])
+	t := TraceID{Hi: hi, Lo: lo}
+	if !ok1 || !ok2 || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// ParseTraceParent parses a W3C traceparent header
+// (version-traceid-spanid-flags, e.g.
+// "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01") and returns
+// the trace id and parent span id. Unknown versions are accepted as long
+// as the first four fields have the version-00 shape (per spec forward
+// compatibility); version "ff", malformed fields, and all-zero ids are
+// rejected.
+func ParseTraceParent(header string) (t TraceID, span uint64, ok bool) {
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags).
+	if len(header) < 55 {
+		return TraceID{}, 0, false
+	}
+	if header[2] != '-' || header[35] != '-' || header[52] != '-' {
+		return TraceID{}, 0, false
+	}
+	ver := header[:2]
+	if _, okv := parseHex64("00000000000000" + ver); !okv || ver == "ff" {
+		return TraceID{}, 0, false
+	}
+	if len(header) > 55 && (ver == "00" || header[55] != '-') {
+		return TraceID{}, 0, false
+	}
+	t, okt := ParseTraceID(header[3:35])
+	span, oks := parseHex64(header[36:52])
+	if _, okf := parseHex64("00000000000000" + header[53:55]); !okt || !oks || !okf || span == 0 {
+		return TraceID{}, 0, false
+	}
+	return t, span, true
+}
+
+// FormatTraceParent renders a version-00 traceparent header for the
+// given trace id and span id with the sampled flag set.
+func FormatTraceParent(t TraceID, span uint64) string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	putHex(b[3:19], t.Hi)
+	putHex(b[19:35], t.Lo)
+	b[35] = '-'
+	putHex(b[36:52], span)
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}

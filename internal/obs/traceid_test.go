@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+func TestTraceIDString(t *testing.T) {
+	id := TraceID{Hi: 0x0af7651916cd43dd, Lo: 0x8448eb211c80319c}
+	if got, want := id.String(), "0af7651916cd43dd8448eb211c80319c"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if !(TraceID{}).IsZero() || id.IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id, ok := ParseTraceID("0af7651916cd43dd8448eb211c80319c")
+	if !ok || id.Hi != 0x0af7651916cd43dd || id.Lo != 0x8448eb211c80319c {
+		t.Fatalf("ParseTraceID = %+v, %v", id, ok)
+	}
+	// Uppercase hex is tolerated on input.
+	if _, ok := ParseTraceID("0AF7651916CD43DD8448EB211C80319C"); !ok {
+		t.Fatal("uppercase trace id rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"0af7651916cd43dd8448eb211c80319",   // short
+		"0af7651916cd43dd8448eb211c80319cc", // long
+		"0af7651916cd43dd8448eb211c80319g",  // non-hex
+		"00000000000000000000000000000000",  // all-zero is invalid per spec
+	} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Fatalf("ParseTraceID accepted %q", bad)
+		}
+	}
+}
+
+func TestParseTraceParent(t *testing.T) {
+	tr, span, ok := ParseTraceParent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if !ok || tr.String() != "0af7651916cd43dd8448eb211c80319c" || span != 0xb7ad6b7169203331 {
+		t.Fatalf("ParseTraceParent = %+v, %x, %v", tr, span, ok)
+	}
+	// Future versions may append fields after a dash; version 00 may not.
+	if _, _, ok := ParseTraceParent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !ok {
+		t.Fatal("future-version trailer rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",      // no flags
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // version ff invalid
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // zero span id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0x",   // bad flags
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x", // version-00 trailer
+		"000 af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // bad separators
+	} {
+		if _, _, ok := ParseTraceParent(bad); ok {
+			t.Fatalf("ParseTraceParent accepted %q", bad)
+		}
+	}
+}
+
+func TestFormatTraceParentRoundTrip(t *testing.T) {
+	in := TraceID{Hi: 0x0102030405060708, Lo: 0x090a0b0c0d0e0f10}
+	header := FormatTraceParent(in, 0x1122334455667788)
+	if want := "00-0102030405060708090a0b0c0d0e0f10-1122334455667788-01"; header != want {
+		t.Fatalf("FormatTraceParent = %q, want %q", header, want)
+	}
+	tr, span, ok := ParseTraceParent(header)
+	if !ok || tr != in || span != 0x1122334455667788 {
+		t.Fatalf("round trip = %+v, %x, %v", tr, span, ok)
+	}
+}

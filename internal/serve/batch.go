@@ -58,6 +58,11 @@ type request struct {
 	// (written before submit, read by the completing worker through the
 	// same happens-before edges as pickedUp/dispatched).
 	degradeLevel uint8
+	// traceHi/traceLo carry the caller's W3C trace id (zero when none),
+	// written before submit and read by the completing worker through
+	// the same happens-before edges as degradeLevel.
+	traceHi uint64
+	traceLo uint64
 	// execStart holds math.Float64bits of the first worker's execution
 	// start (first-wins CAS); 0 until a worker reaches the request.
 	execStart atomic.Uint64
@@ -132,7 +137,7 @@ func (r *request) finishOne(e *Engine) {
 	if e.rec {
 		e.recordFlight(r, now, total)
 	}
-	e.m.latency.ObserveWithExemplar(total, r.id)
+	e.m.latency.ObserveWithExemplar(total, r.id, r.traceLo)
 	if r.failure() != nil {
 		e.m.requests.With("error").Inc()
 	} else {

@@ -79,6 +79,12 @@ type Config struct {
 	// (submit, worker, build, retire, frame ingest). Inert unless the
 	// binary was built with -tags quicknn_faults; nil injects nothing.
 	Faults *faults.Plan
+	// SLOBurning, when non-nil, reports whether a fast-burn SLO alert is
+	// currently firing (slo.Engine.FastBurnFiring). The admission
+	// controller consumes it as corroborating pressure evidence
+	// (degrade.Signals.SLOFastBurn). It runs on the admission path of
+	// every request, so it must be lock-free and non-blocking.
+	SLOBurning func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -490,9 +496,11 @@ func (e *Engine) QueryBatch(ctx context.Context, queries []quicknn.Point, opts q
 	return res.Results, err
 }
 
-// QueryResult is QueryBatchEx's answer: the per-query neighbor lists
-// plus the serving metadata the /v1 wire API surfaces — which epoch
-// snapshot answered, and what the degrade ladder did to the request.
+// QueryResult is Do's answer: the per-query neighbor lists plus the
+// serving metadata the /v1 wire API surfaces — which epoch snapshot
+// answered, what the degrade ladder did to the request, and the
+// engine-scoped request id correlating the answer with its flight
+// record, exemplar and promoted span.
 type QueryResult struct {
 	// Results holds one neighbor list per query point.
 	Results [][]quicknn.Neighbor
@@ -503,16 +511,46 @@ type QueryResult struct {
 	Level degrade.Level
 	// Actions is the bitmask of option rewrites the ladder applied.
 	Actions degrade.Actions
+	// ID is the engine-scoped request id stamped into the flight record
+	// and latency exemplar (0 when the request was refused before one
+	// was assigned).
+	ID uint64
 }
 
-// QueryBatchEx is QueryBatch plus the degrade contract: admission runs
-// the adaptive controller, rewrites the request's options for the
-// current ladder level, and reports what it did. A strict request
-// refuses degradation — it fails with ErrDegraded whenever the ladder
-// is engaged instead of accepting a clamped answer. At LevelShed every
-// request fails with ErrShed before touching the queue.
+// Submission bundles one request's inputs for Do: the query points,
+// their options, the strictness bit, and the wire-level correlation id.
+type Submission struct {
+	// Queries are the query points, answered against one snapshot.
+	Queries []quicknn.Point
+	// Opts apply to every query (the degrade ladder may rewrite them).
+	Opts quicknn.QueryOptions
+	// Strict refuses degradation: the request fails with ErrDegraded
+	// whenever the ladder is engaged instead of accepting a clamped
+	// answer.
+	Strict bool
+	// Trace is the caller's W3C trace id (zero when none): it is
+	// stamped into the request's flight record, its latency exemplar
+	// (low half), and its promoted Perfetto span, so the caller's
+	// distributed trace finds this engine's per-phase evidence.
+	Trace obs.TraceID
+}
+
+// QueryBatchEx is QueryBatch plus the degrade contract; it is
+// Do without a correlation id, kept for callers below the wire layer.
 func (e *Engine) QueryBatchEx(ctx context.Context, queries []quicknn.Point, opts quicknn.QueryOptions, strict bool) (QueryResult, error) {
-	if len(queries) == 0 {
+	return e.Do(ctx, Submission{Queries: queries, Opts: opts, Strict: strict})
+}
+
+// Do submits one request to the micro-batching engine and waits for the
+// answer. Admission runs the adaptive degrade controller, rewrites the
+// request's options for the current ladder level, and reports what it
+// did. Failure modes: ErrOverloaded (queue full at submit), ErrShed
+// (degrade ladder at its top rung), ErrDegraded (strict request meeting
+// an engaged ladder), ErrClosed (engine draining), ErrNoIndex (no frame
+// yet), or the ctx error when the deadline expires first — in-flight
+// work for an expired request is skipped, not executed.
+func (e *Engine) Do(ctx context.Context, sub Submission) (QueryResult, error) {
+	if len(sub.Queries) == 0 {
 		return QueryResult{Results: [][]quicknn.Neighbor{}, Epoch: e.Epoch()}, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -521,13 +559,15 @@ func (e *Engine) QueryBatchEx(ctx context.Context, queries []quicknn.Point, opts
 	if e.current.Load() == nil {
 		return QueryResult{}, ErrNoIndex
 	}
-	level, acts, err := e.admit(&opts, strict)
+	opts := sub.Opts
+	level, acts, err := e.admit(&opts, sub.Strict)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	req := newRequest(ctx, queries, opts)
+	req := newRequest(ctx, sub.Queries, opts)
 	req.id = e.reqID.Add(1)
 	req.degradeLevel = uint8(level)
+	req.traceHi, req.traceLo = sub.Trace.Hi, sub.Trace.Lo
 	if err := e.submit(req); err != nil {
 		return QueryResult{}, err
 	}
@@ -536,7 +576,7 @@ func (e *Engine) QueryBatchEx(ctx context.Context, queries []quicknn.Point, opts
 		if err := req.failure(); err != nil {
 			return QueryResult{}, err
 		}
-		return QueryResult{Results: req.results, Epoch: req.epochID, Level: level, Actions: acts}, nil
+		return QueryResult{Results: req.results, Epoch: req.epochID, Level: level, Actions: acts, ID: req.id}, nil
 	case <-ctx.Done():
 		// The request keeps draining in the background (workers skip its
 		// remaining queries); the caller gets the deadline verdict now.
@@ -633,6 +673,7 @@ func (e *Engine) signals(now float64) degrade.Signals {
 		QueueFrac:   qf,
 		WindowFrac:  wf,
 		TailSeconds: tail,
+		SLOFastBurn: e.cfg.SLOBurning != nil && e.cfg.SLOBurning(),
 	}
 }
 
@@ -837,7 +878,7 @@ func (e *Engine) nextRequest() (*request, bool) {
 // worker pool asynchronously, so the batcher can keep coalescing.
 func (e *Engine) dispatch(batch []*request, points int) {
 	e.m.batches.Inc()
-	e.m.batchSize.ObserveWithExemplar(float64(points), batch[0].id)
+	e.m.batchSize.ObserveWithExemplar(float64(points), batch[0].id, batch[0].traceLo)
 	now := obs.MonotonicSeconds()
 	for _, req := range batch {
 		req.dispatched = now

@@ -45,6 +45,8 @@ func (e *Engine) recordFlight(r *request, now, total float64) {
 		BucketsVisited: uint32(r.buckets.Load()),
 		PointsScanned:  uint32(r.scanned.Load()),
 		CandInserts:    uint32(r.inserts.Load()),
+		TraceHi:        r.traceHi,
+		TraceLo:        r.traceLo,
 	}
 	if exec := math.Float64frombits(r.execStart.Load()); exec > 0 {
 		rec.Pickup = clampSec(exec - r.dispatched)
@@ -94,7 +96,14 @@ func (e *Engine) promoteSlow(rec obs.FlightRecord) {
 	if tr == nil {
 		return
 	}
+	// The tracer's span args are int64-only, so the trace id correlates
+	// through the span name: searching a Perfetto dump for the
+	// traceparent's trace-id hex finds the promoted span.
 	name := fmt.Sprintf("req %d", rec.ID)
+	if rec.TraceHi != 0 || rec.TraceLo != 0 {
+		name = fmt.Sprintf("req %d trace=%s", rec.ID,
+			obs.TraceID{Hi: rec.TraceHi, Lo: rec.TraceLo}.String())
+	}
 	t0 := usTick(rec.Submit)
 	t1 := t0 + usTick(rec.Queue)
 	t2 := t1 + usTick(rec.Window)

@@ -110,6 +110,75 @@ func TestFlightRecordsCaptureRequest(t *testing.T) {
 	}
 }
 
+// TestTraceThreadsThroughRequest drives one traced submission end to
+// end and checks the trace id surfaces everywhere the tentpole promises:
+// the flight record's Hi/Lo halves, the latency exemplar's derived
+// 64-bit form, and (once the tail sampler promotes) the slowlog entry.
+func TestTraceThreadsThroughRequest(t *testing.T) {
+	e, sink := flightEngine(t, 64, 2)
+	rng := rand.New(rand.NewSource(7))
+	mustAdvance(t, e, 1, 600, rng)
+
+	trace := obs.TraceID{Hi: 0x4bf92f3577b34da6, Lo: 0xa3ce929d0e0e4736}
+	res, err := e.Do(context.Background(), Submission{
+		Queries: taggedFrame(1, 3, rng),
+		Opts:    quicknn.QueryOptions{K: 2},
+		Trace:   trace,
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.ID == 0 {
+		t.Fatal("traced request got no engine id")
+	}
+	recs := e.FlightRecords()
+	if len(recs) != 1 {
+		t.Fatalf("FlightRecords has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.ID != res.ID {
+		t.Fatalf("record id %d != result id %d", rec.ID, res.ID)
+	}
+	if rec.TraceHi != trace.Hi || rec.TraceLo != trace.Lo {
+		t.Fatalf("flight record trace = %016x%016x, want %s", rec.TraceHi, rec.TraceLo, trace.String())
+	}
+	// The latency exemplar carries the derived 64-bit form (low half).
+	fam, ok := sink.Metrics.Snapshot().Find("quicknn_serve_latency_seconds")
+	if !ok {
+		t.Fatal("latency family missing")
+	}
+	found := false
+	for _, ex := range fam.Series[0].Exemplars {
+		if ex.Set && ex.ID == res.ID {
+			found = true
+			if ex.Trace != trace.Lo {
+				t.Fatalf("exemplar trace = %016x, want %016x", ex.Trace, trace.Lo)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no latency exemplar with request id %d", res.ID)
+	}
+	// Force promotion on a second traced request: the slowlog entry must
+	// carry the same halves.
+	e.tail = obs.NewTailSampler(0.9)
+	e.tail.Observe(1e-9) // seed tiny: every later sample promotes
+	if _, err := e.Do(context.Background(), Submission{
+		Queries: taggedFrame(1, 1, rng),
+		Opts:    quicknn.QueryOptions{K: 2},
+		Trace:   trace,
+	}); err != nil {
+		t.Fatalf("Do (promoted): %v", err)
+	}
+	slow := e.SlowLog()
+	if len(slow) == 0 {
+		t.Fatal("tiny tail seed must promote the second request")
+	}
+	if slow[0].TraceHi != trace.Hi || slow[0].TraceLo != trace.Lo {
+		t.Fatalf("slowlog trace = %016x%016x, want %s", slow[0].TraceHi, slow[0].TraceLo, trace.String())
+	}
+}
+
 // TestFlightRecordsOutcomes checks error and cancellation attribution.
 func TestFlightRecordsOutcomes(t *testing.T) {
 	e, _ := flightEngine(t, 64, 2)
@@ -265,6 +334,7 @@ func TestRecordFlightZeroAlloc(t *testing.T) {
 	req.pickedUp = req.submitted
 	req.dispatched = req.submitted
 	req.batchPoints = 4
+	req.traceHi, req.traceLo = 0x0102030405060708, 0x1112131415161718
 	st := quicknn.QueryStats{TraversalSteps: 11, PointsScanned: 256, BucketsVisited: 4, CandInserts: 19}
 	// Seed the tail estimate high so the measured loop exercises the
 	// common no-promotion branch (promotion is the sanctioned slow path).
@@ -277,7 +347,7 @@ func TestRecordFlightZeroAlloc(t *testing.T) {
 		req.inserts.Add(uint64(st.CandInserts))
 		now := obs.MonotonicSeconds()
 		e.recordFlight(req, now, now-req.submitted)
-		e.m.latency.ObserveWithExemplar(now-req.submitted, req.id)
+		e.m.latency.ObserveWithExemplar(now-req.submitted, req.id, req.traceLo)
 	}); allocs != 0 {
 		t.Fatalf("record path allocates %v allocs/op, want 0", allocs)
 	}
